@@ -1,0 +1,144 @@
+//===- bench/BenchUtil.h - Shared table rendering for benches -----*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the table-reproduction binaries: run a suite of
+/// workloads under all variants and render paper-style tables (dynamic
+/// counts with percentages of baseline, Figure 11/12 percentage series,
+/// Figure 13/14 speedups).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_BENCH_BENCHUTIL_H
+#define SXE_BENCH_BENCHUTIL_H
+
+#include "support/Format.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace sxe {
+namespace bench {
+
+/// Scale factor from the SXE_SCALE environment variable (default 1).
+inline unsigned envScale() {
+  const char *Raw = std::getenv("SXE_SCALE");
+  if (!Raw)
+    return 1;
+  long Value = std::strtol(Raw, nullptr, 10);
+  return Value >= 1 ? static_cast<unsigned>(Value) : 1;
+}
+
+/// Runs every workload of \p Suite under all variants.
+inline std::vector<WorkloadReport>
+runSuite(const std::vector<Workload> &Suite) {
+  RunnerOptions Options;
+  Options.Params.Scale = envScale();
+  std::vector<WorkloadReport> Reports;
+  for (const Workload &W : Suite) {
+    std::fprintf(stderr, "  compiling + running %-14s (12 variants)...\n",
+                 W.Name);
+    Reports.push_back(runWorkload(W, Options));
+  }
+  return Reports;
+}
+
+/// Percentage of baseline for one cell.
+inline double percentOfBaseline(const WorkloadReport &Report,
+                                const VariantRow &Row) {
+  const VariantRow *Baseline = Report.row(Variant::Baseline);
+  if (!Baseline || Baseline->DynamicSext32 == 0)
+    return 100.0;
+  return 100.0 * static_cast<double>(Row.DynamicSext32) /
+         static_cast<double>(Baseline->DynamicSext32);
+}
+
+/// Renders the Table 1/2 dynamic-count table for \p Reports.
+inline void printCountTable(const char *Title,
+                            const std::vector<WorkloadReport> &Reports) {
+  std::printf("\n%s\n", Title);
+  std::printf("%s", padRight("variant", 28).c_str());
+  for (const WorkloadReport &Report : Reports)
+    std::printf(" | %s", padLeft(Report.Name, 22).c_str());
+  std::printf(" | %s\n", padLeft("average", 9).c_str());
+
+  for (unsigned VIndex = 0; VIndex < NumVariants; ++VIndex) {
+    Variant V = AllVariants[VIndex];
+    std::printf("%s", padRight(variantName(V), 28).c_str());
+    double PercentSum = 0.0;
+    for (const WorkloadReport &Report : Reports) {
+      const VariantRow *Row = Report.row(V);
+      double Percent = percentOfBaseline(Report, *Row);
+      PercentSum += Percent;
+      std::string Cell = formatWithCommas(Row->DynamicSext32) + " (" +
+                         formatFixed(Percent, 2) + "%)";
+      if (!Row->ChecksumOK)
+        Cell += " !";
+      std::printf(" | %s", padLeft(Cell, 22).c_str());
+    }
+    std::printf(" | %s\n",
+                padLeft(formatFixed(PercentSum / Reports.size(), 2) + "%", 9)
+                    .c_str());
+  }
+  std::printf("('!' marks a checksum mismatch; none should appear)\n");
+}
+
+/// Renders the Figure 11/12 percentage series (one line per variant).
+inline void printPercentSeries(const char *Title,
+                               const std::vector<WorkloadReport> &Reports) {
+  std::printf("\n%s (percent of baseline, per benchmark)\n", Title);
+  std::printf("%s", padRight("variant", 28).c_str());
+  for (const WorkloadReport &Report : Reports)
+    std::printf(" %s", padLeft(Report.Name, 12).c_str());
+  std::printf("\n");
+  for (unsigned VIndex = 0; VIndex < NumVariants; ++VIndex) {
+    Variant V = AllVariants[VIndex];
+    std::printf("%s", padRight(variantName(V), 28).c_str());
+    for (const WorkloadReport &Report : Reports) {
+      double Percent = percentOfBaseline(Report, *Report.row(V));
+      std::printf(" %s", padLeft(formatFixed(Percent, 2), 12).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+/// Renders the Figure 13/14 performance-improvement chart (cycle model).
+inline void printSpeedupTable(const char *Title,
+                              const std::vector<WorkloadReport> &Reports) {
+  static const Variant Shown[] = {Variant::FirstAlgorithm, Variant::BasicUdDu,
+                                  Variant::Array, Variant::All};
+  std::printf("\n%s (estimated %% performance improvement over baseline)\n",
+              Title);
+  std::printf("%s", padRight("variant", 28).c_str());
+  for (const WorkloadReport &Report : Reports)
+    std::printf(" %s", padLeft(Report.Name, 12).c_str());
+  std::printf("\n");
+  for (Variant V : Shown) {
+    std::printf("%s", padRight(variantName(V), 28).c_str());
+    for (const WorkloadReport &Report : Reports) {
+      const VariantRow *Baseline = Report.row(Variant::Baseline);
+      const VariantRow *Row = Report.row(V);
+      double Improvement =
+          Row->Cycles == 0
+              ? 0.0
+              : (static_cast<double>(Baseline->Cycles) /
+                     static_cast<double>(Row->Cycles) -
+                 1.0) *
+                    100.0;
+      std::printf(" %s", padLeft(formatFixed(Improvement, 2), 12).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace bench
+} // namespace sxe
+
+#endif // SXE_BENCH_BENCHUTIL_H

@@ -1,0 +1,29 @@
+//===- bench/bench_fig13_14_performance.cpp - Figures 13 and 14 ----------------===//
+//
+// Regenerates the shape of Figures 13 and 14: estimated performance
+// improvement over the baseline from the cycle cost model, for both
+// suites. The paper measured wall clock on an Itanium; we charge each
+// executed IR instruction a typical in-order latency (sxt = 1 cycle), so
+// improvements track how many extensions each variant removed from hot
+// code.
+//
+//===----------------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace sxe;
+using namespace sxe::bench;
+
+int main() {
+  std::fprintf(stderr, "Figures 13/14 reproduction (cycle model), scale=%u\n",
+               envScale());
+
+  std::vector<WorkloadReport> JByte = runSuite(jbytemarkWorkloads());
+  printSpeedupTable("Figure 13. Performance improvement for jBYTEmark",
+                    JByte);
+
+  std::vector<WorkloadReport> Spec = runSuite(specjvm98Workloads());
+  printSpeedupTable("Figure 14. Performance improvement for SPECjvm98",
+                    Spec);
+  return 0;
+}

@@ -1,0 +1,27 @@
+//===- bench/bench_table2_specjvm98.cpp - Table 2 and Figure 12 ----------------===//
+//
+// Regenerates Table 2 of the paper: dynamic counts of remaining 32-bit
+// sign extensions for the seven SPECjvm98 kernels under all twelve
+// algorithm variants, plus the Figure 12 percentage series. Set SXE_SCALE
+// to enlarge the workloads.
+//
+//===---------------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace sxe;
+using namespace sxe::bench;
+
+int main() {
+  std::fprintf(stderr, "Table 2 reproduction: SPECjvm98, IA64 target, "
+                       "scale=%u\n",
+               envScale());
+  std::vector<WorkloadReport> Reports = runSuite(specjvm98Workloads());
+
+  printCountTable(
+      "Table 2. Dynamic counts of remaining 32-bit sign extensions "
+      "(SPECjvm98)",
+      Reports);
+  printPercentSeries("Figure 12. Dynamic counts for SPECjvm98", Reports);
+  return 0;
+}

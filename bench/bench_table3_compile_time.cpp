@@ -1,0 +1,87 @@
+//===- bench/bench_table3_compile_time.cpp - Table 3 ---------------------------===//
+//
+// Regenerates Table 3 of the paper: the breakdown of compilation time
+// into "sign extension optimizations (all)", "UD/DU chain creation", and
+// "others". Each workload is compiled repeatedly with the full
+// configuration and the per-phase wall-clock timers are accumulated.
+//
+// The paper's totals include the whole JIT (parsing, other optimizations,
+// code generation); ours cover the pipeline this repository implements
+// (conversion + general optimizations as "others"), so the sign-extension
+// share is an upper bound on the paper's 0.11%-of-everything figure —
+// the shape to check is: the sxe phases are a small slice, and UD/DU
+// chain creation costs a multiple of them.
+//
+//===----------------------------------------------------------------------------===//
+
+#include "ir/Cloner.h"
+#include "support/Format.h"
+#include "workloads/Workload.h"
+#include "sxe/Pipeline.h"
+
+#include <cstdio>
+
+using namespace sxe;
+
+int main() {
+  constexpr unsigned Repeats = 40;
+
+  std::printf("Table 3. Breakdown of compilation time "
+              "(%u compilations per program, full configuration)\n",
+              Repeats);
+  std::printf("%s | %s | %s | %s | %s\n", padRight("program", 14).c_str(),
+              padLeft("sign ext opts", 14).c_str(),
+              padLeft("chains+ranges", 13).c_str(),
+              padLeft("others", 8).c_str(),
+              padLeft("total ms", 9).c_str());
+
+  double SxeShareSum = 0.0, ChainShareSum = 0.0, OtherShareSum = 0.0;
+  unsigned Count = 0;
+
+  WorkloadParams Params;
+  for (const Workload &W : allWorkloads()) {
+    std::unique_ptr<Module> Pristine = W.Build(Params);
+
+    uint64_t Sxe = 0, Chains = 0, Total = 0;
+    for (unsigned Round = 0; Round < Repeats; ++Round) {
+      auto Clone = cloneModule(*Pristine);
+      PipelineConfig Config = PipelineConfig::forVariant(Variant::All);
+      PipelineStats Stats = runPipeline(*Clone, Config);
+      Sxe += Stats.SxeOptNanos;
+      Chains += Stats.ChainCreationNanos;
+      Total += Stats.TotalNanos;
+    }
+    if (Total == 0)
+      Total = 1;
+    double SxeShare = 100.0 * Sxe / Total;
+    double ChainShare = 100.0 * Chains / Total;
+    double OtherShare = 100.0 - SxeShare - ChainShare;
+    SxeShareSum += SxeShare;
+    ChainShareSum += ChainShare;
+    OtherShareSum += OtherShare;
+    ++Count;
+
+    std::printf("%s | %s | %s | %s | %s\n", padRight(W.Name, 14).c_str(),
+                padLeft(formatFixed(SxeShare, 2) + "%", 14).c_str(),
+                padLeft(formatFixed(ChainShare, 2) + "%", 13).c_str(),
+                padLeft(formatFixed(OtherShare, 2) + "%", 8).c_str(),
+                padLeft(formatFixed(Total * 1e-6, 2), 9).c_str());
+  }
+
+  std::printf("%s | %s | %s | %s |\n", padRight("average", 14).c_str(),
+              padLeft(formatFixed(SxeShareSum / Count, 2) + "%", 14).c_str(),
+              padLeft(formatFixed(ChainShareSum / Count, 2) + "%", 13)
+                  .c_str(),
+              padLeft(formatFixed(OtherShareSum / Count, 2) + "%", 8)
+                  .c_str());
+  std::printf("(paper: 0.11%% sign extension opts, 2.92%% UD/DU chains, "
+              "96.97%% others — of the *whole* JIT)\n");
+  std::printf("This pipeline has no parser/register allocator/encoder, so "
+              "the denominator is far smaller than the paper's; the shape "
+              "to compare is the sign-extension share RELATIVE to the "
+              "shared analysis bucket: paper 0.11/2.92 = %.2f, ours "
+              "%.2f/%.2f = %.2f.\n",
+              0.11 / 2.92, SxeShareSum / Count, ChainShareSum / Count,
+              (SxeShareSum / Count) / (ChainShareSum / Count));
+  return 0;
+}

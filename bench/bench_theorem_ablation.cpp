@@ -1,0 +1,101 @@
+//===- bench/bench_theorem_ablation.cpp - Which mechanism earns what -----------===//
+//
+// Ablation of the design choices DESIGN.md section 8 calls out, measured
+// as dynamic remaining-extension counts under "new algorithm (all)" with
+// one ingredient disabled at a time:
+//
+//   - full        : everything on (the Table 1/2 configuration)
+//   - no dummies  : without just_extended markers after array accesses
+//   - no guards   : without branch-guard value-range refinement
+//   - no induct.  : without the inductive add/sub/mul extendedness rule
+//   - no array    : without Theorems 1-4 entirely
+//
+// plus the per-theorem discharge counts observed during the full run
+// (which of Section 3's arguments actually fired).
+//
+//===----------------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ir/Cloner.h"
+#include "interp/Interpreter.h"
+
+using namespace sxe;
+using namespace sxe::bench;
+
+namespace {
+
+struct AblatedRun {
+  uint64_t DynamicSext32 = 0;
+  PipelineStats Stats;
+};
+
+AblatedRun runAblated(const Workload &W, const WorkloadParams &Params,
+                      void (*Tweak)(PipelineConfig &)) {
+  std::unique_ptr<Module> M = W.Build(Params);
+  PipelineConfig Config = PipelineConfig::forVariant(Variant::All);
+  Tweak(Config);
+  AblatedRun Run;
+  Run.Stats = runPipeline(*M, Config);
+  Interpreter Interp(*M, InterpOptions{});
+  ExecResult R = Interp.run("main");
+  Run.DynamicSext32 = R.Trap == TrapKind::None ? R.ExecutedSext32 : ~0ull;
+  return Run;
+}
+
+} // namespace
+
+int main() {
+  WorkloadParams Params;
+  Params.Scale = envScale();
+
+  std::printf("Ablation: dynamic 32-bit extensions under 'new algorithm "
+              "(all)' with one ingredient disabled (scale=%u)\n",
+              Params.Scale);
+  std::printf("%s | %s | %s | %s | %s | %s\n",
+              padRight("program", 14).c_str(), padLeft("full", 10).c_str(),
+              padLeft("no dummies", 11).c_str(),
+              padLeft("no guards", 10).c_str(),
+              padLeft("no induct.", 11).c_str(),
+              padLeft("no array", 10).c_str());
+
+  for (const Workload &W : allWorkloads()) {
+    std::fprintf(stderr, "  %s...\n", W.Name);
+    AblatedRun Full =
+        runAblated(W, Params, [](PipelineConfig &) {});
+    AblatedRun NoDummies = runAblated(
+        W, Params, [](PipelineConfig &C) { C.EnableDummies = false; });
+    AblatedRun NoGuards = runAblated(
+        W, Params, [](PipelineConfig &C) { C.EnableGuardRanges = false; });
+    AblatedRun NoInductive = runAblated(W, Params, [](PipelineConfig &C) {
+      C.EnableInductiveArith = false;
+    });
+    AblatedRun NoArray = runAblated(W, Params, [](PipelineConfig &C) {
+      C.EnableArrayTheorems = false;
+    });
+
+    std::printf(
+        "%s | %s | %s | %s | %s | %s\n", padRight(W.Name, 14).c_str(),
+        padLeft(formatWithCommas(Full.DynamicSext32), 10).c_str(),
+        padLeft(formatWithCommas(NoDummies.DynamicSext32), 11).c_str(),
+        padLeft(formatWithCommas(NoGuards.DynamicSext32), 10).c_str(),
+        padLeft(formatWithCommas(NoInductive.DynamicSext32), 11).c_str(),
+        padLeft(formatWithCommas(NoArray.DynamicSext32), 10).c_str());
+  }
+
+  std::printf("\nSection 3 discharge breakdown during the full runs "
+              "(static counts per compilation):\n");
+  std::printf("%s | %s | %s | %s | %s | %s\n",
+              padRight("program", 14).c_str(),
+              padLeft("extended", 9).c_str(), padLeft("thm 1", 6).c_str(),
+              padLeft("thm 2", 6).c_str(), padLeft("thm 3", 6).c_str(),
+              padLeft("thm 4", 6).c_str());
+  for (const Workload &W : allWorkloads()) {
+    AblatedRun Full = runAblated(W, Params, [](PipelineConfig &) {});
+    std::printf("%s | %9u | %6u | %6u | %6u | %6u\n",
+                padRight(W.Name, 14).c_str(),
+                Full.Stats.SubscriptExtended, Full.Stats.SubscriptTheorem1,
+                Full.Stats.SubscriptTheorem2, Full.Stats.SubscriptTheorem3,
+                Full.Stats.SubscriptTheorem4);
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+//===- examples/profile_guided.cpp - Figure 15: profiles beat PDE ---------------===//
+//
+// The paper's Figure 15 argument: partial dead code elimination cannot
+// move a sign extension from one diamond arm to the join, but
+// insertion + profile-guided order determination places the surviving
+// extension on the *cold* path.
+//
+// The program below has a diamond inside a loop: the hot arm (97% by
+// profile) computes t = i + 1 and needs no extension; the join uses t as
+// an array index. We compile it three ways and show where the extension
+// lands.
+//
+// Run:  ./profile_guided
+//
+//===-----------------------------------------------------------------------------===//
+
+#include "analysis/ProfileInfo.h"
+#include "interp/Interpreter.h"
+#include "ir/Cloner.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "sxe/Pipeline.h"
+
+#include <cstdio>
+
+using namespace sxe;
+
+int main() {
+  auto M = std::make_unique<Module>("diamond");
+  Function *F = M->createFunction("diamond", Type::I32);
+  Reg A = F->addParam(Type::ArrayRef, "a");
+  Reg N = F->addParam(Type::I32, "n");
+
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg I = F->newReg(Type::I32, "i");
+  B.copyTo(I, Zero);
+  Reg T = F->newReg(Type::I32, "t");
+  B.copyTo(T, Zero);
+  Reg Sum = F->newReg(Type::I32, "sum");
+  B.copyTo(Sum, Zero);
+
+  BasicBlock *Head = F->createBlock("head");
+  BasicBlock *Check = F->createBlock("check");
+  BasicBlock *Hot = F->createBlock("hot");
+  BasicBlock *Cold = F->createBlock("cold");
+  BasicBlock *Join = F->createBlock("join");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.jmp(Head);
+
+  B.setBlock(Head);
+  Reg InLoop = B.cmp32(CmpPred::SLT, I, N);
+  B.br(InLoop, Check, Exit);
+
+  B.setBlock(Check);
+  // Cold once every 32 iterations.
+  Reg Masked = B.and32(I, B.constI32(31));
+  Reg TakeHot = B.cmp32(CmpPred::NE, Masked, Zero);
+  B.br(TakeHot, Hot, Cold);
+
+  B.setBlock(Hot);
+  B.binopTo(T, Opcode::Add, Width::W32, I, One);
+  B.jmp(Join);
+
+  B.setBlock(Cold);
+  Reg Big = B.mul32(I, B.constI32(2654435761u & 0x7FFFFFFF), "big");
+  B.binopTo(T, Opcode::And, Width::W32, Big, B.constI32(0xFFFF));
+  B.jmp(Join);
+
+  B.setBlock(Join);
+  Reg V = B.arrayLoad(Type::I32, A, T, "v");
+  B.binopTo(Sum, Opcode::Add, Width::W32, Sum, V);
+  B.binopTo(I, Opcode::Add, Width::W32, I, One);
+  B.jmp(Head);
+
+  B.setBlock(Exit);
+  B.ret(Sum);
+
+  // A main() for profiling.
+  Function *Main = M->createFunction("main", Type::I32);
+  {
+    IRBuilder MB(Main);
+    MB.startBlock("entry");
+    Reg Len = MB.constI32(1 << 16);
+    Reg Arr = MB.newArray(Type::I32, Len, "arr");
+    Reg Count = MB.constI32(20000);
+    Reg Result = Main->newReg(Type::I32, "result");
+    MB.callTo(Result, F, {Arr, Count});
+    MB.ret(Result);
+  }
+
+  // Collect a branch profile with the Java-semantics interpreter (the
+  // VM's interpreter tier).
+  ProfileInfo Profile;
+  {
+    InterpOptions Options;
+    Options.Semantics = ExecSemantics::Java;
+    Options.Profile = &Profile;
+    Interpreter Interp(*M, Options);
+    Interp.run("main");
+  }
+
+  auto showBlocks = [&](Module &Mod, const char *Label) {
+    std::printf("=== %s ===\n", Label);
+    for (const auto &BB : Mod.findFunction("diamond")->blocks()) {
+      unsigned Count = 0;
+      for (const Instruction &Inst : *BB)
+        Count += Inst.isSext() ? 1 : 0;
+      if (Count)
+        std::printf("  block %-6s: %u extension(s)\n", BB->name().c_str(),
+                    Count);
+    }
+    std::printf("\n");
+  };
+
+  {
+    auto Clone = cloneModule(*M);
+    runPipeline(*Clone, PipelineConfig::forVariant(Variant::AllPDE));
+    showBlocks(*Clone, "all, using PDE insertion (reference)");
+  }
+  {
+    auto Clone = cloneModule(*M);
+    PipelineConfig Config = PipelineConfig::forVariant(Variant::All);
+    runPipeline(*Clone, Config);
+    showBlocks(*Clone, "new algorithm, static frequency estimate");
+  }
+  {
+    auto Clone = cloneModule(*M);
+    PipelineConfig Config = PipelineConfig::forVariant(Variant::All);
+    Config.Profile = &Profile;
+    runPipeline(*Clone, Config);
+    showBlocks(*Clone, "new algorithm, interpreter branch profile");
+  }
+
+  std::printf(
+      "PDE-style sinking leaves an extension at the join, executed every\n"
+      "iteration: it may not lengthen any path, so it cannot move work\n"
+      "into the diamond's arms or out of the loop (Figure 15). Insertion\n"
+      "plus order determination rebuilds the extension where it is\n"
+      "cheapest — the loop exit — so the join runs extension-free.\n");
+  return 0;
+}

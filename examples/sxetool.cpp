@@ -1,0 +1,168 @@
+//===- examples/sxetool.cpp - Command-line driver -------------------------------===//
+//
+// Loads a textual `.sxir` module, runs a chosen pipeline variant, prints
+// the optimized IR and statistics, and optionally interprets a function.
+//
+// Usage:
+//   sxetool FILE [--variant=N|NAME] [--target=ia64|ppc64]
+//           [--maxlen=HEX] [--run[=FUNC]] [--quiet]
+//
+// Examples:
+//   sxetool examples/ir/countdown.sxir --variant=all --run=main
+//   sxetool program.sxir --variant=baseline --quiet --run
+//
+//===------------------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "support/Format.h"
+#include "sxe/Pipeline.h"
+#include "target/StaticCounts.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sxe;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sxetool FILE [--variant=NAME] [--target=ia64|ppc64] "
+               "[--maxlen=HEX] [--run[=FUNC]] [--quiet]\n"
+               "variants:\n");
+  for (Variant V : AllVariants)
+    std::fprintf(stderr, "  %s\n", variantName(V));
+}
+
+bool variantByName(const std::string &Name, Variant &Out) {
+  for (Variant V : AllVariants) {
+    std::string Label = variantName(V);
+    if (Name == Label)
+      Out = V;
+    // Accept convenient shorthands: "all", "baseline", "array", ...
+    if (Name == "all" && V == Variant::All)
+      Out = V;
+    else if (Name == "baseline" && V == Variant::Baseline)
+      Out = V;
+    else if (Name == "first" && V == Variant::FirstAlgorithm)
+      Out = V;
+    else if (Name == "basic" && V == Variant::BasicUdDu)
+      Out = V;
+    else if (Name == "array" && V == Variant::Array)
+      Out = V;
+    else
+      continue;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+
+  std::string FileName;
+  Variant V = Variant::All;
+  const TargetInfo *Target = &TargetInfo::ia64();
+  uint32_t MaxLen = 0x7FFFFFFF;
+  bool Run = false;
+  bool Quiet = false;
+  std::string RunFunc = "main";
+
+  for (int Index = 1; Index < argc; ++Index) {
+    std::string Arg = argv[Index];
+    if (Arg.rfind("--variant=", 0) == 0) {
+      if (!variantByName(Arg.substr(10), V)) {
+        std::fprintf(stderr, "unknown variant '%s'\n", Arg.c_str() + 10);
+        usage();
+        return 1;
+      }
+    } else if (Arg == "--target=ppc64") {
+      Target = &TargetInfo::ppc64();
+    } else if (Arg == "--target=ia64") {
+      Target = &TargetInfo::ia64();
+    } else if (Arg.rfind("--maxlen=", 0) == 0) {
+      MaxLen = static_cast<uint32_t>(
+          std::strtoul(Arg.c_str() + 9, nullptr, 0));
+    } else if (Arg == "--run") {
+      Run = true;
+    } else if (Arg.rfind("--run=", 0) == 0) {
+      Run = true;
+      RunFunc = Arg.substr(6);
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    } else {
+      FileName = Arg;
+    }
+  }
+  if (FileName.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream In(FileName);
+  if (!In) {
+    std::fprintf(stderr, "sxetool: cannot open %s\n", FileName.c_str());
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  ParseResult Parsed = parseModule(Buffer.str());
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "sxetool: parse error: %s\n", Parsed.Error.c_str());
+    return 1;
+  }
+  std::vector<std::string> Problems;
+  if (!verifyModule(*Parsed.M, Problems)) {
+    std::fprintf(stderr, "sxetool: invalid module: %s\n",
+                 Problems.front().c_str());
+    return 1;
+  }
+
+  PipelineConfig Config = PipelineConfig::forVariant(V, *Target);
+  Config.MaxArrayLen = MaxLen;
+  PipelineStats Stats = runPipeline(*Parsed.M, Config);
+
+  StaticExtensionCounts Counts = countStaticExtensions(*Parsed.M);
+  std::fprintf(stderr,
+               "variant: %s | target: %s | generated: %u | inserted: %u | "
+               "eliminated: %u | remaining static sxt: %llu\n",
+               variantName(V), Target->name().c_str(),
+               Stats.ExtensionsGenerated, Stats.ExtensionsInserted,
+               Stats.ExtensionsEliminated,
+               static_cast<unsigned long long>(Counts.totalSext()));
+
+  if (!Quiet)
+    std::printf("%s", printModule(*Parsed.M).c_str());
+
+  if (Run) {
+    InterpOptions Options;
+    Options.Target = Target;
+    Options.MaxArrayLen = MaxLen;
+    Interpreter Interp(*Parsed.M, Options);
+    ExecResult R = Interp.run(RunFunc);
+    std::fprintf(stderr,
+                 "run %s: trap=%s result=%lld dynamic-sxt=%llu cycles=%llu\n",
+                 RunFunc.c_str(), trapKindName(R.Trap),
+                 static_cast<long long>(R.ReturnValue),
+                 static_cast<unsigned long long>(R.totalExecutedSext()),
+                 static_cast<unsigned long long>(R.Cycles));
+    return R.Trap == TrapKind::None ? 0 : 2;
+  }
+  return 0;
+}

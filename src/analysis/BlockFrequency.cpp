@@ -1,0 +1,72 @@
+//===- analysis/BlockFrequency.cpp - Execution frequency estimate ------------===//
+
+#include "analysis/BlockFrequency.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sxe;
+
+BlockFrequency::BlockFrequency(const CFG &Cfg, const LoopInfo &Loops,
+                               const ProfileInfo *Profile)
+    : Cfg(Cfg) {
+  // Acyclic propagation in reverse post-order, ignoring back edges; the
+  // result is then scaled by LoopScale^depth. Back edges are edges into a
+  // loop header from inside that header's loop.
+  const auto &RPO = Cfg.reversePostOrder();
+  for (BasicBlock *BB : RPO)
+    Freq[BB] = 0.0;
+  if (RPO.empty())
+    return;
+  Freq[RPO.front()] = 1.0;
+
+  auto isBackEdge = [&](const BasicBlock *From, const BasicBlock *To) {
+    const Loop *L = Loops.loopFor(To);
+    return L && L->Header == To && L->contains(From);
+  };
+
+  for (BasicBlock *BB : RPO) {
+    double FromFreq = Freq[BB];
+    const Instruction *Term = BB->terminator();
+    if (!Term)
+      continue;
+
+    unsigned NumSuccs = Term->numSuccessors();
+    if (NumSuccs == 0)
+      continue;
+
+    double Prob0 = 1.0;
+    if (NumSuccs == 2) {
+      Prob0 = 0.5;
+      if (Profile) {
+        if (auto Observed = Profile->takenProbability(Term))
+          Prob0 = *Observed;
+      }
+    }
+
+    for (unsigned Index = 0; Index < NumSuccs; ++Index) {
+      BasicBlock *Succ = Term->successor(Index);
+      if (isBackEdge(BB, Succ))
+        continue;
+      double Prob = NumSuccs == 2 ? (Index == 0 ? Prob0 : 1.0 - Prob0) : 1.0;
+      Freq[Succ] += FromFreq * Prob;
+    }
+  }
+
+  for (BasicBlock *BB : RPO)
+    Freq[BB] *= std::pow(LoopScale, Loops.loopDepth(BB));
+}
+
+double BlockFrequency::frequency(const BasicBlock *BB) const {
+  auto It = Freq.find(BB);
+  return It == Freq.end() ? 0.0 : It->second;
+}
+
+std::vector<BasicBlock *> BlockFrequency::blocksByDescendingFrequency() const {
+  std::vector<BasicBlock *> Blocks = Cfg.reversePostOrder();
+  std::stable_sort(Blocks.begin(), Blocks.end(),
+                   [&](const BasicBlock *A, const BasicBlock *B) {
+                     return frequency(A) > frequency(B);
+                   });
+  return Blocks;
+}

@@ -1,0 +1,81 @@
+//===- analysis/CFG.cpp - Control-flow graph utilities ----------------------===//
+
+#include "analysis/CFG.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace sxe;
+
+CFG::CFG(Function &F) : F(F) {
+  // Ensure every block has an entry in the maps, reachable or not.
+  for (const auto &BB : F.blocks()) {
+    Preds[BB.get()];
+    Succs[BB.get()];
+  }
+
+  for (const auto &BB : F.blocks()) {
+    const Instruction *Term = BB->terminator();
+    if (!Term)
+      continue;
+    for (unsigned Index = 0; Index < Term->numSuccessors(); ++Index) {
+      BasicBlock *Succ = Term->successor(Index);
+      Succs[BB.get()].push_back(Succ);
+      Preds[Succ].push_back(BB.get());
+    }
+  }
+
+  // Iterative DFS from the entry block; records preorder and postorder.
+  std::vector<BasicBlock *> PostOrder;
+  std::unordered_map<const BasicBlock *, bool> Visited;
+  struct Frame {
+    BasicBlock *BB;
+    unsigned NextSucc;
+  };
+  std::vector<Frame> Stack;
+
+  BasicBlock *Entry = F.entryBlock();
+  Visited[Entry] = true;
+  DFO.push_back(Entry);
+  Stack.push_back({Entry, 0});
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &SuccList = Succs[Top.BB];
+    if (Top.NextSucc < SuccList.size()) {
+      BasicBlock *Succ = SuccList[Top.NextSucc++];
+      if (!Visited[Succ]) {
+        Visited[Succ] = true;
+        DFO.push_back(Succ);
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(Top.BB);
+    Stack.pop_back();
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned Index = 0; Index < RPO.size(); ++Index)
+    RPOIndex[RPO[Index]] = Index;
+}
+
+const std::vector<BasicBlock *> &
+CFG::predecessors(const BasicBlock *BB) const {
+  auto It = Preds.find(BB);
+  assert(It != Preds.end() && "block not in CFG snapshot");
+  return It->second;
+}
+
+const std::vector<BasicBlock *> &CFG::successors(const BasicBlock *BB) const {
+  auto It = Succs.find(BB);
+  assert(It != Succs.end() && "block not in CFG snapshot");
+  return It->second;
+}
+
+unsigned CFG::rpoIndex(const BasicBlock *BB) const {
+  auto It = RPOIndex.find(BB);
+  if (It == RPOIndex.end())
+    return ~0u;
+  return It->second;
+}

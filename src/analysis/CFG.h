@@ -1,0 +1,62 @@
+//===- analysis/CFG.h - Control-flow graph utilities -------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor lists and depth-first orders over a function's CFG. The
+/// elimination variants that disable order determination process extensions
+/// "in the reverse depth first search order" (Section 4.1), which is the
+/// post-order this module computes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_ANALYSIS_CFG_H
+#define SXE_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sxe {
+
+/// Predecessors, successors, and depth-first orders of a function's CFG.
+/// Snapshot data: rebuild after mutating control flow.
+class CFG {
+public:
+  explicit CFG(Function &F);
+
+  Function &function() const { return F; }
+
+  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const;
+  const std::vector<BasicBlock *> &successors(const BasicBlock *BB) const;
+
+  /// Blocks reachable from entry, in depth-first preorder.
+  const std::vector<BasicBlock *> &depthFirstOrder() const { return DFO; }
+
+  /// Blocks reachable from entry, in reverse post-order (a topological
+  /// order when the CFG is acyclic).
+  const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
+
+  /// Position of \p BB in the reverse post-order, or ~0u if unreachable.
+  unsigned rpoIndex(const BasicBlock *BB) const;
+
+  bool isReachable(const BasicBlock *BB) const {
+    return rpoIndex(BB) != ~0u;
+  }
+
+private:
+  Function &F;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
+  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Succs;
+  std::unordered_map<const BasicBlock *, unsigned> RPOIndex;
+  std::vector<BasicBlock *> DFO;
+  std::vector<BasicBlock *> RPO;
+};
+
+} // namespace sxe
+
+#endif // SXE_ANALYSIS_CFG_H

@@ -1,0 +1,65 @@
+//===- analysis/Dominators.cpp - Dominator tree ------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace sxe;
+
+Dominators::Dominators(const CFG &Cfg) : Cfg(Cfg) {
+  const auto &RPO = Cfg.reversePostOrder();
+  if (RPO.empty())
+    return;
+
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry; // Temporarily self, fixed to null at the end.
+
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (Cfg.rpoIndex(A) > Cfg.rpoIndex(B))
+        A = IDom[A];
+      while (Cfg.rpoIndex(B) > Cfg.rpoIndex(A))
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : Cfg.predecessors(BB)) {
+        if (!Cfg.isReachable(Pred) || !IDom.count(Pred))
+          continue;
+        NewIDom = NewIDom ? intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  IDom[Entry] = nullptr;
+}
+
+BasicBlock *Dominators::immediateDominator(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  return It == IDom.end() ? nullptr : It->second;
+}
+
+bool Dominators::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!Cfg.isReachable(A) || !Cfg.isReachable(B))
+    return false;
+  const BasicBlock *Walk = B;
+  while (Walk) {
+    if (Walk == A)
+      return true;
+    Walk = immediateDominator(Walk);
+  }
+  return false;
+}

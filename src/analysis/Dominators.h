@@ -1,0 +1,44 @@
+//===- analysis/Dominators.h - Dominator tree --------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator computation using the Cooper-Harvey-Kennedy iterative
+/// algorithm over the reverse post-order. Natural-loop detection (back edge
+/// = edge to a dominator) and the extension-hoisting passes build on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_ANALYSIS_DOMINATORS_H
+#define SXE_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+#include <unordered_map>
+
+namespace sxe {
+
+/// Immediate-dominator tree over the reachable blocks of a function.
+class Dominators {
+public:
+  explicit Dominators(const CFG &Cfg);
+
+  /// Immediate dominator of \p BB, or null for the entry block and
+  /// unreachable blocks.
+  BasicBlock *immediateDominator(const BasicBlock *BB) const;
+
+  /// Returns true if \p A dominates \p B (reflexively). Unreachable blocks
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+private:
+  const CFG &Cfg;
+  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+};
+
+} // namespace sxe
+
+#endif // SXE_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,83 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection -------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+using namespace sxe;
+
+LoopInfo::LoopInfo(const CFG &Cfg, const Dominators &Dom) {
+  // Find back edges: Tail -> Header where Header dominates Tail. Loops that
+  // share a header are merged, as is conventional for natural loops.
+  std::unordered_map<BasicBlock *, Loop *> LoopOfHeader;
+
+  for (BasicBlock *Tail : Cfg.reversePostOrder()) {
+    for (BasicBlock *Header : Cfg.successors(Tail)) {
+      if (!Dom.dominates(Header, Tail))
+        continue;
+
+      Loop *L = LoopOfHeader[Header];
+      if (!L) {
+        Loops.push_back(std::make_unique<Loop>());
+        L = Loops.back().get();
+        L->Header = Header;
+        L->Blocks.insert(Header);
+        LoopOfHeader[Header] = L;
+      }
+      L->Latches.push_back(Tail);
+
+      // Walk predecessors backwards from the latch until the header.
+      std::vector<BasicBlock *> Work;
+      if (!L->contains(Tail)) {
+        L->Blocks.insert(Tail);
+        Work.push_back(Tail);
+      }
+      while (!Work.empty()) {
+        BasicBlock *BB = Work.back();
+        Work.pop_back();
+        for (BasicBlock *Pred : Cfg.predecessors(BB)) {
+          if (!Cfg.isReachable(Pred) || L->contains(Pred))
+            continue;
+          L->Blocks.insert(Pred);
+          Work.push_back(Pred);
+        }
+      }
+    }
+  }
+
+  // Nesting: the innermost loop of a block is the smallest loop containing
+  // it; a loop's parent is the innermost *other* loop containing its
+  // header.
+  for (BasicBlock *BB : Cfg.reversePostOrder()) {
+    Loop *Innermost = nullptr;
+    for (const auto &L : Loops) {
+      if (!L->contains(BB))
+        continue;
+      if (!Innermost || L->Blocks.size() < Innermost->Blocks.size())
+        Innermost = L.get();
+    }
+    if (Innermost)
+      InnermostLoop[BB] = Innermost;
+  }
+
+  for (const auto &L : Loops) {
+    Loop *Parent = nullptr;
+    for (const auto &Other : Loops) {
+      if (Other.get() == L.get() || !Other->contains(L->Header))
+        continue;
+      if (!Parent || Other->Blocks.size() < Parent->Blocks.size())
+        Parent = Other.get();
+    }
+    L->ParentLoop = Parent;
+  }
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : It->second;
+}
+
+unsigned LoopInfo::loopDepth(const BasicBlock *BB) const {
+  unsigned Depth = 0;
+  for (Loop *L = loopFor(BB); L; L = L->ParentLoop)
+    ++Depth;
+  return Depth;
+}

@@ -1,0 +1,68 @@
+//===- analysis/LoopInfo.h - Natural loop detection --------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops found from dominator back edges, with per-block nesting
+/// depth. Order determination (Section 2.2) estimates block frequency from
+/// loop nesting; the simple insertion pass only runs "on those methods
+/// which include a loop" (Section 2.1); and the extension-hoisting pass
+/// needs loop bodies and preheaders.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_ANALYSIS_LOOPINFO_H
+#define SXE_ANALYSIS_LOOPINFO_H
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sxe {
+
+/// One natural loop: a header plus the body blocks of all back edges that
+/// target it.
+struct Loop {
+  BasicBlock *Header = nullptr;
+  Loop *ParentLoop = nullptr;
+  std::unordered_set<BasicBlock *> Blocks;
+  std::vector<BasicBlock *> Latches; ///< Sources of back edges to Header.
+
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+};
+
+/// All natural loops of a function, and per-block nesting depth.
+class LoopInfo {
+public:
+  LoopInfo(const CFG &Cfg, const Dominators &Dom);
+
+  /// Loops in discovery order; inner loops appear after the loops that
+  /// contain them is not guaranteed — use ParentLoop for nesting.
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const;
+
+  /// Nesting depth of \p BB: 0 outside any loop, 1 inside one loop, ...
+  unsigned loopDepth(const BasicBlock *BB) const;
+
+  /// Returns true if the function contains at least one loop.
+  bool hasLoops() const { return !Loops.empty(); }
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::unordered_map<const BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace sxe
+
+#endif // SXE_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,78 @@
+//===- analysis/ProfileInfo.h - Branch profile data --------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conditional-branch execution counts. The paper's mixed-mode VM gathers
+/// these in the bytecode interpreter and hands them to the dynamic
+/// compiler to sharpen the branch probabilities used by order
+/// determination (Section 2.2). Our interpreter (Java-semantics mode)
+/// fills this structure; tests also populate it synthetically.
+///
+/// Counts are keyed by (function name, instruction id) rather than by
+/// pointer: the cloner preserves instruction ids, so a profile collected
+/// on the pristine module applies to every per-variant clone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_ANALYSIS_PROFILEINFO_H
+#define SXE_ANALYSIS_PROFILEINFO_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace sxe {
+
+/// Taken/not-taken counts per conditional branch.
+class ProfileInfo {
+public:
+  /// Records one dynamic execution of \p Branch. \p Taken selects
+  /// successor 0.
+  void recordBranch(const Instruction *Branch, bool Taken) {
+    auto &Counters = BranchCounts[keyFor(Branch)];
+    if (Taken)
+      ++Counters.Taken;
+    else
+      ++Counters.NotTaken;
+  }
+
+  /// Probability that \p Branch goes to successor 0, or nullopt if the
+  /// branch was never observed.
+  std::optional<double> takenProbability(const Instruction *Branch) const {
+    auto It = BranchCounts.find(keyFor(Branch));
+    if (It == BranchCounts.end())
+      return std::nullopt;
+    uint64_t Total = It->second.Taken + It->second.NotTaken;
+    if (Total == 0)
+      return std::nullopt;
+    return static_cast<double>(It->second.Taken) / Total;
+  }
+
+  bool empty() const { return BranchCounts.empty(); }
+
+  void clear() { BranchCounts.clear(); }
+
+private:
+  static std::string keyFor(const Instruction *Branch) {
+    return Branch->parent()->parent()->name() + "#" +
+           std::to_string(Branch->id());
+  }
+
+  struct Counters {
+    uint64_t Taken = 0;
+    uint64_t NotTaken = 0;
+  };
+  std::unordered_map<std::string, Counters> BranchCounts;
+};
+
+} // namespace sxe
+
+#endif // SXE_ANALYSIS_PROFILEINFO_H

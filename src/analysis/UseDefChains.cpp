@@ -1,0 +1,253 @@
+//===- analysis/UseDefChains.cpp - UD/DU chains -----------------------------===//
+
+#include "analysis/UseDefChains.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace sxe;
+
+namespace {
+
+/// Fixed-width bitset used for the reaching-definitions dataflow.
+class BitSet {
+public:
+  explicit BitSet(size_t Bits) : Words((Bits + 63) / 64, 0) {}
+
+  void set(size_t Bit) { Words[Bit / 64] |= 1ULL << (Bit % 64); }
+  void clear(size_t Bit) { Words[Bit / 64] &= ~(1ULL << (Bit % 64)); }
+  bool test(size_t Bit) const {
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  /// this |= Other; returns true if this changed.
+  bool unionWith(const BitSet &Other) {
+    bool Changed = false;
+    for (size_t Index = 0; Index < Words.size(); ++Index) {
+      uint64_t Next = Words[Index] | Other.Words[Index];
+      Changed |= Next != Words[Index];
+      Words[Index] = Next;
+    }
+    return Changed;
+  }
+
+  /// this = (Other & ~Kill) | Gen.
+  void transferFrom(const BitSet &Other, const BitSet &Kill,
+                    const BitSet &Gen) {
+    for (size_t Index = 0; Index < Words.size(); ++Index)
+      Words[Index] =
+          (Other.Words[Index] & ~Kill.Words[Index]) | Gen.Words[Index];
+  }
+
+  /// Calls \p Fn for every set bit.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t WordIndex = 0; WordIndex < Words.size(); ++WordIndex) {
+      uint64_t Word = Words[WordIndex];
+      while (Word) {
+        unsigned Bit = __builtin_ctzll(Word);
+        Fn(WordIndex * 64 + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+} // namespace
+
+UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
+  // Enumerate definitions: one per value-producing instruction, plus one
+  // entry pseudo-definition per register (ids NumInstDefs..).
+  std::vector<Instruction *> DefInsts;
+  std::unordered_map<const Instruction *, unsigned> DefIdOf;
+  for (const auto &BB : F.blocks()) {
+    for (Instruction &I : *BB) {
+      if (!I.hasDest())
+        continue;
+      DefIdOf[&I] = static_cast<unsigned>(DefInsts.size());
+      DefInsts.push_back(&I);
+    }
+  }
+  const size_t NumInstDefs = DefInsts.size();
+  const size_t NumDefs = NumInstDefs + F.numRegs();
+
+  auto defReg = [&](size_t DefId) -> Reg {
+    if (DefId < NumInstDefs)
+      return DefInsts[DefId]->dest();
+    return static_cast<Reg>(DefId - NumInstDefs);
+  };
+
+  // Per-register definition lists, for KILL sets.
+  std::vector<std::vector<unsigned>> DefsOfReg(F.numRegs());
+  for (size_t DefId = 0; DefId < NumDefs; ++DefId)
+    DefsOfReg[defReg(DefId)].push_back(static_cast<unsigned>(DefId));
+
+  // GEN/KILL per reachable block.
+  const auto &RPO = Cfg.reversePostOrder();
+  std::unordered_map<const BasicBlock *, unsigned> BlockIndex;
+  for (unsigned Index = 0; Index < RPO.size(); ++Index)
+    BlockIndex[RPO[Index]] = Index;
+
+  std::vector<BitSet> Gen(RPO.size(), BitSet(NumDefs));
+  std::vector<BitSet> Kill(RPO.size(), BitSet(NumDefs));
+  std::vector<BitSet> In(RPO.size(), BitSet(NumDefs));
+  std::vector<BitSet> Out(RPO.size(), BitSet(NumDefs));
+
+  for (unsigned Index = 0; Index < RPO.size(); ++Index) {
+    for (Instruction &I : *RPO[Index]) {
+      if (!I.hasDest())
+        continue;
+      unsigned DefId = DefIdOf[&I];
+      Reg R = I.dest();
+      for (unsigned Other : DefsOfReg[R]) {
+        Kill[Index].set(Other);
+        Gen[Index].clear(Other);
+      }
+      Kill[Index].clear(DefId);
+      Gen[Index].set(DefId);
+    }
+  }
+
+  // Entry block receives the entry pseudo-definitions.
+  for (Reg R = 0; R < F.numRegs(); ++R)
+    In[0].set(NumInstDefs + R);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Index = 0; Index < RPO.size(); ++Index) {
+      if (Index != 0) {
+        for (const BasicBlock *Pred : Cfg.predecessors(RPO[Index])) {
+          auto It = BlockIndex.find(Pred);
+          if (It == BlockIndex.end())
+            continue; // Unreachable predecessor.
+          Changed |= In[Index].unionWith(Out[It->second]);
+        }
+      }
+      BitSet NewOut(NumDefs);
+      NewOut.transferFrom(In[Index], Kill[Index], Gen[Index]);
+      // transferFrom overwrites, so detect change via union trick.
+      Changed |= Out[Index].unionWith(NewOut);
+    }
+  }
+
+  // Final forward walk: record reaching defs at each operand use.
+  std::vector<std::vector<Instruction *>> Current(F.numRegs());
+  for (unsigned Index = 0; Index < RPO.size(); ++Index) {
+    for (Reg R = 0; R < F.numRegs(); ++R)
+      Current[R].clear();
+    In[Index].forEach([&](size_t DefId) {
+      Reg R = defReg(DefId);
+      Instruction *D =
+          DefId < NumInstDefs ? DefInsts[DefId] : nullptr; // null = entry.
+      Current[R].push_back(D);
+    });
+    // Deterministic order: entry def first, then by instruction id.
+    for (Reg R = 0; R < F.numRegs(); ++R)
+      std::sort(Current[R].begin(), Current[R].end(),
+                [](const Instruction *A, const Instruction *B) {
+                  if (!A || !B)
+                    return A == nullptr && B != nullptr;
+                  return A->id() < B->id();
+                });
+
+    for (Instruction &I : *RPO[Index]) {
+      for (unsigned OpIndex = 0; OpIndex < I.numOperands(); ++OpIndex) {
+        Reg R = I.operand(OpIndex);
+        UseKey Key{&I, OpIndex};
+        UseDefs[Key] = Current[R];
+        for (Instruction *D : Current[R]) {
+          if (!D)
+            continue;
+          DefUses[D].push_back(UseRef{&I, OpIndex});
+        }
+      }
+      if (I.hasDest()) {
+        Current[I.dest()].clear();
+        Current[I.dest()].push_back(&I);
+      }
+    }
+  }
+}
+
+const std::vector<Instruction *> &
+UseDefChains::defsOf(const Instruction *User, unsigned OpIndex) const {
+  auto It = UseDefs.find(UseKey{User, OpIndex});
+  if (It == UseDefs.end())
+    return EmptyDefs;
+  return It->second;
+}
+
+std::vector<Instruction *> &
+UseDefChains::mutableDefsOf(const Instruction *User, unsigned OpIndex) {
+  return UseDefs[UseKey{User, OpIndex}];
+}
+
+const std::vector<UseRef> &
+UseDefChains::usesOf(const Instruction *Def) const {
+  auto It = DefUses.find(Def);
+  if (It == DefUses.end())
+    return EmptyUses;
+  return It->second;
+}
+
+bool UseDefChains::entryDefReaches(const Instruction *User,
+                                   unsigned OpIndex) const {
+  const auto &Defs = defsOf(User, OpIndex);
+  return std::find(Defs.begin(), Defs.end(), nullptr) != Defs.end();
+}
+
+void UseDefChains::spliceOutDef(Instruction *Removed) {
+  assert(Removed->hasDest() && Removed->numOperands() >= 1 &&
+         "spliceOutDef requires a pass-through definition");
+
+  // The definitions that reached Removed's source operand, minus Removed
+  // itself (it can reach its own operand around a loop).
+  std::vector<Instruction *> Inherited = defsOf(Removed, 0);
+  Inherited.erase(
+      std::remove(Inherited.begin(), Inherited.end(), Removed),
+      Inherited.end());
+
+  // Rewire every use Removed reached.
+  std::vector<UseRef> Uses = usesOf(Removed);
+  for (const UseRef &Use : Uses) {
+    if (Use.User == Removed)
+      continue; // Self-use dies with the instruction.
+    auto &Defs = mutableDefsOf(Use.User, Use.OpIndex);
+    Defs.erase(std::remove(Defs.begin(), Defs.end(), Removed), Defs.end());
+    for (Instruction *D : Inherited) {
+      if (std::find(Defs.begin(), Defs.end(), D) != Defs.end())
+        continue;
+      Defs.push_back(D);
+      if (D) {
+        auto &DUses = DefUses[D];
+        if (std::find(DUses.begin(), DUses.end(), Use) == DUses.end())
+          DUses.push_back(Use);
+      }
+    }
+  }
+
+  forgetInstruction(Removed);
+}
+
+void UseDefChains::forgetInstruction(Instruction *I) {
+  // Unregister I's operand uses from the DU chains of their defs.
+  for (unsigned OpIndex = 0; OpIndex < I->numOperands(); ++OpIndex) {
+    for (Instruction *D : defsOf(I, OpIndex)) {
+      if (!D)
+        continue;
+      auto It = DefUses.find(D);
+      if (It == DefUses.end())
+        continue;
+      auto &DUses = It->second;
+      DUses.erase(std::remove(DUses.begin(), DUses.end(),
+                              UseRef{I, OpIndex}),
+                  DUses.end());
+    }
+    UseDefs.erase(UseKey{I, OpIndex});
+  }
+  DefUses.erase(I);
+}

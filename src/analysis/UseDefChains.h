@@ -1,0 +1,104 @@
+//===- analysis/UseDefChains.h - UD/DU chains --------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Use-definition and definition-use chains built from a reaching-
+/// definitions dataflow, the workhorse of the paper's elimination algorithm
+/// (Section 2.3). The IR is non-SSA, so a use may be reached by several
+/// definitions of the same register; the chains answer both directions:
+///
+///  - defsOf(User, OpIndex): all definitions reaching an operand. A null
+///    entry denotes the function-entry definition (an incoming parameter
+///    value, or an uninitialized local).
+///  - usesOf(Def): all operand uses the definition reaches.
+///
+/// Eliminating a pass-through definition such as `i = extend(i)` splices
+/// the chains incrementally (spliceOutDef): its uses inherit its own
+/// reaching definitions, which is exact for a definition whose value is its
+/// first operand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_ANALYSIS_USEDEFCHAINS_H
+#define SXE_ANALYSIS_USEDEFCHAINS_H
+
+#include "analysis/CFG.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace sxe {
+
+/// One operand position of one instruction.
+struct UseRef {
+  Instruction *User = nullptr;
+  unsigned OpIndex = 0;
+
+  bool operator==(const UseRef &Other) const {
+    return User == Other.User && OpIndex == Other.OpIndex;
+  }
+};
+
+/// UD/DU chains over every register operand of a function.
+class UseDefChains {
+public:
+  /// Builds the chains with a reaching-definitions fixpoint over \p Cfg.
+  UseDefChains(Function &F, const CFG &Cfg);
+
+  Function &function() const { return F; }
+
+  /// Definitions reaching operand \p OpIndex of \p User. A null pointer in
+  /// the result is the function-entry definition of the register.
+  const std::vector<Instruction *> &defsOf(const Instruction *User,
+                                           unsigned OpIndex) const;
+
+  /// Operand uses reached by the value \p Def writes.
+  const std::vector<UseRef> &usesOf(const Instruction *Def) const;
+
+  /// Returns true if the function-entry value of the register can reach
+  /// operand \p OpIndex of \p User.
+  bool entryDefReaches(const Instruction *User, unsigned OpIndex) const;
+
+  /// Updates the chains for the removal of \p Removed, a definition whose
+  /// runtime value equals its operand 0 register (extend, just_extended,
+  /// copy with dest == src register class). Uses of \p Removed inherit the
+  /// definitions that reached \p Removed's operand. Call before erasing the
+  /// instruction from its block.
+  void spliceOutDef(Instruction *Removed);
+
+  /// Drops all bookkeeping for \p I (an instruction about to be erased
+  /// whose value no longer has uses, e.g. a dead definition). Uses of other
+  /// defs by \p I's operands are unregistered.
+  void forgetInstruction(Instruction *I);
+
+private:
+  struct UseKey {
+    const Instruction *User;
+    unsigned OpIndex;
+    bool operator==(const UseKey &Other) const {
+      return User == Other.User && OpIndex == Other.OpIndex;
+    }
+  };
+  struct UseKeyHash {
+    size_t operator()(const UseKey &Key) const {
+      return std::hash<const void *>()(Key.User) * 31 + Key.OpIndex;
+    }
+  };
+
+  std::vector<Instruction *> &mutableDefsOf(const Instruction *User,
+                                            unsigned OpIndex);
+
+  Function &F;
+  std::unordered_map<UseKey, std::vector<Instruction *>, UseKeyHash> UseDefs;
+  std::unordered_map<const Instruction *, std::vector<UseRef>> DefUses;
+  std::vector<Instruction *> EmptyDefs;
+  std::vector<UseRef> EmptyUses;
+};
+
+} // namespace sxe
+
+#endif // SXE_ANALYSIS_USEDEFCHAINS_H

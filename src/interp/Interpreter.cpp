@@ -1,0 +1,575 @@
+//===- interp/Interpreter.cpp - IR interpreter -------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ir/Verifier.h"
+#include "support/Error.h"
+#include "target/CostModel.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace sxe;
+
+const char *sxe::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::NullArray:
+    return "null-array";
+  case TrapKind::BoundsCheck:
+    return "bounds-check";
+  case TrapKind::NegativeArraySize:
+    return "negative-array-size";
+  case TrapKind::AllocationLimit:
+    return "allocation-limit";
+  case TrapKind::DivByZero:
+    return "div-by-zero";
+  case TrapKind::ExplicitTrap:
+    return "explicit-trap";
+  case TrapKind::WildAddress:
+    return "wild-address";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  case TrapKind::StepLimit:
+    return "step-limit";
+  }
+  sxeUnreachable("invalid TrapKind enumerator");
+}
+
+namespace {
+
+double bitsToDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+uint64_t doubleToBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+/// One heap-allocated array.
+struct ArrayObject {
+  Type ElemTy;
+  std::vector<uint64_t> Data; ///< One 64-bit slot per element.
+};
+
+/// One activation record.
+struct Frame {
+  const Function *F = nullptr;
+  std::vector<uint64_t> Regs;
+  BasicBlock::const_iterator It;
+  BasicBlock::const_iterator End;
+  Reg ResultReg = NoReg; ///< Caller register receiving the return value.
+};
+
+/// Full execution state for one Interpreter::run call.
+class Machine {
+public:
+  Machine(const Module &M, const InterpOptions &Options)
+      : M(M), Options(Options) {}
+
+  ExecResult run(const Function &Entry, const std::vector<uint64_t> &Args);
+
+private:
+  void trap(TrapKind Kind, const std::string &Message) {
+    Result.Trap = Kind;
+    Result.TrapMessage = Message;
+  }
+
+  /// Canonicalizes \p Value to the width of register type \p Ty (sign-
+  /// extend I8/I16/I32, zero-extend U16, identity otherwise).
+  static uint64_t canonicalValue(uint64_t Value, Type Ty) {
+    switch (Ty) {
+    case Type::I8:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int8_t>(Value)));
+    case Type::I16:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int16_t>(Value)));
+    case Type::U16:
+      return Value & 0xFFFF;
+    case Type::I32:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(Value)));
+    default:
+      return Value;
+    }
+  }
+
+  bool compare(CmpPred Pred, int64_t A, int64_t B, uint64_t UA, uint64_t UB);
+  void pushFrame(const Function &F, const std::vector<uint64_t> &Args,
+                 Reg ResultReg);
+  void execute(const Instruction &I);
+
+  const Module &M;
+  const InterpOptions &Options;
+  std::vector<Frame> Stack;
+  std::vector<ArrayObject> Heap;
+  uint64_t HeapElements = 0;
+  ExecResult Result;
+  uint64_t RetValue = 0; ///< Value being returned to the caller.
+};
+
+bool Machine::compare(CmpPred Pred, int64_t A, int64_t B, uint64_t UA,
+                      uint64_t UB) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return A == B;
+  case CmpPred::NE:
+    return A != B;
+  case CmpPred::SLT:
+    return A < B;
+  case CmpPred::SLE:
+    return A <= B;
+  case CmpPred::SGT:
+    return A > B;
+  case CmpPred::SGE:
+    return A >= B;
+  case CmpPred::ULT:
+    return UA < UB;
+  case CmpPred::ULE:
+    return UA <= UB;
+  case CmpPred::UGT:
+    return UA > UB;
+  case CmpPred::UGE:
+    return UA >= UB;
+  }
+  sxeUnreachable("invalid CmpPred enumerator");
+}
+
+void Machine::pushFrame(const Function &F, const std::vector<uint64_t> &Args,
+                        Reg ResultReg) {
+  if (Stack.size() >= Options.MaxCallDepth) {
+    trap(TrapKind::StackOverflow, "call depth limit exceeded");
+    return;
+  }
+  Frame NewFrame;
+  NewFrame.F = &F;
+  NewFrame.Regs.assign(F.numRegs(), 0); // Locals start zeroed (JVM-like).
+  assert(Args.size() == F.numParams() && "argument count mismatch");
+  for (size_t Index = 0; Index < Args.size(); ++Index)
+    NewFrame.Regs[Index] = Args[Index];
+  NewFrame.It = F.entryBlock()->begin();
+  NewFrame.End = F.entryBlock()->end();
+  NewFrame.ResultReg = ResultReg;
+  Stack.push_back(std::move(NewFrame));
+}
+
+ExecResult Machine::run(const Function &Entry,
+                        const std::vector<uint64_t> &Args) {
+  pushFrame(Entry, Args, NoReg);
+  while (!Stack.empty() && Result.Trap == TrapKind::None) {
+    if (Result.ExecutedInstructions >= Options.MaxSteps) {
+      trap(TrapKind::StepLimit, "instruction budget exhausted");
+      break;
+    }
+    Frame &Top = Stack.back();
+    if (Top.It == Top.End)
+      reportFatalError("fell off the end of a basic block (verifier hole)");
+    const Instruction &I = *Top.It;
+    ++Top.It;
+    execute(I);
+    // Java-semantics mode canonicalizes every definition immediately, the
+    // way a bytecode interpreter holds exact int/short/byte values. Call
+    // results are canonicalized at the Ret that produces them.
+    if (Options.Semantics == ExecSemantics::Java &&
+        Result.Trap == TrapKind::None && I.hasDest() &&
+        I.opcode() != Opcode::Call && !Stack.empty()) {
+      Frame &Top2 = Stack.back();
+      Top2.Regs[I.dest()] =
+          canonicalValue(Top2.Regs[I.dest()], Top2.F->regType(I.dest()));
+    }
+  }
+  if (Result.Trap == TrapKind::None)
+    Result.ReturnValue = RetValue;
+  return Result;
+}
+
+void Machine::execute(const Instruction &I) {
+  Frame &F = Stack.back();
+  auto Val = [&](unsigned Index) { return F.Regs[I.operand(Index)]; };
+  auto Set = [&](uint64_t Value) { F.Regs[I.dest()] = Value; };
+  auto Low32 = [&](unsigned Index) {
+    return static_cast<int32_t>(Val(Index));
+  };
+  auto FVal = [&](unsigned Index) { return bitsToDouble(Val(Index)); };
+
+  ++Result.ExecutedInstructions;
+  Result.Cycles += instructionCycleCost(I, *Options.Target);
+
+  switch (I.opcode()) {
+  case Opcode::ConstInt:
+    Set(static_cast<uint64_t>(I.intValue()));
+    return;
+  case Opcode::ConstF64:
+    Set(doubleToBits(I.floatValue()));
+    return;
+  case Opcode::Copy:
+    Set(Val(0));
+    return;
+
+  // Integer arithmetic: full 64-bit register operations regardless of the
+  // semantic width (the IA64 model); only the shift family and division
+  // lower differently, see below.
+  case Opcode::Add:
+    Set(Val(0) + Val(1));
+    return;
+  case Opcode::Sub:
+    Set(Val(0) - Val(1));
+    return;
+  case Opcode::Mul:
+    Set(Val(0) * Val(1));
+    return;
+  case Opcode::Div:
+  case Opcode::Rem: {
+    // The JIT's divide sequence consumes sign-extended inputs and produces
+    // a sign-extended Java-semantics result. Executed on unextended inputs
+    // it produces garbage, which differential tests detect.
+    if (I.isW32()) {
+      int64_t A = static_cast<int64_t>(Val(0));
+      int64_t B = static_cast<int64_t>(Val(1));
+      if (static_cast<int32_t>(B) == 0) {
+        trap(TrapKind::DivByZero, "integer divide by zero");
+        return;
+      }
+      int64_t Quotient = A / B; // Never overflows in 64-bit for i32 data.
+      int64_t Value = I.opcode() == Opcode::Div ? Quotient : A - Quotient * B;
+      Set(static_cast<uint64_t>(
+          static_cast<int64_t>(static_cast<int32_t>(Value))));
+      return;
+    }
+    int64_t A = static_cast<int64_t>(Val(0));
+    int64_t B = static_cast<int64_t>(Val(1));
+    if (B == 0) {
+      trap(TrapKind::DivByZero, "integer divide by zero");
+      return;
+    }
+    if (A == INT64_MIN && B == -1) { // Java wraps.
+      Set(I.opcode() == Opcode::Div ? static_cast<uint64_t>(INT64_MIN) : 0);
+      return;
+    }
+    Set(static_cast<uint64_t>(I.opcode() == Opcode::Div ? A / B : A % B));
+    return;
+  }
+  case Opcode::And:
+    Set(Val(0) & Val(1));
+    return;
+  case Opcode::Or:
+    Set(Val(0) | Val(1));
+    return;
+  case Opcode::Xor:
+    Set(Val(0) ^ Val(1));
+    return;
+  case Opcode::Shl: {
+    unsigned Count =
+        static_cast<unsigned>(Val(1)) & (I.isW32() ? 31u : 63u);
+    Set(Val(0) << Count); // Full register shift; upper bits are garbage.
+    return;
+  }
+  case Opcode::Shr: {
+    // W32 lowers to an unsigned extract from the low 32 bits (IA64 extr.u),
+    // so the result is zero-extended regardless of the input's upper half.
+    if (I.isW32()) {
+      unsigned Count = static_cast<unsigned>(Val(1)) & 31u;
+      Set(static_cast<uint64_t>(static_cast<uint32_t>(Val(0))) >> Count);
+      return;
+    }
+    Set(Val(0) >> (static_cast<unsigned>(Val(1)) & 63u));
+    return;
+  }
+  case Opcode::Sar: {
+    // W32 lowers to a signed extract (IA64 extr), producing a sign-extended
+    // result from the low 32 bits only.
+    if (I.isW32()) {
+      unsigned Count = static_cast<unsigned>(Val(1)) & 31u;
+      Set(static_cast<uint64_t>(
+          static_cast<int64_t>(Low32(0) >> Count)));
+      return;
+    }
+    Set(static_cast<uint64_t>(static_cast<int64_t>(Val(0)) >>
+                              (static_cast<unsigned>(Val(1)) & 63u)));
+    return;
+  }
+  case Opcode::Neg:
+    Set(0 - Val(0));
+    return;
+  case Opcode::Not:
+    Set(~Val(0));
+    return;
+
+  case Opcode::Sext8:
+    ++Result.ExecutedSext8;
+    Set(static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int8_t>(Val(0)))));
+    return;
+  case Opcode::Sext16:
+    ++Result.ExecutedSext16;
+    Set(static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int16_t>(Val(0)))));
+    return;
+  case Opcode::Sext32:
+    ++Result.ExecutedSext32;
+    Set(static_cast<uint64_t>(static_cast<int64_t>(Low32(0))));
+    return;
+  case Opcode::Zext32:
+    Set(static_cast<uint64_t>(static_cast<uint32_t>(Val(0))));
+    return;
+  case Opcode::JustExtended:
+    // Dummy markers should be eliminated before execution; tolerate them as
+    // free moves for mid-pipeline differential runs but keep a count.
+    ++Result.ExecutedDummies;
+    Set(Val(0));
+    return;
+
+  case Opcode::FAdd:
+    Set(doubleToBits(FVal(0) + FVal(1)));
+    return;
+  case Opcode::FSub:
+    Set(doubleToBits(FVal(0) - FVal(1)));
+    return;
+  case Opcode::FMul:
+    Set(doubleToBits(FVal(0) * FVal(1)));
+    return;
+  case Opcode::FDiv:
+    Set(doubleToBits(FVal(0) / FVal(1)));
+    return;
+  case Opcode::FNeg:
+    Set(doubleToBits(-FVal(0)));
+    return;
+  case Opcode::I2D:
+    // Converts the FULL register: an unextended source yields garbage.
+    Set(doubleToBits(static_cast<double>(static_cast<int64_t>(Val(0)))));
+    return;
+  case Opcode::D2I: {
+    double D = FVal(0);
+    int32_t Value;
+    if (std::isnan(D))
+      Value = 0;
+    else if (D >= 2147483647.0)
+      Value = INT32_MAX;
+    else if (D <= -2147483648.0)
+      Value = INT32_MIN;
+    else
+      Value = static_cast<int32_t>(D);
+    Set(static_cast<uint64_t>(static_cast<int64_t>(Value)));
+    return;
+  }
+
+  case Opcode::Cmp: {
+    bool Truth;
+    if (I.isW32())
+      Truth = compare(I.pred(), Low32(0), Low32(1),
+                      static_cast<uint32_t>(Val(0)),
+                      static_cast<uint32_t>(Val(1)));
+    else
+      Truth = compare(I.pred(), static_cast<int64_t>(Val(0)),
+                      static_cast<int64_t>(Val(1)), Val(0), Val(1));
+    Set(Truth ? 1 : 0);
+    return;
+  }
+  case Opcode::FCmp: {
+    double A = FVal(0), B = FVal(1);
+    bool Truth;
+    if (std::isnan(A) || std::isnan(B))
+      Truth = I.pred() == CmpPred::NE; // Unordered: only != holds.
+    else
+      switch (I.pred()) {
+      case CmpPred::EQ:
+        Truth = A == B;
+        break;
+      case CmpPred::NE:
+        Truth = A != B;
+        break;
+      case CmpPred::SLT:
+      case CmpPred::ULT:
+        Truth = A < B;
+        break;
+      case CmpPred::SLE:
+      case CmpPred::ULE:
+        Truth = A <= B;
+        break;
+      case CmpPred::SGT:
+      case CmpPred::UGT:
+        Truth = A > B;
+        break;
+      case CmpPred::SGE:
+      case CmpPred::UGE:
+        Truth = A >= B;
+        break;
+      default:
+        Truth = false;
+      }
+    Set(Truth ? 1 : 0);
+    return;
+  }
+
+  case Opcode::Br: {
+    bool Taken = Val(0) != 0;
+    if (Options.Profile)
+      Options.Profile->recordBranch(&I, Taken);
+    const BasicBlock *Target = I.successor(Taken ? 0 : 1);
+    F.It = Target->begin();
+    F.End = Target->end();
+    return;
+  }
+  case Opcode::Jmp: {
+    const BasicBlock *Target = I.successor(0);
+    F.It = Target->begin();
+    F.End = Target->end();
+    return;
+  }
+  case Opcode::Ret: {
+    RetValue = I.numOperands() == 1 ? Val(0) : 0;
+    if (Options.Semantics == ExecSemantics::Java)
+      RetValue = canonicalValue(RetValue, F.F->returnType());
+    Reg ResultReg = F.ResultReg;
+    Stack.pop_back();
+    if (!Stack.empty() && ResultReg != NoReg)
+      Stack.back().Regs[ResultReg] = RetValue;
+    return;
+  }
+  case Opcode::Call: {
+    std::vector<uint64_t> Args;
+    Args.reserve(I.numOperands());
+    for (unsigned Index = 0; Index < I.numOperands(); ++Index)
+      Args.push_back(Val(Index));
+    pushFrame(*I.callee(), Args, I.dest());
+    return;
+  }
+  case Opcode::Trap:
+    trap(TrapKind::ExplicitTrap, "trap instruction executed");
+    return;
+
+  case Opcode::NewArray: {
+    int32_t LenLow = Low32(0);
+    if (LenLow < 0) {
+      trap(TrapKind::NegativeArraySize, "negative array size");
+      return;
+    }
+    int64_t LenFull = static_cast<int64_t>(Val(0));
+    if (Options.CheckWildAddresses && LenFull != LenLow) {
+      trap(TrapKind::WildAddress,
+           "newarray length register not sign-extended");
+      return;
+    }
+    uint64_t Len = static_cast<uint64_t>(LenLow);
+    if (Len > Options.MaxArrayLen) {
+      trap(TrapKind::AllocationLimit, "array exceeds the configured limit");
+      return;
+    }
+    if (HeapElements + Len > Options.MaxHeapElements)
+      reportFatalError("interpreter heap limit exceeded (workload bug)");
+    HeapElements += Len;
+    Heap.push_back(ArrayObject{I.type(), std::vector<uint64_t>(Len, 0)});
+    Set(Heap.size()); // Handle: index + 1; 0 is the null reference.
+    return;
+  }
+  case Opcode::ArrayLen: {
+    uint64_t Handle = Val(0);
+    if (Handle == 0 || Handle > Heap.size()) {
+      trap(TrapKind::NullArray, "arraylen of null");
+      return;
+    }
+    Set(Heap[Handle - 1].Data.size());
+    return;
+  }
+  case Opcode::ArrayLoad:
+  case Opcode::ArrayStore: {
+    uint64_t Handle = Val(0);
+    if (Handle == 0 || Handle > Heap.size()) {
+      trap(TrapKind::NullArray, "array access through null");
+      return;
+    }
+    ArrayObject &Array = Heap[Handle - 1];
+
+    // Bounds check with a 32-bit unsigned compare of the LOWER half only.
+    uint32_t IndexLow = static_cast<uint32_t>(Val(1));
+    if (IndexLow >= Array.Data.size()) {
+      trap(TrapKind::BoundsCheck, "array index out of bounds");
+      return;
+    }
+    // The effective address uses the FULL register (Section 3): if it
+    // disagrees with the checked low half, the machine would access wild
+    // memory — a miscompile this interpreter detects.
+    int64_t IndexFull = static_cast<int64_t>(Val(1));
+    if (Options.CheckWildAddresses &&
+        IndexFull != static_cast<int64_t>(IndexLow)) {
+      trap(TrapKind::WildAddress,
+           "effective address disagrees with bounds-checked index in " +
+               F.F->name());
+      return;
+    }
+
+    if (I.opcode() == Opcode::ArrayStore) {
+      uint64_t Value = F.Regs[I.operand(2)];
+      switch (Array.ElemTy) {
+      case Type::I8:
+        Value &= 0xFF;
+        break;
+      case Type::I16:
+      case Type::U16:
+        Value &= 0xFFFF;
+        break;
+      case Type::I32:
+        Value &= 0xFFFFFFFF;
+        break;
+      default:
+        break;
+      }
+      Array.Data[IndexLow] = Value;
+      return;
+    }
+
+    uint64_t Raw = Array.Data[IndexLow];
+    switch (Array.ElemTy) {
+    case Type::I8:
+      // Byte loads zero-extend on both modeled targets.
+      Set(Raw & 0xFF);
+      return;
+    case Type::I16:
+      if (Options.Target->loadSignExtends(Type::I16))
+        Set(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int16_t>(Raw))));
+      else
+        Set(Raw & 0xFFFF);
+      return;
+    case Type::U16:
+      Set(Raw & 0xFFFF);
+      return;
+    case Type::I32:
+      if (Options.Target->loadSignExtends(Type::I32))
+        Set(static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(Raw))));
+      else
+        Set(Raw & 0xFFFFFFFF);
+      return;
+    default:
+      Set(Raw);
+      return;
+    }
+  }
+  }
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Module &M, InterpOptions Options)
+    : M(M), Options(Options) {
+  verifyModuleOrDie(M);
+}
+
+ExecResult Interpreter::run(const std::string &FuncName,
+                            const std::vector<uint64_t> &Args) {
+  const Function *Entry = M.findFunction(FuncName);
+  if (!Entry)
+    reportFatalError("interpreter: no function named " + FuncName);
+  if (Args.size() != Entry->numParams())
+    reportFatalError("interpreter: argument count mismatch for " + FuncName);
+  Machine Mach(M, Options);
+  return Mach.run(*Entry, Args);
+}

@@ -1,0 +1,57 @@
+//===- ir/BasicBlock.cpp - Basic block -------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+#include "support/Error.h"
+
+using namespace sxe;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  Instruction *Raw = Inst.get();
+  Raw->setParent(this);
+  Raw->setId(Parent->nextInstructionId());
+  Insts.push_back(std::move(Inst));
+  return Raw;
+}
+
+BasicBlock::InstList::iterator BasicBlock::findIterator(Instruction *Inst) {
+  for (auto It = Insts.begin(), E = Insts.end(); It != E; ++It)
+    if (It->get() == Inst)
+      return It;
+  reportFatalError("instruction not found in its claimed parent block");
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos,
+                                      std::unique_ptr<Instruction> Inst) {
+  Instruction *Raw = Inst.get();
+  Raw->setParent(this);
+  Raw->setId(Parent->nextInstructionId());
+  Insts.insert(findIterator(Pos), std::move(Inst));
+  return Raw;
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *Pos,
+                                     std::unique_ptr<Instruction> Inst) {
+  Instruction *Raw = Inst.get();
+  Raw->setParent(this);
+  Raw->setId(Parent->nextInstructionId());
+  auto It = findIterator(Pos);
+  ++It;
+  Insts.insert(It, std::move(Inst));
+  return Raw;
+}
+
+void BasicBlock::erase(Instruction *Inst) { Insts.erase(findIterator(Inst)); }
+
+Instruction *BasicBlock::terminator() {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}
+
+const Instruction *BasicBlock::terminator() const {
+  if (Insts.empty() || !Insts.back()->isTerminator())
+    return nullptr;
+  return Insts.back().get();
+}

@@ -1,0 +1,115 @@
+//===- ir/BasicBlock.h - Basic block ----------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: an owned sequence of instructions ending in a terminator.
+/// Instruction pointers are stable across insertions and removals (the
+/// UD/DU chains key on them), so instructions are held by unique_ptr in a
+/// std::list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_BASICBLOCK_H
+#define SXE_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <list>
+#include <memory>
+#include <string>
+
+namespace sxe {
+
+class Function;
+
+/// A straight-line sequence of instructions with a single terminator.
+class BasicBlock {
+public:
+  using InstList = std::list<std::unique_ptr<Instruction>>;
+
+  /// Iterator that presents the owned instructions as Instruction&.
+  template <typename BaseIt> class DerefIterator {
+  public:
+    DerefIterator() = default;
+    explicit DerefIterator(BaseIt It) : It(It) {}
+    Instruction &operator*() const { return **It; }
+    Instruction *operator->() const { return It->get(); }
+    DerefIterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator==(const DerefIterator &Other) const {
+      return It == Other.It;
+    }
+    bool operator!=(const DerefIterator &Other) const {
+      return It != Other.It;
+    }
+    BaseIt base() const { return It; }
+
+  private:
+    BaseIt It{};
+  };
+
+  using iterator = DerefIterator<InstList::iterator>;
+  using const_iterator = DerefIterator<InstList::const_iterator>;
+
+  BasicBlock(Function *Parent, unsigned Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *parent() const { return Parent; }
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  iterator begin() { return iterator(Insts.begin()); }
+  iterator end() { return iterator(Insts.end()); }
+  const_iterator begin() const { return const_iterator(Insts.begin()); }
+  const_iterator end() const { return const_iterator(Insts.end()); }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction &front() { return *Insts.front(); }
+  Instruction &back() { return *Insts.back(); }
+  const Instruction &back() const { return *Insts.back(); }
+
+  /// Appends \p Inst to the end of the block and returns it.
+  Instruction *append(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst immediately before \p Pos (which must be in this
+  /// block) and returns it.
+  Instruction *insertBefore(Instruction *Pos,
+                            std::unique_ptr<Instruction> Inst);
+
+  /// Inserts \p Inst immediately after \p Pos (which must be in this block)
+  /// and returns it.
+  Instruction *insertAfter(Instruction *Pos,
+                           std::unique_ptr<Instruction> Inst);
+
+  /// Unlinks and destroys \p Inst, which must be in this block.
+  void erase(Instruction *Inst);
+
+  /// Returns the terminator, or null if the block is empty or unterminated.
+  Instruction *terminator();
+  const Instruction *terminator() const;
+
+  /// Returns true if the block ends in a terminator instruction.
+  bool isTerminated() const {
+    return !Insts.empty() && Insts.back()->isTerminator();
+  }
+
+private:
+  InstList::iterator findIterator(Instruction *Inst);
+
+  Function *Parent;
+  unsigned Id;
+  std::string Name;
+  InstList Insts;
+};
+
+} // namespace sxe
+
+#endif // SXE_IR_BASICBLOCK_H

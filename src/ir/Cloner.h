@@ -1,0 +1,31 @@
+//===- ir/Cloner.h - Deep copies of IR ---------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep copies of modules and functions. The benchmark harness compiles the
+/// same input program under twelve pipeline variants, so it clones the
+/// pristine module once per variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_CLONER_H
+#define SXE_IR_CLONER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace sxe {
+
+/// Returns a deep copy of \p M. Register numbering, block order, and
+/// instruction order are preserved; call targets are remapped to the
+/// corresponding functions in the copy.
+std::unique_ptr<Module> cloneModule(const Module &M);
+
+} // namespace sxe
+
+#endif // SXE_IR_CLONER_H

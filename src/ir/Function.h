@@ -1,0 +1,116 @@
+//===- ir/Function.h - Function ---------------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function: a list of basic blocks (the first is the entry), a pool of
+/// typed virtual registers, and a signature. Parameters occupy registers
+/// 0..numParams()-1 and are sign-extended on entry per the calling
+/// convention (the ABI extends sub-register integer arguments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_FUNCTION_H
+#define SXE_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Type.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+class Module;
+
+/// A function of the sxe IR.
+class Function {
+public:
+  Function(Module *Parent, std::string Name, Type ReturnType)
+      : Parent(Parent), Name(std::move(Name)), ReturnType(ReturnType) {}
+
+  Module *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  Type returnType() const { return ReturnType; }
+
+  /// Declares a fresh virtual register of type \p Ty. \p RegName is used by
+  /// the printer when non-empty ("i", "t", ...); names need not be unique.
+  Reg newReg(Type Ty, std::string RegName = "");
+
+  /// Declares the next function parameter; parameters must be declared
+  /// before any other registers.
+  Reg addParam(Type Ty, std::string RegName = "");
+
+  unsigned numRegs() const { return RegTypes.size(); }
+  unsigned numParams() const { return NumParams; }
+
+  Type regType(Reg R) const {
+    assert(R < RegTypes.size() && "register out of range");
+    return RegTypes[R];
+  }
+
+  /// Returns the printable name of \p R: the declared name if any,
+  /// otherwise "r<N>".
+  std::string regName(Reg R) const;
+
+  /// Creates a new basic block appended to the block list.
+  BasicBlock *createBlock(std::string BlockName);
+
+  BasicBlock *entryBlock() {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  const BasicBlock *entryBlock() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// Blocks in creation (layout) order.
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Returns the block named \p BlockName, or null.
+  BasicBlock *findBlock(const std::string &BlockName);
+
+  /// Unlinks and destroys \p BB. The caller must have removed every
+  /// branch to it; the entry block cannot be erased.
+  void eraseBlock(BasicBlock *BB);
+
+  /// Returns the next unique instruction id (used by BasicBlock insertion).
+  uint32_t nextInstructionId() { return NextInstId++; }
+
+  /// Raises the id counter so future insertions do not collide with ids
+  /// copied verbatim (used by the cloner, which preserves original ids so
+  /// profile data keyed by id transfers between clones).
+  void reserveInstructionIds(uint32_t Bound) {
+    if (Bound > NextInstId)
+      NextInstId = Bound;
+  }
+
+  /// Counts instructions across all blocks.
+  size_t countInstructions() const;
+
+  /// Resets the USE/DEF/ARRAY analysis flags on every instruction.
+  void clearAllAnalysisFlags();
+
+private:
+  Module *Parent;
+  std::string Name;
+  Type ReturnType;
+  unsigned NumParams = 0;
+  uint32_t NextInstId = 0;
+  std::vector<Type> RegTypes;
+  std::vector<std::string> RegNames;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace sxe
+
+#endif // SXE_IR_FUNCTION_H

@@ -1,0 +1,322 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ----------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "support/Error.h"
+
+using namespace sxe;
+
+Instruction *IRBuilder::emit(std::unique_ptr<Instruction> Inst) {
+  assert(BB && "no insertion block set");
+  return BB->append(std::move(Inst));
+}
+
+Reg IRBuilder::constI32(int32_t Value, const std::string &Name) {
+  Reg Dst = freshReg(Type::I32, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::ConstInt);
+  Inst->setDest(Dst);
+  Inst->setType(Type::I32);
+  Inst->setIntValue(Value);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Reg IRBuilder::constI64(int64_t Value, const std::string &Name) {
+  Reg Dst = freshReg(Type::I64, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::ConstInt);
+  Inst->setDest(Dst);
+  Inst->setType(Type::I64);
+  Inst->setIntValue(Value);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Reg IRBuilder::constF64(double Value, const std::string &Name) {
+  Reg Dst = freshReg(Type::F64, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::ConstF64);
+  Inst->setDest(Dst);
+  Inst->setType(Type::F64);
+  Inst->setFloatValue(Value);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Instruction *IRBuilder::constTo(Reg Dst, int64_t Value) {
+  auto Inst = std::make_unique<Instruction>(Opcode::ConstInt);
+  Inst->setDest(Dst);
+  Inst->setType(F->regType(Dst));
+  Inst->setIntValue(Value);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::constF64To(Reg Dst, double Value) {
+  auto Inst = std::make_unique<Instruction>(Opcode::ConstF64);
+  Inst->setDest(Dst);
+  Inst->setType(Type::F64);
+  Inst->setFloatValue(Value);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::copy(Reg Src, const std::string &Name) {
+  Reg Dst = freshReg(F->regType(Src), Name);
+  copyTo(Dst, Src);
+  return Dst;
+}
+
+Instruction *IRBuilder::copyTo(Reg Dst, Reg Src) {
+  auto Inst = std::make_unique<Instruction>(Opcode::Copy);
+  Inst->setDest(Dst);
+  Inst->addOperand(Src);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::binop(Opcode Op, Width W, Reg A, Reg B,
+                     const std::string &Name) {
+  Reg Dst = freshReg(widthType(W), Name);
+  binopTo(Dst, Op, W, A, B);
+  return Dst;
+}
+
+Instruction *IRBuilder::binopTo(Reg Dst, Opcode Op, Width W, Reg A, Reg B) {
+  assert(opcodeInfo(Op).HasWidth && opcodeInfo(Op).NumOperands == 2 &&
+         "binopTo requires a binary integer opcode");
+  auto Inst = std::make_unique<Instruction>(Op);
+  Inst->setDest(Dst);
+  Inst->setWidth(W);
+  Inst->addOperand(A);
+  Inst->addOperand(B);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::unop(Opcode Op, Width W, Reg A, const std::string &Name) {
+  Reg Dst = freshReg(widthType(W), Name);
+  unopTo(Dst, Op, W, A);
+  return Dst;
+}
+
+Instruction *IRBuilder::unopTo(Reg Dst, Opcode Op, Width W, Reg A) {
+  assert((Op == Opcode::Neg || Op == Opcode::Not) &&
+         "unopTo requires Neg or Not");
+  auto Inst = std::make_unique<Instruction>(Op);
+  Inst->setDest(Dst);
+  Inst->setWidth(W);
+  Inst->addOperand(A);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::sextTo(Reg Dst, unsigned Bits, Reg Src) {
+  Opcode Op;
+  switch (Bits) {
+  case 8:
+    Op = Opcode::Sext8;
+    break;
+  case 16:
+    Op = Opcode::Sext16;
+    break;
+  case 32:
+    Op = Opcode::Sext32;
+    break;
+  default:
+    reportFatalError("sextTo requires 8, 16, or 32 bits");
+  }
+  auto Inst = std::make_unique<Instruction>(Op);
+  Inst->setDest(Dst);
+  Inst->addOperand(Src);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::sext(unsigned Bits, Reg Src, const std::string &Name) {
+  // A Java narrowing cast produces a value of the narrow type; declare the
+  // destination with that canonical width.
+  Type DstTy = Bits == 8 ? Type::I8 : Bits == 16 ? Type::I16 : Type::I32;
+  Reg Dst = freshReg(DstTy, Name);
+  sextTo(Dst, Bits, Src);
+  return Dst;
+}
+
+Reg IRBuilder::zext32(Reg Src, const std::string &Name) {
+  Reg Dst = freshReg(Type::I64, Name);
+  zext32To(Dst, Src);
+  return Dst;
+}
+
+Instruction *IRBuilder::zext32To(Reg Dst, Reg Src) {
+  auto Inst = std::make_unique<Instruction>(Opcode::Zext32);
+  Inst->setDest(Dst);
+  Inst->addOperand(Src);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::fbinop(Opcode Op, Reg A, Reg B, const std::string &Name) {
+  Reg Dst = freshReg(Type::F64, Name);
+  fbinopTo(Dst, Op, A, B);
+  return Dst;
+}
+
+Instruction *IRBuilder::fbinopTo(Reg Dst, Opcode Op, Reg A, Reg B) {
+  assert((Op == Opcode::FAdd || Op == Opcode::FSub || Op == Opcode::FMul ||
+          Op == Opcode::FDiv) &&
+         "fbinopTo requires a binary FP opcode");
+  auto Inst = std::make_unique<Instruction>(Op);
+  Inst->setDest(Dst);
+  Inst->addOperand(A);
+  Inst->addOperand(B);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::fneg(Reg A, const std::string &Name) {
+  Reg Dst = freshReg(Type::F64, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::FNeg);
+  Inst->setDest(Dst);
+  Inst->addOperand(A);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Reg IRBuilder::i2d(Reg A, const std::string &Name) {
+  Reg Dst = freshReg(Type::F64, Name);
+  i2dTo(Dst, A);
+  return Dst;
+}
+
+Instruction *IRBuilder::i2dTo(Reg Dst, Reg A) {
+  auto Inst = std::make_unique<Instruction>(Opcode::I2D);
+  Inst->setDest(Dst);
+  Inst->addOperand(A);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::d2i(Reg A, const std::string &Name) {
+  Reg Dst = freshReg(Type::I32, Name);
+  d2iTo(Dst, A);
+  return Dst;
+}
+
+Instruction *IRBuilder::d2iTo(Reg Dst, Reg A) {
+  auto Inst = std::make_unique<Instruction>(Opcode::D2I);
+  Inst->setDest(Dst);
+  Inst->addOperand(A);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::cmp(CmpPred Pred, Width W, Reg A, Reg B,
+                   const std::string &Name) {
+  Reg Dst = freshReg(Type::I32, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::Cmp);
+  Inst->setDest(Dst);
+  Inst->setWidth(W);
+  Inst->setPred(Pred);
+  Inst->addOperand(A);
+  Inst->addOperand(B);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Reg IRBuilder::fcmp(CmpPred Pred, Reg A, Reg B, const std::string &Name) {
+  Reg Dst = freshReg(Type::I32, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::FCmp);
+  Inst->setDest(Dst);
+  Inst->setPred(Pred);
+  Inst->addOperand(A);
+  Inst->addOperand(B);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Instruction *IRBuilder::br(Reg Cond, BasicBlock *IfTrue, BasicBlock *IfFalse) {
+  auto Inst = std::make_unique<Instruction>(Opcode::Br);
+  Inst->addOperand(Cond);
+  Inst->setSuccessor(0, IfTrue);
+  Inst->setSuccessor(1, IfFalse);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::jmp(BasicBlock *Target) {
+  auto Inst = std::make_unique<Instruction>(Opcode::Jmp);
+  Inst->setSuccessor(0, Target);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::retVoid() {
+  auto Inst = std::make_unique<Instruction>(Opcode::Ret);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::ret(Reg Value) {
+  auto Inst = std::make_unique<Instruction>(Opcode::Ret);
+  Inst->addOperand(Value);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::trap() {
+  auto Inst = std::make_unique<Instruction>(Opcode::Trap);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::callTo(Reg Dst, Function *Callee,
+                               const std::vector<Reg> &Args) {
+  auto Inst = std::make_unique<Instruction>(Opcode::Call);
+  Inst->setDest(Dst);
+  Inst->setCallee(Callee);
+  for (Reg Arg : Args)
+    Inst->addOperand(Arg);
+  return emit(std::move(Inst));
+}
+
+Reg IRBuilder::call(Function *Callee, const std::vector<Reg> &Args,
+                    const std::string &Name) {
+  assert(Callee->returnType() != Type::Void &&
+         "value-producing call to a void function");
+  Reg Dst = freshReg(Callee->returnType(), Name);
+  callTo(Dst, Callee, Args);
+  return Dst;
+}
+
+Reg IRBuilder::newArray(Type ElemTy, Reg Length, const std::string &Name) {
+  Reg Dst = freshReg(Type::ArrayRef, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::NewArray);
+  Inst->setDest(Dst);
+  Inst->setType(ElemTy);
+  Inst->addOperand(Length);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Reg IRBuilder::arrayLen(Reg Array, const std::string &Name) {
+  Reg Dst = freshReg(Type::I32, Name);
+  auto Inst = std::make_unique<Instruction>(Opcode::ArrayLen);
+  Inst->setDest(Dst);
+  Inst->addOperand(Array);
+  emit(std::move(Inst));
+  return Dst;
+}
+
+Reg IRBuilder::arrayLoad(Type ElemTy, Reg Array, Reg Index,
+                         const std::string &Name) {
+  // Narrow loads produce registers of the element's canonical width, so
+  // the conversion pass knows which extension re-establishes Java
+  // semantics (sext8 after a byte load, sext16 after a short load, ...).
+  Reg Dst = freshReg(ElemTy, Name);
+  arrayLoadTo(Dst, ElemTy, Array, Index);
+  return Dst;
+}
+
+Instruction *IRBuilder::arrayLoadTo(Reg Dst, Type ElemTy, Reg Array,
+                                    Reg Index) {
+  auto Inst = std::make_unique<Instruction>(Opcode::ArrayLoad);
+  Inst->setDest(Dst);
+  Inst->setType(ElemTy);
+  Inst->addOperand(Array);
+  Inst->addOperand(Index);
+  return emit(std::move(Inst));
+}
+
+Instruction *IRBuilder::arrayStore(Type ElemTy, Reg Array, Reg Index,
+                                   Reg Value) {
+  auto Inst = std::make_unique<Instruction>(Opcode::ArrayStore);
+  Inst->setType(ElemTy);
+  Inst->addOperand(Array);
+  Inst->addOperand(Index);
+  Inst->addOperand(Value);
+  return emit(std::move(Inst));
+}

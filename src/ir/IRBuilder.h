@@ -1,0 +1,196 @@
+//===- ir/IRBuilder.h - Convenience IR construction --------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ergonomic construction of sxe IR. Because the IR is non-SSA, most
+/// emitters come in two flavours: a value-producing form that allocates a
+/// fresh destination register, and a "To" form that writes into an existing
+/// register (the idiom for loop variables such as `i = i - 1`).
+///
+/// Builders emit the "32-bit architecture form" of a program: no explicit
+/// sign extensions. The Conversion64 pass (Figure 5, step 1) inserts them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_IRBUILDER_H
+#define SXE_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// Stateful helper appending instructions to the end of a block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F), BB(nullptr) {}
+  IRBuilder(Function *F, BasicBlock *BB) : F(F), BB(BB) {}
+
+  Function *function() const { return F; }
+  BasicBlock *block() const { return BB; }
+  void setBlock(BasicBlock *NewBB) { BB = NewBB; }
+
+  /// Creates a block and makes it the insertion point.
+  BasicBlock *startBlock(const std::string &Name) {
+    BB = F->createBlock(Name);
+    return BB;
+  }
+
+  // --- Constants and moves -------------------------------------------------
+
+  /// Materializes a 32-bit integer constant into a fresh I32 register.
+  Reg constI32(int32_t Value, const std::string &Name = "");
+  /// Materializes a 64-bit integer constant into a fresh I64 register.
+  Reg constI64(int64_t Value, const std::string &Name = "");
+  /// Materializes a double constant into a fresh F64 register.
+  Reg constF64(double Value, const std::string &Name = "");
+  /// Writes an integer constant into existing register \p Dst.
+  Instruction *constTo(Reg Dst, int64_t Value);
+  /// Writes a double constant into existing register \p Dst.
+  Instruction *constF64To(Reg Dst, double Value);
+
+  Reg copy(Reg Src, const std::string &Name = "");
+  Instruction *copyTo(Reg Dst, Reg Src);
+
+  // --- Integer arithmetic ---------------------------------------------------
+
+  /// Emits a binary integer operation into a fresh register (I32 for W32,
+  /// I64 for W64).
+  Reg binop(Opcode Op, Width W, Reg A, Reg B, const std::string &Name = "");
+  /// Emits a binary integer operation into existing register \p Dst.
+  Instruction *binopTo(Reg Dst, Opcode Op, Width W, Reg A, Reg B);
+  /// Emits a unary integer operation (Neg/Not) into a fresh register.
+  Reg unop(Opcode Op, Width W, Reg A, const std::string &Name = "");
+  Instruction *unopTo(Reg Dst, Opcode Op, Width W, Reg A);
+
+  // Common W32 shorthands.
+  Reg add32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Add, Width::W32, A, B, Name);
+  }
+  Reg sub32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Sub, Width::W32, A, B, Name);
+  }
+  Reg mul32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Mul, Width::W32, A, B, Name);
+  }
+  Reg div32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Div, Width::W32, A, B, Name);
+  }
+  Reg rem32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Rem, Width::W32, A, B, Name);
+  }
+  Reg and32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::And, Width::W32, A, B, Name);
+  }
+  Reg or32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Or, Width::W32, A, B, Name);
+  }
+  Reg xor32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Xor, Width::W32, A, B, Name);
+  }
+  Reg shl32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Shl, Width::W32, A, B, Name);
+  }
+  Reg shr32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Shr, Width::W32, A, B, Name);
+  }
+  Reg sar32(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Sar, Width::W32, A, B, Name);
+  }
+  Reg add64(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Add, Width::W64, A, B, Name);
+  }
+  Reg sub64(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Sub, Width::W64, A, B, Name);
+  }
+  Reg mul64(Reg A, Reg B, const std::string &Name = "") {
+    return binop(Opcode::Mul, Width::W64, A, B, Name);
+  }
+
+  // --- Extensions -----------------------------------------------------------
+
+  /// Emits `Dst = sextN(Src)`. Used by tests and the conversion pass; front
+  /// ends model Java's (byte)/(short)/(int) casts with these.
+  Instruction *sextTo(Reg Dst, unsigned Bits, Reg Src);
+  Reg sext(unsigned Bits, Reg Src, const std::string &Name = "");
+  Reg zext32(Reg Src, const std::string &Name = "");
+  Instruction *zext32To(Reg Dst, Reg Src);
+
+  // --- Floating point -------------------------------------------------------
+
+  Reg fbinop(Opcode Op, Reg A, Reg B, const std::string &Name = "");
+  Instruction *fbinopTo(Reg Dst, Opcode Op, Reg A, Reg B);
+  Reg fneg(Reg A, const std::string &Name = "");
+  Reg i2d(Reg A, const std::string &Name = "");
+  Instruction *i2dTo(Reg Dst, Reg A);
+  Reg d2i(Reg A, const std::string &Name = "");
+  Instruction *d2iTo(Reg Dst, Reg A);
+
+  Reg fadd(Reg A, Reg B, const std::string &Name = "") {
+    return fbinop(Opcode::FAdd, A, B, Name);
+  }
+  Reg fsub(Reg A, Reg B, const std::string &Name = "") {
+    return fbinop(Opcode::FSub, A, B, Name);
+  }
+  Reg fmul(Reg A, Reg B, const std::string &Name = "") {
+    return fbinop(Opcode::FMul, A, B, Name);
+  }
+  Reg fdiv(Reg A, Reg B, const std::string &Name = "") {
+    return fbinop(Opcode::FDiv, A, B, Name);
+  }
+
+  // --- Comparisons and control flow ------------------------------------------
+
+  Reg cmp(CmpPred Pred, Width W, Reg A, Reg B, const std::string &Name = "");
+  Reg cmp32(CmpPred Pred, Reg A, Reg B, const std::string &Name = "") {
+    return cmp(Pred, Width::W32, A, B, Name);
+  }
+  Reg cmp64(CmpPred Pred, Reg A, Reg B, const std::string &Name = "") {
+    return cmp(Pred, Width::W64, A, B, Name);
+  }
+  Reg fcmp(CmpPred Pred, Reg A, Reg B, const std::string &Name = "");
+
+  Instruction *br(Reg Cond, BasicBlock *IfTrue, BasicBlock *IfFalse);
+  Instruction *jmp(BasicBlock *Target);
+  Instruction *retVoid();
+  Instruction *ret(Reg Value);
+  Instruction *trap();
+
+  /// Emits a call; \p Dst may be NoReg for void callees.
+  Instruction *callTo(Reg Dst, Function *Callee,
+                      const std::vector<Reg> &Args);
+  Reg call(Function *Callee, const std::vector<Reg> &Args,
+           const std::string &Name = "");
+
+  // --- Arrays ---------------------------------------------------------------
+
+  Reg newArray(Type ElemTy, Reg Length, const std::string &Name = "");
+  Reg arrayLen(Reg Array, const std::string &Name = "");
+  Reg arrayLoad(Type ElemTy, Reg Array, Reg Index,
+                const std::string &Name = "");
+  Instruction *arrayLoadTo(Reg Dst, Type ElemTy, Reg Array, Reg Index);
+  Instruction *arrayStore(Type ElemTy, Reg Array, Reg Index, Reg Value);
+
+private:
+  Instruction *emit(std::unique_ptr<Instruction> Inst);
+  Reg freshReg(Type Ty, const std::string &Name) {
+    return F->newReg(Ty, Name);
+  }
+  static Type widthType(Width W) {
+    return W == Width::W32 ? Type::I32 : Type::I64;
+  }
+
+  Function *F;
+  BasicBlock *BB;
+};
+
+} // namespace sxe
+
+#endif // SXE_IR_IRBUILDER_H

@@ -1,0 +1,40 @@
+//===- ir/IRPrinter.h - Textual IR output ------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules, functions, and instructions in the textual `.sxir`
+/// format that parser/Parser.h reads back. Register names are made unique
+/// by suffixing the register number to declared names ("%i.2"); unnamed
+/// registers print as "%r<N>".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_IRPRINTER_H
+#define SXE_IR_IRPRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace sxe {
+
+/// Returns the unique printable spelling of register \p R of \p F (without
+/// the leading '%').
+std::string printableRegName(const Function &F, Reg R);
+
+/// Renders one instruction on a single line (no trailing newline).
+std::string printInstruction(const Function &F, const Instruction &I);
+
+/// Renders a whole function in `.sxir` syntax.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module in `.sxir` syntax.
+std::string printModule(const Module &M);
+
+} // namespace sxe
+
+#endif // SXE_IR_IRPRINTER_H

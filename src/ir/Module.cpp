@@ -1,0 +1,29 @@
+//===- ir/Module.cpp - Module ----------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Error.h"
+
+using namespace sxe;
+
+Function *Module::createFunction(std::string FuncName, Type ReturnType) {
+  if (findFunction(FuncName))
+    reportFatalError("duplicate function name: " + FuncName);
+  Functions.push_back(
+      std::make_unique<Function>(this, std::move(FuncName), ReturnType));
+  return Functions.back().get();
+}
+
+Function *Module::findFunction(const std::string &FuncName) {
+  for (const auto &F : Functions)
+    if (F->name() == FuncName)
+      return F.get();
+  return nullptr;
+}
+
+const Function *Module::findFunction(const std::string &FuncName) const {
+  for (const auto &F : Functions)
+    if (F->name() == FuncName)
+      return F.get();
+  return nullptr;
+}

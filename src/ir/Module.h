@@ -1,0 +1,52 @@
+//===- ir/Module.h - Module -------------------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A module: a named collection of functions. The interpreter starts at a
+/// module's "main" (or caller-chosen) function; calls resolve within the
+/// module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_MODULE_H
+#define SXE_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// A compilation unit of the sxe IR.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Creates a new function with the given signature shell; parameters are
+  /// added through Function::addParam.
+  Function *createFunction(std::string FuncName, Type ReturnType);
+
+  /// Returns the function named \p FuncName, or null.
+  Function *findFunction(const std::string &FuncName);
+  const Function *findFunction(const std::string &FuncName) const;
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace sxe
+
+#endif // SXE_IR_MODULE_H

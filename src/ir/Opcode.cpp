@@ -1,0 +1,160 @@
+//===- ir/Opcode.cpp - Instruction opcodes and structural traits -----------===//
+
+#include "ir/Opcode.h"
+
+#include "support/Error.h"
+
+using namespace sxe;
+
+namespace {
+
+// Table indexed by Opcode. Fields:
+//   Mnemonic, NumOperands, HasDest, IsTerminator, HasWidth, HasElemType,
+//   IsCommutative, MayTrap
+constexpr OpcodeInfo InfoTable[NumOpcodes] = {
+    /* ConstInt     */ {"const", 0, true, false, false, false, false, false},
+    /* ConstF64     */ {"fconst", 0, true, false, false, false, false, false},
+    /* Copy         */ {"copy", 1, true, false, false, false, false, false},
+    /* Add          */ {"add", 2, true, false, true, false, true, false},
+    /* Sub          */ {"sub", 2, true, false, true, false, false, false},
+    /* Mul          */ {"mul", 2, true, false, true, false, true, false},
+    /* Div          */ {"div", 2, true, false, true, false, false, true},
+    /* Rem          */ {"rem", 2, true, false, true, false, false, true},
+    /* And          */ {"and", 2, true, false, true, false, true, false},
+    /* Or           */ {"or", 2, true, false, true, false, true, false},
+    /* Xor          */ {"xor", 2, true, false, true, false, true, false},
+    /* Shl          */ {"shl", 2, true, false, true, false, false, false},
+    /* Shr          */ {"shr", 2, true, false, true, false, false, false},
+    /* Sar          */ {"sar", 2, true, false, true, false, false, false},
+    /* Neg          */ {"neg", 1, true, false, true, false, false, false},
+    /* Not          */ {"not", 1, true, false, true, false, false, false},
+    /* Sext8        */ {"sext8", 1, true, false, false, false, false, false},
+    /* Sext16       */ {"sext16", 1, true, false, false, false, false, false},
+    /* Sext32       */ {"sext32", 1, true, false, false, false, false, false},
+    /* Zext32       */ {"zext32", 1, true, false, false, false, false, false},
+    /* JustExtended */
+    {"just_extended", 1, true, false, false, false, false, false},
+    /* FAdd         */ {"fadd", 2, true, false, false, false, true, false},
+    /* FSub         */ {"fsub", 2, true, false, false, false, false, false},
+    /* FMul         */ {"fmul", 2, true, false, false, false, true, false},
+    /* FDiv         */ {"fdiv", 2, true, false, false, false, false, false},
+    /* FNeg         */ {"fneg", 1, true, false, false, false, false, false},
+    /* I2D          */ {"i2d", 1, true, false, false, false, false, false},
+    /* D2I          */ {"d2i", 1, true, false, false, false, false, false},
+    /* Cmp          */ {"cmp", 2, true, false, true, false, false, false},
+    /* FCmp         */ {"fcmp", 2, true, false, false, false, false, false},
+    /* Br           */ {"br", 1, false, true, false, false, false, false},
+    /* Jmp          */ {"jmp", 0, false, true, false, false, false, false},
+    /* Ret          */ {"ret", -1, false, true, false, false, false, false},
+    /* Call         */ {"call", -1, true, false, false, false, false, true},
+    /* Trap         */ {"trap", 0, false, true, false, false, false, true},
+    /* NewArray     */ {"newarray", 1, true, false, false, true, false, true},
+    /* ArrayLen     */ {"arraylen", 1, true, false, false, false, false, false},
+    /* ArrayLoad    */ {"arrayload", 2, true, false, false, true, false, true},
+    /* ArrayStore   */
+    {"arraystore", 3, false, false, false, true, false, true},
+};
+
+} // namespace
+
+const OpcodeInfo &sxe::opcodeInfo(Opcode Op) {
+  unsigned Index = static_cast<unsigned>(Op);
+  return InfoTable[Index];
+}
+
+const char *sxe::opcodeMnemonic(Opcode Op) { return opcodeInfo(Op).Mnemonic; }
+
+const char *sxe::cmpPredName(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return "eq";
+  case CmpPred::NE:
+    return "ne";
+  case CmpPred::SLT:
+    return "slt";
+  case CmpPred::SLE:
+    return "sle";
+  case CmpPred::SGT:
+    return "sgt";
+  case CmpPred::SGE:
+    return "sge";
+  case CmpPred::ULT:
+    return "ult";
+  case CmpPred::ULE:
+    return "ule";
+  case CmpPred::UGT:
+    return "ugt";
+  case CmpPred::UGE:
+    return "uge";
+  }
+  sxeUnreachable("invalid CmpPred enumerator");
+}
+
+CmpPred sxe::swapCmpPred(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+  case CmpPred::NE:
+    return Pred;
+  case CmpPred::SLT:
+    return CmpPred::SGT;
+  case CmpPred::SLE:
+    return CmpPred::SGE;
+  case CmpPred::SGT:
+    return CmpPred::SLT;
+  case CmpPred::SGE:
+    return CmpPred::SLE;
+  case CmpPred::ULT:
+    return CmpPred::UGT;
+  case CmpPred::ULE:
+    return CmpPred::UGE;
+  case CmpPred::UGT:
+    return CmpPred::ULT;
+  case CmpPred::UGE:
+    return CmpPred::ULE;
+  }
+  sxeUnreachable("invalid CmpPred enumerator");
+}
+
+CmpPred sxe::negateCmpPred(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return CmpPred::NE;
+  case CmpPred::NE:
+    return CmpPred::EQ;
+  case CmpPred::SLT:
+    return CmpPred::SGE;
+  case CmpPred::SLE:
+    return CmpPred::SGT;
+  case CmpPred::SGT:
+    return CmpPred::SLE;
+  case CmpPred::SGE:
+    return CmpPred::SLT;
+  case CmpPred::ULT:
+    return CmpPred::UGE;
+  case CmpPred::ULE:
+    return CmpPred::UGT;
+  case CmpPred::UGT:
+    return CmpPred::ULE;
+  case CmpPred::UGE:
+    return CmpPred::ULT;
+  }
+  sxeUnreachable("invalid CmpPred enumerator");
+}
+
+bool sxe::isSextOpcode(Opcode Op) {
+  return Op == Opcode::Sext8 || Op == Opcode::Sext16 || Op == Opcode::Sext32;
+}
+
+unsigned sxe::extensionBits(Opcode Op) {
+  switch (Op) {
+  case Opcode::Sext8:
+    return 8;
+  case Opcode::Sext16:
+    return 16;
+  case Opcode::Sext32:
+  case Opcode::Zext32:
+    return 32;
+  default:
+    sxeUnreachable("extensionBits on non-extension opcode");
+  }
+}

@@ -1,0 +1,144 @@
+//===- ir/Opcode.h - Instruction opcodes and structural traits ---*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The opcode enumeration of the sxe IR together with purely structural
+/// traits (operand counts, terminator-ness, mnemonics). Semantic facts about
+/// sign extension (which operands must be extended, which results are known
+/// extended) live in sxe/ExtensionFacts.h because they depend on the target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_OPCODE_H
+#define SXE_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace sxe {
+
+/// Operation selector for Instruction.
+enum class Opcode : uint8_t {
+  // Constants and moves.
+  ConstInt,     ///< dest = immediate integer
+  ConstF64,     ///< dest = immediate double
+  Copy,         ///< dest = src
+
+  // Integer arithmetic; the instruction Width selects 32- or 64-bit
+  // semantics. At the machine level these are full 64-bit register
+  // operations, so a W32 result's upper 32 bits are unspecified unless the
+  // operation guarantees otherwise (see sxe/ExtensionFacts.h).
+  Add,          ///< dest = src0 + src1
+  Sub,          ///< dest = src0 - src1
+  Mul,          ///< dest = src0 * src1
+  Div,          ///< dest = src0 / src1 (signed; traps on divide by zero)
+  Rem,          ///< dest = src0 % src1 (signed; traps on divide by zero)
+  And,          ///< dest = src0 & src1
+  Or,           ///< dest = src0 | src1
+  Xor,          ///< dest = src0 ^ src1
+  Shl,          ///< dest = src0 << (src1 & (width-1))
+  Shr,          ///< dest = src0 >>> (src1 & (width-1)), logical
+  Sar,          ///< dest = src0 >> (src1 & (width-1)), arithmetic
+  Neg,          ///< dest = -src0
+  Not,          ///< dest = ~src0
+
+  // Extensions. SextN replicates bit N-1 of the source into the upper bits
+  // of the 64-bit destination register; Zext32 clears the upper 32 bits.
+  Sext8,        ///< dest = signext8to64(src0); the paper's extend() for bytes
+  Sext16,       ///< dest = signext16to64(src0)
+  Sext32,       ///< dest = signext32to64(src0); the paper's extend()
+  Zext32,       ///< dest = zeroext32to64(src0)
+  JustExtended, ///< dest = src0; dummy marker: src0 is known sign-extended
+
+  // Floating point (Java double).
+  FAdd,         ///< dest = src0 + src1
+  FSub,         ///< dest = src0 - src1
+  FMul,         ///< dest = src0 * src1
+  FDiv,         ///< dest = src0 / src1
+  FNeg,         ///< dest = -src0
+  I2D,          ///< dest = (double)src0; requires a sign-extended source
+  D2I,          ///< dest = (int)src0, Java saturating semantics
+
+  // Comparisons produce 0 or 1 (a sign-extended value). A W32 Cmp models
+  // IA64's cmp4 / PPC64's word compare: it reads only the lower 32 bits.
+  Cmp,          ///< dest = src0 <pred> src1
+  FCmp,         ///< dest = src0 <pred> src1 on doubles (unordered = false)
+
+  // Control flow.
+  Br,           ///< if (src0 != 0) goto succ0 else goto succ1
+  Jmp,          ///< goto succ0
+  Ret,          ///< return [src0]
+  Call,         ///< [dest =] call callee(src0, src1, ...)
+  Trap,         ///< raise an explicit runtime error (throw)
+
+  // Arrays. Bounds checks compare only the lower 32 bits of the index
+  // (32-bit compare); the effective address uses the full 64-bit register.
+  NewArray,     ///< dest = new Ty[src0]
+  ArrayLen,     ///< dest = src0.length
+  ArrayLoad,    ///< dest = src0[src1], element type Ty
+  ArrayStore,   ///< src0[src1] = src2, element type Ty
+};
+
+/// Number of distinct opcodes; useful for trait tables.
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::ArrayStore) + 1;
+
+/// Semantic width of an integer operation.
+enum class Width : uint8_t {
+  W32, ///< Java int semantics: only the lower 32 bits of the result matter.
+  W64, ///< Java long semantics: the full register is meaningful.
+};
+
+/// Comparison predicate for Cmp and FCmp.
+enum class CmpPred : uint8_t {
+  EQ,
+  NE,
+  SLT,
+  SLE,
+  SGT,
+  SGE,
+  ULT,
+  ULE,
+  UGT,
+  UGE,
+};
+
+/// Structural description of one opcode.
+struct OpcodeInfo {
+  const char *Mnemonic;   ///< Printed/parsed name, e.g. "add".
+  int NumOperands;        ///< Fixed operand count, or -1 for Call (variadic).
+  bool HasDest;           ///< Produces a value into a destination register.
+  bool IsTerminator;      ///< Must appear (only) at the end of a block.
+  bool HasWidth;          ///< Uses the Width field (integer arith / Cmp).
+  bool HasElemType;       ///< Uses the Ty field as an array element type.
+  bool IsCommutative;     ///< src0 and src1 may be swapped.
+  bool MayTrap;           ///< Can raise a runtime exception.
+};
+
+/// Returns the structural traits of \p Op.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the mnemonic of \p Op ("add", "sext32", ...).
+const char *opcodeMnemonic(Opcode Op);
+
+/// Returns the printable spelling of \p Pred ("eq", "slt", ...).
+const char *cmpPredName(CmpPred Pred);
+
+/// Returns the predicate with swapped operand order, e.g. SLT -> SGT.
+CmpPred swapCmpPred(CmpPred Pred);
+
+/// Returns the logically negated predicate, e.g. SLT -> SGE.
+CmpPred negateCmpPred(CmpPred Pred);
+
+/// Returns true for the three sign-extension opcodes (Sext8/16/32).
+bool isSextOpcode(Opcode Op);
+
+/// Returns the number of low bits an extension opcode preserves (8, 16, or
+/// 32 for Sext8/Sext16/Sext32/Zext32).
+unsigned extensionBits(Opcode Op);
+
+} // namespace sxe
+
+#endif // SXE_IR_OPCODE_H

@@ -1,0 +1,93 @@
+//===- ir/Type.cpp - Value and element types -------------------------------===//
+
+#include "ir/Type.h"
+
+#include "support/Error.h"
+
+using namespace sxe;
+
+const char *sxe::typeName(Type Ty) {
+  switch (Ty) {
+  case Type::Void:
+    return "void";
+  case Type::I8:
+    return "i8";
+  case Type::I16:
+    return "i16";
+  case Type::U16:
+    return "u16";
+  case Type::I32:
+    return "i32";
+  case Type::I64:
+    return "i64";
+  case Type::F64:
+    return "f64";
+  case Type::ArrayRef:
+    return "arrayref";
+  }
+  sxeUnreachable("invalid Type enumerator");
+}
+
+bool sxe::isIntegerType(Type Ty) {
+  switch (Ty) {
+  case Type::I8:
+  case Type::I16:
+  case Type::U16:
+  case Type::I32:
+  case Type::I64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sxe::isSubRegisterIntType(Type Ty) {
+  return isIntegerType(Ty) && Ty != Type::I64;
+}
+
+unsigned sxe::intTypeBits(Type Ty) {
+  switch (Ty) {
+  case Type::I8:
+    return 8;
+  case Type::I16:
+  case Type::U16:
+    return 16;
+  case Type::I32:
+    return 32;
+  case Type::I64:
+    return 64;
+  default:
+    sxeUnreachable("intTypeBits on non-integer type");
+  }
+}
+
+bool sxe::isElementType(Type Ty) {
+  switch (Ty) {
+  case Type::I8:
+  case Type::I16:
+  case Type::U16:
+  case Type::I32:
+  case Type::I64:
+  case Type::F64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+unsigned sxe::elementSizeBytes(Type Ty) {
+  switch (Ty) {
+  case Type::I8:
+    return 1;
+  case Type::I16:
+  case Type::U16:
+    return 2;
+  case Type::I32:
+    return 4;
+  case Type::I64:
+  case Type::F64:
+    return 8;
+  default:
+    sxeUnreachable("elementSizeBytes on non-element type");
+  }
+}

@@ -1,0 +1,57 @@
+//===- ir/Type.h - Value and element types -----------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small type system of the sxe IR. Registers are 64 bits wide at the
+/// machine level; a register's declared type records the *semantic* width of
+/// the variable it holds (Java's int is I32, long is I64, ...). U16 models
+/// Java's char: a 16-bit quantity that is zero-extended on load and therefore
+/// never needs a sign extension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_TYPE_H
+#define SXE_IR_TYPE_H
+
+#include <cstdint>
+
+namespace sxe {
+
+/// Semantic type of a virtual register or array element.
+enum class Type : uint8_t {
+  Void,     ///< No value (functions without a result).
+  I8,       ///< Signed 8-bit integer (Java byte).
+  I16,      ///< Signed 16-bit integer (Java short).
+  U16,      ///< Unsigned 16-bit integer (Java char).
+  I32,      ///< Signed 32-bit integer (Java int).
+  I64,      ///< Signed 64-bit integer (Java long).
+  F64,      ///< IEEE double (Java double).
+  ArrayRef, ///< Reference to a heap-allocated array.
+};
+
+/// Returns the printable name of \p Ty ("i32", "arrayref", ...).
+const char *typeName(Type Ty);
+
+/// Returns true if \p Ty is one of the integer types (I8..I64).
+bool isIntegerType(Type Ty);
+
+/// Returns true if \p Ty is an integer type narrower than 64 bits, i.e. a
+/// type whose values must be sign- or zero-extended to fill a register.
+bool isSubRegisterIntType(Type Ty);
+
+/// Returns the width in bits of integer type \p Ty (8, 16, 32, or 64).
+unsigned intTypeBits(Type Ty);
+
+/// Returns true if \p Ty is a valid array element type.
+bool isElementType(Type Ty);
+
+/// Returns the size in bytes of one array element of type \p Ty.
+unsigned elementSizeBytes(Type Ty);
+
+} // namespace sxe
+
+#endif // SXE_IR_TYPE_H

@@ -1,0 +1,343 @@
+//===- ir/Verifier.cpp - IR well-formedness checks --------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+#include "support/Error.h"
+
+#include <sstream>
+
+using namespace sxe;
+
+namespace {
+
+/// Per-function verification state.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Problems,
+                   const VerifierOptions &Options)
+      : F(F), Problems(Problems), Options(Options) {}
+
+  bool run();
+
+private:
+  void complain(const Instruction *I, const std::string &Message);
+  void checkInstruction(const Instruction &I);
+  void checkOperandTypes(const Instruction &I);
+  bool checkReg(const Instruction &I, Reg R, const char *What);
+  bool isIntReg(Reg R) const { return isIntegerType(F.regType(R)); }
+
+  const Function &F;
+  std::vector<std::string> &Problems;
+  const VerifierOptions &Options;
+  size_t InitialProblemCount = 0;
+};
+
+void FunctionVerifier::complain(const Instruction *I,
+                                const std::string &Message) {
+  std::ostringstream OS;
+  OS << "function @" << F.name();
+  if (I) {
+    OS << ", block " << I->parent()->name() << ", instruction '"
+       << printInstruction(F, *I) << "'";
+  }
+  OS << ": " << Message;
+  Problems.push_back(OS.str());
+}
+
+bool FunctionVerifier::checkReg(const Instruction &I, Reg R,
+                                const char *What) {
+  if (R < F.numRegs())
+    return true;
+  complain(&I, std::string(What) + " register out of range");
+  return false;
+}
+
+bool FunctionVerifier::run() {
+  InitialProblemCount = Problems.size();
+
+  if (F.numBlocks() == 0) {
+    complain(nullptr, "function has no blocks");
+    return false;
+  }
+
+  for (const auto &BB : F.blocks()) {
+    if (BB->empty()) {
+      complain(nullptr, "block " + BB->name() + " is empty");
+      continue;
+    }
+    if (!BB->isTerminated())
+      complain(nullptr, "block " + BB->name() +
+                            " does not end in a terminator");
+    for (const Instruction &I : *BB) {
+      if (I.isTerminator() && &I != &BB->back())
+        complain(&I, "terminator in the middle of a block");
+      if (I.parent() != BB.get())
+        complain(&I, "instruction parent pointer is stale");
+      checkInstruction(I);
+    }
+  }
+  return Problems.size() == InitialProblemCount;
+}
+
+void FunctionVerifier::checkInstruction(const Instruction &I) {
+  const OpcodeInfo &Info = I.info();
+
+  // Operand count.
+  if (Info.NumOperands >= 0 &&
+      I.numOperands() != static_cast<unsigned>(Info.NumOperands)) {
+    complain(&I, "wrong operand count");
+    return;
+  }
+  if (I.opcode() == Opcode::Ret && I.numOperands() > 1) {
+    complain(&I, "ret takes at most one operand");
+    return;
+  }
+
+  // Destination presence.
+  if (Info.HasDest && I.opcode() != Opcode::Call && !I.hasDest()) {
+    complain(&I, "missing destination register");
+    return;
+  }
+  if (!Info.HasDest && I.hasDest()) {
+    complain(&I, "unexpected destination register");
+    return;
+  }
+
+  // Register ranges.
+  if (I.hasDest() && !checkReg(I, I.dest(), "destination"))
+    return;
+  for (unsigned Index = 0; Index < I.numOperands(); ++Index)
+    if (!checkReg(I, I.operand(Index), "operand"))
+      return;
+
+  // Successors.
+  for (unsigned Index = 0; Index < I.numSuccessors(); ++Index) {
+    const BasicBlock *Succ = I.successor(Index);
+    if (!Succ) {
+      complain(&I, "null successor");
+      return;
+    }
+    if (Succ->parent() != &F) {
+      complain(&I, "successor belongs to another function");
+      return;
+    }
+  }
+
+  if (I.isDummyExtend() && !Options.AllowDummyExtends)
+    complain(&I, "dummy just_extended survived elimination");
+
+  checkOperandTypes(I);
+}
+
+void FunctionVerifier::checkOperandTypes(const Instruction &I) {
+  auto requireInt = [&](unsigned Index) {
+    if (!isIntReg(I.operand(Index)))
+      complain(&I, "operand " + std::to_string(Index) +
+                       " must be an integer register");
+  };
+  auto requireF64 = [&](unsigned Index) {
+    if (F.regType(I.operand(Index)) != Type::F64)
+      complain(&I, "operand " + std::to_string(Index) +
+                       " must be an f64 register");
+  };
+  auto requireArray = [&](unsigned Index) {
+    if (F.regType(I.operand(Index)) != Type::ArrayRef)
+      complain(&I, "operand " + std::to_string(Index) +
+                       " must be an arrayref register");
+  };
+  auto requireIntDest = [&] {
+    if (!isIntegerType(F.regType(I.dest())))
+      complain(&I, "destination must be an integer register");
+  };
+  auto requireF64Dest = [&] {
+    if (F.regType(I.dest()) != Type::F64)
+      complain(&I, "destination must be an f64 register");
+  };
+
+  switch (I.opcode()) {
+  case Opcode::ConstInt:
+    if (!isIntegerType(I.type()))
+      complain(&I, "const type must be an integer type");
+    else if (I.type() == Type::I32 &&
+             (I.intValue() < INT32_MIN || I.intValue() > INT32_MAX))
+      complain(&I, "i32 constant out of range");
+    requireIntDest();
+    break;
+  case Opcode::ConstF64:
+    requireF64Dest();
+    break;
+  case Opcode::Copy:
+    // Any type, but source and destination must be in the same class.
+    if (isIntegerType(F.regType(I.dest())) != isIntReg(I.operand(0)) ||
+        (F.regType(I.dest()) == Type::F64) !=
+            (F.regType(I.operand(0)) == Type::F64) ||
+        (F.regType(I.dest()) == Type::ArrayRef) !=
+            (F.regType(I.operand(0)) == Type::ArrayRef))
+      complain(&I, "copy between incompatible register classes");
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sar:
+    requireInt(0);
+    requireInt(1);
+    requireIntDest();
+    break;
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Sext8:
+  case Opcode::Sext16:
+  case Opcode::Sext32:
+  case Opcode::Zext32:
+  case Opcode::JustExtended:
+    requireInt(0);
+    requireIntDest();
+    break;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    requireF64(0);
+    requireF64(1);
+    requireF64Dest();
+    break;
+  case Opcode::FNeg:
+    requireF64(0);
+    requireF64Dest();
+    break;
+  case Opcode::I2D:
+    requireInt(0);
+    requireF64Dest();
+    break;
+  case Opcode::D2I:
+    requireF64(0);
+    requireIntDest();
+    break;
+  case Opcode::Cmp:
+    requireInt(0);
+    requireInt(1);
+    requireIntDest();
+    break;
+  case Opcode::FCmp:
+    requireF64(0);
+    requireF64(1);
+    requireIntDest();
+    break;
+  case Opcode::Br:
+    requireInt(0);
+    break;
+  case Opcode::Jmp:
+  case Opcode::Trap:
+    break;
+  case Opcode::Ret:
+    if (F.returnType() == Type::Void) {
+      if (I.numOperands() != 0)
+        complain(&I, "void function returns a value");
+    } else if (I.numOperands() != 1) {
+      complain(&I, "non-void function returns no value");
+    } else if (isIntegerType(F.returnType()) != isIntReg(I.operand(0)) ||
+               (F.returnType() == Type::F64) !=
+                   (F.regType(I.operand(0)) == Type::F64)) {
+      complain(&I, "return value register class mismatch");
+    }
+    break;
+  case Opcode::Call: {
+    const Function *Callee = I.callee();
+    if (!Callee) {
+      complain(&I, "call without a callee");
+      break;
+    }
+    if (Callee->parent() != F.parent()) {
+      complain(&I, "callee belongs to another module");
+      break;
+    }
+    if (I.numOperands() != Callee->numParams()) {
+      complain(&I, "call argument count does not match callee");
+      break;
+    }
+    for (unsigned Index = 0; Index < I.numOperands(); ++Index) {
+      Type ParamTy = Callee->regType(Index);
+      Type ArgTy = F.regType(I.operand(Index));
+      if (isIntegerType(ParamTy) != isIntegerType(ArgTy) ||
+          (ParamTy == Type::F64) != (ArgTy == Type::F64) ||
+          (ParamTy == Type::ArrayRef) != (ArgTy == Type::ArrayRef))
+        complain(&I, "call argument " + std::to_string(Index) +
+                         " register class mismatch");
+    }
+    if (Callee->returnType() == Type::Void) {
+      if (I.hasDest())
+        complain(&I, "call to void function has a destination");
+    } else if (I.hasDest()) {
+      Type RetTy = Callee->returnType();
+      Type DestTy = F.regType(I.dest());
+      if (isIntegerType(RetTy) != isIntegerType(DestTy) ||
+          (RetTy == Type::F64) != (DestTy == Type::F64) ||
+          (RetTy == Type::ArrayRef) != (DestTy == Type::ArrayRef))
+        complain(&I, "call destination register class mismatch");
+    }
+    break;
+  }
+  case Opcode::NewArray:
+    if (!isElementType(I.type()))
+      complain(&I, "newarray element type is invalid");
+    requireInt(0);
+    if (F.regType(I.dest()) != Type::ArrayRef)
+      complain(&I, "newarray destination must be arrayref");
+    break;
+  case Opcode::ArrayLen:
+    requireArray(0);
+    requireIntDest();
+    break;
+  case Opcode::ArrayLoad:
+    if (!isElementType(I.type()))
+      complain(&I, "arrayload element type is invalid");
+    requireArray(0);
+    requireInt(1);
+    if (I.type() == Type::F64)
+      requireF64Dest();
+    else
+      requireIntDest();
+    break;
+  case Opcode::ArrayStore:
+    if (!isElementType(I.type()))
+      complain(&I, "arraystore element type is invalid");
+    requireArray(0);
+    requireInt(1);
+    if (I.type() == Type::F64)
+      requireF64(2);
+    else
+      requireInt(2);
+    break;
+  }
+}
+
+} // namespace
+
+bool sxe::verifyFunction(const Function &F,
+                         std::vector<std::string> &Problems,
+                         const VerifierOptions &Options) {
+  FunctionVerifier V(F, Problems, Options);
+  return V.run();
+}
+
+bool sxe::verifyModule(const Module &M, std::vector<std::string> &Problems,
+                       const VerifierOptions &Options) {
+  bool Clean = true;
+  for (const auto &F : M.functions())
+    Clean &= verifyFunction(*F, Problems, Options);
+  return Clean;
+}
+
+void sxe::verifyModuleOrDie(const Module &M, const VerifierOptions &Options) {
+  std::vector<std::string> Problems;
+  if (!verifyModule(M, Problems, Options))
+    reportFatalError("module verification failed: " + Problems.front());
+}

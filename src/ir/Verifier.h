@@ -1,0 +1,47 @@
+//===- ir/Verifier.h - IR well-formedness checks ------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type checks over the IR. Every optimization pass in this
+/// repository is tested to leave the IR verifier-clean; the interpreter
+/// refuses to run a module that does not verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_IR_VERIFIER_H
+#define SXE_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// Options controlling phase-dependent checks.
+struct VerifierOptions {
+  /// Dummy just_extended markers only exist between insertion and
+  /// elimination (Section 2.1/2.3); final IR must not contain them.
+  bool AllowDummyExtends = true;
+};
+
+/// Checks \p F and appends human-readable problems to \p Problems.
+/// Returns true if no problems were found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Problems,
+                    const VerifierOptions &Options = {});
+
+/// Checks every function of \p M. Returns true if the module is clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Problems,
+                  const VerifierOptions &Options = {});
+
+/// Convenience wrapper: verifies \p M and calls reportFatalError with the
+/// first problem on failure. Used by tools and the interpreter front door.
+void verifyModuleOrDie(const Module &M, const VerifierOptions &Options = {});
+
+} // namespace sxe
+
+#endif // SXE_IR_VERIFIER_H

@@ -1,0 +1,30 @@
+//===- opt/DeadCodeElim.h - Liveness-based dead code removal -----*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward-liveness dead code elimination over the non-SSA IR:
+/// a pure definition whose register is not live after it is removed.
+/// Part of the pipeline's "general optimizations" (Figure 5, step 2).
+/// Note that a redundant `r = sext32 r` is NOT dead as long as r is used —
+/// removing those is the job of the paper's elimination algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_OPT_DEADCODEELIM_H
+#define SXE_OPT_DEADCODEELIM_H
+
+#include "ir/Function.h"
+
+namespace sxe {
+
+/// Removes dead pure definitions from \p F until a fixpoint. Returns the
+/// number of instructions removed.
+unsigned runDeadCodeElim(Function &F);
+
+} // namespace sxe
+
+#endif // SXE_OPT_DEADCODEELIM_H

@@ -1,0 +1,188 @@
+//===- opt/ExtensionPRE.cpp - PRE-style redundancy removal for extends -------===//
+
+#include "opt/ExtensionPRE.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "sxe/ExtensionFacts.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace sxe;
+
+namespace {
+
+using FactSet = std::vector<uint64_t>; // Bit per register: canonical.
+
+bool testBit(const FactSet &Set, Reg R) {
+  return (Set[R / 64] >> (R % 64)) & 1;
+}
+void setBit(FactSet &Set, Reg R) { Set[R / 64] |= 1ULL << (R % 64); }
+void clearBit(FactSet &Set, Reg R) { Set[R / 64] &= ~(1ULL << (R % 64)); }
+
+bool intersectInto(FactSet &Dst, const FactSet &Src) {
+  bool Changed = false;
+  for (size_t Index = 0; Index < Dst.size(); ++Index) {
+    uint64_t Next = Dst[Index] & Src[Index];
+    Changed |= Next != Dst[Index];
+    Dst[Index] = Next;
+  }
+  return Changed;
+}
+
+/// Returns true if \p I is an `r = sextN r` re-canonicalization of its own
+/// register at the register's canonical width.
+bool isCanonicalizingExtend(const Function &F, const Instruction &I) {
+  if (!I.isSext() || !I.hasDest() || I.numOperands() != 1)
+    return false;
+  if (I.dest() != I.operand(0))
+    return false;
+  return extensionBits(I.opcode()) == canonicalRegBits(F, I.dest());
+}
+
+/// Transfer of one instruction over the "canonically extended" facts.
+void applyTransfer(const Function &F, const TargetInfo &Target,
+                   const Instruction &I, FactSet &Facts) {
+  if (!I.hasDest())
+    return;
+  Reg Dest = I.dest();
+  unsigned Bits = canonicalRegBits(F, Dest);
+  if (Bits == 0) {
+    setBit(Facts, Dest); // Never needs extension: trivially canonical.
+    return;
+  }
+  if (isCanonicalizingExtend(F, I) ||
+      defKnownExtendedStructural(F, I, Target, Bits)) {
+    setBit(Facts, Dest);
+    return;
+  }
+  // Copies preserve canonicality of the source register's image when the
+  // widths agree.
+  if (I.opcode() == Opcode::Copy &&
+      F.regType(I.operand(0)) == F.regType(Dest) &&
+      testBit(Facts, I.operand(0))) {
+    setBit(Facts, Dest);
+    return;
+  }
+  clearBit(Facts, Dest);
+}
+
+unsigned runAvailabilityCSE(Function &F, const TargetInfo &Target) {
+  CFG Cfg(F);
+  size_t Words = (F.numRegs() + 63) / 64;
+  const auto &RPO = Cfg.reversePostOrder();
+
+  // IN/OUT: bit set = register canonically extended on all paths.
+  std::unordered_map<const BasicBlock *, FactSet> In, Out;
+  FactSet AllOnes(Words, ~0ull);
+  for (BasicBlock *BB : RPO) {
+    In[BB] = AllOnes; // Optimistic start for the all-paths meet.
+    Out[BB] = AllOnes;
+  }
+  // Entry: parameters arrive extended (ABI); locals start at zero, which
+  // is canonical for every width.
+  FactSet EntryFacts(Words, ~0ull);
+  In[RPO.front()] = EntryFacts;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB != RPO.front())
+        for (BasicBlock *Pred : Cfg.predecessors(BB))
+          if (Cfg.isReachable(Pred))
+            Changed |= intersectInto(In[BB], Out[Pred]);
+      FactSet Facts = In[BB];
+      for (const Instruction &I : *BB)
+        applyTransfer(F, Target, I, Facts);
+      if (Facts != Out[BB]) {
+        Out[BB] = std::move(Facts);
+        Changed = true;
+      }
+    }
+  }
+
+  // Remove extends whose register is already canonical at that point.
+  unsigned Removed = 0;
+  for (BasicBlock *BB : RPO) {
+    FactSet Facts = In[BB];
+    std::vector<Instruction *> ToErase;
+    for (Instruction &I : *BB) {
+      if (isCanonicalizingExtend(F, I) && testBit(Facts, I.dest())) {
+        ToErase.push_back(&I);
+        continue; // Facts unchanged: the register stays canonical.
+      }
+      applyTransfer(F, Target, I, Facts);
+    }
+    for (Instruction *I : ToErase) {
+      BB->erase(I);
+      ++Removed;
+    }
+  }
+  return Removed;
+}
+
+unsigned runLoopHoisting(Function &F) {
+  CFG Cfg(F);
+  Dominators Dom(Cfg);
+  LoopInfo Loops(Cfg, Dom);
+  unsigned Moved = 0;
+
+  for (const auto &L : Loops.loops()) {
+    // Unique out-of-loop predecessor of the header, ending in a jmp:
+    // a usable preheader without CFG surgery.
+    BasicBlock *Preheader = nullptr;
+    bool Usable = true;
+    for (BasicBlock *Pred : Cfg.predecessors(L->Header)) {
+      if (L->contains(Pred))
+        continue;
+      if (Preheader) {
+        Usable = false;
+        break;
+      }
+      Preheader = Pred;
+    }
+    if (!Usable || !Preheader || !Preheader->terminator() ||
+        Preheader->terminator()->opcode() != Opcode::Jmp)
+      continue;
+
+    // Count in-loop definitions per register.
+    std::unordered_map<Reg, unsigned> DefsInLoop;
+    for (BasicBlock *BB : std::vector<BasicBlock *>(L->Blocks.begin(),
+                                                    L->Blocks.end()))
+      for (Instruction &I : *BB)
+        if (I.hasDest())
+          ++DefsInLoop[I.dest()];
+
+    for (BasicBlock *BB : std::vector<BasicBlock *>(L->Blocks.begin(),
+                                                    L->Blocks.end())) {
+      std::vector<Instruction *> Candidates;
+      for (Instruction &I : *BB)
+        if (isCanonicalizingExtend(F, I) && DefsInLoop[I.dest()] == 1)
+          Candidates.push_back(&I);
+      for (Instruction *Ext : Candidates) {
+        // The extension is the register's only definition in the loop:
+        // hoist it to the preheader.
+        auto Clone = std::make_unique<Instruction>(Ext->opcode());
+        Clone->setDest(Ext->dest());
+        Clone->addOperand(Ext->operand(0));
+        Preheader->insertBefore(Preheader->terminator(), std::move(Clone));
+        DefsInLoop[Ext->dest()] = 0;
+        BB->erase(Ext);
+        ++Moved;
+      }
+    }
+  }
+  return Moved;
+}
+
+} // namespace
+
+unsigned sxe::runExtensionPRE(Function &F, const TargetInfo &Target) {
+  unsigned Total = 0;
+  Total += runLoopHoisting(F);
+  Total += runAvailabilityCSE(F, Target);
+  return Total;
+}

@@ -1,0 +1,29 @@
+//===- opt/GeneralOpts.h - Step 2 driver --------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Driver for the pipeline's "general optimizations" (Figure 5, step 2):
+/// local constant folding / copy propagation, extension PRE, and dead code
+/// elimination, iterated to a small fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_OPT_GENERALOPTS_H
+#define SXE_OPT_GENERALOPTS_H
+
+#include "ir/Function.h"
+#include "target/TargetInfo.h"
+
+namespace sxe {
+
+/// Runs the step-2 optimizations over \p F. Returns the total number of
+/// rewrites/removals performed.
+unsigned runGeneralOpts(Function &F, const TargetInfo &Target);
+
+} // namespace sxe
+
+#endif // SXE_OPT_GENERALOPTS_H

@@ -1,0 +1,176 @@
+//===- opt/LocalOpts.cpp - Local constant folding and copy prop --------------===//
+
+#include "opt/LocalOpts.h"
+
+#include "sxe/ExtensionFacts.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace sxe;
+
+namespace {
+
+/// Evaluates the machine register result of an integer operation on
+/// canonical constant inputs, mirroring interp/Interpreter.cpp. Returns
+/// nullopt for operations this folder does not handle.
+std::optional<uint64_t> evalMachine(const Instruction &I, uint64_t A,
+                                    uint64_t B) {
+  bool W32 = I.info().HasWidth && I.isW32();
+  switch (I.opcode()) {
+  case Opcode::Add:
+    return A + B;
+  case Opcode::Sub:
+    return A - B;
+  case Opcode::Mul:
+    return A * B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (static_cast<unsigned>(B) & (W32 ? 31u : 63u));
+  case Opcode::Shr:
+    if (W32)
+      return static_cast<uint64_t>(static_cast<uint32_t>(A)) >>
+             (static_cast<unsigned>(B) & 31u);
+    return A >> (static_cast<unsigned>(B) & 63u);
+  case Opcode::Sar:
+    if (W32)
+      return static_cast<uint64_t>(static_cast<int64_t>(
+          static_cast<int32_t>(A) >> (static_cast<unsigned>(B) & 31u)));
+    return static_cast<uint64_t>(static_cast<int64_t>(A) >>
+                                 (static_cast<unsigned>(B) & 63u));
+  case Opcode::Neg:
+    return 0 - A;
+  case Opcode::Not:
+    return ~A;
+  case Opcode::Sext8:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int8_t>(A)));
+  case Opcode::Sext16:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int16_t>(A)));
+  case Opcode::Sext32:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(A)));
+  case Opcode::Zext32:
+    return static_cast<uint64_t>(static_cast<uint32_t>(A));
+  default:
+    // Division is left unfolded (traps), as are compares reaching
+    // terminators — branch folding is out of scope for this local pass.
+    return std::nullopt;
+  }
+}
+
+/// Returns true if \p Value is a canonical register image for a register
+/// of type \p Ty.
+bool isCanonicalFor(uint64_t Value, Type Ty) {
+  switch (Ty) {
+  case Type::I8:
+    return Value == static_cast<uint64_t>(
+                        static_cast<int64_t>(static_cast<int8_t>(Value)));
+  case Type::I16:
+    return Value == static_cast<uint64_t>(
+                        static_cast<int64_t>(static_cast<int16_t>(Value)));
+  case Type::U16:
+    return Value == (Value & 0xFFFF);
+  case Type::I32:
+    return Value == static_cast<uint64_t>(
+                        static_cast<int64_t>(static_cast<int32_t>(Value)));
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+unsigned sxe::runLocalOpts(Function &F) {
+  unsigned Rewritten = 0;
+
+  for (const auto &BB : F.blocks()) {
+    // Block-local lattices, invalidated on redefinition.
+    std::unordered_map<Reg, uint64_t> Constants;
+    std::unordered_map<Reg, Reg> CopyOf;
+
+    auto invalidate = [&](Reg R) {
+      Constants.erase(R);
+      CopyOf.erase(R);
+      for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+        if (It->second == R)
+          It = CopyOf.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    for (Instruction &I : *BB) {
+      // Copy propagation: replace operands by their copy sources.
+      for (unsigned Index = 0; Index < I.numOperands(); ++Index) {
+        auto It = CopyOf.find(I.operand(Index));
+        if (It != CopyOf.end()) {
+          I.setOperand(Index, It->second);
+          ++Rewritten;
+        }
+      }
+
+      // Constant folding of pure integer operations with known inputs.
+      bool Folded = false;
+      if (I.hasDest() && isIntegerType(F.regType(I.dest())) &&
+          I.numOperands() >= 1 && I.numOperands() <= 2 &&
+          I.opcode() != Opcode::Copy && I.opcode() != Opcode::ArrayLen &&
+          I.opcode() != Opcode::JustExtended) {
+        bool AllConst = true;
+        uint64_t Vals[2] = {0, 0};
+        for (unsigned Index = 0; Index < I.numOperands(); ++Index) {
+          auto It = Constants.find(I.operand(Index));
+          if (It == Constants.end()) {
+            AllConst = false;
+            break;
+          }
+          Vals[Index] = It->second;
+        }
+        if (AllConst) {
+          if (auto Result = evalMachine(I, Vals[0], Vals[1])) {
+            if (isCanonicalFor(*Result, F.regType(I.dest()))) {
+              Type ConstTy =
+                  F.regType(I.dest()) == Type::I64 ? Type::I64 : Type::I32;
+              I.morphToConstInt(static_cast<int64_t>(*Result), ConstTy);
+              Folded = true;
+              ++Rewritten;
+            }
+          }
+        }
+      }
+
+      // Update lattices.
+      if (!I.hasDest())
+        continue;
+      Reg Dest = I.dest();
+      if (I.opcode() == Opcode::ConstInt) {
+        invalidate(Dest);
+        Constants[Dest] = static_cast<uint64_t>(I.intValue());
+        continue;
+      }
+      if (!Folded && I.opcode() == Opcode::Copy && Dest != I.operand(0) &&
+          isIntegerType(F.regType(Dest)) ==
+              isIntegerType(F.regType(I.operand(0)))) {
+        Reg Src = I.operand(0);
+        invalidate(Dest);
+        // Only propagate width-preserving copies: a widening copy's source
+        // may be replaced where the full register matters.
+        if (F.regType(Dest) == F.regType(Src)) {
+          CopyOf[Dest] = Src;
+          auto It = Constants.find(Src);
+          if (It != Constants.end())
+            Constants[Dest] = It->second;
+        }
+        continue;
+      }
+      invalidate(Dest);
+    }
+  }
+  return Rewritten;
+}

@@ -1,0 +1,34 @@
+//===- opt/LocalOpts.h - Local constant folding and copy prop ----*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local constant folding and copy propagation — part of the
+/// pipeline's "general optimizations" (Figure 5, step 2). The paper notes
+/// that constant folding turns a sign extension of a constant into a move;
+/// we fold it into a constant definition outright.
+///
+/// Folding is machine-faithful: a W32 operation is folded only when the
+/// 64-bit register result of executing it on the (canonical) constant
+/// inputs is itself canonical, so replacing the instruction by a constant
+/// leaves every downstream register value identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_OPT_LOCALOPTS_H
+#define SXE_OPT_LOCALOPTS_H
+
+#include "ir/Function.h"
+
+namespace sxe {
+
+/// Runs block-local constant folding and copy propagation over \p F.
+/// Returns the number of instructions rewritten.
+unsigned runLocalOpts(Function &F);
+
+} // namespace sxe
+
+#endif // SXE_OPT_LOCALOPTS_H

@@ -1,0 +1,147 @@
+//===- parser/Lexer.cpp - Tokenizer for textual IR ---------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <cctype>
+
+using namespace sxe;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '.' || C == '$';
+}
+
+bool isNumberChar(char C) {
+  // Covers decimal/hex integers and hex floats (0x1.8p+3), and negatives.
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '.' ||
+         C == '+' || C == '-' || C == 'x' || C == 'X';
+}
+
+} // namespace
+
+bool sxe::tokenize(const std::string &Source, std::vector<Token> &Tokens,
+                   std::string &Error) {
+  unsigned Line = 1;
+  size_t Pos = 0;
+  const size_t Len = Source.size();
+
+  auto push = [&](TokenKind Kind, std::string Text) {
+    Tokens.push_back(Token{Kind, std::move(Text), Line});
+  };
+
+  while (Pos < Len) {
+    char C = Source[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == ';' || (C == '/' && Pos + 1 < Len && Source[Pos + 1] == '/')) {
+      while (Pos < Len && Source[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '%' || C == '@') {
+      TokenKind Kind = C == '%' ? TokenKind::RegName : TokenKind::GlobalName;
+      size_t Start = ++Pos;
+      while (Pos < Len && isIdentChar(Source[Pos]))
+        ++Pos;
+      if (Pos == Start) {
+        Error = "line " + std::to_string(Line) + ": empty name after '" +
+                std::string(1, C) + "'";
+        return false;
+      }
+      push(Kind, Source.substr(Start, Pos - Start));
+      continue;
+    }
+    if (C == '"') {
+      size_t Start = ++Pos;
+      while (Pos < Len && Source[Pos] != '"' && Source[Pos] != '\n')
+        ++Pos;
+      if (Pos >= Len || Source[Pos] != '"') {
+        Error = "line " + std::to_string(Line) + ": unterminated string";
+        return false;
+      }
+      push(TokenKind::String, Source.substr(Start, Pos - Start));
+      ++Pos;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < Len && isIdentChar(Source[Pos]))
+        ++Pos;
+      push(TokenKind::Identifier, Source.substr(Start, Pos - Start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && Pos + 1 < Len &&
+         std::isdigit(static_cast<unsigned char>(Source[Pos + 1])))) {
+      size_t Start = Pos;
+      ++Pos; // Consume the sign or first digit.
+      while (Pos < Len && isNumberChar(Source[Pos])) {
+        // '+'/'-' only continue a number directly after an exponent char.
+        if ((Source[Pos] == '+' || Source[Pos] == '-') &&
+            !(Source[Pos - 1] == 'p' || Source[Pos - 1] == 'P' ||
+              Source[Pos - 1] == 'e' || Source[Pos - 1] == 'E'))
+          break;
+        ++Pos;
+      }
+      push(TokenKind::Number, Source.substr(Start, Pos - Start));
+      continue;
+    }
+    switch (C) {
+    case ':':
+      push(TokenKind::Colon, ":");
+      ++Pos;
+      continue;
+    case ',':
+      push(TokenKind::Comma, ",");
+      ++Pos;
+      continue;
+    case '=':
+      push(TokenKind::Equals, "=");
+      ++Pos;
+      continue;
+    case '(':
+      push(TokenKind::LParen, "(");
+      ++Pos;
+      continue;
+    case ')':
+      push(TokenKind::RParen, ")");
+      ++Pos;
+      continue;
+    case '{':
+      push(TokenKind::LBrace, "{");
+      ++Pos;
+      continue;
+    case '}':
+      push(TokenKind::RBrace, "}");
+      ++Pos;
+      continue;
+    case '-':
+      if (Pos + 1 < Len && Source[Pos + 1] == '>') {
+        push(TokenKind::Arrow, "->");
+        Pos += 2;
+        continue;
+      }
+      break;
+    default:
+      break;
+    }
+    Error = "line " + std::to_string(Line) + ": unexpected character '" +
+            std::string(1, C) + "'";
+    return false;
+  }
+  push(TokenKind::End, "");
+  return true;
+}

@@ -1,0 +1,54 @@
+//===- parser/Lexer.h - Tokenizer for textual IR ------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the `.sxir` textual format emitted by ir/IRPrinter.h.
+/// Comments run from ';' or "//" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_PARSER_LEXER_H
+#define SXE_PARSER_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// Kind of one token.
+enum class TokenKind : uint8_t {
+  End,
+  Identifier, ///< keywords, mnemonics, labels (may contain '.')
+  RegName,    ///< %name
+  GlobalName, ///< @name
+  Number,     ///< integer or float literal (raw text kept)
+  String,     ///< "..."
+  Colon,
+  Comma,
+  Equals,
+  Arrow, ///< ->
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+};
+
+/// One token with its source location.
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  std::string Text; ///< Payload without sigils/quotes.
+  unsigned Line = 0;
+};
+
+/// Tokenizes \p Source. On a lexical error, returns false and sets
+/// \p Error (tokens may be partially filled).
+bool tokenize(const std::string &Source, std::vector<Token> &Tokens,
+              std::string &Error);
+
+} // namespace sxe
+
+#endif // SXE_PARSER_LEXER_H

@@ -1,0 +1,39 @@
+//===- parser/Parser.h - Parser for textual IR --------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the `.sxir` textual format, the inverse of
+/// ir/IRPrinter.h: parse(printModule(M)) reconstructs M up to register and
+/// block identity. Tools load sample programs through this; tests
+/// round-trip every workload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_PARSER_PARSER_H
+#define SXE_PARSER_PARSER_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace sxe {
+
+/// Outcome of a parse: a module, or an error message with line context.
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Parses a whole module from \p Source.
+ParseResult parseModule(const std::string &Source);
+
+} // namespace sxe
+
+#endif // SXE_PARSER_PARSER_H

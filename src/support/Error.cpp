@@ -1,0 +1,18 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sxe;
+
+void sxe::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "sxe fatal error: %s\n", Message.c_str());
+  std::abort();
+}
+
+void sxe::sxeUnreachable(const char *Message) {
+  std::fprintf(stderr, "sxe unreachable executed: %s\n", Message);
+  std::abort();
+}

@@ -1,0 +1,33 @@
+//===- support/Error.h - Fatal error reporting ------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and the unreachable marker used throughout the
+/// library. Programmatic errors (broken invariants) abort immediately with a
+/// message; there is no recoverable-error machinery because every consumer of
+/// this library is an in-process tool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_ERROR_H
+#define SXE_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace sxe {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be visible even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+/// Marks a point in the code that must never be reached. Aborts with
+/// \p Message when executed.
+[[noreturn]] void sxeUnreachable(const char *Message);
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_ERROR_H

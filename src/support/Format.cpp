@@ -1,0 +1,44 @@
+//===- support/Format.cpp - Small string formatting helpers ---------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace sxe;
+
+std::string sxe::formatWithCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  unsigned Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+std::string sxe::formatPercent(double Ratio, unsigned Decimals) {
+  return formatFixed(Ratio * 100.0, Decimals) + "%";
+}
+
+std::string sxe::formatFixed(double Value, unsigned Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", static_cast<int>(Decimals),
+                Value);
+  return Buffer;
+}
+
+std::string sxe::padLeft(const std::string &Text, unsigned Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string sxe::padRight(const std::string &Text, unsigned Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}

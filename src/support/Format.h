@@ -1,0 +1,41 @@
+//===- support/Format.h - Small string formatting helpers ------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Number formatting helpers used by the IR printer, the statistics
+/// reporting, and the benchmark tables (thousands separators, fixed-width
+/// percentages).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_FORMAT_H
+#define SXE_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace sxe {
+
+/// Formats \p Value with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string formatWithCommas(uint64_t Value);
+
+/// Formats \p Ratio (0.0-based fraction) as a percentage with \p Decimals
+/// digits after the point, e.g. 0.4099 -> "40.99%".
+std::string formatPercent(double Ratio, unsigned Decimals = 2);
+
+/// Formats \p Value as a fixed-point decimal with \p Decimals digits.
+std::string formatFixed(double Value, unsigned Decimals = 2);
+
+/// Left-pads \p Text with spaces to \p Width columns.
+std::string padLeft(const std::string &Text, unsigned Width);
+
+/// Right-pads \p Text with spaces to \p Width columns.
+std::string padRight(const std::string &Text, unsigned Width);
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_FORMAT_H

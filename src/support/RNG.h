@@ -1,0 +1,71 @@
+//===- support/RNG.h - Deterministic pseudo-random generator ---*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic SplitMix64 generator. Workload input generation,
+/// the random-program property tests, and the benchmark harness all need
+/// reproducible randomness independent of the standard library's
+/// implementation-defined distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_RNG_H
+#define SXE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sxe {
+
+/// Deterministic SplitMix64 pseudo-random generator.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound). \p Bound must be
+  /// non-zero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a non-zero bound");
+    return next() % Bound;
+  }
+
+  /// Returns a signed value uniformly distributed in [Low, High].
+  int64_t nextInRange(int64_t Low, int64_t High) {
+    assert(Low <= High && "nextInRange requires Low <= High");
+    uint64_t Span = static_cast<uint64_t>(High - Low) + 1;
+    if (Span == 0) // Full 64-bit range.
+      return static_cast<int64_t>(next());
+    return Low + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p Numerator / \p Denominator.
+  bool nextChance(uint64_t Numerator, uint64_t Denominator) {
+    assert(Denominator != 0 && "nextChance requires a non-zero denominator");
+    return nextBelow(Denominator) < Numerator;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_RNG_H

@@ -1,0 +1,16 @@
+//===- support/Timer.cpp - Wall-clock timing -------------------------------===//
+
+#include "support/Timer.h"
+
+#include <chrono>
+
+using namespace sxe;
+
+static uint64_t nowNanos() {
+  auto Now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count();
+}
+
+void Timer::start() { StartNanos = nowNanos(); }
+
+void Timer::stop() { TotalNanos += nowNanos() - StartNanos; }

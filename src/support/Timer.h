@@ -1,0 +1,60 @@
+//===- support/Timer.h - Wall-clock timing -----------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing used to reproduce Table 3 (the JIT compilation-time
+/// breakdown). Timers accumulate across start/stop cycles so a pass that
+/// runs once per function can report its total share of the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_TIMER_H
+#define SXE_SUPPORT_TIMER_H
+
+#include <cstdint>
+
+namespace sxe {
+
+/// Accumulating wall-clock timer with nanosecond resolution.
+class Timer {
+public:
+  /// Starts (or restarts) a measurement interval.
+  void start();
+
+  /// Ends the current measurement interval and adds it to the total.
+  void stop();
+
+  /// Returns the accumulated time in nanoseconds.
+  uint64_t elapsedNanos() const { return TotalNanos; }
+
+  /// Returns the accumulated time in seconds.
+  double elapsedSeconds() const { return TotalNanos * 1e-9; }
+
+  /// Discards all accumulated time.
+  void reset() { TotalNanos = 0; }
+
+private:
+  uint64_t TotalNanos = 0;
+  uint64_t StartNanos = 0;
+};
+
+/// RAII helper that runs a timer for the lifetime of a scope.
+class TimerScope {
+public:
+  explicit TimerScope(Timer &T) : TheTimer(T) { TheTimer.start(); }
+  ~TimerScope() { TheTimer.stop(); }
+
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  Timer &TheTimer;
+};
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_TIMER_H

@@ -1,0 +1,108 @@
+//===- sxe/Conversion64.cpp - 32-bit to 64-bit conversion --------------------===//
+
+#include "sxe/Conversion64.h"
+
+#include "sxe/ExtensionFacts.h"
+
+#include <vector>
+
+using namespace sxe;
+
+namespace {
+
+std::unique_ptr<Instruction> makeExtend(unsigned Bits, Reg R) {
+  Opcode Op = Bits == 8    ? Opcode::Sext8
+              : Bits == 16 ? Opcode::Sext16
+                           : Opcode::Sext32;
+  auto Ext = std::make_unique<Instruction>(Op);
+  Ext->setDest(R);
+  Ext->addOperand(R);
+  return Ext;
+}
+
+unsigned convertAfterDef(Function &F, const TargetInfo &Target) {
+  unsigned Generated = 0;
+  for (const auto &BB : F.blocks()) {
+    // Collect first: insertion invalidates naive iteration.
+    std::vector<Instruction *> NeedExtend;
+    for (Instruction &I : *BB) {
+      if (!I.hasDest())
+        continue;
+      unsigned Bits = canonicalRegBits(F, I.dest());
+      if (Bits == 0)
+        continue;
+      if (defKnownExtendedStructural(F, I, Target, Bits))
+        continue;
+      NeedExtend.push_back(&I);
+    }
+    for (Instruction *Def : NeedExtend) {
+      BB->insertAfter(Def, makeExtend(canonicalRegBits(F, Def->dest()),
+                                      Def->dest()));
+      ++Generated;
+    }
+  }
+  return Generated;
+}
+
+/// Cheap local check for the BeforeUse policy: scanning backwards from
+/// \p Use inside its block, is register \p R obviously canonical?
+bool locallyExtended(const Function &F, const TargetInfo &Target,
+                     BasicBlock &BB, const Instruction *Use, Reg R,
+                     unsigned Bits) {
+  // Walk the block backwards from just before Use.
+  std::vector<const Instruction *> Before;
+  for (const Instruction &I : BB) {
+    if (&I == Use)
+      break;
+    Before.push_back(&I);
+  }
+  for (auto It = Before.rbegin(); It != Before.rend(); ++It) {
+    const Instruction &I = **It;
+    if (!I.hasDest() || I.dest() != R)
+      continue;
+    if (I.isSext() && I.operand(0) == R && extensionBits(I.opcode()) == Bits)
+      return true; // A canonicalizing extend with no redefinition since.
+    return defKnownExtendedStructural(F, I, Target, Bits);
+  }
+  return false; // Block entry reached: unknown.
+}
+
+unsigned convertBeforeUse(Function &F, const TargetInfo &Target) {
+  unsigned Generated = 0;
+  for (const auto &BB : F.blocks()) {
+    std::vector<std::pair<Instruction *, Reg>> Insertions;
+    for (Instruction &I : *BB) {
+      // Deduplicate per instruction: one extend per register even if the
+      // register appears in several requiring operands.
+      std::vector<Reg> Done;
+      for (unsigned Index = 0; Index < I.numOperands(); ++Index) {
+        if (!requiresExtendedOperand(F, I, Index, Target))
+          continue;
+        Reg R = I.operand(Index);
+        bool Seen = false;
+        for (Reg D : Done)
+          Seen |= D == R;
+        if (Seen)
+          continue;
+        Done.push_back(R);
+        if (locallyExtended(F, Target, *BB, &I, R, canonicalRegBits(F, R)))
+          continue;
+        Insertions.push_back({&I, R});
+      }
+    }
+    for (const auto &[Use, R] : Insertions) {
+      BB->insertBefore(Use, makeExtend(canonicalRegBits(F, R), R));
+      ++Generated;
+    }
+  }
+  return Generated;
+}
+
+} // namespace
+
+unsigned sxe::runConversion64(Function &F, const TargetInfo &Target,
+                              GenPolicy Policy) {
+  if (Policy == GenPolicy::AfterDef)
+    return convertAfterDef(F, Target);
+  return convertBeforeUse(F, Target);
+}

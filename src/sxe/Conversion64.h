@@ -1,0 +1,46 @@
+//===- sxe/Conversion64.h - 32-bit to 64-bit conversion ----------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step 1 of the pipeline (Figure 5): translate the 32-bit architecture
+/// form of a program into 64-bit form by generating the sign extensions it
+/// needs. Two policies (Figure 6):
+///
+///  - AfterDef ("gen def", the paper's choice): insert `r = sextN r`
+///    immediately after every instruction whose sub-register destination is
+///    not guaranteed canonically extended. This maximizes later elimination
+///    opportunities.
+///  - BeforeUse ("gen use", the measured reference): insert `r = sextN r`
+///    immediately before every instruction that requires an extended
+///    operand, unless a cheap local (within-block) scan shows the register
+///    is obviously extended. This models generating extensions at the code
+///    generation phase; no global elimination applies afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SXE_CONVERSION64_H
+#define SXE_SXE_CONVERSION64_H
+
+#include "ir/Function.h"
+#include "target/TargetInfo.h"
+
+namespace sxe {
+
+/// Where conversion places the generated extensions.
+enum class GenPolicy : uint8_t {
+  AfterDef,  ///< After definition points (Figure 6(b)).
+  BeforeUse, ///< Before use points (Figure 6(c)).
+};
+
+/// Converts \p F to 64-bit form. Returns the number of extensions
+/// generated.
+unsigned runConversion64(Function &F, const TargetInfo &Target,
+                         GenPolicy Policy);
+
+} // namespace sxe
+
+#endif // SXE_SXE_CONVERSION64_H

@@ -1,0 +1,649 @@
+//===- sxe/Elimination.cpp - UD/DU-chain elimination (phase 3-3) --------------===//
+
+#include "sxe/Elimination.h"
+
+#include "analysis/CFG.h"
+#include "analysis/UseDefChains.h"
+#include "analysis/ValueRange.h"
+#include "sxe/ExtensionFacts.h"
+#include "support/Error.h"
+
+#include <memory>
+
+#include <unordered_set>
+
+using namespace sxe;
+
+namespace {
+
+constexpr int64_t Int32Max = 0x7FFFFFFF;
+
+/// One EliminateOneExtend run uses visited sets in place of the paper's
+/// per-instruction USE/DEF/ARRAY flag bits: the set key carries the
+/// operand index, which matters when one instruction uses the register in
+/// operands with different semantics (e.g. `a[i] = i`).
+struct VisitKey {
+  const void *Ptr;
+  unsigned Index;
+  bool operator==(const VisitKey &Other) const {
+    return Ptr == Other.Ptr && Index == Other.Index;
+  }
+};
+struct VisitKeyHash {
+  size_t operator()(const VisitKey &Key) const {
+    return std::hash<const void *>()(Key.Ptr) * 31 + Key.Index;
+  }
+};
+using VisitSet = std::unordered_set<VisitKey, VisitKeyHash>;
+
+/// The elimination engine for one function.
+class Eliminator {
+public:
+  Eliminator(Function &F, const EliminationOptions &Options)
+      : F(F), Options(Options) {
+    // The chains and the range analysis are shared analysis
+    // infrastructure (the paper keeps "UD/DU chain creation" out of the
+    // sign-extension-optimization column because other optimizations use
+    // the chains too); both are timed under the analysis bucket.
+    if (Options.ChainTimer)
+      Options.ChainTimer->start();
+    Cfg = std::make_unique<CFG>(F);
+    Chains = std::make_unique<UseDefChains>(F, *Cfg);
+    Ranges = std::make_unique<ValueRange>(F, *Chains, *Options.Target,
+                                          Options.MaxArrayLen,
+                                          Options.EnableGuardRanges);
+    if (Options.ChainTimer)
+      Options.ChainTimer->stop();
+  }
+
+  EliminationStats run(const std::vector<Instruction *> &Order);
+
+private:
+  // --- The paper's EliminateOneExtend / AnalyzeUSE / AnalyzeARRAY --------
+
+  /// Returns true if EXT must stay.
+  bool analyzeExtend(Instruction *Ext);
+
+  /// AnalyzeUSE: returns true if \p User's operand \p OpIndex requires the
+  /// bits the current extension fixes.
+  bool analyzeUse(Instruction *User, unsigned OpIndex, bool AnalyzeArray);
+
+  /// AnalyzeARRAY: returns true if the access still requires the current
+  /// extension (i.e. no theorem applies).
+  bool analyzeArray(Instruction *Access);
+
+  /// Theorem check for one definition reaching an array subscript.
+  bool subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
+                      uint32_t MaxLen, VisitSet &Visited);
+
+  // --- Live extension-state queries (AnalyzeDEF generalized) -------------
+
+  /// True if every definition reaching operand \p OpIndex of \p User
+  /// produces a \p Bits-extended value (the current EXT masked out).
+  bool useExtended(const Instruction *User, unsigned OpIndex, unsigned Bits,
+                   VisitSet &Visited);
+
+  /// True if \p Def produces a \p Bits-extended value.
+  /// \p AllowUpperZeroRule breaks the mutual recursion with the
+  /// upper-zero query.
+  bool defExtended(const Instruction *Def, unsigned Bits, VisitSet &Visited,
+                   bool AllowUpperZeroRule = true);
+
+  /// True if every definition reaching operand \p OpIndex of \p User
+  /// leaves the register's upper 32 bits zero.
+  bool useUpperZero(const Instruction *User, unsigned OpIndex,
+                    VisitSet &Visited);
+
+  /// True if \p Def leaves the register's upper 32 bits zero.
+  bool defUpperZero(const Instruction *Def, VisitSet &Visited);
+
+  /// Extension state of the function-entry definition of \p R.
+  bool entryExtended(Reg R, unsigned Bits) const;
+  bool entryUpperZero(Reg R) const;
+
+  ValueInterval use32Range(const Instruction *User, unsigned OpIndex) const {
+    ValueInterval R = Ranges->rangeOfUse(User, OpIndex);
+    if (!R.fitsInt32())
+      return ValueInterval::full32();
+    return R;
+  }
+
+  Function &F;
+  const EliminationOptions &Options;
+  std::unique_ptr<CFG> Cfg;
+  std::unique_ptr<UseDefChains> Chains;
+  std::unique_ptr<ValueRange> Ranges;
+  EliminationStats Stats;
+
+  const Instruction *CurrentExt = nullptr;
+  unsigned CurrentBits = 32;
+  VisitSet UseVisited;   ///< AnalyzeUSE traversal marks.
+  VisitSet ArrayVisited; ///< AnalyzeARRAY per-access marks.
+
+  /// The extendedness and upper-zero queries start fresh visited sets
+  /// when they consult each other, so a definition cycle that keeps
+  /// crossing between the two worlds is not cut by the per-world marks.
+  /// A global depth bound cuts it conservatively (answer "unknown").
+  unsigned QueryDepth = 0;
+  static constexpr unsigned MaxQueryDepth = 128;
+  struct DepthGuard {
+    unsigned &Depth;
+    explicit DepthGuard(unsigned &Depth) : Depth(Depth) { ++Depth; }
+    ~DepthGuard() { --Depth; }
+  };
+};
+
+bool Eliminator::entryExtended(Reg R, unsigned Bits) const {
+  if (R >= F.numParams())
+    return true; // Locals start zeroed: canonical for every width.
+  switch (F.regType(R)) {
+  case Type::I8:
+    return Bits >= 8;
+  case Type::I16:
+    return Bits >= 16;
+  case Type::U16:
+    return Bits >= 32; // [0, 65535] needs 17 signed bits.
+  case Type::I32:
+    return Bits >= 32;
+  default:
+    return true; // Full-width or non-integer parameter.
+  }
+}
+
+bool Eliminator::entryUpperZero(Reg R) const {
+  if (R >= F.numParams())
+    return true; // Zero.
+  return F.regType(R) == Type::U16; // Chars arrive zero-extended.
+}
+
+bool Eliminator::useExtended(const Instruction *User, unsigned OpIndex,
+                             unsigned Bits, VisitSet &Visited) {
+  const auto &Defs = Chains->defsOf(User, OpIndex);
+  if (Defs.empty())
+    return false; // No chain info: be conservative.
+  for (const Instruction *Def : Defs) {
+    if (!Def) {
+      if (!entryExtended(User->operand(OpIndex), Bits))
+        return false;
+      continue;
+    }
+    if (!defExtended(Def, Bits, Visited))
+      return false;
+  }
+  return true;
+}
+
+bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
+                             VisitSet &Visited, bool AllowUpperZeroRule) {
+  if (QueryDepth > MaxQueryDepth)
+    return false; // Cross-world cycle: give up conservatively.
+  DepthGuard Guard(QueryDepth);
+
+  // Coinductive cycle treatment, like the paper's DEF flag: a revisit
+  // assumes the fact, which is sound because every propagating step
+  // preserves extendedness around the cycle.
+  if (!Visited.insert(VisitKey{Def, Bits}).second)
+    return true;
+
+  // Never let the extension under analysis justify itself: look through
+  // to its source.
+  if (Def == CurrentExt)
+    return useExtended(Def, 0, Bits, Visited);
+
+  if (defKnownExtendedStructural(F, *Def, *Options.Target, Bits))
+    return true;
+
+  // Range-assisted facts. Ranges describe the lower-32 signed value, which
+  // elimination never changes, so they are safe to consult mid-rewrite.
+  ValueInterval R = Ranges->rangeOfDef(Def);
+
+  // A 32-extended value whose (lower-32) range fits Bits signed bits is
+  // also Bits-extended.
+  if (Bits < 32 && R.fitsInt32() &&
+      R.Lo >= -(int64_t(1) << (Bits - 1)) &&
+      R.Hi <= (int64_t(1) << (Bits - 1)) - 1 &&
+      defExtended(Def, 32, Visited, AllowUpperZeroRule))
+    return true;
+
+  // A zero-upper register holding a non-negative int32 is sign-extended.
+  if (Bits == 32 && AllowUpperZeroRule && R.fitsInt32() && R.Lo >= 0) {
+    VisitSet UZVisited;
+    if (defUpperZero(Def, UZVisited))
+      return true;
+  }
+
+  switch (Def->opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul: {
+    if (!Options.EnableInductiveArith)
+      break;
+    // If both operands are sign-extended and the mathematical result
+    // provably fits in int32, the 64-bit register operation cannot wrap:
+    // the register equals the (canonical) Java value. This is what the
+    // range analysis buys on bounded loop counters like `i = i + 1` under
+    // an `i < n` guard.
+    if (!Def->isW32() || Bits != 32)
+      break;
+    ValueInterval A = use32Range(Def, 0);
+    ValueInterval B = use32Range(Def, 1);
+    __int128 MathLo, MathHi;
+    switch (Def->opcode()) {
+    case Opcode::Add:
+      MathLo = static_cast<__int128>(A.Lo) + B.Lo;
+      MathHi = static_cast<__int128>(A.Hi) + B.Hi;
+      break;
+    case Opcode::Sub:
+      MathLo = static_cast<__int128>(A.Lo) - B.Hi;
+      MathHi = static_cast<__int128>(A.Hi) - B.Lo;
+      break;
+    default: { // Mul: extremes over the four corner products.
+      __int128 P[4] = {static_cast<__int128>(A.Lo) * B.Lo,
+                       static_cast<__int128>(A.Lo) * B.Hi,
+                       static_cast<__int128>(A.Hi) * B.Lo,
+                       static_cast<__int128>(A.Hi) * B.Hi};
+      MathLo = MathHi = P[0];
+      for (__int128 V : P) {
+        MathLo = V < MathLo ? V : MathLo;
+        MathHi = V > MathHi ? V : MathHi;
+      }
+      break;
+    }
+    }
+    if (MathLo < INT32_MIN || MathHi > INT32_MAX)
+      break;
+    if (useExtended(Def, 0, 32, Visited) &&
+        useExtended(Def, 1, 32, Visited))
+      return true;
+    break;
+  }
+  case Opcode::And: {
+    // Paper's AnalyzeDEF Case 1 example: AND where either operand is known
+    // to have a positive value — precisely, an operand whose register has
+    // a zero upper half and a non-negative value bounds the result into
+    // [0, hi], which is Bits-extended when hi fits.
+    if (!Def->isW32())
+      break;
+    for (unsigned Index = 0; Index < 2; ++Index) {
+      ValueInterval OpRange = use32Range(Def, Index);
+      if (OpRange.Lo < 0)
+        continue;
+      if (Bits < 64 && OpRange.Hi >= (int64_t(1) << (Bits - 1)))
+        continue;
+      VisitSet UZVisited;
+      if (useUpperZero(Def, Index, UZVisited))
+        return true;
+    }
+    break;
+  }
+  case Opcode::Shr: {
+    // W32 logical shift with a provably non-zero count: value in
+    // [0, 2^31-count), upper half zero by the extract lowering.
+    if (!Def->isW32())
+      break;
+    ValueInterval Count = use32Range(Def, 1);
+    if (Count.Lo >= 1 && Count.Hi <= 31) {
+      int64_t Hi = static_cast<int64_t>(0xFFFFFFFFull >> Count.Lo);
+      if (Bits >= 64 || Hi < (int64_t(1) << (Bits - 1)))
+        return true;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+
+  // AnalyzeDEF Case 2: propagation through copies and W32 bitwise ops.
+  std::vector<unsigned> PropIndices = defPropagatesExtension(F, *Def, Bits);
+  if (!PropIndices.empty()) {
+    for (unsigned Index : PropIndices)
+      if (!useExtended(Def, Index, Bits, Visited))
+        return false;
+    return true;
+  }
+
+  return false;
+}
+
+bool Eliminator::useUpperZero(const Instruction *User, unsigned OpIndex,
+                              VisitSet &Visited) {
+  const auto &Defs = Chains->defsOf(User, OpIndex);
+  if (Defs.empty())
+    return false;
+  for (const Instruction *Def : Defs) {
+    if (!Def) {
+      if (!entryUpperZero(User->operand(OpIndex)))
+        return false;
+      continue;
+    }
+    if (!defUpperZero(Def, Visited))
+      return false;
+  }
+  return true;
+}
+
+bool Eliminator::defUpperZero(const Instruction *Def, VisitSet &Visited) {
+  if (QueryDepth > MaxQueryDepth)
+    return false; // Cross-world cycle: give up conservatively.
+  DepthGuard Guard(QueryDepth);
+
+  if (!Visited.insert(VisitKey{Def, 0}).second)
+    return true; // Coinductive, as in defExtended.
+
+  if (Def == CurrentExt)
+    return useUpperZero(Def, 0, Visited);
+
+  const TargetInfo &Target = *Options.Target;
+  ValueInterval R = Ranges->rangeOfDef(Def);
+
+  switch (Def->opcode()) {
+  case Opcode::Zext32:
+  case Opcode::Cmp:
+  case Opcode::FCmp:
+  case Opcode::ArrayLen:
+    return true;
+  case Opcode::JustExtended:
+    return true; // Checked index: non-negative, sign-extended.
+  case Opcode::ConstInt:
+    return Def->intValue() >= 0 && Def->intValue() <= Int32Max;
+  case Opcode::Shr:
+    return Def->isW32(); // Unsigned extract from the low half.
+  case Opcode::ArrayLoad:
+    switch (Def->type()) {
+    case Type::I8:
+    case Type::U16:
+      return true; // Always zero-extending loads.
+    case Type::I16:
+      return !Target.loadSignExtends(Type::I16);
+    case Type::I32:
+      return !Target.loadSignExtends(Type::I32);
+    default:
+      return false;
+    }
+  case Opcode::And: {
+    // Zero AND anything is zero: one zero-upper operand suffices.
+    if (!Def->isW32())
+      return false;
+    for (unsigned Index = 0; Index < 2; ++Index) {
+      VisitSet Sub = Visited;
+      if (useUpperZero(Def, Index, Sub)) {
+        Visited = std::move(Sub);
+        return true;
+      }
+    }
+    return false;
+  }
+  case Opcode::Or:
+  case Opcode::Xor:
+    if (!Def->isW32())
+      return false;
+    return useUpperZero(Def, 0, Visited) && useUpperZero(Def, 1, Visited);
+  case Opcode::Copy:
+    return useUpperZero(Def, 0, Visited);
+  default:
+    break;
+  }
+
+  // A sign-extended non-negative value has a zero upper half.
+  if (R.fitsInt32() && R.Lo >= 0) {
+    VisitSet ExtVisited;
+    if (defExtended(Def, 32, ExtVisited, /*AllowUpperZeroRule=*/false))
+      return true;
+  }
+  return false;
+}
+
+bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
+                                uint32_t MaxLen, VisitSet &Visited) {
+  if (!Visited.insert(VisitKey{Def, 1}).second)
+    return true; // Coinductive over copy/extend cycles.
+
+  // The Theorem 2/4 lower bound: (maxlen-1) - 0x7fffffff. With the Java
+  // limit maxlen = 0x7fffffff this is -1, which covers count-down loops.
+  int64_t LoBound = static_cast<int64_t>(MaxLen) - 1 - Int32Max;
+
+  if (Def == CurrentExt) {
+    // Without the extension under test, the subscript is whatever reaches
+    // its source.
+    bool AllOK = true;
+    for (const Instruction *SrcDef : Chains->defsOf(Def, 0)) {
+      if (!SrcDef) {
+        AllOK &= entryExtended(Def->operand(0), 32) ||
+                 entryUpperZero(Def->operand(0));
+        continue;
+      }
+      VisitSet Sub = Visited;
+      AllOK &= subscriptDefOK(SrcDef, Def->operand(0), MaxLen, Sub);
+      if (AllOK)
+        Visited = std::move(Sub);
+      else
+        break;
+    }
+    return AllOK;
+  }
+
+  // Already sign-extended subscript: LS(e) from the bounds check makes the
+  // full register equal the checked index.
+  {
+    VisitSet ExtVisited;
+    if (defExtended(Def, 32, ExtVisited)) {
+      ++Stats.SubscriptExtended;
+      return true;
+    }
+  }
+  // Theorem 1: upper 32 bits zero.
+  {
+    VisitSet UZVisited;
+    if (defUpperZero(Def, UZVisited)) {
+      ++Stats.SubscriptTheorem1;
+      return true;
+    }
+  }
+
+  switch (Def->opcode()) {
+  case Opcode::Add: {
+    if (!Def->isW32())
+      return false;
+    // Theorems 2 and 4: i + j with both parts sign-extended and one part
+    // in [(maxlen-1)-0x7fffffff, 0x7fffffff].
+    VisitSet E0, E1;
+    if (!useExtended(Def, 0, 32, E0) || !useExtended(Def, 1, 32, E1))
+      return false;
+    ValueInterval R0 = use32Range(Def, 0);
+    ValueInterval R1 = use32Range(Def, 1);
+    if (R0.Lo >= LoBound || R1.Lo >= LoBound) {
+      ++Stats.ArrayUsesProven;
+      if (R0.Lo >= 0 || R1.Lo >= 0)
+        ++Stats.SubscriptTheorem2; // The Theorem 2 bound suffices.
+      else
+        ++Stats.SubscriptTheorem4; // Needs the maxlen-derived bound.
+      return true;
+    }
+    return false;
+  }
+  case Opcode::Sub: {
+    if (!Def->isW32())
+      return false;
+    ValueInterval R1 = use32Range(Def, 1);
+    // Theorem 3: i - j with the upper 32 bits of i zero and 0 <= j.
+    if (R1.Lo >= 0) {
+      VisitSet UZVisited;
+      if (useUpperZero(Def, 0, UZVisited)) {
+        ++Stats.ArrayUsesProven;
+        ++Stats.SubscriptTheorem3;
+        return true;
+      }
+    }
+    // Theorems 2/4 applied to i + (-j): -j >= LoBound <=> j <= -LoBound.
+    VisitSet E0, E1;
+    if (!useExtended(Def, 0, 32, E0) || !useExtended(Def, 1, 32, E1))
+      return false;
+    ValueInterval R0 = use32Range(Def, 0);
+    bool NegJBounded = R1.Hi <= -LoBound && R1.Lo > INT32_MIN;
+    if (R0.Lo >= LoBound || NegJBounded) {
+      ++Stats.ArrayUsesProven;
+      if (R0.Lo >= 0 || R1.Hi <= 0)
+        ++Stats.SubscriptTheorem2;
+      else
+        ++Stats.SubscriptTheorem4;
+      return true;
+    }
+    return false;
+  }
+  case Opcode::Copy:
+    if (F.regType(Def->operand(0)) != F.regType(SubscriptReg))
+      return false;
+    for (const Instruction *SrcDef : Chains->defsOf(Def, 0)) {
+      if (!SrcDef) {
+        if (!entryExtended(Def->operand(0), 32) &&
+            !entryUpperZero(Def->operand(0)))
+          return false;
+        continue;
+      }
+      if (!subscriptDefOK(SrcDef, Def->operand(0), MaxLen, Visited))
+        return false;
+    }
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Eliminator::analyzeArray(Instruction *Access) {
+  // Paper flag semantics: an access already traversed reports "no new
+  // requirement".
+  if (!ArrayVisited.insert(VisitKey{Access, 0}).second)
+    return false;
+
+  assert((Access->opcode() == Opcode::ArrayLoad ||
+          Access->opcode() == Opcode::ArrayStore) &&
+         "analyzeArray on a non-access instruction");
+
+  // Theorem 4's maxlen: the configured limit, sharpened by a statically
+  // known array length (Figure 10's size-dependent elimination).
+  uint32_t MaxLen =
+      std::min(Options.MaxArrayLen, Ranges->arrayLengthBound(Access, 0));
+  if (MaxLen == 0)
+    return false; // Every execution traps on the bounds check.
+
+  bool AllOK = true;
+  for (const Instruction *Def : Chains->defsOf(Access, 1)) {
+    if (!Def) {
+      AllOK &= entryExtended(Access->operand(1), 32) ||
+               entryUpperZero(Access->operand(1));
+      continue;
+    }
+    VisitSet Visited;
+    AllOK &= subscriptDefOK(Def, Access->operand(1), MaxLen, Visited);
+    if (!AllOK)
+      break;
+  }
+  return !AllOK;
+}
+
+bool Eliminator::analyzeUse(Instruction *User, unsigned OpIndex,
+                            bool AnalyzeArray) {
+  if (!UseVisited.insert(VisitKey{User, OpIndex}).second)
+    return false;
+
+  // Case 1: the instruction never reads the bits the extension fixes.
+  if (upperBitsIrrelevant(F, *User, OpIndex, CurrentBits, Options.Target))
+    return false;
+
+  // The effective address of an array access.
+  if (User->isArrayIndexOperand(OpIndex)) {
+    if (AnalyzeArray && Options.EnableArrayTheorems && CurrentBits == 32)
+      return analyzeArray(User);
+    return true;
+  }
+
+  // Case 2: pass the question through to the destination's uses.
+  if (passThroughOperand(F, *User, OpIndex, CurrentBits)) {
+    bool ChildArray = AnalyzeArray && arrayAnalyzableThrough(*User);
+    std::vector<UseRef> Uses = Chains->usesOf(User);
+    for (const UseRef &Use : Uses)
+      if (analyzeUse(Use.User, Use.OpIndex, ChildArray))
+        return true;
+    return false;
+  }
+
+  return true; // Requires the extension.
+}
+
+bool Eliminator::analyzeExtend(Instruction *Ext) {
+  CurrentExt = Ext;
+  CurrentBits = extensionBits(Ext->opcode());
+  UseVisited.clear();
+  ArrayVisited.clear();
+
+  bool Required = false;
+  std::vector<UseRef> Uses = Chains->usesOf(Ext);
+  for (const UseRef &Use : Uses) {
+    if (analyzeUse(Use.User, Use.OpIndex, /*AnalyzeArray=*/true)) {
+      Required = true;
+      break;
+    }
+  }
+  if (!Required) {
+    ++Stats.EliminatedViaUses;
+    CurrentExt = nullptr;
+    return false;
+  }
+
+  // Second chance (the paper's UD-chain loop over AnalyzeDEF): the source
+  // may already be extended.
+  VisitSet Visited;
+  if (useExtended(Ext, 0, CurrentBits, Visited)) {
+    ++Stats.EliminatedViaDefs;
+    CurrentExt = nullptr;
+    return false;
+  }
+
+  CurrentExt = nullptr;
+  return true;
+}
+
+EliminationStats Eliminator::run(const std::vector<Instruction *> &Order) {
+  for (Instruction *Ext : Order) {
+    assert(Ext->isSext() && "order list must contain extensions");
+    ++Stats.Analyzed;
+    if (analyzeExtend(Ext))
+      continue;
+    if (Ext->dest() == Ext->operand(0)) {
+      // The common `i = extend(i)` form: deleting it is a no-op move.
+      Chains->spliceOutDef(Ext);
+      Ext->parent()->erase(Ext);
+    } else {
+      // A value-producing cast such as `%v = sext8 %raw`: the definition
+      // must survive as a move (which register allocation coalesces);
+      // the chains are unaffected — same destination, same operand.
+      Ext->morphToCopy();
+    }
+    ++Stats.Eliminated;
+  }
+
+  // "This phase of sign extension elimination ends with one trivial
+  // operation; that is, to eliminate all the dummy sign extensions."
+  for (const auto &BB : F.blocks()) {
+    std::vector<Instruction *> Dummies;
+    for (Instruction &I : *BB)
+      if (I.isDummyExtend())
+        Dummies.push_back(&I);
+    for (Instruction *Dummy : Dummies) {
+      Chains->spliceOutDef(Dummy);
+      BB->erase(Dummy);
+      ++Stats.DummiesRemoved;
+    }
+  }
+  return Stats;
+}
+
+} // namespace
+
+EliminationStats
+sxe::runElimination(Function &F, const std::vector<Instruction *> &Order,
+                    const EliminationOptions &Options) {
+  assert(Options.Target && "elimination needs a target");
+  Eliminator E(F, Options);
+  return E.run(Order);
+}

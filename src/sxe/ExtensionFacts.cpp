@@ -1,0 +1,266 @@
+//===- sxe/ExtensionFacts.cpp - Sign-extension semantics per opcode ----------===//
+
+#include "sxe/ExtensionFacts.h"
+
+using namespace sxe;
+
+unsigned sxe::canonicalRegBits(const Function &F, Reg R) {
+  switch (F.regType(R)) {
+  case Type::I8:
+    return 8;
+  case Type::I16:
+    return 16;
+  case Type::I32:
+    return 32;
+  default:
+    return 0; // U16, I64, F64, ArrayRef: never needs a sign extension.
+  }
+}
+
+bool sxe::upperBitsIrrelevant(const Function &F, const Instruction &I,
+                              unsigned OpIndex, unsigned ExtBits,
+                              const TargetInfo *Target) {
+  (void)F;
+  switch (I.opcode()) {
+  // The extension instructions read only their low input bits.
+  case Opcode::Sext8:
+    return ExtBits >= 8;
+  case Opcode::Sext16:
+    return ExtBits >= 16;
+  case Opcode::Sext32:
+  case Opcode::Zext32:
+  case Opcode::JustExtended:
+    return ExtBits >= 32;
+
+  // 32-bit compares (IA64 cmp4 / PPC64 word compare) ignore the upper
+  // half entirely, and their 0/1 result cannot carry the operand's upper
+  // bits onward — the influence chain genuinely ends here. W32 arithmetic
+  // is different: the operand's upper bits flow *physically* into the
+  // destination register, which an array effective address may read, so
+  // add/sub/mul/and/or/xor/neg/not are AnalyzeUSE Case 2 (pass-through),
+  // not Case 1. For an 8/16-bit extension the fixed bits are data bits of
+  // all these operations, so nothing is irrelevant.
+  case Opcode::Cmp:
+    // Without a 32-bit compare instruction the comparison lowers through
+    // 64-bit compares and needs canonical operands (Section 3's caveat).
+    if (Target && !Target->has32BitCompare())
+      return false;
+    return I.isW32() && ExtBits >= 32;
+  case Opcode::Shl:
+    // The shift count reads only 5/6 bits.
+    return OpIndex == 1;
+  case Opcode::Shr:
+  case Opcode::Sar:
+    if (OpIndex == 1)
+      return true;
+    // W32 lowers to an extract from the low 32 bits (IA64 extr/extr.u):
+    // the result is fully determined by them, so the operand's upper bits
+    // cannot escape through the destination either.
+    return I.isW32() && ExtBits >= 32;
+
+  // A branch condition is tested with a 32-bit compare against zero;
+  // conditions are 0/1 values.
+  case Opcode::Br:
+    return ExtBits >= 32;
+
+  // Narrow stores write only the low element bits. The *index* operand
+  // (OpIndex 1) feeds the effective address and is never irrelevant.
+  case Opcode::ArrayStore:
+    if (OpIndex != 2)
+      return false;
+    switch (I.type()) {
+    case Type::I8:
+      return ExtBits >= 8;
+    case Type::I16:
+    case Type::U16:
+      return ExtBits >= 16;
+    case Type::I32:
+      return ExtBits >= 32;
+    default:
+      return false; // I64 stores need the full register.
+    }
+
+  default:
+    return false;
+  }
+}
+
+bool sxe::passThroughOperand(const Function &F, const Instruction &I,
+                             unsigned OpIndex, unsigned ExtBits) {
+  // Only a 32-bit extension can pass through W32 arithmetic: the low 32
+  // result bits depend only on the low 32 input bits. For 8/16-bit
+  // extensions the fixed bits are data bits (handled as "required").
+  if (ExtBits < 32)
+    return false;
+
+  switch (I.opcode()) {
+  case Opcode::Copy:
+    // A copy into a sub-register variable forwards the register verbatim.
+    // (A widening copy into an I64 register is a requiring use instead.)
+    return isSubRegisterIntType(F.regType(I.dest()));
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Neg:
+  case Opcode::Not:
+    return I.isW32();
+  case Opcode::Shl:
+    return I.isW32() && OpIndex == 0;
+  default:
+    return false;
+  }
+}
+
+bool sxe::requiresExtendedOperand(const Function &F, const Instruction &I,
+                                  unsigned OpIndex,
+                                  const TargetInfo &Target) {
+  unsigned Bits = canonicalRegBits(F, I.operand(OpIndex));
+  if (Bits == 0)
+    return false; // Full-width or canonically zero-extended register.
+  if (upperBitsIrrelevant(F, I, OpIndex, Bits, &Target))
+    return false;
+  if (passThroughOperand(F, I, OpIndex, Bits))
+    return false;
+  return true;
+}
+
+bool sxe::arrayAnalyzableThrough(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Copy:
+    return true;
+  case Opcode::Add:
+  case Opcode::Sub:
+    return I.isW32();
+  default:
+    return false;
+  }
+}
+
+bool sxe::defKnownExtendedStructural(const Function &F, const Instruction &I,
+                                     const TargetInfo &Target,
+                                     unsigned ExtBits) {
+  // Value fits in [-2^(W-1), 2^(W-1)): W-extended for every W >= bits.
+  auto FitsSigned = [&](int64_t Value, unsigned Bits) {
+    if (Bits >= 64)
+      return true;
+    int64_t Lo = -(int64_t(1) << (Bits - 1));
+    int64_t Hi = (int64_t(1) << (Bits - 1)) - 1;
+    return Value >= Lo && Value <= Hi;
+  };
+
+  if (I.hasDest() && canonicalRegBits(F, I.dest()) == 0)
+    return true; // Never needs extension at all.
+
+  switch (I.opcode()) {
+  case Opcode::Sext8:
+    return true; // Result in [-128,127]: extended for all widths.
+  case Opcode::Sext16:
+    return ExtBits >= 16;
+  case Opcode::Sext32:
+    return ExtBits >= 32;
+  case Opcode::JustExtended:
+    // Array-access dummy: the index is a non-negative int below 2^31.
+    return ExtBits >= 32;
+  case Opcode::ConstInt:
+    return FitsSigned(I.intValue(), ExtBits);
+  case Opcode::Cmp:
+  case Opcode::FCmp:
+    return true; // 0 or 1.
+  case Opcode::D2I:
+    return ExtBits >= 32; // Saturating conversion to int32.
+  case Opcode::Div:
+  case Opcode::Rem:
+    // The W32 divide sequence produces a sign-extended Java int result.
+    return I.isW32() && ExtBits >= 32;
+  case Opcode::Sar:
+    // W32 lowers to a signed extract: result is sign-extended int32.
+    return I.isW32() && ExtBits >= 32;
+  case Opcode::Call: {
+    // The ABI returns sub-register integers canonically extended.
+    if (!I.callee())
+      return false;
+    unsigned RetBits = 0;
+    switch (I.callee()->returnType()) {
+    case Type::I8:
+      RetBits = 8;
+      break;
+    case Type::I16:
+      RetBits = 16;
+      break;
+    case Type::U16:
+      RetBits = 17; // Zero-extended 16-bit: needs 17 signed bits.
+      break;
+    case Type::I32:
+      RetBits = 32;
+      break;
+    default:
+      return true; // Full-width / non-integer: nothing to extend.
+    }
+    return ExtBits >= RetBits;
+  }
+  case Opcode::ArrayLen:
+    return ExtBits >= 32; // [0, 2^31): sign-extended non-negative int.
+  case Opcode::ArrayLoad:
+    switch (I.type()) {
+    case Type::I8:
+      // Byte loads zero-extend: value in [0,255], W-extended for W >= 9.
+      return ExtBits >= 16;
+    case Type::U16:
+      return ExtBits >= 32; // [0, 65535] needs 17 signed bits.
+    case Type::I16:
+      if (Target.loadSignExtends(Type::I16))
+        return ExtBits >= 16;
+      return ExtBits >= 32; // Zero-extended [0, 65535].
+    case Type::I32:
+      return Target.loadSignExtends(Type::I32) && ExtBits >= 32;
+    default:
+      return true; // I64/F64 loads: full-width.
+    }
+  default:
+    return false;
+  }
+}
+
+std::vector<unsigned> sxe::defPropagatesExtension(const Function &F,
+                                                  const Instruction &I,
+                                                  unsigned ExtBits) {
+  switch (I.opcode()) {
+  case Opcode::Copy:
+    if (isIntegerType(F.regType(I.operand(0))))
+      return {0};
+    return {};
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    // Bitwise operations on two W-extended values produce a W-extended
+    // value: every bit >= W-1 equals the respective operation of the two
+    // replicated sign bits, itself replicated.
+    if (I.isW32() && ExtBits >= 32)
+      return {0, 1};
+    return {};
+  case Opcode::Not:
+    if (I.isW32() && ExtBits >= 32)
+      return {0};
+    return {};
+  case Opcode::Sext8:
+  case Opcode::Sext16:
+  case Opcode::Sext32:
+  case Opcode::JustExtended: {
+    // An extension narrower than the queried width guarantees the queried
+    // width only structurally (handled above); a *wider* extension
+    // preserves an already-narrower-extended value, e.g. sext32 of an
+    // 8-extended value is still 8-extended.
+    unsigned Bits = I.opcode() == Opcode::JustExtended
+                        ? 32u
+                        : extensionBits(I.opcode());
+    if (Bits >= ExtBits)
+      return {0};
+    return {};
+  }
+  default:
+    return {};
+  }
+}

@@ -1,0 +1,95 @@
+//===- sxe/ExtensionFacts.h - Sign-extension semantics per opcode -*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target-dependent semantic facts the paper's analyses dispatch on.
+/// Every sub-register integer register has a *canonical width* W (8, 16, or
+/// 32 bits, from its declared type): the register is canonical when its
+/// full 64-bit value equals sextW of its low W bits. The paper's extend()
+/// re-establishes canonical form; "8-bit and 16-bit sign extensions are
+/// also eliminated based on the same algorithm" (Section 2.3), so the
+/// use-side predicates are parameterized by the width of the extension
+/// under analysis:
+///
+///  - upperBitsIrrelevant (AnalyzeUSE Case 1): the instruction reads at
+///    most the low \p ExtBits bits of the operand, so bits the extension
+///    would fix can never affect it (narrow stores, 32-bit compares, W32
+///    arithmetic for 32-bit extensions, the extension instructions).
+///  - passThroughOperand (AnalyzeUSE Case 2): the low 32 bits of the
+///    result depend only on the low 32 bits of this operand, so the
+///    operand's upper bits matter only if the destination's do. Only
+///    meaningful for 32-bit extensions: for an 8/16-bit extension the bits
+///    it fixes are *data* bits of any W32 operation.
+///  - requiresExtendedOperand: the derived "needs a sign extension" test
+///    used by conversion, insertion, and the first algorithm's backward
+///    dataflow: the operand register is sub-register, and the use is
+///    neither Case 1 nor Case 2 for the register's canonical width
+///    (int-to-double conversion, W64 operations, W32 division, calls,
+///    returns, wide stores, newarray lengths, widening copies, and array
+///    indices — the index case is the one AnalyzeARRAY later refines).
+///  - arrayAnalyzableThrough: whether AnalyzeARRAY's theorems still model
+///    the effective address after the index value flowed through this
+///    instruction (W32 add/sub and copies; Section 3 covers i, i+j, i-j).
+///  - defKnownExtendedStructural (AnalyzeDEF Case 1, chain-free part):
+///    the destination is \p ExtBits-extended regardless of the inputs.
+///  - defPropagatesExtension (AnalyzeDEF Case 2): the destination is
+///    extended whenever all listed operands are (copies; W32 bitwise
+///    operations preserve a replicated sign bit).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SXE_EXTENSIONFACTS_H
+#define SXE_SXE_EXTENSIONFACTS_H
+
+#include "ir/Function.h"
+#include "target/TargetInfo.h"
+
+#include <vector>
+
+namespace sxe {
+
+/// Canonical extension width of register \p R: 8/16/32 for I8/I16/I32, and
+/// 0 for registers that never need a sign extension (U16 chars are
+/// canonically zero-extended; I64/F64/ArrayRef are full-width).
+unsigned canonicalRegBits(const Function &F, Reg R);
+
+/// AnalyzeUSE Case 1 for an extension of width \p ExtBits: the bits the
+/// extension fixes (bits >= ExtBits) can never affect \p I's execution.
+/// \p Target may be null (assume 32-bit compares exist, true for IA64 and
+/// PPC64); a target without them turns W32 compares into requiring uses.
+bool upperBitsIrrelevant(const Function &F, const Instruction &I,
+                         unsigned OpIndex, unsigned ExtBits,
+                         const TargetInfo *Target = nullptr);
+
+/// AnalyzeUSE Case 2 for an extension of width \p ExtBits.
+bool passThroughOperand(const Function &F, const Instruction &I,
+                        unsigned OpIndex, unsigned ExtBits);
+
+/// Returns true if operand \p OpIndex of \p I must hold a canonically
+/// extended register for \p I to execute correctly on \p Target.
+bool requiresExtendedOperand(const Function &F, const Instruction &I,
+                             unsigned OpIndex, const TargetInfo &Target);
+
+/// Returns true if AnalyzeARRAY can still analyze an array effective
+/// address whose index value flowed through \p I.
+bool arrayAnalyzableThrough(const Instruction &I);
+
+/// AnalyzeDEF Case 1 without chain reasoning: the destination value of
+/// \p I is \p ExtBits-extended regardless of its inputs.
+bool defKnownExtendedStructural(const Function &F, const Instruction &I,
+                                const TargetInfo &Target, unsigned ExtBits);
+
+/// AnalyzeDEF Case 2: if non-empty, the destination of \p I is \p ExtBits-
+/// extended whenever all returned operand indices hold values that are
+/// \p ExtBits-extended.
+std::vector<unsigned> defPropagatesExtension(const Function &F,
+                                             const Instruction &I,
+                                             unsigned ExtBits);
+
+} // namespace sxe
+
+#endif // SXE_SXE_EXTENSIONFACTS_H

@@ -1,0 +1,106 @@
+//===- sxe/FirstAlgorithm.cpp - Backward-dataflow elimination -----------------===//
+
+#include "sxe/FirstAlgorithm.h"
+
+#include "analysis/CFG.h"
+#include "sxe/ExtensionFacts.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace sxe;
+
+namespace {
+
+using DemandSet = std::vector<uint64_t>; // Bit per register.
+
+bool testBit(const DemandSet &Set, Reg R) {
+  return (Set[R / 64] >> (R % 64)) & 1;
+}
+void setBit(DemandSet &Set, Reg R) { Set[R / 64] |= 1ULL << (R % 64); }
+void clearBit(DemandSet &Set, Reg R) { Set[R / 64] &= ~(1ULL << (R % 64)); }
+
+bool unionInto(DemandSet &Dst, const DemandSet &Src) {
+  bool Changed = false;
+  for (size_t Index = 0; Index < Dst.size(); ++Index) {
+    uint64_t Next = Dst[Index] | Src[Index];
+    Changed |= Next != Dst[Index];
+    Dst[Index] = Next;
+  }
+  return Changed;
+}
+
+/// Backward transfer of one instruction: kill the destination's demand,
+/// then demand every operand that must be canonically extended.
+void applyTransfer(const Function &F, const TargetInfo &Target,
+                   const Instruction &I, DemandSet &Demand) {
+  if (I.hasDest())
+    clearBit(Demand, I.dest());
+  for (unsigned Index = 0; Index < I.numOperands(); ++Index)
+    if (requiresExtendedOperand(F, I, Index, Target))
+      setBit(Demand, I.operand(Index));
+}
+
+} // namespace
+
+unsigned sxe::runFirstAlgorithm(Function &F, const TargetInfo &Target) {
+  CFG Cfg(F);
+  const auto &RPO = Cfg.reversePostOrder();
+  size_t Words = (F.numRegs() + 63) / 64;
+
+  std::unordered_map<const BasicBlock *, DemandSet> DemandOut;
+  std::unordered_map<const BasicBlock *, DemandSet> DemandIn;
+  for (BasicBlock *BB : RPO) {
+    DemandOut[BB] = DemandSet(Words, 0);
+    DemandIn[BB] = DemandSet(Words, 0);
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = RPO.rbegin(); It != RPO.rend(); ++It) {
+      BasicBlock *BB = *It;
+      DemandSet &Out = DemandOut[BB];
+      for (BasicBlock *Succ : Cfg.successors(BB))
+        Changed |= unionInto(Out, DemandIn[Succ]);
+
+      DemandSet In = Out;
+      std::vector<const Instruction *> Reversed;
+      Reversed.reserve(BB->size());
+      for (const Instruction &I : *BB)
+        Reversed.push_back(&I);
+      for (auto RIt = Reversed.rbegin(); RIt != Reversed.rend(); ++RIt)
+        applyTransfer(F, Target, **RIt, In);
+      Changed |= unionInto(DemandIn[BB], In);
+    }
+  }
+
+  // Removal: an `r = sextN r` whose register is not demanded right after
+  // it is unnecessary. Removing such an extension adds no demand upstream
+  // (its out-demand was empty), so a single simultaneous sweep is exact.
+  unsigned Removed = 0;
+  for (BasicBlock *BB : RPO) {
+    DemandSet Demand = DemandOut[BB];
+    std::vector<Instruction *> Reversed;
+    Reversed.reserve(BB->size());
+    for (Instruction &I : *BB)
+      Reversed.push_back(&I);
+    std::vector<Instruction *> ToErase;
+    for (auto RIt = Reversed.rbegin(); RIt != Reversed.rend(); ++RIt) {
+      Instruction *I = *RIt;
+      if (I->isSext() && I->numOperands() == 1 &&
+          I->dest() == I->operand(0) &&
+          extensionBits(I->opcode()) == canonicalRegBits(F, I->dest()) &&
+          !testBit(Demand, I->dest())) {
+        ToErase.push_back(I);
+        // Transfer still applies: the extend kills and demands nothing.
+      }
+      applyTransfer(F, Target, *I, Demand);
+    }
+    for (Instruction *I : ToErase) {
+      BB->erase(I);
+      ++Removed;
+    }
+  }
+  return Removed;
+}

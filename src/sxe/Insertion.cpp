@@ -1,0 +1,204 @@
+//===- sxe/Insertion.cpp - Sign extension insertion (phase 3-1) ---------------===//
+
+#include "sxe/Insertion.h"
+
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/UseDefChains.h"
+#include "sxe/ExtensionFacts.h"
+
+#include <memory>
+
+#include <vector>
+
+using namespace sxe;
+
+namespace {
+
+std::unique_ptr<Instruction> makeExtend(unsigned Bits, Reg R) {
+  Opcode Op = Bits == 8    ? Opcode::Sext8
+              : Bits == 16 ? Opcode::Sext16
+                           : Opcode::Sext32;
+  auto Ext = std::make_unique<Instruction>(Op);
+  Ext->setDest(R);
+  Ext->addOperand(R);
+  return Ext;
+}
+
+/// "Obviously sign-extended": the nearest in-block definition of \p R
+/// before \p Use is a canonicalizing extend or a structurally extended
+/// definition.
+bool obviouslyExtended(const Function &F, const TargetInfo &Target,
+                       BasicBlock &BB, const Instruction *Use, Reg R,
+                       unsigned Bits) {
+  const Instruction *LastDef = nullptr;
+  for (const Instruction &I : BB) {
+    if (&I == Use)
+      break;
+    if (I.hasDest() && I.dest() == R)
+      LastDef = &I;
+  }
+  if (!LastDef)
+    return false;
+  if (LastDef->isSext() && LastDef->operand(0) == R &&
+      extensionBits(LastDef->opcode()) >= Bits)
+    return true;
+  if (LastDef->isDummyExtend() && Bits <= 32)
+    return LastDef->operand(0) == R && Bits == 32;
+  return defKnownExtendedStructural(F, *LastDef, Target, Bits);
+}
+
+/// Collects (use, register) pairs for every requiring operand.
+std::vector<std::pair<Instruction *, Reg>>
+collectRequiringUses(Function &F, const TargetInfo &Target) {
+  std::vector<std::pair<Instruction *, Reg>> Uses;
+  for (const auto &BB : F.blocks()) {
+    for (Instruction &I : *BB) {
+      std::vector<Reg> Done;
+      for (unsigned Index = 0; Index < I.numOperands(); ++Index) {
+        if (!requiresExtendedOperand(F, I, Index, Target))
+          continue;
+        Reg R = I.operand(Index);
+        bool Seen = false;
+        for (Reg D : Done)
+          Seen |= D == R;
+        if (!Seen) {
+          Done.push_back(R);
+          Uses.push_back({&I, R});
+        }
+      }
+    }
+  }
+  return Uses;
+}
+
+} // namespace
+
+unsigned sxe::runSimpleInsertion(Function &F, const TargetInfo &Target,
+                                 std::vector<Instruction *> *Inserted,
+                                 const LoopInfo *Loops) {
+  // "To balance compilation time and effectiveness, we apply this
+  // insertion only to those methods which include a loop." The caller
+  // may share precomputed block-level analyses (insertion never changes
+  // the block structure).
+  std::unique_ptr<CFG> OwnCfg;
+  std::unique_ptr<Dominators> OwnDom;
+  std::unique_ptr<LoopInfo> OwnLoops;
+  if (!Loops) {
+    OwnCfg = std::make_unique<CFG>(F);
+    OwnDom = std::make_unique<Dominators>(*OwnCfg);
+    OwnLoops = std::make_unique<LoopInfo>(*OwnCfg, *OwnDom);
+    Loops = OwnLoops.get();
+  }
+  if (!Loops->hasLoops())
+    return 0;
+
+  unsigned Count = 0;
+  for (const auto &[Use, R] : collectRequiringUses(F, Target)) {
+    unsigned Bits = canonicalRegBits(F, R);
+    if (obviouslyExtended(F, Target, *Use->parent(), Use, R, Bits))
+      continue;
+    Instruction *Ext =
+        Use->parent()->insertBefore(Use, makeExtend(Bits, R));
+    if (Inserted)
+      Inserted->push_back(Ext);
+    ++Count;
+  }
+  return Count;
+}
+
+unsigned sxe::runPDEInsertion(Function &F, const TargetInfo &Target,
+                              std::vector<Instruction *> *Inserted) {
+  // Sinking variant: only place an extension before a requiring use when
+  // every reaching definition of the register is itself an extension of
+  // that register — i.e. the extension is fully available and the insert
+  // merely moves it forward without lengthening any path.
+  CFG Cfg(F);
+  UseDefChains Chains(F, Cfg);
+
+  std::vector<std::pair<Instruction *, Reg>> Planned;
+  for (const auto &[Use, R] : collectRequiringUses(F, Target)) {
+    unsigned Bits = canonicalRegBits(F, R);
+    if (obviouslyExtended(F, Target, *Use->parent(), Use, R, Bits))
+      continue;
+    // Find the operand index again to query the chains (first match is
+    // fine: same register, same reaching definitions).
+    unsigned OpIndex = ~0u;
+    for (unsigned Index = 0; Index < Use->numOperands(); ++Index)
+      if (Use->operand(Index) == R &&
+          requiresExtendedOperand(F, *Use, Index, Target)) {
+        OpIndex = Index;
+        break;
+      }
+    if (OpIndex == ~0u)
+      continue;
+    const auto &Defs = Chains.defsOf(Use, OpIndex);
+    if (Defs.empty())
+      continue;
+    bool AllExtends = true;
+    for (const Instruction *Def : Defs) {
+      if (!Def || !Def->isSext() || Def->dest() != R ||
+          extensionBits(Def->opcode()) < Bits) {
+        AllExtends = false;
+        break;
+      }
+    }
+    if (AllExtends)
+      Planned.push_back({Use, R});
+  }
+  unsigned Count = 0;
+  for (const auto &[Use, R] : Planned) {
+    Instruction *Ext = Use->parent()->insertBefore(
+        Use, makeExtend(canonicalRegBits(F, R), R));
+    if (Inserted)
+      Inserted->push_back(Ext);
+    ++Count;
+  }
+  return Count;
+}
+
+unsigned sxe::insertDummyExtends(Function &F) {
+  unsigned Inserted = 0;
+  for (const auto &BB : F.blocks()) {
+    std::vector<Instruction *> Accesses;
+    for (Instruction &I : *BB) {
+      if (I.opcode() != Opcode::ArrayLoad && I.opcode() != Opcode::ArrayStore)
+        continue;
+      Reg Index = I.operand(1);
+      // "unless an array index is overwritten immediately, as in i=a[i]".
+      if (I.hasDest() && I.dest() == Index)
+        continue;
+      // Only int indices benefit; narrower index registers would need a
+      // width-correct guarantee the access does not give.
+      if (canonicalRegBits(F, Index) != 32)
+        continue;
+      Accesses.push_back(&I);
+    }
+    for (Instruction *Access : Accesses) {
+      auto Dummy = std::make_unique<Instruction>(Opcode::JustExtended);
+      Reg Index = Access->operand(1);
+      Dummy->setDest(Index);
+      Dummy->addOperand(Index);
+      Dummy->setIntValue(0); // Length bound unknown here (0 = configured max).
+      BB->insertAfter(Access, std::move(Dummy));
+      ++Inserted;
+    }
+  }
+  return Inserted;
+}
+
+unsigned sxe::removeDummyExtends(Function &F) {
+  unsigned Removed = 0;
+  for (const auto &BB : F.blocks()) {
+    std::vector<Instruction *> Dummies;
+    for (Instruction &I : *BB)
+      if (I.isDummyExtend())
+        Dummies.push_back(&I);
+    for (Instruction *Dummy : Dummies) {
+      BB->erase(Dummy);
+      ++Removed;
+    }
+  }
+  return Removed;
+}

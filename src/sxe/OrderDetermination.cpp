@@ -1,0 +1,81 @@
+//===- sxe/OrderDetermination.cpp - Elimination order (phase 3-2) -------------===//
+
+#include "sxe/OrderDetermination.h"
+
+#include "analysis/BlockFrequency.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace sxe;
+
+std::vector<Instruction *> sxe::extensionsByFrequency(
+    Function &F, const ProfileInfo *Profile,
+    const std::unordered_set<Instruction *> *Inserted,
+    const CFG *PrecomputedCfg, const BlockFrequency *PrecomputedFreq) {
+  std::unique_ptr<CFG> OwnCfg;
+  std::unique_ptr<Dominators> OwnDom;
+  std::unique_ptr<LoopInfo> OwnLoops;
+  std::unique_ptr<BlockFrequency> OwnFreq;
+  if (!PrecomputedCfg || !PrecomputedFreq) {
+    OwnCfg = std::make_unique<CFG>(F);
+    OwnDom = std::make_unique<Dominators>(*OwnCfg);
+    OwnLoops = std::make_unique<LoopInfo>(*OwnCfg, *OwnDom);
+    OwnFreq = std::make_unique<BlockFrequency>(*OwnCfg, *OwnLoops, Profile);
+    PrecomputedCfg = OwnCfg.get();
+    PrecomputedFreq = OwnFreq.get();
+  }
+  const CFG &Cfg = *PrecomputedCfg;
+  const BlockFrequency &Freq = *PrecomputedFreq;
+
+  struct Entry {
+    Instruction *Ext;
+    double Frequency;
+    bool IsInserted;
+    unsigned Sequence; ///< Stable tiebreak: discovery order.
+  };
+  std::vector<Entry> Entries;
+  unsigned Sequence = 0;
+  for (BasicBlock *BB : Cfg.reversePostOrder()) {
+    double BlockFreq = Freq.frequency(BB);
+    for (Instruction &I : *BB) {
+      if (!I.isSext())
+        continue;
+      bool IsInserted = Inserted && Inserted->count(&I) != 0;
+      Entries.push_back(Entry{&I, BlockFreq, IsInserted, Sequence++});
+    }
+  }
+
+  std::stable_sort(Entries.begin(), Entries.end(),
+                   [](const Entry &A, const Entry &B) {
+                     if (A.Frequency != B.Frequency)
+                       return A.Frequency > B.Frequency;
+                     if (A.IsInserted != B.IsInserted)
+                       return A.IsInserted; // Inserted first in a tier.
+                     return A.Sequence < B.Sequence;
+                   });
+
+  std::vector<Instruction *> Result;
+  Result.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Result.push_back(E.Ext);
+  return Result;
+}
+
+std::vector<Instruction *> sxe::extensionsInReverseDFS(Function &F) {
+  CFG Cfg(F);
+  const auto &DFO = Cfg.depthFirstOrder();
+
+  std::vector<Instruction *> Result;
+  for (auto It = DFO.rbegin(); It != DFO.rend(); ++It) {
+    std::vector<Instruction *> Extensions;
+    for (Instruction &I : **It)
+      if (I.isSext())
+        Extensions.push_back(&I);
+    Result.insert(Result.end(), Extensions.rbegin(), Extensions.rend());
+  }
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- sxe/OrderDetermination.h - Elimination order (phase 3-2) --*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase (3)-2: decide the order in which EliminateOneExtend processes the
+/// extension instructions. "It is best to eliminate sign extensions
+/// starting from the most frequently executed region" (Section 2.2) —
+/// blocks are sorted by estimated execution frequency (loop nesting ×
+/// branch probabilities, refined by interpreter profiles).
+///
+/// Within one frequency tier, extensions *inserted* by phase (3)-1 are
+/// analyzed before original (definition-site) extensions: inserted
+/// extensions sit immediately before uses, so removing them first — when
+/// the definition-site extension covers them — keeps the surviving
+/// extension at the definition, where it executes once instead of once
+/// per use. (Analyzing a definition-site extension first can greedily
+/// delete it in favour of several use-site copies at the same loop
+/// depth.)
+///
+/// With order determination disabled, the paper processes extensions "in
+/// the reverse depth first search order, the same order in which backward
+/// dataflow analysis is performed".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SXE_ORDERDETERMINATION_H
+#define SXE_SXE_ORDERDETERMINATION_H
+
+#include "analysis/ProfileInfo.h"
+#include "ir/Function.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace sxe {
+
+/// Extension instructions of \p F ordered hottest-block-first; within one
+/// frequency tier, members of \p Inserted (may be null) come first.
+/// \p Profile may be null.
+std::vector<Instruction *>
+extensionsByFrequency(Function &F, const ProfileInfo *Profile,
+                      const std::unordered_set<Instruction *> *Inserted =
+                          nullptr,
+                      const class CFG *PrecomputedCfg = nullptr,
+                      const class BlockFrequency *PrecomputedFreq = nullptr);
+
+/// Extension instructions of \p F in reverse depth-first search order of
+/// their blocks (latest blocks first, backwards within each block) — the
+/// order used when order determination is disabled.
+std::vector<Instruction *> extensionsInReverseDFS(Function &F);
+
+} // namespace sxe
+
+#endif // SXE_SXE_ORDERDETERMINATION_H

@@ -1,0 +1,133 @@
+//===- workloads/KernelBuilder.cpp - Structured kernel construction -----------===//
+
+#include "workloads/KernelBuilder.h"
+
+using namespace sxe;
+
+void KernelBuilder::forUp(Reg V, Reg Lo, Reg Hi,
+                          const std::function<void()> &Body) {
+  BasicBlock *Head = newBlock("for.head.");
+  BasicBlock *BodyBB = newBlock("for.body.");
+  BasicBlock *Exit = newBlock("for.exit.");
+
+  B.copyTo(V, Lo);
+  B.jmp(Head);
+
+  B.setBlock(Head);
+  Reg Cond = B.cmp32(CmpPred::SLT, V, Hi);
+  B.br(Cond, BodyBB, Exit);
+
+  B.setBlock(BodyBB);
+  Body();
+  Reg One = B.constI32(1);
+  B.binopTo(V, Opcode::Add, Width::W32, V, One);
+  B.jmp(Head);
+
+  B.setBlock(Exit);
+}
+
+void KernelBuilder::forUpConst(Reg V, int32_t Lo, int32_t Hi,
+                               const std::function<void()> &Body) {
+  Reg LoReg = B.constI32(Lo);
+  Reg HiReg = B.constI32(Hi);
+  forUp(V, LoReg, HiReg, Body);
+}
+
+void KernelBuilder::forDown(Reg V, Reg Hi, Reg Lo,
+                            const std::function<void()> &Body) {
+  BasicBlock *Head = newBlock("ford.head.");
+  BasicBlock *BodyBB = newBlock("ford.body.");
+  BasicBlock *Exit = newBlock("ford.exit.");
+
+  Reg One = B.constI32(1);
+  B.copyTo(V, Hi);
+  B.binopTo(V, Opcode::Sub, Width::W32, V, One);
+  B.jmp(Head);
+
+  B.setBlock(Head);
+  Reg Cond = B.cmp32(CmpPred::SGE, V, Lo);
+  B.br(Cond, BodyBB, Exit);
+
+  B.setBlock(BodyBB);
+  Body();
+  Reg OneInBody = B.constI32(1);
+  B.binopTo(V, Opcode::Sub, Width::W32, V, OneInBody);
+  B.jmp(Head);
+
+  B.setBlock(Exit);
+}
+
+void KernelBuilder::whileLoop(const std::function<Reg()> &Cond,
+                              const std::function<void()> &Body) {
+  BasicBlock *Head = newBlock("while.head.");
+  BasicBlock *BodyBB = newBlock("while.body.");
+  BasicBlock *Exit = newBlock("while.exit.");
+
+  B.jmp(Head);
+  B.setBlock(Head);
+  Reg CondReg = Cond();
+  B.br(CondReg, BodyBB, Exit);
+
+  B.setBlock(BodyBB);
+  Body();
+  B.jmp(Head);
+
+  B.setBlock(Exit);
+}
+
+void KernelBuilder::doWhile(const std::function<void()> &Body,
+                            const std::function<Reg()> &Cond) {
+  BasicBlock *BodyBB = newBlock("do.body.");
+  BasicBlock *Exit = newBlock("do.exit.");
+
+  B.jmp(BodyBB);
+  B.setBlock(BodyBB);
+  Body();
+  Reg CondReg = Cond();
+  B.br(CondReg, BodyBB, Exit);
+
+  B.setBlock(Exit);
+}
+
+void KernelBuilder::ifThen(Reg Cond, const std::function<void()> &Then) {
+  BasicBlock *ThenBB = newBlock("if.then.");
+  BasicBlock *Join = newBlock("if.join.");
+
+  B.br(Cond, ThenBB, Join);
+  B.setBlock(ThenBB);
+  Then();
+  B.jmp(Join);
+  B.setBlock(Join);
+}
+
+void KernelBuilder::ifThenElse(Reg Cond, const std::function<void()> &Then,
+                               const std::function<void()> &Else) {
+  BasicBlock *ThenBB = newBlock("if.then.");
+  BasicBlock *ElseBB = newBlock("if.else.");
+  BasicBlock *Join = newBlock("if.join.");
+
+  B.br(Cond, ThenBB, ElseBB);
+  B.setBlock(ThenBB);
+  Then();
+  B.jmp(Join);
+  B.setBlock(ElseBB);
+  Else();
+  B.jmp(Join);
+  B.setBlock(Join);
+}
+
+void KernelBuilder::fillLCG(Reg Array, Reg Len, int32_t Seed, Type ElemTy) {
+  // x = x*1103515245 + 12345; element = (x >>> 8) masked non-negative.
+  Reg X = varI32(Seed, "lcg.x");
+  Reg MulC = B.constI32(1103515245);
+  Reg AddC = B.constI32(12345);
+  Reg Shift = B.constI32(8);
+  Reg I = function()->newReg(Type::I32, "lcg.i");
+  Reg Zero = B.constI32(0);
+  forUp(I, Zero, Len, [&] {
+    B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+    B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+    Reg V = B.shr32(X, Shift, "lcg.v");
+    B.arrayStore(ElemTy, Array, I, V);
+  });
+}

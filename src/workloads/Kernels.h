@@ -1,0 +1,55 @@
+//===- workloads/Kernels.h - The 17 benchmark kernels -------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR re-implementations of the paper's evaluation programs: the ten
+/// jBYTEmark kernels and seven SPECjvm98-like kernels. Each builder
+/// returns a module in 32-bit architecture form whose `main() -> i64`
+/// computes a deterministic checksum. The kernels preserve the algorithmic
+/// skeleton of the originals — loop-heavy 32-bit array code — which is
+/// what the optimization's effectiveness depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_WORKLOADS_KERNELS_H
+#define SXE_WORKLOADS_KERNELS_H
+
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace sxe {
+
+/// Kernel size/iteration scaling; Scale=1 is the test/bench default.
+struct WorkloadParams {
+  unsigned Scale = 1;
+};
+
+// jBYTEmark.
+std::unique_ptr<Module> buildNumericSort(const WorkloadParams &Params);
+std::unique_ptr<Module> buildStringSort(const WorkloadParams &Params);
+std::unique_ptr<Module> buildBitfield(const WorkloadParams &Params);
+std::unique_ptr<Module> buildFPEmulation(const WorkloadParams &Params);
+std::unique_ptr<Module> buildFourier(const WorkloadParams &Params);
+std::unique_ptr<Module> buildAssignment(const WorkloadParams &Params);
+std::unique_ptr<Module> buildIDEA(const WorkloadParams &Params);
+std::unique_ptr<Module> buildHuffman(const WorkloadParams &Params);
+std::unique_ptr<Module> buildNeuralNet(const WorkloadParams &Params);
+std::unique_ptr<Module> buildLUDecomp(const WorkloadParams &Params);
+
+// SPECjvm98-like.
+std::unique_ptr<Module> buildMtrt(const WorkloadParams &Params);
+std::unique_ptr<Module> buildJess(const WorkloadParams &Params);
+std::unique_ptr<Module> buildCompress(const WorkloadParams &Params);
+std::unique_ptr<Module> buildDb(const WorkloadParams &Params);
+std::unique_ptr<Module> buildMpegaudio(const WorkloadParams &Params);
+std::unique_ptr<Module> buildJack(const WorkloadParams &Params);
+std::unique_ptr<Module> buildJavac(const WorkloadParams &Params);
+
+} // namespace sxe
+
+#endif // SXE_WORKLOADS_KERNELS_H

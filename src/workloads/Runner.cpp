@@ -1,0 +1,76 @@
+//===- workloads/Runner.cpp - Variant sweep harness ----------------------------===//
+
+#include "workloads/Runner.h"
+
+#include "ir/Cloner.h"
+#include "ir/Verifier.h"
+#include "support/Error.h"
+
+using namespace sxe;
+
+WorkloadReport sxe::runWorkload(const Workload &W,
+                                const RunnerOptions &Options) {
+  WorkloadReport Report;
+  Report.Name = W.Name;
+  Report.Suite = W.Suite;
+
+  std::unique_ptr<Module> Pristine = W.Build(Options.Params);
+  verifyModuleOrDie(*Pristine);
+
+  // Oracle + profile run under Java semantics (the interpreter tier).
+  ProfileInfo Profile;
+  {
+    InterpOptions JavaOptions;
+    JavaOptions.Target = Options.Target;
+    JavaOptions.Semantics = ExecSemantics::Java;
+    JavaOptions.MaxArrayLen = Options.MaxArrayLen;
+    JavaOptions.Profile = Options.UseProfile ? &Profile : nullptr;
+    Interpreter Oracle(*Pristine, JavaOptions);
+    ExecResult R = Oracle.run("main");
+    if (R.Trap != TrapKind::None)
+      reportFatalError(std::string("workload '") + W.Name +
+                       "' traps under Java semantics: " + R.TrapMessage);
+    Report.OracleChecksum = R.ReturnValue;
+  }
+
+  for (Variant V : Options.Variants) {
+    std::unique_ptr<Module> Clone = cloneModule(*Pristine);
+
+    PipelineConfig Config = PipelineConfig::forVariant(V, *Options.Target);
+    Config.MaxArrayLen = Options.MaxArrayLen;
+    Config.Profile = Options.UseProfile ? &Profile : nullptr;
+
+    VariantRow Row;
+    Row.V = V;
+    Row.Pipeline = runPipeline(*Clone, Config);
+
+    VerifierOptions VOptions;
+    VOptions.AllowDummyExtends = false;
+    std::vector<std::string> Problems;
+    if (!verifyModule(*Clone, Problems, VOptions))
+      reportFatalError(std::string("workload '") + W.Name + "', variant '" +
+                       variantName(V) +
+                       "': post-pipeline verification failed: " +
+                       Problems.front());
+
+    Row.StaticSext = countStaticExtensions(*Clone).totalSext();
+
+    InterpOptions MachineOptions;
+    MachineOptions.Target = Options.Target;
+    MachineOptions.Semantics = ExecSemantics::Machine;
+    MachineOptions.MaxArrayLen = Options.MaxArrayLen;
+    Interpreter Interp(*Clone, MachineOptions);
+    ExecResult R = Interp.run("main");
+
+    Row.Trap = R.Trap;
+    Row.Checksum = R.ReturnValue;
+    Row.ChecksumOK =
+        R.Trap == TrapKind::None && R.ReturnValue == Report.OracleChecksum;
+    Row.DynamicSext32 = R.ExecutedSext32;
+    Row.DynamicSextAll = R.totalExecutedSext();
+    Row.Cycles = R.Cycles;
+    Row.Instructions = R.ExecutedInstructions;
+    Report.Rows.push_back(Row);
+  }
+  return Report;
+}

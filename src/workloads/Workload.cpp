@@ -1,0 +1,51 @@
+//===- workloads/Workload.cpp - Benchmark registry -----------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace sxe;
+
+const std::vector<Workload> &sxe::allWorkloads() {
+  static const std::vector<Workload> Registry = {
+      {"Numeric Sort", "jBYTEmark", buildNumericSort},
+      {"String Sort", "jBYTEmark", buildStringSort},
+      {"Bitfield", "jBYTEmark", buildBitfield},
+      {"FP Emu.", "jBYTEmark", buildFPEmulation},
+      {"Fourier", "jBYTEmark", buildFourier},
+      {"Assignment", "jBYTEmark", buildAssignment},
+      {"IDEA", "jBYTEmark", buildIDEA},
+      {"Huffman", "jBYTEmark", buildHuffman},
+      {"Neural Net", "jBYTEmark", buildNeuralNet},
+      {"LU Decom.", "jBYTEmark", buildLUDecomp},
+      {"mtrt", "SPECjvm98", buildMtrt},
+      {"jess", "SPECjvm98", buildJess},
+      {"compress", "SPECjvm98", buildCompress},
+      {"db", "SPECjvm98", buildDb},
+      {"mpegaudio", "SPECjvm98", buildMpegaudio},
+      {"jack", "SPECjvm98", buildJack},
+      {"javac", "SPECjvm98", buildJavac},
+  };
+  return Registry;
+}
+
+std::vector<Workload> sxe::jbytemarkWorkloads() {
+  std::vector<Workload> Result;
+  for (const Workload &W : allWorkloads())
+    if (std::string(W.Suite) == "jBYTEmark")
+      Result.push_back(W);
+  return Result;
+}
+
+std::vector<Workload> sxe::specjvm98Workloads() {
+  std::vector<Workload> Result;
+  for (const Workload &W : allWorkloads())
+    if (std::string(W.Suite) == "SPECjvm98")
+      Result.push_back(W);
+  return Result;
+}
+
+const Workload *sxe::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}

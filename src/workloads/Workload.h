@@ -1,0 +1,45 @@
+//===- workloads/Workload.h - Benchmark registry ------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of the evaluation programs: name, suite, and builder. The
+/// bench harnesses iterate it to regenerate Tables 1/2 and Figures 11-14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_WORKLOADS_WORKLOAD_H
+#define SXE_WORKLOADS_WORKLOAD_H
+
+#include "workloads/Kernels.h"
+
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// One registered benchmark program.
+struct Workload {
+  const char *Name;  ///< Paper column label, e.g. "Numeric Sort".
+  const char *Suite; ///< "jBYTEmark" or "SPECjvm98".
+  std::unique_ptr<Module> (*Build)(const WorkloadParams &Params);
+};
+
+/// All 17 programs, jBYTEmark first, in the paper's column order.
+const std::vector<Workload> &allWorkloads();
+
+/// The ten jBYTEmark kernels in Table 1 column order.
+std::vector<Workload> jbytemarkWorkloads();
+
+/// The seven SPECjvm98 kernels in Table 2 column order.
+std::vector<Workload> specjvm98Workloads();
+
+/// Finds a workload by (case-sensitive) name, or returns null.
+const Workload *findWorkload(const std::string &Name);
+
+} // namespace sxe
+
+#endif // SXE_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,136 @@
+//===- workloads/kernels/Assignment.cpp - jBYTEmark Assignment -----------------===//
+//
+// A reduction-based assignment-problem kernel on an NxN int32 cost matrix:
+// row/column minimum reduction followed by a greedy zero assignment. The
+// flattened subscripts r*N+c are the Theorem 2 showcase, and rely on the
+// branch-guard value ranges of the loop counters.
+//
+//===----------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildAssignment(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("assignment");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t N = 32;
+  const int32_t Rounds = 4 * static_cast<int32_t>(Params.Scale);
+
+  Reg Nreg = B.constI32(N, "N");
+  Reg Cells = B.constI32(N * N);
+  Reg Cost = B.newArray(Type::I32, Cells, "cost");
+  Reg RowOf = B.newArray(Type::I32, Nreg, "rowOf");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Big = B.constI32(1 << 20);
+  Reg Sum = K.varI64(0, "sum");
+
+  Reg Round = Main->newReg(Type::I32, "round");
+  Reg RoundsReg = B.constI32(Rounds);
+  K.forUp(Round, Zero, RoundsReg, [&] {
+    // Regenerate the cost matrix (values in [0, 2^20)).
+    {
+      Reg X = K.varI32(0x7E57AB1E, "x");
+      Reg MulC = B.constI32(1103515245);
+      Reg AddC = B.constI32(12345);
+      Reg I = Main->newReg(Type::I32, "fi");
+      Reg Eleven = B.constI32(11);
+      K.forUp(I, Zero, Cells, [&] {
+        B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+        B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+        Reg V = B.shr32(X, Eleven);
+        Reg Masked = B.and32(V, B.sub32(Big, One));
+        B.arrayStore(Type::I32, Cost, I, Masked);
+      });
+    }
+
+    // Row reduction: subtract each row's minimum.
+    {
+      Reg R = Main->newReg(Type::I32, "r");
+      K.forUp(R, Zero, Nreg, [&] {
+        Reg Base = B.mul32(R, Nreg, "base");
+        Reg Min = K.varI32(0, "min");
+        B.copyTo(Min, Big);
+        Reg C = Main->newReg(Type::I32, "c");
+        K.forUp(C, Zero, Nreg, [&] {
+          Reg Idx = B.add32(Base, C, "idx");
+          Reg V = B.arrayLoad(Type::I32, Cost, Idx, "v");
+          Reg Less = B.cmp32(CmpPred::SLT, V, Min);
+          K.ifThen(Less, [&] { B.copyTo(Min, V); });
+        });
+        Reg C2 = Main->newReg(Type::I32, "c2");
+        K.forUp(C2, Zero, Nreg, [&] {
+          Reg Idx = B.add32(Base, C2, "idx2");
+          Reg V = B.arrayLoad(Type::I32, Cost, Idx);
+          Reg Reduced = B.sub32(V, Min);
+          B.arrayStore(Type::I32, Cost, Idx, Reduced);
+        });
+      });
+    }
+
+    // Column reduction.
+    {
+      Reg C = Main->newReg(Type::I32, "cc");
+      K.forUp(C, Zero, Nreg, [&] {
+        Reg Min = K.varI32(0, "cmin");
+        B.copyTo(Min, Big);
+        Reg R = Main->newReg(Type::I32, "cr");
+        K.forUp(R, Zero, Nreg, [&] {
+          Reg Idx = B.add32(B.mul32(R, Nreg), C, "cidx");
+          Reg V = B.arrayLoad(Type::I32, Cost, Idx);
+          Reg Less = B.cmp32(CmpPred::SLT, V, Min);
+          K.ifThen(Less, [&] { B.copyTo(Min, V); });
+        });
+        Reg R2 = Main->newReg(Type::I32, "cr2");
+        K.forUp(R2, Zero, Nreg, [&] {
+          Reg Idx = B.add32(B.mul32(R2, Nreg), C, "cidx2");
+          Reg V = B.arrayLoad(Type::I32, Cost, Idx);
+          Reg Reduced = B.sub32(V, Min);
+          B.arrayStore(Type::I32, Cost, Idx, Reduced);
+        });
+      });
+    }
+
+    // Greedy assignment: first unassigned zero per row; -1 otherwise.
+    {
+      Reg C = Main->newReg(Type::I32, "ic");
+      K.forUp(C, Zero, Nreg,
+              [&] { B.arrayStore(Type::I32, RowOf, C, B.constI32(-1)); });
+
+      Reg R = Main->newReg(Type::I32, "ar");
+      K.forUp(R, Zero, Nreg, [&] {
+        Reg Base = B.mul32(R, Nreg, "abase");
+        Reg Chosen = K.varI32(-1, "chosen");
+        Reg C2 = Main->newReg(Type::I32, "ac");
+        K.forUp(C2, Zero, Nreg, [&] {
+          Reg NotYet = B.cmp32(CmpPred::SLT, Chosen, Zero);
+          K.ifThen(NotYet, [&] {
+            Reg Idx = B.add32(Base, C2, "aidx");
+            Reg V = B.arrayLoad(Type::I32, Cost, Idx);
+            Reg IsZero = B.cmp32(CmpPred::EQ, V, Zero);
+            Reg Owner = B.arrayLoad(Type::I32, RowOf, C2, "owner");
+            Reg Free = B.cmp32(CmpPred::SLT, Owner, Zero);
+            Reg Take = B.and32(IsZero, Free);
+            K.ifThen(Take, [&] {
+              B.copyTo(Chosen, C2);
+              B.arrayStore(Type::I32, RowOf, C2, R);
+            });
+          });
+        });
+        // checksum += r * chosen.
+        Reg Term = B.mul32(R, Chosen);
+        Reg Term64 = Main->newReg(Type::I64, "term64");
+        B.copyTo(Term64, Term);
+        B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Term64);
+      });
+    }
+  });
+
+  B.ret(Sum);
+  return M;
+}

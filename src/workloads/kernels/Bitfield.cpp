@@ -1,0 +1,111 @@
+//===- workloads/kernels/Bitfield.cpp - jBYTEmark Bitfield ---------------------===//
+//
+// Bit-run set/clear/toggle over an int32 bitmap: word = b >>> 5 and
+// mask = 1 << (b & 31) exercise variable shifts, whose W32 logical-shift
+// results are zero-extended by construction (Theorem 1 material).
+//
+//===-------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildBitfield(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("bitfield");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t Words = 512;
+  const int32_t Ops = 2000 * static_cast<int32_t>(Params.Scale);
+  const int32_t Bits = Words * 32;
+
+  Reg WordsReg = B.constI32(Words, "words");
+  Reg Map = B.newArray(Type::I32, WordsReg, "map");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Five = B.constI32(5);
+  Reg ThirtyOne = B.constI32(31);
+  Reg Three = B.constI32(3);
+  Reg BitsReg = B.constI32(Bits);
+  Reg OpsReg = B.constI32(Ops);
+
+  Reg X = K.varI32(0x0BADF00D, "x");
+  Reg MulC = B.constI32(1103515245);
+  Reg AddC = B.constI32(12345);
+
+  Reg Op = Main->newReg(Type::I32, "op");
+  K.forUp(Op, Zero, OpsReg, [&] {
+    // addr = lcg() mod Bits (non-negative); width = lcg() & 63.
+    B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+    B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+    Reg Eight = B.constI32(8);
+    Reg R1 = B.shr32(X, Eight, "r1");
+    Reg Addr = B.rem32(R1, BitsReg, "addr");
+
+    B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+    B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+    Reg SixtyThree = B.constI32(63);
+    Reg R2 = B.shr32(X, Eight, "r2");
+    Reg Count = B.and32(R2, SixtyThree, "count");
+
+    Reg Kind = B.rem32(Op, Three, "kind");
+
+    Reg Bv = K.varI32(0, "b");
+    B.copyTo(Bv, Addr);
+    Reg Stop = B.add32(Addr, Count, "stop");
+    Reg Limit = K.varI32(0, "limit");
+    B.copyTo(Limit, Stop);
+    Reg Over = B.cmp32(CmpPred::SGT, Limit, BitsReg);
+    K.ifThen(Over, [&] { B.copyTo(Limit, BitsReg); });
+
+    K.whileLoop(
+        [&] { return B.cmp32(CmpPred::SLT, Bv, Limit); },
+        [&] {
+          Reg Word = B.shr32(Bv, Five, "word");
+          Reg BitIdx = B.and32(Bv, ThirtyOne, "bitidx");
+          Reg Mask = B.shl32(One, BitIdx, "mask");
+          Reg Cur = B.arrayLoad(Type::I32, Map, Word, "cur");
+
+          Reg IsSet = B.cmp32(CmpPred::EQ, Kind, Zero);
+          K.ifThenElse(
+              IsSet,
+              [&] {
+                Reg NewVal = B.or32(Cur, Mask);
+                B.arrayStore(Type::I32, Map, Word, NewVal);
+              },
+              [&] {
+                Reg IsClear = B.cmp32(CmpPred::EQ, Kind, One);
+                K.ifThenElse(
+                    IsClear,
+                    [&] {
+                      Reg NotMask = B.unop(Opcode::Not, Width::W32, Mask);
+                      Reg NewVal = B.and32(Cur, NotMask);
+                      B.arrayStore(Type::I32, Map, Word, NewVal);
+                    },
+                    [&] {
+                      Reg NewVal = B.xor32(Cur, Mask);
+                      B.arrayStore(Type::I32, Map, Word, NewVal);
+                    });
+              });
+          B.binopTo(Bv, Opcode::Add, Width::W32, Bv, One);
+        });
+  });
+
+  // Checksum: popcount-ish mix of all words.
+  Reg Sum = K.varI64(0, "sum");
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    K.forUp(I, Zero, WordsReg, [&] {
+      Reg W = B.arrayLoad(Type::I32, Map, I, "w");
+      Reg IP1 = B.add32(I, One);
+      Reg T = B.xor32(W, IP1);
+      Reg T64 = Main->newReg(Type::I64, "t64");
+      B.copyTo(T64, T);
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, T64);
+    });
+  }
+  B.ret(Sum);
+  return M;
+}

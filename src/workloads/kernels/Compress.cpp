@@ -1,0 +1,140 @@
+//===- workloads/kernels/Compress.cpp - SPECjvm98 _201_compress ----------------===//
+//
+// LZW compression of a byte buffer with an open-addressing code table,
+// modeled on the compress benchmark's inner loop: hash probing, byte
+// loads, and shift/mask code packing.
+//
+//===---------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildCompress(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("compress");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t InputLen = 4096 * static_cast<int32_t>(Params.Scale);
+  const int32_t TableSize = 4099; // Prime, open addressing.
+  const int32_t FirstFree = 257;
+
+  Reg InputLenReg = B.constI32(InputLen);
+  Reg Input = B.newArray(Type::I8, InputLenReg, "input");
+  Reg TableSizeReg = B.constI32(TableSize);
+  Reg HashKey = B.newArray(Type::I32, TableSizeReg, "hashKey");
+  Reg HashCode = B.newArray(Type::I32, TableSizeReg, "hashCode");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg MinusOne = B.constI32(-1);
+
+  // Compressible input: repeated ramps with pseudo-random perturbation.
+  {
+    Reg X = K.varI32(0xC0DEC, "x");
+    Reg MulC = B.constI32(1103515245);
+    Reg AddC = B.constI32(12345);
+    Reg I = Main->newReg(Type::I32, "i");
+    Reg Mask5 = B.constI32(31);
+    Reg Mask3 = B.constI32(7);
+    K.forUp(I, Zero, InputLenReg, [&] {
+      B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+      B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+      Reg Ramp = B.and32(I, Mask5);
+      Reg Noise = B.and32(B.shr32(X, B.constI32(13)), Mask3);
+      Reg V = B.add32(Ramp, Noise);
+      B.arrayStore(Type::I8, Input, I, V);
+    });
+  }
+
+  // Clear the table.
+  {
+    Reg I = Main->newReg(Type::I32, "ti");
+    K.forUp(I, Zero, TableSizeReg,
+            [&] { B.arrayStore(Type::I32, HashKey, I, MinusOne); });
+  }
+
+  // LZW: w = first symbol; for each c: if (w,c) in table, w = code; else
+  // emit w, add (w,c), w = c.
+  Reg NextCode = K.varI32(FirstFree, "nextCode");
+  Reg Emitted = K.varI64(0, "emitted");  // Count of emitted codes.
+  Reg CodeMix = K.varI64(0, "codeMix");  // Checksum over emitted codes.
+  Reg Wv = K.varI32(0, "w");
+  {
+    Reg Raw0 = B.arrayLoad(Type::I8, Input, Zero);
+    B.copyTo(Wv, Raw0); // Bytes are in [0, 39]: already non-negative.
+  }
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    Reg MaxCode = B.constI32(TableSize - 2);
+    K.forUp(I, One, InputLenReg, [&] {
+      Reg Raw = B.arrayLoad(Type::I8, Input, I, "raw");
+      Reg C = B.sext(8, Raw, "c");
+
+      // key = w * 256 + c; probe the table.
+      Reg K256 = B.constI32(256);
+      Reg Key = B.add32(B.mul32(Wv, K256), C, "key");
+      Reg Slot = K.varI32(0, "slot");
+      Reg Probe = B.rem32(Key, TableSizeReg);
+      B.copyTo(Slot, Probe);
+      Reg Found = K.varI32(-2, "found"); // -2: still probing.
+      K.whileLoop(
+          [&] { return B.cmp32(CmpPred::EQ, Found, B.constI32(-2)); },
+          [&] {
+            Reg Kv = B.arrayLoad(Type::I32, HashKey, Slot, "kv");
+            Reg Empty = B.cmp32(CmpPred::EQ, Kv, MinusOne);
+            K.ifThenElse(
+                Empty, [&] { B.copyTo(Found, MinusOne); },
+                [&] {
+                  Reg Match = B.cmp32(CmpPred::EQ, Kv, Key);
+                  K.ifThenElse(
+                      Match,
+                      [&] {
+                        Reg Code =
+                            B.arrayLoad(Type::I32, HashCode, Slot, "code");
+                        B.copyTo(Found, Code);
+                      },
+                      [&] {
+                        B.binopTo(Slot, Opcode::Add, Width::W32, Slot, One);
+                        Reg Wrap = B.cmp32(CmpPred::SGE, Slot, TableSizeReg);
+                        K.ifThen(Wrap, [&] { B.copyTo(Slot, Zero); });
+                      });
+                });
+          });
+
+      Reg Hit = B.cmp32(CmpPred::SGE, Found, Zero);
+      K.ifThenElse(
+          Hit, [&] { B.copyTo(Wv, Found); },
+          [&] {
+            // Emit w.
+            Reg W64 = Main->newReg(Type::I64, "w64");
+            B.copyTo(W64, Wv);
+            Reg Seven = B.constI64(7);
+            Reg Mixed = B.mul64(CodeMix, Seven);
+            B.binopTo(CodeMix, Opcode::Add, Width::W64, Mixed, W64);
+            Reg One64 = Main->newReg(Type::I64, "one64");
+            B.constTo(One64, 1);
+            B.binopTo(Emitted, Opcode::Add, Width::W64, Emitted, One64);
+            // Insert (key -> nextCode) when the table has room.
+            Reg Room = B.cmp32(CmpPred::SLT, NextCode, MaxCode);
+            K.ifThen(Room, [&] {
+              B.arrayStore(Type::I32, HashKey, Slot, Key);
+              B.arrayStore(Type::I32, HashCode, Slot, NextCode);
+              B.binopTo(NextCode, Opcode::Add, Width::W32, NextCode, One);
+            });
+            B.copyTo(Wv, C);
+          });
+    });
+  }
+
+  Reg Sum = K.varI64(0, "sum");
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, CodeMix);
+  Reg EmittedScaled = B.mul64(Emitted, B.constI64(100000));
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, EmittedScaled);
+  Reg Next64 = Main->newReg(Type::I64, "next64");
+  B.copyTo(Next64, NextCode);
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Next64);
+  B.ret(Sum);
+  return M;
+}

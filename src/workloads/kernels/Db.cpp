@@ -1,0 +1,167 @@
+//===- workloads/kernels/Db.cpp - SPECjvm98 _209_db ----------------------------===//
+//
+// An in-memory database shell: fixed-width byte-string records, an index
+// shell-sorted by key, and a batch of lookups by binary search — string
+// compares over byte arrays, like the original's address database.
+//
+//===----------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+constexpr int32_t KeyLen = 12;
+
+/// `i32 keycmp(pool, slotA, slotB)`: compares two 12-byte keys.
+Function *buildKeycmp(Module &M) {
+  Function *F = M.createFunction("keycmp", Type::I32);
+  Reg Pool = F->addParam(Type::ArrayRef, "pool");
+  Reg SA = F->addParam(Type::I32, "sa");
+  Reg SB = F->addParam(Type::I32, "sb");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg L = B.constI32(KeyLen);
+  Reg BaseA = B.mul32(SA, L);
+  Reg BaseB = B.mul32(SB, L);
+  Reg Result = K.varI32(0, "result");
+  Reg Zero = B.constI32(0);
+  Reg Kv = F->newReg(Type::I32, "k");
+  K.forUp(Kv, Zero, L, [&] {
+    Reg Undecided = B.cmp32(CmpPred::EQ, Result, Zero);
+    K.ifThen(Undecided, [&] {
+      Reg Ra = B.arrayLoad(Type::I8, Pool, B.add32(BaseA, Kv));
+      Reg A = B.sext(8, Ra);
+      Reg Rb = B.arrayLoad(Type::I8, Pool, B.add32(BaseB, Kv));
+      Reg Bb = B.sext(8, Rb);
+      B.copyTo(Result, B.sub32(A, Bb));
+    });
+  });
+  B.ret(Result);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildDb(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("db");
+  Function *Keycmp = buildKeycmp(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t Records = 200 * static_cast<int32_t>(Params.Scale);
+  const int32_t Lookups = 400 * static_cast<int32_t>(Params.Scale);
+
+  Reg Count = B.constI32(Records, "records");
+  Reg PoolLen = B.constI32(Records * KeyLen);
+  Reg Pool = B.newArray(Type::I8, PoolLen, "pool");
+  Reg Index = B.newArray(Type::I32, Count, "index");
+  Reg Values = B.newArray(Type::I32, Count, "values");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Two = B.constI32(2);
+
+  K.fillLCG(Pool, PoolLen, 0xDB, Type::I8);
+  {
+    Reg I = Main->newReg(Type::I32, "i");
+    K.forUp(I, Zero, Count, [&] {
+      B.arrayStore(Type::I32, Index, I, I);
+      Reg V = B.mul32(I, B.constI32(37));
+      B.arrayStore(Type::I32, Values, I, V);
+    });
+  }
+
+  // Shell sort of the index by key.
+  {
+    Reg Gap = K.varI32(0, "gap");
+    B.copyTo(Gap, Count);
+    B.binopTo(Gap, Opcode::Div, Width::W32, Gap, Two);
+    K.whileLoop(
+        [&] { return B.cmp32(CmpPred::SGT, Gap, Zero); },
+        [&] {
+          Reg I = Main->newReg(Type::I32, "si");
+          K.forUp(I, Gap, Count, [&] {
+            Reg Tmp = B.arrayLoad(Type::I32, Index, I, "tmp");
+            Reg J = K.varI32(0, "j");
+            B.copyTo(J, I);
+            Reg Moving = K.varI32(1, "moving");
+            K.whileLoop(
+                [&] {
+                  Reg InRange = B.cmp32(CmpPred::SGE, J, Gap);
+                  Reg Still = B.cmp32(CmpPred::NE, Moving, Zero);
+                  return B.and32(InRange, Still);
+                },
+                [&] {
+                  Reg JmG = B.sub32(J, Gap);
+                  Reg Prev = B.arrayLoad(Type::I32, Index, JmG, "prev");
+                  Reg Cmp = B.call(Keycmp, {Pool, Prev, Tmp}, "cmp");
+                  Reg GT = B.cmp32(CmpPred::SGT, Cmp, Zero);
+                  K.ifThenElse(
+                      GT,
+                      [&] {
+                        B.arrayStore(Type::I32, Index, J, Prev);
+                        B.copyTo(J, JmG);
+                      },
+                      [&] { B.copyTo(Moving, Zero); });
+                });
+            B.arrayStore(Type::I32, Index, J, Tmp);
+          });
+          B.binopTo(Gap, Opcode::Div, Width::W32, Gap, Two);
+        });
+  }
+
+  // Lookups: binary search for pseudo-random existing keys.
+  Reg Sum = K.varI64(0, "sum");
+  {
+    Reg X = K.varI32(0x10C0, "x");
+    Reg MulC = B.constI32(1103515245);
+    Reg AddC = B.constI32(12345);
+    Reg Q = Main->newReg(Type::I32, "q");
+    Reg LookupsReg = B.constI32(Lookups);
+    K.forUp(Q, Zero, LookupsReg, [&] {
+      B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+      B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+      Reg R = B.shr32(X, B.constI32(8));
+      Reg TargetSlot = B.rem32(R, Count, "targetSlot");
+
+      Reg Lo = K.varI32(0, "lo");
+      Reg Hi = K.varI32(0, "hi");
+      B.copyTo(Hi, B.sub32(Count, One));
+      Reg FoundAt = K.varI32(-1, "foundAt");
+      K.whileLoop(
+          [&] {
+            Reg InRange = B.cmp32(CmpPred::SLE, Lo, Hi);
+            Reg NotFound = B.cmp32(CmpPred::SLT, FoundAt, Zero);
+            return B.and32(InRange, NotFound);
+          },
+          [&] {
+            Reg Mid = B.div32(B.add32(Lo, Hi), Two, "mid");
+            Reg Slot = B.arrayLoad(Type::I32, Index, Mid, "slot");
+            Reg Cmp = B.call(Keycmp, {Pool, Slot, TargetSlot}, "cmp");
+            Reg Less = B.cmp32(CmpPred::SLT, Cmp, Zero);
+            K.ifThenElse(
+                Less, [&] { B.copyTo(Lo, B.add32(Mid, One)); },
+                [&] {
+                  Reg Greater = B.cmp32(CmpPred::SGT, Cmp, Zero);
+                  K.ifThenElse(
+                      Greater, [&] { B.copyTo(Hi, B.sub32(Mid, One)); },
+                      [&] { B.copyTo(FoundAt, Slot); });
+                });
+          });
+      Reg Hit = B.cmp32(CmpPred::SGE, FoundAt, Zero);
+      K.ifThen(Hit, [&] {
+        Reg V = B.arrayLoad(Type::I32, Values, FoundAt);
+        Reg V64 = Main->newReg(Type::I64, "v64");
+        B.copyTo(V64, V);
+        B.binopTo(Sum, Opcode::Add, Width::W64, Sum, V64);
+      });
+    });
+  }
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,218 @@
+//===- workloads/kernels/FPEmulation.cpp - jBYTEmark FP Emulation --------------===//
+//
+// Software floating point on packed int32 values: a 15-bit mantissa and a
+// biased 8-bit exponent packed as ((e+128) << 16) | m. The pack/unpack
+// shifts and the normalization loops are pure 32-bit integer code — the
+// paper's best case for the insert+order combination.
+//
+//===--------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+/// `i32 fpnorm(m, e)`: normalizes mantissa into [1<<14, 1<<15) and packs.
+Function *buildFpNorm(Module &M) {
+  Function *F = M.createFunction("fpnorm", Type::I32);
+  Reg Mp = F->addParam(Type::I32, "m");
+  Reg Ep = F->addParam(Type::I32, "e");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg Mv = K.varI32(0, "mv");
+  Reg Ev = K.varI32(0, "ev");
+  B.copyTo(Mv, Mp);
+  B.copyTo(Ev, Ep);
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Top = B.constI32(1 << 15);
+  Reg Bottom = B.constI32(1 << 14);
+
+  // Shrink: while (m >= 1<<15) { m >>= 1; e++ }.
+  K.whileLoop([&] { return B.cmp32(CmpPred::SGE, Mv, Top); },
+              [&] {
+                B.binopTo(Mv, Opcode::Shr, Width::W32, Mv, One);
+                B.binopTo(Ev, Opcode::Add, Width::W32, Ev, One);
+              });
+  // Grow: while (0 < m < 1<<14) { m <<= 1; e-- }.
+  K.whileLoop(
+      [&] {
+        Reg NonZero = B.cmp32(CmpPred::SGT, Mv, Zero);
+        Reg Small = B.cmp32(CmpPred::SLT, Mv, Bottom);
+        return B.and32(NonZero, Small);
+      },
+      [&] {
+        B.binopTo(Mv, Opcode::Shl, Width::W32, Mv, One);
+        B.binopTo(Ev, Opcode::Sub, Width::W32, Ev, One);
+      });
+  Reg IsZero = B.cmp32(CmpPred::EQ, Mv, Zero);
+  K.ifThen(IsZero, [&] { B.copyTo(Ev, B.constI32(-128)); });
+
+  Reg Bias = B.constI32(128);
+  Reg Biased = B.add32(Ev, Bias);
+  Reg Mask = B.constI32(255);
+  Reg Clamped = B.and32(Biased, Mask);
+  Reg Sixteen = B.constI32(16);
+  Reg Shifted = B.shl32(Clamped, Sixteen);
+  Reg Packed = B.or32(Shifted, Mv);
+  B.ret(Packed);
+  return F;
+}
+
+/// `i32 fpmul(a, b)` on packed values.
+Function *buildFpMul(Module &M, Function *Norm) {
+  Function *F = M.createFunction("fpmul", Type::I32);
+  Reg Ap = F->addParam(Type::I32, "a");
+  Reg Bp = F->addParam(Type::I32, "b");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg Mask16 = B.constI32(0xFFFF);
+  Reg Sixteen = B.constI32(16);
+  Reg Bias = B.constI32(128);
+  Reg Fourteen = B.constI32(14);
+
+  Reg Ma = B.and32(Ap, Mask16, "ma");
+  Reg EaRaw = B.shr32(Ap, Sixteen);
+  Reg Ea = B.sub32(EaRaw, Bias, "ea");
+  Reg Mb = B.and32(Bp, Mask16, "mb");
+  Reg EbRaw = B.shr32(Bp, Sixteen);
+  Reg Eb = B.sub32(EbRaw, Bias, "eb");
+
+  // 15-bit x 15-bit fits 30 bits: one 32-bit multiply, then rescale.
+  Reg Prod = B.mul32(Ma, Mb, "prod");
+  Reg Mr = B.shr32(Prod, Fourteen, "mr");
+  Reg Er = B.add32(Ea, Eb, "er");
+  Reg Packed = B.call(Norm, {Mr, Er}, "packed");
+  B.ret(Packed);
+  return F;
+}
+
+/// `i32 fpadd(a, b)` on packed values (magnitudes only).
+Function *buildFpAdd(Module &M, Function *Norm) {
+  Function *F = M.createFunction("fpadd", Type::I32);
+  Reg Ap = F->addParam(Type::I32, "a");
+  Reg Bp = F->addParam(Type::I32, "b");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg Mask16 = B.constI32(0xFFFF);
+  Reg Sixteen = B.constI32(16);
+  Reg Bias = B.constI32(128);
+  Reg Fifteen = B.constI32(15);
+
+  Reg Ma = K.varI32(0, "ma");
+  Reg Mb = K.varI32(0, "mb");
+  Reg MaV = B.and32(Ap, Mask16);
+  Reg MbV = B.and32(Bp, Mask16);
+  B.copyTo(Ma, MaV);
+  B.copyTo(Mb, MbV);
+  Reg EaRaw = B.shr32(Ap, Sixteen);
+  Reg Ea = K.varI32(0, "ea");
+  B.copyTo(Ea, B.sub32(EaRaw, Bias));
+  Reg EbRaw = B.shr32(Bp, Sixteen);
+  Reg Eb = B.sub32(EbRaw, Bias, "eb");
+
+  // Align the smaller exponent to the larger.
+  Reg D = B.sub32(Ea, Eb, "d");
+  Reg Zero = B.constI32(0);
+  Reg DPos = B.cmp32(CmpPred::SGE, D, Zero);
+  K.ifThenElse(
+      DPos,
+      [&] {
+        Reg Cap = K.varI32(0, "cap");
+        B.copyTo(Cap, D);
+        Reg TooBig = B.cmp32(CmpPred::SGT, Cap, Fifteen);
+        K.ifThen(TooBig, [&] { B.copyTo(Cap, Fifteen); });
+        Reg Shifted = B.shr32(Mb, Cap);
+        B.copyTo(Mb, Shifted);
+      },
+      [&] {
+        Reg NegD = B.sub32(Zero, D);
+        Reg Cap = K.varI32(0, "cap2");
+        B.copyTo(Cap, NegD);
+        Reg TooBig = B.cmp32(CmpPred::SGT, Cap, Fifteen);
+        K.ifThen(TooBig, [&] { B.copyTo(Cap, Fifteen); });
+        Reg Shifted = B.shr32(Ma, Cap);
+        B.copyTo(Ma, Shifted);
+        B.copyTo(Ea, B.add32(Ea, NegD)); // Ea := Eb.
+      });
+
+  Reg Msum = B.add32(Ma, Mb, "msum");
+  Reg Packed = B.call(Norm, {Msum, Ea}, "packed");
+  B.ret(Packed);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildFPEmulation(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("fp_emulation");
+  Function *Norm = buildFpNorm(*M);
+  Function *Mul = buildFpMul(*M, Norm);
+  Function *Add = buildFpAdd(*M, Norm);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t N = 256;
+  const int32_t Rounds = 12 * static_cast<int32_t>(Params.Scale);
+  Reg Len = B.constI32(N);
+  Reg Vals = B.newArray(Type::I32, Len, "vals");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+
+  // Fill with packed values: mantissa in [1<<14, 1<<15), exponent ±15.
+  {
+    Reg X = K.varI32(0x5EED5EED, "x");
+    Reg MulC = B.constI32(1103515245);
+    Reg AddC = B.constI32(12345);
+    Reg I = Main->newReg(Type::I32, "i");
+    Reg Mask14 = B.constI32((1 << 14) - 1);
+    Reg Bit14 = B.constI32(1 << 14);
+    Reg Mask5 = B.constI32(31);
+    Reg Eight = B.constI32(8);
+    Reg Bias = B.constI32(128 - 15);
+    Reg Sixteen = B.constI32(16);
+    K.forUp(I, Zero, Len, [&] {
+      B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+      B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+      Reg R = B.shr32(X, Eight, "r");
+      Reg Mant = B.or32(B.and32(R, Mask14), Bit14, "mant");
+      Reg ExpBits = B.and32(B.shr32(R, B.constI32(14)), Mask5);
+      Reg Exp = B.add32(ExpBits, Bias, "exp");
+      Reg Packed = B.or32(B.shl32(Exp, Sixteen), Mant);
+      B.arrayStore(Type::I32, Vals, I, Packed);
+    });
+  }
+
+  // Rounds of acc = fpadd(acc, fpmul(vals[i], vals[(i+7) % N])).
+  Reg Sum = K.varI64(0, "sum");
+  {
+    Reg Round = Main->newReg(Type::I32, "round");
+    Reg RoundsReg = B.constI32(Rounds);
+    Reg Seven = B.constI32(7);
+    K.forUp(Round, Zero, RoundsReg, [&] {
+      Reg Acc = K.varI32((128 << 16) | (1 << 14), "acc");
+      Reg I = Main->newReg(Type::I32, "wi");
+      K.forUp(I, Zero, Len, [&] {
+        Reg J = B.rem32(B.add32(I, Seven), Len, "j");
+        Reg A = B.arrayLoad(Type::I32, Vals, I, "a");
+        Reg Bv = B.arrayLoad(Type::I32, Vals, J, "b");
+        Reg P = B.call(Mul, {A, Bv}, "p");
+        Reg NewAcc = B.call(Add, {Acc, P}, "newacc");
+        B.copyTo(Acc, NewAcc);
+      });
+      Reg Acc64 = Main->newReg(Type::I64, "acc64");
+      B.copyTo(Acc64, Acc);
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Acc64);
+      (void)One;
+    });
+  }
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,108 @@
+//===- workloads/kernels/Fourier.cpp - jBYTEmark Fourier -----------------------===//
+//
+// Numerical Fourier coefficients of a polynomial via trapezoid
+// integration, with sine/cosine computed by Taylor series in IR. The int
+// loop counters feed i2d conversions — the "requires a sign-extended
+// source" use the paper motivates with `t = (double) i`.
+//
+//===---------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+/// `f64 dcos(x)`: cosine by an 8-term Taylor series after range reduction
+/// into [-pi, pi] (reduction uses d2i, exercising the FP<->int paths).
+Function *buildDcos(Module &M) {
+  Function *F = M.createFunction("dcos", Type::F64);
+  Reg X = F->addParam(Type::F64, "x");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+
+  // k = round(x / 2pi); x -= k * 2pi.
+  Reg TwoPi = B.constF64(6.283185307179586, "twopi");
+  Reg Ratio = B.fdiv(X, TwoPi, "ratio");
+  Reg Half = B.constF64(0.5);
+  Reg Shifted = B.fadd(Ratio, Half);
+  Reg Kint = B.d2i(Shifted, "k");
+  Reg Kd = B.i2d(Kint, "kd");
+  Reg Base = B.fmul(Kd, TwoPi);
+  Reg Xr = K.varF64(0.0, "xr");
+  B.fbinopTo(Xr, Opcode::FSub, X, Base);
+
+  // cos(x) = sum (-1)^n x^2n / (2n)!.
+  Reg Term = K.varF64(1.0, "term");
+  Reg Sum = K.varF64(1.0, "sum");
+  Reg X2 = B.fmul(Xr, Xr, "x2");
+  Reg N = F->newReg(Type::I32, "n");
+  Reg Zero = B.constI32(0);
+  Reg Eight = B.constI32(8);
+  Reg One = B.constI32(1);
+  Reg Two = B.constI32(2);
+  K.forUp(N, Zero, Eight, [&] {
+    // term *= -x^2 / ((2n+1)(2n+2)).
+    Reg N2 = B.mul32(N, Two);
+    Reg D1 = B.add32(N2, One);
+    Reg D2 = B.add32(N2, Two);
+    Reg Dprod = B.mul32(D1, D2);
+    Reg DprodD = B.i2d(Dprod, "dprodd");
+    Reg Scaled = B.fdiv(X2, DprodD);
+    Reg Neg = B.fneg(Scaled);
+    B.fbinopTo(Term, Opcode::FMul, Term, Neg);
+    B.fbinopTo(Sum, Opcode::FAdd, Sum, Term);
+  });
+  B.ret(Sum);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildFourier(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("fourier");
+  Function *Dcos = buildDcos(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t Coeffs = 8 * static_cast<int32_t>(Params.Scale);
+  const int32_t Steps = 100;
+
+  Reg CoeffsReg = B.constI32(Coeffs);
+  Reg StepsReg = B.constI32(Steps);
+  Reg Zero = B.constI32(0);
+  Reg Sum = K.varI64(0, "sum");
+  Reg Dt = B.constF64(2.0 / Steps, "dt");
+  Reg Thousand = B.constF64(1000.0);
+
+  // a_n = integral over [0,2] of (t^2 + t) * cos(n t) dt (trapezoid-ish).
+  Reg N = Main->newReg(Type::I32, "n");
+  K.forUp(N, Zero, CoeffsReg, [&] {
+    Reg Acc = K.varF64(0.0, "acc");
+    Reg Nd = B.i2d(N, "nd");
+    Reg I = Main->newReg(Type::I32, "i");
+    K.forUp(I, Zero, StepsReg, [&] {
+      Reg Id = B.i2d(I, "id");
+      Reg T = B.fmul(Id, Dt, "t");
+      Reg T2 = B.fmul(T, T);
+      Reg Ft = B.fadd(T2, T, "ft");
+      Reg Angle = B.fmul(Nd, T, "angle");
+      Reg C = B.call(Dcos, {Angle}, "c");
+      Reg Contribution = B.fmul(Ft, C);
+      Reg Weighted = B.fmul(Contribution, Dt);
+      B.fbinopTo(Acc, Opcode::FAdd, Acc, Weighted);
+    });
+    // checksum += (int)(a_n * 1000).
+    Reg Scaled = B.fmul(Acc, Thousand);
+    Reg AsInt = B.d2i(Scaled, "asint");
+    Reg AsInt64 = Main->newReg(Type::I64, "asint64");
+    B.copyTo(AsInt64, AsInt);
+    B.binopTo(Sum, Opcode::Add, Width::W64, Sum, AsInt64);
+  });
+  B.ret(Sum);
+  return M;
+}

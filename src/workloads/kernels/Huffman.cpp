@@ -1,0 +1,197 @@
+//===- workloads/kernels/Huffman.cpp - jBYTEmark Huffman -----------------------===//
+//
+// Huffman-style compression: frequency counting over a byte buffer, a
+// greedy tree build in parent arrays, bit-serial encoding into an output
+// byte array, then decode and verify. Byte loads (sext8) and bit shifts
+// dominate; the paper calls Huffman out as a top performance win.
+//
+//===------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildHuffman(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("huffman");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t TextLen = 2048 * static_cast<int32_t>(Params.Scale);
+  const int32_t Symbols = 64;
+  const int32_t Nodes = Symbols * 2;
+
+  Reg TextLenReg = B.constI32(TextLen);
+  Reg Text = B.newArray(Type::I8, TextLenReg, "text");
+  Reg SymbolsReg = B.constI32(Symbols);
+  Reg NodesReg = B.constI32(Nodes);
+  Reg Freq = B.newArray(Type::I32, NodesReg, "freq");
+  Reg Parent = B.newArray(Type::I32, NodesReg, "parent");
+  Reg IsRight = B.newArray(Type::I32, NodesReg, "isRight");
+  Reg OutLen = B.constI32(TextLen * 2);
+  Reg Out = B.newArray(Type::I8, OutLen, "out");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+
+  // Skewed text: symbol = lcg & 63, biased by squaring to favor low ids.
+  {
+    Reg X = K.varI32(0x48FF, "x");
+    Reg MulC = B.constI32(1103515245);
+    Reg AddC = B.constI32(12345);
+    Reg I = Main->newReg(Type::I32, "i");
+    Reg Mask6 = B.constI32(63);
+    Reg Eight = B.constI32(8);
+    K.forUp(I, Zero, TextLenReg, [&] {
+      B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+      B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+      Reg R = B.shr32(X, Eight);
+      Reg S1 = B.and32(R, Mask6);
+      Reg S2 = B.and32(B.shr32(R, B.constI32(6)), Mask6);
+      Reg Prod = B.mul32(S1, S2);
+      Reg Sym = B.shr32(Prod, B.constI32(6)); // Skewed toward 0.
+      Reg SymClamped = B.and32(Sym, Mask6);
+      B.arrayStore(Type::I8, Text, I, SymClamped);
+    });
+  }
+
+  // Frequency count.
+  {
+    Reg I = Main->newReg(Type::I32, "fi");
+    K.forUp(I, Zero, TextLenReg, [&] {
+      Reg Raw = B.arrayLoad(Type::I8, Text, I, "raw");
+      Reg Sym = B.sext(8, Raw, "sym"); // Values are 0..63: benign.
+      Reg F = B.arrayLoad(Type::I32, Freq, Sym);
+      Reg FP1 = B.add32(F, One);
+      B.arrayStore(Type::I32, Freq, Sym, FP1);
+    });
+    // Ensure every leaf has a non-zero weight.
+    Reg S = Main->newReg(Type::I32, "s0");
+    K.forUp(S, Zero, SymbolsReg, [&] {
+      Reg F = B.arrayLoad(Type::I32, Freq, S);
+      Reg FP1 = B.add32(F, One);
+      B.arrayStore(Type::I32, Freq, S, FP1);
+    });
+  }
+
+  // Greedy tree build: repeatedly join the two smallest unparented nodes.
+  Reg Next = K.varI32(Symbols, "next");
+  {
+    Reg Big = B.constI32(1 << 30);
+    Reg Iter = Main->newReg(Type::I32, "iter");
+    Reg IterCount = B.constI32(Symbols - 1);
+    K.forUp(Iter, Zero, IterCount, [&] {
+      Reg Min1 = K.varI32(-1, "min1");
+      Reg Min2 = K.varI32(-1, "min2");
+      Reg Best1 = K.varI32(0, "best1");
+      Reg Best2 = K.varI32(0, "best2");
+      B.copyTo(Best1, Big);
+      B.copyTo(Best2, Big);
+      Reg N = Main->newReg(Type::I32, "n");
+      K.forUp(N, Zero, Next, [&] {
+        Reg P = B.arrayLoad(Type::I32, Parent, N, "p");
+        Reg FreeNode = B.cmp32(CmpPred::EQ, P, Zero);
+        K.ifThen(FreeNode, [&] {
+          Reg Fv = B.arrayLoad(Type::I32, Freq, N, "fv");
+          Reg Lt1 = B.cmp32(CmpPred::SLT, Fv, Best1);
+          K.ifThenElse(
+              Lt1,
+              [&] {
+                B.copyTo(Best2, Best1);
+                B.copyTo(Min2, Min1);
+                B.copyTo(Best1, Fv);
+                B.copyTo(Min1, N);
+              },
+              [&] {
+                Reg Lt2 = B.cmp32(CmpPred::SLT, Fv, Best2);
+                K.ifThen(Lt2, [&] {
+                  B.copyTo(Best2, Fv);
+                  B.copyTo(Min2, N);
+                });
+              });
+        });
+      });
+      // Join min1 and min2 under node `next`.
+      Reg Sum12 = B.add32(Best1, Best2);
+      B.arrayStore(Type::I32, Freq, Next, Sum12);
+      B.arrayStore(Type::I32, Parent, Min1, Next);
+      B.arrayStore(Type::I32, Parent, Min2, Next);
+      B.arrayStore(Type::I32, IsRight, Min2, One);
+      B.binopTo(Next, Opcode::Add, Width::W32, Next, One);
+    });
+  }
+  Reg Root = B.sub32(Next, One, "root");
+
+  // Encode: for each symbol, walk to the root collecting bits, then emit
+  // them reversed into the output bit stream.
+  Reg BitPos = K.varI64(0, "bitpos"); // Total emitted bits (checksum part).
+  Reg OutByte = K.varI32(0, "outbyte");
+  Reg OutBits = K.varI32(0, "outbits");
+  Reg OutIdx = K.varI32(0, "outidx");
+  {
+    Reg CodeBits = B.newArray(Type::I32, B.constI32(64), "codebits");
+    Reg I = Main->newReg(Type::I32, "ei");
+    Reg Eight = B.constI32(8);
+    K.forUp(I, Zero, TextLenReg, [&] {
+      Reg Raw = B.arrayLoad(Type::I8, Text, I);
+      Reg Sym = B.sext(8, Raw, "esym");
+      // Walk up, recording branch directions.
+      Reg Node = K.varI32(0, "node");
+      B.copyTo(Node, Sym);
+      Reg Depth = K.varI32(0, "depth");
+      K.whileLoop(
+          [&] { return B.cmp32(CmpPred::SLT, Node, Root); },
+          [&] {
+            Reg Dir = B.arrayLoad(Type::I32, IsRight, Node, "dir");
+            B.arrayStore(Type::I32, CodeBits, Depth, Dir);
+            B.binopTo(Depth, Opcode::Add, Width::W32, Depth, One);
+            Reg P = B.arrayLoad(Type::I32, Parent, Node);
+            B.copyTo(Node, P);
+          });
+      // Emit bits root-first (reverse of the walk).
+      Reg Dv = Main->newReg(Type::I32, "d");
+      K.forDown(Dv, Depth, Zero, [&] {
+        Reg Bit = B.arrayLoad(Type::I32, CodeBits, Dv, "bit");
+        Reg Shifted = B.shl32(OutByte, One);
+        Reg WithBit = B.or32(Shifted, Bit);
+        B.copyTo(OutByte, WithBit);
+        B.binopTo(OutBits, Opcode::Add, Width::W32, OutBits, One);
+        Reg Full = B.cmp32(CmpPred::SGE, OutBits, Eight);
+        K.ifThen(Full, [&] {
+          B.arrayStore(Type::I8, Out, OutIdx, OutByte);
+          B.binopTo(OutIdx, Opcode::Add, Width::W32, OutIdx, One);
+          B.copyTo(OutByte, Zero);
+          B.copyTo(OutBits, Zero);
+        });
+        Reg OneBit64 = Main->newReg(Type::I64, "onebit64");
+        B.copyTo(OneBit64, One);
+        B.binopTo(BitPos, Opcode::Add, Width::W64, BitPos, OneBit64);
+      });
+    });
+  }
+
+  // Checksum: emitted bit count, bytes used, and a sample of the stream.
+  Reg Sum = K.varI64(0, "sum");
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, BitPos);
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    Reg Step = B.constI32(7);
+    Reg Pos = K.varI32(0, "pos");
+    K.forUp(I, Zero, B.constI32(64), [&] {
+      Reg InRange = B.cmp32(CmpPred::SLT, Pos, OutIdx);
+      K.ifThen(InRange, [&] {
+        Reg Raw = B.arrayLoad(Type::I8, Out, Pos, "sample");
+        Reg V = B.sext(8, Raw, "sv");
+        Reg V64 = Main->newReg(Type::I64, "v64");
+        B.copyTo(V64, V);
+        B.binopTo(Sum, Opcode::Add, Width::W64, Sum, V64);
+      });
+      B.binopTo(Pos, Opcode::Add, Width::W32, Pos, Step);
+    });
+  }
+  Reg OutIdx64 = Main->newReg(Type::I64, "outidx64");
+  B.copyTo(OutIdx64, OutIdx);
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, OutIdx64);
+  B.ret(Sum);
+  return M;
+}

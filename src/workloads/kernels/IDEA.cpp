@@ -1,0 +1,163 @@
+//===- workloads/kernels/IDEA.cpp - jBYTEmark IDEA cipher ----------------------===//
+//
+// IDEA-style rounds over 16-bit data: multiplication modulo 65537 and
+// addition modulo 65536 on char-array blocks. This is the 16-bit
+// extension workout — u16 loads are zero-extended (never need a sign
+// extension), while the Java short intermediates need sext16.
+//
+//===-----------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+/// `i32 mul16(a, b)`: IDEA multiplication mod 65537 over [0, 65535]
+/// operands, with the usual 0 -> 65536 convention.
+Function *buildMul16(Module &M) {
+  Function *F = M.createFunction("mul16", Type::I32);
+  Reg A = F->addParam(Type::I32, "a");
+  Reg Bp = F->addParam(Type::I32, "b");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg Zero = B.constI32(0);
+  Reg Result = K.varI32(0, "result");
+  Reg Mod = B.constI32(65537);
+  Reg Mask = B.constI32(0xFFFF);
+
+  Reg AZero = B.cmp32(CmpPred::EQ, A, Zero);
+  K.ifThenElse(
+      AZero,
+      [&] {
+        // (65536 * b) mod 65537 == (65537-b) mod 65537 == 1 - b.
+        Reg OneC = B.constI32(1);
+        Reg R = B.sub32(OneC, Bp);
+        B.copyTo(Result, B.and32(R, Mask));
+      },
+      [&] {
+        Reg BZero = B.cmp32(CmpPred::EQ, Bp, Zero);
+        K.ifThenElse(
+            BZero,
+            [&] {
+              Reg OneC = B.constI32(1);
+              Reg R = B.sub32(OneC, A);
+              B.copyTo(Result, B.and32(R, Mask));
+            },
+            [&] {
+              // a,b in [1,65535]: product fits in 32 bits unsigned; use
+              // the rem operator on the non-negative product.
+              Reg P = B.mul32(A, Bp, "p");
+              // p can exceed 2^31 as unsigned; split to stay signed:
+              // p = hi*2^16 + lo; p mod 65537 = (lo - hi) mod 65537.
+              Reg Sixteen = B.constI32(16);
+              Reg Hi = B.shr32(P, Sixteen, "hi");
+              Reg Lo = B.and32(P, Mask, "lo");
+              Reg Diff = B.sub32(Lo, Hi, "diff");
+              Reg Neg = B.cmp32(CmpPred::SLT, Diff, Zero);
+              K.ifThen(Neg, [&] {
+                B.binopTo(Diff, Opcode::Add, Width::W32, Diff, Mod);
+              });
+              B.copyTo(Result, Diff);
+            });
+      });
+  B.ret(Result);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildIDEA(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("idea");
+  Function *Mul16 = buildMul16(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t Blocks = 128;
+  const int32_t Rounds = 8;
+  const int32_t Passes = 4 * static_cast<int32_t>(Params.Scale);
+
+  Reg DataLen = B.constI32(Blocks * 4); // Four u16 words per block.
+  Reg Data = B.newArray(Type::U16, DataLen, "data");
+  Reg KeyLen = B.constI32(Rounds * 6);
+  Reg Keys = B.newArray(Type::U16, KeyLen, "keys");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Mask = B.constI32(0xFFFF);
+  Reg Four = B.constI32(4);
+  Reg Six = B.constI32(6);
+
+  K.fillLCG(Data, DataLen, 0x1DEA, Type::U16);
+  K.fillLCG(Keys, KeyLen, 0x5ECE7, Type::U16);
+
+  Reg Pass = Main->newReg(Type::I32, "pass");
+  Reg PassesReg = B.constI32(Passes);
+  K.forUp(Pass, Zero, PassesReg, [&] {
+    Reg Blk = Main->newReg(Type::I32, "blk");
+    Reg BlocksReg = B.constI32(Blocks);
+    K.forUp(Blk, Zero, BlocksReg, [&] {
+      Reg Base = B.mul32(Blk, Four, "base");
+      Reg X0 = K.varI32(0, "x0");
+      Reg X1 = K.varI32(0, "x1");
+      Reg X2 = K.varI32(0, "x2");
+      Reg X3 = K.varI32(0, "x3");
+      B.copyTo(X0, B.arrayLoad(Type::U16, Data, Base));
+      B.copyTo(X1, B.arrayLoad(Type::U16, Data, B.add32(Base, One)));
+      B.copyTo(X2, B.arrayLoad(Type::U16, Data, B.add32(Base, B.constI32(2))));
+      B.copyTo(X3, B.arrayLoad(Type::U16, Data, B.add32(Base, B.constI32(3))));
+
+      Reg Rnd = Main->newReg(Type::I32, "rnd");
+      Reg RoundsReg = B.constI32(Rounds);
+      K.forUp(Rnd, Zero, RoundsReg, [&] {
+        Reg KBase = B.mul32(Rnd, Six, "kbase");
+        auto Key = [&](int32_t Offset) {
+          Reg Idx = B.add32(KBase, B.constI32(Offset));
+          return B.arrayLoad(Type::U16, Keys, Idx);
+        };
+        Reg T0 = B.call(Mul16, {X0, Key(0)}, "t0");
+        Reg T1 = B.and32(B.add32(X1, Key(1)), Mask, "t1");
+        Reg T2 = B.and32(B.add32(X2, Key(2)), Mask, "t2");
+        Reg T3 = B.call(Mul16, {X3, Key(3)}, "t3");
+
+        Reg E0 = B.xor32(T0, T2, "e0");
+        Reg E1 = B.xor32(T1, T3, "e1");
+        Reg F0 = B.call(Mul16, {E0, Key(4)}, "f0");
+        Reg F1 = B.and32(B.add32(E1, F0), Mask, "f1");
+        Reg F2 = B.call(Mul16, {F1, Key(5)}, "f2");
+        Reg F3 = B.and32(B.add32(F0, F2), Mask, "f3");
+
+        B.copyTo(X0, B.xor32(T0, F2));
+        B.copyTo(X1, B.xor32(T2, F2));
+        B.copyTo(X2, B.xor32(T1, F3));
+        B.copyTo(X3, B.xor32(T3, F3));
+      });
+
+      // Write back; Java short semantics on the way out.
+      Reg S0 = B.sext(16, X0, "s0");
+      B.arrayStore(Type::U16, Data, Base, S0);
+      B.arrayStore(Type::U16, Data, B.add32(Base, One), X1);
+      B.arrayStore(Type::U16, Data, B.add32(Base, B.constI32(2)), X2);
+      B.arrayStore(Type::U16, Data, B.add32(Base, B.constI32(3)), X3);
+    });
+  });
+
+  // Checksum over the encrypted data.
+  Reg Sum = K.varI64(0, "sum");
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    K.forUp(I, Zero, DataLen, [&] {
+      Reg V = B.arrayLoad(Type::U16, Data, I, "v");
+      Reg IP1 = B.add32(I, One);
+      Reg T = B.mul32(V, IP1);
+      Reg T64 = Main->newReg(Type::I64, "t64");
+      B.copyTo(T64, T);
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, T64);
+    });
+  }
+  B.ret(Sum);
+  return M;
+}

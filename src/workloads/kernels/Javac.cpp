@@ -1,0 +1,222 @@
+//===- workloads/kernels/Javac.cpp - SPECjvm98 _213_javac ----------------------===//
+//
+// The compiler-front-end core: scan identifiers out of a byte stream,
+// intern them into an open-addressing symbol table, and resolve scoped
+// references — hashing, probing, and byte-compare loops.
+//
+//===--------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildJavac(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("javac");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t SourceLen = 4000 * static_cast<int32_t>(Params.Scale);
+  const int32_t TableSize = 509; // Prime.
+
+  Reg SourceLenReg = B.constI32(SourceLen);
+  Reg Source = B.newArray(Type::I8, SourceLenReg, "source");
+  Reg TableSizeReg = B.constI32(TableSize);
+  Reg SymHash = B.newArray(Type::I32, TableSizeReg, "symHash");
+  Reg SymCount = B.newArray(Type::I32, TableSizeReg, "symCount");
+  Reg SymScope = B.newArray(Type::I32, TableSizeReg, "symScope");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg MinusOne = B.constI32(-1);
+
+  // Synthetic source: short identifiers separated by spaces; a '{' or '}'
+  // now and then drives a scope counter.
+  {
+    Reg X = K.varI32(0x14C0DE, "x");
+    Reg MulC = B.constI32(1103515245);
+    Reg AddC = B.constI32(12345);
+    Reg I = Main->newReg(Type::I32, "gi");
+    K.forUp(I, Zero, SourceLenReg, [&] {
+      B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+      B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+      Reg R = B.shr32(X, B.constI32(11), "r");
+      Reg Sel = B.and32(R, B.constI32(15));
+      Reg Ch = K.varI32(' ', "ch");
+      Reg IsIdent = B.cmp32(CmpPred::SLE, Sel, B.constI32(9));
+      K.ifThenElse(
+          IsIdent,
+          [&] {
+            // Bias to a small alphabet so identifiers repeat (interning).
+            Reg Off = B.rem32(B.shr32(R, B.constI32(4)), B.constI32(8));
+            B.copyTo(Ch, B.add32(B.constI32('a'), Off));
+          },
+          [&] {
+            Reg IsOpen = B.cmp32(CmpPred::EQ, Sel, B.constI32(10));
+            K.ifThenElse(
+                IsOpen, [&] { B.copyTo(Ch, B.constI32('{')); },
+                [&] {
+                  Reg IsClose =
+                      B.cmp32(CmpPred::EQ, Sel, B.constI32(11));
+                  K.ifThen(IsClose,
+                           [&] { B.copyTo(Ch, B.constI32('}')); });
+                });
+          });
+      B.arrayStore(Type::I8, Source, I, Ch);
+    });
+  }
+
+  // Clear the symbol table.
+  {
+    Reg I = Main->newReg(Type::I32, "ti");
+    K.forUp(I, Zero, TableSizeReg, [&] {
+      B.arrayStore(Type::I32, SymHash, I, MinusOne);
+      B.arrayStore(Type::I32, SymCount, I, Zero);
+      B.arrayStore(Type::I32, SymScope, I, Zero);
+    });
+  }
+
+  // Scan + intern.
+  Reg Scope = K.varI32(0, "scope");
+  Reg Interned = K.varI64(0, "interned");
+  Reg Probes = K.varI64(0, "probes");
+  {
+    Reg Pos = K.varI32(0, "pos");
+    K.whileLoop(
+        [&] { return B.cmp32(CmpPred::SLT, Pos, SourceLenReg); },
+        [&] {
+          Reg Raw = B.arrayLoad(Type::I8, Source, Pos, "raw");
+          Reg Ch = B.sext(8, Raw, "ch");
+          Reg IsLower = B.and32(B.cmp32(CmpPred::SGE, Ch, B.constI32('a')),
+                                B.cmp32(CmpPred::SLE, Ch, B.constI32('z')));
+          K.ifThenElse(
+              IsLower,
+              [&] {
+                // Read the identifier, computing its hash.
+                Reg H = K.varI32(0, "h");
+                Reg Cont = K.varI32(1, "cont");
+                K.whileLoop(
+                    [&] {
+                      Reg InRange =
+                          B.cmp32(CmpPred::SLT, Pos, SourceLenReg);
+                      Reg Still = B.cmp32(CmpPred::NE, Cont, Zero);
+                      return B.and32(InRange, Still);
+                    },
+                    [&] {
+                      Reg Raw2 = B.arrayLoad(Type::I8, Source, Pos);
+                      Reg C2 = B.sext(8, Raw2);
+                      Reg Lower = B.and32(
+                          B.cmp32(CmpPred::SGE, C2, B.constI32('a')),
+                          B.cmp32(CmpPred::SLE, C2, B.constI32('z')));
+                      K.ifThenElse(
+                          Lower,
+                          [&] {
+                            Reg H33 = B.mul32(H, B.constI32(33));
+                            Reg Mixed = B.add32(H33, C2);
+                            B.copyTo(H,
+                                     B.and32(Mixed, B.constI32(0x7FFFFF)));
+                            B.binopTo(Pos, Opcode::Add, Width::W32, Pos,
+                                      One);
+                          },
+                          [&] { B.copyTo(Cont, Zero); });
+                    });
+
+                // Intern: linear probe for hash or a free slot. The probe
+                // budget guards against a full table at large scales.
+                Reg Slot = K.varI32(0, "slot");
+                B.copyTo(Slot, B.rem32(H, TableSizeReg));
+                Reg State = K.varI32(-2, "state");
+                Reg Budget = K.varI32(0, "budget");
+                B.copyTo(Budget, TableSizeReg);
+                K.whileLoop(
+                    [&] {
+                      Reg Probing =
+                          B.cmp32(CmpPred::EQ, State, B.constI32(-2));
+                      Reg HasBudget =
+                          B.cmp32(CmpPred::SGT, Budget, Zero);
+                      return B.and32(Probing, HasBudget);
+                    },
+                    [&] {
+                      B.binopTo(Budget, Opcode::Sub, Width::W32, Budget,
+                                One);
+                      Reg One64 = Main->newReg(Type::I64, "p1");
+                      B.constTo(One64, 1);
+                      B.binopTo(Probes, Opcode::Add, Width::W64, Probes,
+                                One64);
+                      Reg Hv = B.arrayLoad(Type::I32, SymHash, Slot, "hv");
+                      Reg Empty = B.cmp32(CmpPred::EQ, Hv, MinusOne);
+                      K.ifThenElse(
+                          Empty,
+                          [&] {
+                            B.arrayStore(Type::I32, SymHash, Slot, H);
+                            B.arrayStore(Type::I32, SymCount, Slot, One);
+                            B.arrayStore(Type::I32, SymScope, Slot, Scope);
+                            B.copyTo(State, One);
+                            Reg I64 = Main->newReg(Type::I64, "i64");
+                            B.constTo(I64, 1);
+                            B.binopTo(Interned, Opcode::Add, Width::W64,
+                                      Interned, I64);
+                          },
+                          [&] {
+                            Reg Match = B.cmp32(CmpPred::EQ, Hv, H);
+                            K.ifThenElse(
+                                Match,
+                                [&] {
+                                  Reg Cv = B.arrayLoad(Type::I32, SymCount,
+                                                       Slot);
+                                  B.arrayStore(Type::I32, SymCount, Slot,
+                                               B.add32(Cv, One));
+                                  B.copyTo(State, Zero);
+                                },
+                                [&] {
+                                  B.binopTo(Slot, Opcode::Add, Width::W32,
+                                            Slot, One);
+                                  Reg Wrap = B.cmp32(CmpPred::SGE, Slot,
+                                                     TableSizeReg);
+                                  K.ifThen(Wrap,
+                                           [&] { B.copyTo(Slot, Zero); });
+                                });
+                          });
+                    });
+              },
+              [&] {
+                Reg IsOpen = B.cmp32(CmpPred::EQ, Ch, B.constI32('{'));
+                K.ifThen(IsOpen, [&] {
+                  B.binopTo(Scope, Opcode::Add, Width::W32, Scope, One);
+                });
+                Reg IsClose = B.cmp32(CmpPred::EQ, Ch, B.constI32('}'));
+                K.ifThen(IsClose, [&] {
+                  Reg Pos2 = B.cmp32(CmpPred::SGT, Scope, Zero);
+                  K.ifThen(Pos2, [&] {
+                    B.binopTo(Scope, Opcode::Sub, Width::W32, Scope, One);
+                  });
+                });
+                B.binopTo(Pos, Opcode::Add, Width::W32, Pos, One);
+              });
+        });
+  }
+
+  // Checksum: table contents + probe/intern counters.
+  Reg Sum = K.varI64(0, "sum");
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    K.forUp(I, Zero, TableSizeReg, [&] {
+      Reg Hv = B.arrayLoad(Type::I32, SymHash, I);
+      Reg Used = B.cmp32(CmpPred::SGE, Hv, Zero);
+      K.ifThen(Used, [&] {
+        Reg Cv = B.arrayLoad(Type::I32, SymCount, I);
+        Reg Sv = B.arrayLoad(Type::I32, SymScope, I);
+        Reg T = B.add32(B.mul32(Cv, B.constI32(17)),
+                        B.add32(Sv, B.and32(Hv, B.constI32(1023))));
+        Reg T64 = Main->newReg(Type::I64, "t64");
+        B.copyTo(T64, T);
+        B.binopTo(Sum, Opcode::Add, Width::W64, Sum, T64);
+      });
+    });
+  }
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Probes);
+  Reg InternedScaled = B.mul64(Interned, B.constI64(10000));
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, InternedScaled);
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,189 @@
+//===- workloads/kernels/Jess.cpp - SPECjvm98 _202_jess ------------------------===//
+//
+// A forward-chaining rule matcher: facts as (slot0, slot1, slot2) int
+// triples, rules as condition pairs over slots, and a fixpoint loop that
+// fires rules to assert derived facts — int compares and small-array
+// indexing dominate, like the expert-system original.
+//
+//===--------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildJess(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("jess");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t MaxFacts = 512;
+  const int32_t Seeds = 48;
+  const int32_t Rules = 24;
+  const int32_t Rounds = 3 * static_cast<int32_t>(Params.Scale);
+
+  Reg MaxFactsReg = B.constI32(MaxFacts);
+  Reg Fact0 = B.newArray(Type::I32, MaxFactsReg, "fact0");
+  Reg Fact1 = B.newArray(Type::I32, MaxFactsReg, "fact1");
+  Reg Fact2 = B.newArray(Type::I32, MaxFactsReg, "fact2");
+  Reg RulesReg = B.constI32(Rules);
+  Reg RuleKind = B.newArray(Type::I32, RulesReg, "ruleKind");
+  Reg RuleArg = B.newArray(Type::I32, RulesReg, "ruleArg");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Sum = K.varI64(0, "sum");
+
+  // Rules: kind selects a comparison pattern, arg a threshold.
+  {
+    Reg I = Main->newReg(Type::I32, "ri");
+    K.forUp(I, Zero, RulesReg, [&] {
+      Reg Kind = B.rem32(I, B.constI32(4));
+      B.arrayStore(Type::I32, RuleKind, I, Kind);
+      Reg Arg = B.mul32(I, B.constI32(5));
+      B.arrayStore(Type::I32, RuleArg, I, Arg);
+    });
+  }
+
+  Reg Round = Main->newReg(Type::I32, "round");
+  K.forUp(Round, Zero, B.constI32(Rounds), [&] {
+    // Seed facts.
+    Reg NumFacts = K.varI32(0, "numFacts");
+    {
+      Reg X = K.varI32(0x3E55, "x");
+      Reg MulC = B.constI32(1103515245);
+      Reg AddC = B.constI32(12345);
+      Reg I = Main->newReg(Type::I32, "si");
+      Reg SeedsReg = B.constI32(Seeds);
+      Reg Mask = B.constI32(127);
+      K.forUp(I, Zero, SeedsReg, [&] {
+        B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+        B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+        Reg R = B.shr32(X, B.constI32(10));
+        B.arrayStore(Type::I32, Fact0, I, B.and32(R, Mask));
+        B.arrayStore(Type::I32, Fact1, I,
+                     B.and32(B.shr32(R, B.constI32(7)), Mask));
+        B.arrayStore(Type::I32, Fact2, I, Zero);
+        B.binopTo(NumFacts, Opcode::Add, Width::W32, NumFacts, One);
+      });
+    }
+
+    // Fixpoint: match every rule against every fact; fire at most once
+    // per (rule, fact) per sweep; stop when no rule fires or full.
+    Reg Fired = K.varI32(1, "fired");
+    K.whileLoop(
+        [&] {
+          Reg Any = B.cmp32(CmpPred::NE, Fired, Zero);
+          Reg Room = B.cmp32(CmpPred::SLT, NumFacts,
+                             B.sub32(MaxFactsReg, One));
+          return B.and32(Any, Room);
+        },
+        [&] {
+          B.copyTo(Fired, Zero);
+          Reg Rr = Main->newReg(Type::I32, "rr");
+          K.forUp(Rr, Zero, RulesReg, [&] {
+            Reg Kind = B.arrayLoad(Type::I32, RuleKind, Rr, "kind");
+            Reg Arg = B.arrayLoad(Type::I32, RuleArg, Rr, "arg");
+            Reg Fi = Main->newReg(Type::I32, "fi");
+            Reg Snapshot = K.varI32(0, "snapshot");
+            B.copyTo(Snapshot, NumFacts);
+            K.forUp(Fi, Zero, Snapshot, [&] {
+              Reg S0 = B.arrayLoad(Type::I32, Fact0, Fi, "s0");
+              Reg S1 = B.arrayLoad(Type::I32, Fact1, Fi, "s1");
+              Reg S2 = B.arrayLoad(Type::I32, Fact2, Fi, "s2");
+
+              // Match condition by rule kind.
+              Reg Match = K.varI32(0, "match");
+              Reg IsK0 = B.cmp32(CmpPred::EQ, Kind, Zero);
+              K.ifThenElse(
+                  IsK0,
+                  [&] {
+                    Reg C = B.and32(B.cmp32(CmpPred::SGT, S0, Arg),
+                                    B.cmp32(CmpPred::EQ, S2, Zero));
+                    B.copyTo(Match, C);
+                  },
+                  [&] {
+                    Reg IsK1 = B.cmp32(CmpPred::EQ, Kind, One);
+                    K.ifThenElse(
+                        IsK1,
+                        [&] {
+                          Reg C =
+                              B.and32(B.cmp32(CmpPred::SLT, S1, Arg),
+                                      B.cmp32(CmpPred::EQ, S2, Zero));
+                          B.copyTo(Match, C);
+                        },
+                        [&] {
+                          Reg IsK2 =
+                              B.cmp32(CmpPred::EQ, Kind, B.constI32(2));
+                          K.ifThenElse(
+                              IsK2,
+                              [&] {
+                                Reg DiffV = B.sub32(S0, S1);
+                                Reg C = B.and32(
+                                    B.cmp32(CmpPred::SGT, DiffV, Arg),
+                                    B.cmp32(CmpPred::EQ, S2, Zero));
+                                B.copyTo(Match, C);
+                              },
+                              [&] {
+                                Reg SumV = B.add32(S0, S1);
+                                Reg C = B.and32(
+                                    B.cmp32(CmpPred::EQ,
+                                            B.and32(SumV, B.constI32(7)),
+                                            Zero),
+                                    B.cmp32(CmpPred::EQ, S2, Zero));
+                                B.copyTo(Match, C);
+                              });
+                        });
+                  });
+
+              Reg DoFire = B.cmp32(CmpPred::NE, Match, Zero);
+              K.ifThen(DoFire, [&] {
+                Reg Room =
+                    B.cmp32(CmpPred::SLT, NumFacts, MaxFactsReg);
+                K.ifThen(Room, [&] {
+                  // Assert a derived fact and mark the source consumed.
+                  Reg D0 = B.and32(B.add32(S0, S1), B.constI32(127));
+                  Reg D1 = B.and32(B.add32(S1, Arg), B.constI32(127));
+                  B.arrayStore(Type::I32, Fact0, NumFacts, D0);
+                  B.arrayStore(Type::I32, Fact1, NumFacts, D1);
+                  Reg Depth = B.add32(S2, One);
+                  Reg Capped = K.varI32(0, "capped");
+                  B.copyTo(Capped, Depth);
+                  Reg TooDeep =
+                      B.cmp32(CmpPred::SGT, Capped, B.constI32(3));
+                  K.ifThen(TooDeep,
+                           [&] { B.copyTo(Capped, B.constI32(3)); });
+                  B.arrayStore(Type::I32, Fact2, NumFacts, Capped);
+                  B.arrayStore(Type::I32, Fact2, Fi, B.constI32(9));
+                  B.binopTo(NumFacts, Opcode::Add, Width::W32, NumFacts,
+                            One);
+                  B.copyTo(Fired, One);
+                });
+              });
+            });
+          });
+        });
+
+    // Fold the working memory into the checksum.
+    {
+      Reg I = Main->newReg(Type::I32, "ci");
+      K.forUp(I, Zero, NumFacts, [&] {
+        Reg S0 = B.arrayLoad(Type::I32, Fact0, I);
+        Reg S1 = B.arrayLoad(Type::I32, Fact1, I);
+        Reg S2 = B.arrayLoad(Type::I32, Fact2, I);
+        Reg T = B.add32(B.mul32(S0, B.constI32(3)),
+                        B.add32(B.mul32(S1, B.constI32(5)), S2));
+        Reg T64 = Main->newReg(Type::I64, "t64");
+        B.copyTo(T64, T);
+        B.binopTo(Sum, Opcode::Add, Width::W64, Sum, T64);
+      });
+      Reg N64 = Main->newReg(Type::I64, "n64");
+      B.copyTo(N64, NumFacts);
+      Reg Scaled = B.mul64(N64, B.constI64(1000000));
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Scaled);
+    }
+  });
+
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,177 @@
+//===- workloads/kernels/LUDecomp.cpp - jBYTEmark LU Decomposition -------------===//
+//
+// LU decomposition with partial pivoting on a flattened NxN double
+// matrix, followed by a solve. Pivot bookkeeping uses int arrays; the
+// inner elimination loops are double triads addressed by r*N+c.
+//
+//===--------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildLUDecomp(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("lu_decomp");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t N = 24;
+  const int32_t Rounds = 3 * static_cast<int32_t>(Params.Scale);
+
+  Reg Nreg = B.constI32(N, "N");
+  Reg Mat = B.newArray(Type::F64, B.constI32(N * N), "mat");
+  Reg Vec = B.newArray(Type::F64, Nreg, "vec");
+  Reg Piv = B.newArray(Type::I32, Nreg, "piv");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg Sum = K.varI64(0, "sum");
+
+  Reg Round = Main->newReg(Type::I32, "round");
+  K.forUp(Round, Zero, B.constI32(Rounds), [&] {
+    // Build a well-conditioned matrix: diag-dominant pseudo-random.
+    {
+      Reg X = K.varI32(0x10DEC0, "x");
+      Reg MulC = B.constI32(1103515245);
+      Reg AddC = B.constI32(12345);
+      Reg R = Main->newReg(Type::I32, "r");
+      K.forUp(R, Zero, Nreg, [&] {
+        Reg C = Main->newReg(Type::I32, "c");
+        K.forUp(C, Zero, Nreg, [&] {
+          B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+          B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+          Reg Raw = B.shr32(X, B.constI32(20), "raw"); // [0, 4096)
+          Reg Rd = B.i2d(Raw);
+          Reg Scaled = B.fdiv(Rd, B.constF64(4096.0));
+          Reg Idx = B.add32(B.mul32(R, Nreg), C, "idx");
+          Reg IsDiag = B.cmp32(CmpPred::EQ, R, C);
+          K.ifThenElse(
+              IsDiag,
+              [&] {
+                Reg Dom = B.fadd(Scaled, B.constF64(32.0));
+                B.arrayStore(Type::F64, Mat, Idx, Dom);
+              },
+              [&] { B.arrayStore(Type::F64, Mat, Idx, Scaled); });
+        });
+        Reg Rd = B.i2d(R);
+        Reg Bval = B.fadd(Rd, B.constF64(1.0));
+        B.arrayStore(Type::F64, Vec, R, Bval);
+      });
+    }
+
+    // Decompose with partial pivoting.
+    {
+      Reg Kv = Main->newReg(Type::I32, "k");
+      K.forUp(Kv, Zero, Nreg, [&] {
+        // Find the pivot row.
+        Reg Best = K.varF64(0.0, "best");
+        Reg BestRow = K.varI32(0, "bestrow");
+        B.copyTo(BestRow, Kv);
+        Reg R = Main->newReg(Type::I32, "pr");
+        K.forUp(R, Kv, Nreg, [&] {
+          Reg Idx = B.add32(B.mul32(R, Nreg), Kv);
+          Reg V = B.arrayLoad(Type::F64, Mat, Idx);
+          Reg Abs = K.varF64(0.0, "abs");
+          B.fbinopTo(Abs, Opcode::FAdd, V, B.constF64(0.0));
+          Reg Neg = B.fcmp(CmpPred::SLT, V, B.constF64(0.0));
+          K.ifThen(Neg, [&] {
+            Reg Nv = B.fneg(V);
+            B.fbinopTo(Abs, Opcode::FAdd, Nv, B.constF64(0.0));
+          });
+          Reg Better = B.fcmp(CmpPred::SGT, Abs, Best);
+          K.ifThen(Better, [&] {
+            B.fbinopTo(Best, Opcode::FAdd, Abs, B.constF64(0.0));
+            B.copyTo(BestRow, R);
+          });
+        });
+        B.arrayStore(Type::I32, Piv, Kv, BestRow);
+
+        // Swap rows k and bestrow (and the RHS entries).
+        Reg NeedSwap = B.cmp32(CmpPred::NE, BestRow, Kv);
+        K.ifThen(NeedSwap, [&] {
+          Reg C = Main->newReg(Type::I32, "sc");
+          K.forUp(C, Zero, Nreg, [&] {
+            Reg IdxA = B.add32(B.mul32(Kv, Nreg), C);
+            Reg IdxB = B.add32(B.mul32(BestRow, Nreg), C);
+            Reg Va = B.arrayLoad(Type::F64, Mat, IdxA);
+            Reg Vb = B.arrayLoad(Type::F64, Mat, IdxB);
+            B.arrayStore(Type::F64, Mat, IdxA, Vb);
+            B.arrayStore(Type::F64, Mat, IdxB, Va);
+          });
+          Reg Va = B.arrayLoad(Type::F64, Vec, Kv);
+          Reg Vb = B.arrayLoad(Type::F64, Vec, BestRow);
+          B.arrayStore(Type::F64, Vec, Kv, Vb);
+          B.arrayStore(Type::F64, Vec, BestRow, Va);
+        });
+
+        // Eliminate below the pivot.
+        Reg PivIdx = B.add32(B.mul32(Kv, Nreg), Kv);
+        Reg PivVal = B.arrayLoad(Type::F64, Mat, PivIdx, "pivval");
+        Reg KP1 = B.add32(Kv, One);
+        Reg R2 = Main->newReg(Type::I32, "er");
+        K.forUp(R2, KP1, Nreg, [&] {
+          Reg LIdx = B.add32(B.mul32(R2, Nreg), Kv);
+          Reg Lv = B.arrayLoad(Type::F64, Mat, LIdx);
+          Reg Factor = B.fdiv(Lv, PivVal, "factor");
+          B.arrayStore(Type::F64, Mat, LIdx, Factor);
+          Reg C2 = Main->newReg(Type::I32, "ec");
+          K.forUp(C2, KP1, Nreg, [&] {
+            Reg AIdx = B.add32(B.mul32(R2, Nreg), C2);
+            Reg KIdx = B.add32(B.mul32(Kv, Nreg), C2);
+            Reg Av = B.arrayLoad(Type::F64, Mat, AIdx);
+            Reg Kvv = B.arrayLoad(Type::F64, Mat, KIdx);
+            Reg Delta = B.fmul(Factor, Kvv);
+            Reg NewA = B.fsub(Av, Delta);
+            B.arrayStore(Type::F64, Mat, AIdx, NewA);
+          });
+          Reg Bk = B.arrayLoad(Type::F64, Vec, Kv);
+          Reg Br = B.arrayLoad(Type::F64, Vec, R2);
+          Reg Delta = B.fmul(Factor, Bk);
+          Reg NewB = B.fsub(Br, Delta);
+          B.arrayStore(Type::F64, Vec, R2, NewB);
+        });
+      });
+    }
+
+    // Back substitution.
+    {
+      Reg R = Main->newReg(Type::I32, "br");
+      K.forDown(R, Nreg, Zero, [&] {
+        Reg Acc = K.varF64(0.0, "bacc");
+        Reg Bv = B.arrayLoad(Type::F64, Vec, R);
+        B.fbinopTo(Acc, Opcode::FAdd, Bv, B.constF64(0.0));
+        Reg RP1 = B.add32(R, One);
+        Reg C = Main->newReg(Type::I32, "bc");
+        K.forUp(C, RP1, Nreg, [&] {
+          Reg Idx = B.add32(B.mul32(R, Nreg), C);
+          Reg Av = B.arrayLoad(Type::F64, Mat, Idx);
+          Reg Xv = B.arrayLoad(Type::F64, Vec, C);
+          Reg Prod = B.fmul(Av, Xv);
+          B.fbinopTo(Acc, Opcode::FSub, Acc, Prod);
+        });
+        Reg DiagIdx = B.add32(B.mul32(R, Nreg), R);
+        Reg Dv = B.arrayLoad(Type::F64, Mat, DiagIdx);
+        Reg Xv = B.fdiv(Acc, Dv);
+        B.arrayStore(Type::F64, Vec, R, Xv);
+      });
+    }
+
+    // Checksum: quantized solution plus pivot permutation.
+    {
+      Reg I = Main->newReg(Type::I32, "ci");
+      K.forUp(I, Zero, Nreg, [&] {
+        Reg Xv = B.arrayLoad(Type::F64, Vec, I);
+        Reg Scaled = B.fmul(Xv, B.constF64(1000.0));
+        Reg Q = B.d2i(Scaled);
+        Reg Pv = B.arrayLoad(Type::I32, Piv, I);
+        Reg Mixed = B.add32(Q, B.mul32(Pv, B.constI32(13)));
+        Reg Mixed64 = Main->newReg(Type::I64, "m64");
+        B.copyTo(Mixed64, Mixed);
+        B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Mixed64);
+      });
+    }
+  });
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,111 @@
+//===- workloads/kernels/Mpegaudio.cpp - SPECjvm98 _222_mpegaudio --------------===//
+//
+// Fixed-point subband synthesis: windowed multiply-accumulate over int32
+// sample and coefficient arrays with arithmetic-shift rescaling (sar),
+// the signature inner loop of an integer MP3 decoder.
+//
+//===-------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+std::unique_ptr<Module> sxe::buildMpegaudio(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("mpegaudio");
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t Subbands = 32;
+  const int32_t WindowLen = 16;
+  const int32_t Frames = 48 * static_cast<int32_t>(Params.Scale);
+
+  Reg SamplesLen = B.constI32(Subbands * WindowLen);
+  Reg Samples = B.newArray(Type::I32, SamplesLen, "samples");
+  Reg Coeffs = B.newArray(Type::I32, SamplesLen, "coeffs");
+  Reg Output = B.newArray(Type::I32, B.constI32(Subbands), "output");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+  Reg SubbandsReg = B.constI32(Subbands);
+  Reg WindowLenReg = B.constI32(WindowLen);
+  Reg Sum = K.varI64(0, "sum");
+
+  // Q14 coefficients: a raised-cosine-ish window from integer math.
+  {
+    Reg I = Main->newReg(Type::I32, "i");
+    Reg Mod = B.constI32(97);
+    K.forUp(I, Zero, SamplesLen, [&] {
+      Reg H = B.rem32(B.mul32(I, B.constI32(31)), Mod);
+      Reg Centered = B.sub32(H, B.constI32(48));
+      Reg C = B.mul32(Centered, B.constI32(256));
+      B.arrayStore(Type::I32, Coeffs, I, C);
+    });
+  }
+
+  Reg X = K.varI32(0x4A77, "x");
+  Reg MulC = B.constI32(1103515245);
+  Reg AddC = B.constI32(12345);
+
+  Reg Frame = Main->newReg(Type::I32, "frame");
+  K.forUp(Frame, Zero, B.constI32(Frames), [&] {
+    // Shift in one new pseudo-random sample column per subband.
+    {
+      Reg S = Main->newReg(Type::I32, "s");
+      K.forUp(S, Zero, SubbandsReg, [&] {
+        Reg Base = B.mul32(S, WindowLenReg, "base");
+        // Slide the window: samples[base+k] = samples[base+k+1].
+        Reg Kv = Main->newReg(Type::I32, "k");
+        Reg Wm1 = B.sub32(WindowLenReg, One);
+        K.forUp(Kv, Zero, Wm1, [&] {
+          Reg From = B.add32(B.add32(Base, Kv), One);
+          Reg V = B.arrayLoad(Type::I32, Samples, From);
+          Reg To = B.add32(Base, Kv);
+          B.arrayStore(Type::I32, Samples, To, V);
+        });
+        B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+        B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+        Reg Raw = B.sar32(X, B.constI32(16), "raw"); // Signed 16-bit-ish.
+        Reg Last = B.add32(Base, Wm1);
+        B.arrayStore(Type::I32, Samples, Last, Raw);
+      });
+    }
+
+    // Synthesis: out[s] = (sum_k samples[s*W+k] * coeffs[s*W+k]) >> 14.
+    {
+      Reg S = Main->newReg(Type::I32, "ss");
+      K.forUp(S, Zero, SubbandsReg, [&] {
+        Reg Base = B.mul32(S, WindowLenReg, "sbase");
+        Reg Acc = K.varI32(0, "acc");
+        Reg Kv = Main->newReg(Type::I32, "sk");
+        K.forUp(Kv, Zero, WindowLenReg, [&] {
+          Reg Idx = B.add32(Base, Kv, "idx");
+          Reg Sample = B.arrayLoad(Type::I32, Samples, Idx, "sample");
+          Reg Coeff = B.arrayLoad(Type::I32, Coeffs, Idx, "coeff");
+          Reg Prod = B.mul32(Sample, Coeff);
+          Reg Scaled = B.sar32(Prod, B.constI32(14));
+          B.binopTo(Acc, Opcode::Add, Width::W32, Acc, Scaled);
+        });
+        B.arrayStore(Type::I32, Output, S, Acc);
+      });
+    }
+
+    // Fold the frame output into the checksum.
+    {
+      Reg S = Main->newReg(Type::I32, "cs");
+      K.forUp(S, Zero, SubbandsReg, [&] {
+        Reg V = B.arrayLoad(Type::I32, Output, S);
+        Reg V64 = Main->newReg(Type::I64, "v64");
+        B.copyTo(V64, V);
+        Reg Three = B.constI64(3);
+        Reg Mixed = B.mul64(Sum, Three);
+        Reg Masked = B.binop(Opcode::And, Width::W64, Mixed,
+                             B.constI64(0xFFFFFFFFFFFFll));
+        B.binopTo(Sum, Opcode::Add, Width::W64, Masked, V64);
+      });
+    }
+  });
+
+  B.ret(Sum);
+  return M;
+}

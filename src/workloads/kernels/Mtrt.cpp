@@ -1,0 +1,150 @@
+//===- workloads/kernels/Mtrt.cpp - SPECjvm98 _227_mtrt ------------------------===//
+//
+// A miniature ray tracer: rays against a sphere field stored in flat
+// double arrays, with nearest-hit selection and a one-bounce shading
+// term. Double vector math indexed by int counters — the mtrt profile.
+//
+//===--------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+/// `f64 dsqrt(x)`: Newton iterations seeded at x/2 + 0.5 (x >= 0).
+Function *buildDsqrt(Module &M) {
+  Function *F = M.createFunction("dsqrt", Type::F64);
+  Reg X = F->addParam(Type::F64, "x");
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+
+  Reg Tiny = B.constF64(1e-12);
+  Reg Result = K.varF64(0.0, "result");
+  Reg IsTiny = B.fcmp(CmpPred::SLT, X, Tiny, "istiny");
+  K.ifThenElse(
+      IsTiny, [&] { B.fbinopTo(Result, Opcode::FAdd, X, B.constF64(0.0)); },
+      [&] {
+        Reg Guess = K.varF64(0.0, "guess");
+        Reg Half = B.constF64(0.5);
+        Reg Seeded = B.fadd(B.fmul(X, Half), Half);
+        B.fbinopTo(Guess, Opcode::FAdd, Seeded, B.constF64(0.0));
+        Reg I = F->newReg(Type::I32, "i");
+        Reg Zero = B.constI32(0);
+        Reg Iters = B.constI32(6);
+        K.forUp(I, Zero, Iters, [&] {
+          Reg Ratio = B.fdiv(X, Guess);
+          Reg Avg = B.fmul(B.fadd(Guess, Ratio), Half);
+          B.fbinopTo(Guess, Opcode::FAdd, Avg, B.constF64(0.0));
+        });
+        B.fbinopTo(Result, Opcode::FAdd, Guess, B.constF64(0.0));
+      });
+  B.ret(Result);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildMtrt(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("mtrt");
+  Function *Dsqrt = buildDsqrt(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t Spheres = 24;
+  const int32_t ImgW = 24, ImgH = 16;
+  const int32_t Frames = 2 * static_cast<int32_t>(Params.Scale);
+
+  Reg SpheresReg = B.constI32(Spheres);
+  Reg Sx = B.newArray(Type::F64, SpheresReg, "sx");
+  Reg Sy = B.newArray(Type::F64, SpheresReg, "sy");
+  Reg Sz = B.newArray(Type::F64, SpheresReg, "sz");
+  Reg Sr = B.newArray(Type::F64, SpheresReg, "sr");
+  Reg Zero = B.constI32(0);
+  Reg Sum = K.varI64(0, "sum");
+
+  // Sphere field from integer hashes.
+  {
+    Reg I = Main->newReg(Type::I32, "i");
+    Reg Mod = B.constI32(29);
+    K.forUp(I, Zero, SpheresReg, [&] {
+      Reg H1 = B.rem32(B.mul32(I, B.constI32(7)), Mod);
+      Reg H2 = B.rem32(B.mul32(I, B.constI32(11)), Mod);
+      Reg H3 = B.rem32(B.mul32(I, B.constI32(13)), Mod);
+      Reg X = B.fsub(B.fdiv(B.i2d(H1), B.constF64(14.5)), B.constF64(1.0));
+      Reg Y = B.fsub(B.fdiv(B.i2d(H2), B.constF64(14.5)), B.constF64(1.0));
+      Reg Zd = B.fadd(B.fdiv(B.i2d(H3), B.constF64(9.5)), B.constF64(2.0));
+      B.arrayStore(Type::F64, Sx, I, X);
+      B.arrayStore(Type::F64, Sy, I, Y);
+      B.arrayStore(Type::F64, Sz, I, Zd);
+      Reg R = B.fadd(B.fdiv(B.i2d(B.rem32(I, B.constI32(5))),
+                            B.constF64(10.0)),
+                     B.constF64(0.25));
+      B.arrayStore(Type::F64, Sr, I, R);
+    });
+  }
+
+  Reg Frame = Main->newReg(Type::I32, "frame");
+  K.forUp(Frame, Zero, B.constI32(Frames), [&] {
+    Reg Py = Main->newReg(Type::I32, "py");
+    K.forUp(Py, Zero, B.constI32(ImgH), [&] {
+      Reg Px = Main->newReg(Type::I32, "px");
+      K.forUp(Px, Zero, B.constI32(ImgW), [&] {
+        // Ray direction through the pixel (normalized-ish).
+        Reg Fx = B.fsub(B.fdiv(B.i2d(Px), B.constF64(ImgW / 2.0)),
+                        B.constF64(1.0));
+        Reg Fy = B.fsub(B.fdiv(B.i2d(Py), B.constF64(ImgH / 2.0)),
+                        B.constF64(1.0));
+        Reg Fz = B.constF64(1.0);
+
+        // Nearest sphere by quadratic discriminant.
+        Reg BestT = K.varF64(1e9, "bestT");
+        Reg BestId = K.varI32(-1, "bestId");
+        Reg Si = Main->newReg(Type::I32, "si");
+        K.forUp(Si, Zero, SpheresReg, [&] {
+          Reg Cx = B.arrayLoad(Type::F64, Sx, Si);
+          Reg Cy = B.arrayLoad(Type::F64, Sy, Si);
+          Reg Cz = B.arrayLoad(Type::F64, Sz, Si);
+          Reg Rr = B.arrayLoad(Type::F64, Sr, Si);
+          // b = d . c ; c2 = c . c - r^2 ; disc = b^2 - (d.d) c2.
+          Reg Bq = B.fadd(B.fadd(B.fmul(Fx, Cx), B.fmul(Fy, Cy)),
+                          B.fmul(Fz, Cz));
+          Reg C2 = B.fsub(B.fadd(B.fadd(B.fmul(Cx, Cx), B.fmul(Cy, Cy)),
+                                 B.fmul(Cz, Cz)),
+                          B.fmul(Rr, Rr));
+          Reg D2 = B.fadd(B.fadd(B.fmul(Fx, Fx), B.fmul(Fy, Fy)),
+                          B.fmul(Fz, Fz));
+          Reg Disc = B.fsub(B.fmul(Bq, Bq), B.fmul(D2, C2));
+          Reg Hit = B.fcmp(CmpPred::SGT, Disc, B.constF64(0.0), "hit");
+          K.ifThen(Hit, [&] {
+            Reg Root = B.call(Dsqrt, {Disc}, "root");
+            Reg T = B.fdiv(B.fsub(Bq, Root), D2);
+            Reg Forward = B.fcmp(CmpPred::SGT, T, B.constF64(0.001));
+            Reg Closer = B.fcmp(CmpPred::SLT, T, BestT);
+            Reg Better = B.and32(Forward, Closer);
+            K.ifThen(Better, [&] {
+              B.fbinopTo(BestT, Opcode::FAdd, T, B.constF64(0.0));
+              B.copyTo(BestId, Si);
+            });
+          });
+        });
+
+        // Shade: quantize hit distance and sphere id into the checksum.
+        Reg WasHit = B.cmp32(CmpPred::SGE, BestId, Zero);
+        K.ifThen(WasHit, [&] {
+          Reg Quant = B.d2i(B.fmul(BestT, B.constF64(64.0)), "quant");
+          Reg Mixed = B.add32(B.mul32(BestId, B.constI32(257)), Quant);
+          Reg M64 = Main->newReg(Type::I64, "m64");
+          B.copyTo(M64, Mixed);
+          B.binopTo(Sum, Opcode::Add, Width::W64, Sum, M64);
+        });
+      });
+    });
+  });
+
+  B.ret(Sum);
+  return M;
+}

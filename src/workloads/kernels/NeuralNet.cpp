@@ -1,0 +1,178 @@
+//===- workloads/kernels/NeuralNet.cpp - jBYTEmark Neural Net ------------------===//
+//
+// Back-propagation on a tiny two-layer perceptron with a rational sigmoid
+// (x/(1+|x|)): double arrays indexed by i*H+j flattened subscripts, with
+// int loop counters converted through i2d for the input patterns.
+//
+//===-------------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+/// `f64 sigmoid(x)` = 0.5 + 0.5 * x / (1 + |x|).
+Function *buildSigmoid(Module &M) {
+  Function *F = M.createFunction("sigmoid", Type::F64);
+  Reg X = F->addParam(Type::F64, "x");
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg Abs = K.varF64(0.0, "abs");
+  B.fbinopTo(Abs, Opcode::FAdd, X, B.constF64(0.0));
+  Reg ZeroD = B.constF64(0.0);
+  Reg IsNeg = B.fcmp(CmpPred::SLT, X, ZeroD, "isneg");
+  K.ifThen(IsNeg, [&] {
+    Reg Negated = B.fneg(X);
+    B.fbinopTo(Abs, Opcode::FAdd, Negated, B.constF64(0.0));
+  });
+  Reg OneD = B.constF64(1.0);
+  Reg Denominator = B.fadd(OneD, Abs);
+  Reg Ratio = B.fdiv(X, Denominator);
+  Reg HalfD = B.constF64(0.5);
+  Reg Scaled = B.fmul(Ratio, HalfD);
+  Reg Result = B.fadd(Scaled, HalfD);
+  B.ret(Result);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildNeuralNet(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("neural_net");
+  Function *Sigmoid = buildSigmoid(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t In = 8, Hid = 8, Out = 4;
+  const int32_t Patterns = 16;
+  const int32_t Epochs = 6 * static_cast<int32_t>(Params.Scale);
+
+  Reg W1 = B.newArray(Type::F64, B.constI32(In * Hid), "w1");
+  Reg W2 = B.newArray(Type::F64, B.constI32(Hid * Out), "w2");
+  Reg HidAct = B.newArray(Type::F64, B.constI32(Hid), "hid");
+  Reg OutAct = B.newArray(Type::F64, B.constI32(Out), "out");
+  Reg OutErr = B.newArray(Type::F64, B.constI32(Out), "outerr");
+  Reg Inputs = B.newArray(Type::F64, B.constI32(Patterns * In), "inputs");
+  Reg Targets = B.newArray(Type::F64, B.constI32(Patterns * Out), "targets");
+  Reg Zero = B.constI32(0);
+  Reg InReg = B.constI32(In);
+  Reg HidReg = B.constI32(Hid);
+  Reg OutReg = B.constI32(Out);
+  Reg PatternsReg = B.constI32(Patterns);
+  Reg Rate = B.constF64(0.25, "rate");
+
+  // Deterministic weight/pattern initialization from int counters (i2d).
+  {
+    Reg I = Main->newReg(Type::I32, "i");
+    Reg Mod = B.constI32(17);
+    Reg Nine = B.constI32(9);
+    K.forUp(I, Zero, B.constI32(In * Hid), [&] {
+      Reg H = B.rem32(B.mul32(I, Nine), Mod);
+      Reg Hd = B.i2d(H);
+      Reg Centered = B.fsub(Hd, B.constF64(8.0));
+      Reg Weight = B.fdiv(Centered, B.constF64(16.0));
+      B.arrayStore(Type::F64, W1, I, Weight);
+    });
+    Reg J = Main->newReg(Type::I32, "j");
+    K.forUp(J, Zero, B.constI32(Hid * Out), [&] {
+      Reg H = B.rem32(B.mul32(J, B.constI32(7)), Mod);
+      Reg Hd = B.i2d(H);
+      Reg Centered = B.fsub(Hd, B.constF64(8.0));
+      Reg Weight = B.fdiv(Centered, B.constF64(16.0));
+      B.arrayStore(Type::F64, W2, J, Weight);
+    });
+    Reg P = Main->newReg(Type::I32, "p");
+    K.forUp(P, Zero, B.constI32(Patterns * In), [&] {
+      Reg Bit = B.and32(B.shr32(P, B.constI32(1)), B.constI32(1));
+      Reg Bd = B.i2d(Bit);
+      B.arrayStore(Type::F64, Inputs, P, Bd);
+    });
+    Reg Q = Main->newReg(Type::I32, "q");
+    K.forUp(Q, Zero, B.constI32(Patterns * Out), [&] {
+      Reg Bit = B.and32(Q, B.constI32(1));
+      Reg Bd = B.i2d(Bit);
+      B.arrayStore(Type::F64, Targets, Q, Bd);
+    });
+  }
+
+  Reg Epoch = Main->newReg(Type::I32, "epoch");
+  K.forUp(Epoch, Zero, B.constI32(Epochs), [&] {
+    Reg P = Main->newReg(Type::I32, "pp");
+    K.forUp(P, Zero, PatternsReg, [&] {
+      Reg InBase = B.mul32(P, InReg, "inbase");
+      Reg TgtBase = B.mul32(P, OutReg, "tgtbase");
+
+      // Forward: hidden layer.
+      Reg Hh = Main->newReg(Type::I32, "h");
+      K.forUp(Hh, Zero, HidReg, [&] {
+        Reg Acc = K.varF64(0.0, "acc");
+        Reg Ii = Main->newReg(Type::I32, "ii");
+        K.forUp(Ii, Zero, InReg, [&] {
+          Reg X = B.arrayLoad(Type::F64, Inputs, B.add32(InBase, Ii));
+          Reg WIdx = B.add32(B.mul32(Ii, HidReg), Hh);
+          Reg Wv = B.arrayLoad(Type::F64, W1, WIdx);
+          Reg Prod = B.fmul(X, Wv);
+          B.fbinopTo(Acc, Opcode::FAdd, Acc, Prod);
+        });
+        Reg Act = B.call(Sigmoid, {Acc}, "act");
+        B.arrayStore(Type::F64, HidAct, Hh, Act);
+      });
+
+      // Forward: output layer + error.
+      Reg Oo = Main->newReg(Type::I32, "o");
+      K.forUp(Oo, Zero, OutReg, [&] {
+        Reg Acc = K.varF64(0.0, "oacc");
+        Reg Hh2 = Main->newReg(Type::I32, "h2");
+        K.forUp(Hh2, Zero, HidReg, [&] {
+          Reg A = B.arrayLoad(Type::F64, HidAct, Hh2);
+          Reg WIdx = B.add32(B.mul32(Hh2, OutReg), Oo);
+          Reg Wv = B.arrayLoad(Type::F64, W2, WIdx);
+          Reg Prod = B.fmul(A, Wv);
+          B.fbinopTo(Acc, Opcode::FAdd, Acc, Prod);
+        });
+        Reg Act = B.call(Sigmoid, {Acc}, "oact");
+        B.arrayStore(Type::F64, OutAct, Oo, Act);
+        Reg Tv = B.arrayLoad(Type::F64, Targets, B.add32(TgtBase, Oo));
+        Reg Err = B.fsub(Tv, Act);
+        B.arrayStore(Type::F64, OutErr, Oo, Err);
+      });
+
+      // Backward: delta-rule updates.
+      Reg Oo2 = Main->newReg(Type::I32, "o2");
+      K.forUp(Oo2, Zero, OutReg, [&] {
+        Reg Err = B.arrayLoad(Type::F64, OutErr, Oo2);
+        Reg Scaled = B.fmul(Err, Rate);
+        Reg Hh3 = Main->newReg(Type::I32, "h3");
+        K.forUp(Hh3, Zero, HidReg, [&] {
+          Reg A = B.arrayLoad(Type::F64, HidAct, Hh3);
+          Reg Delta = B.fmul(Scaled, A);
+          Reg WIdx = B.add32(B.mul32(Hh3, OutReg), Oo2);
+          Reg Wv = B.arrayLoad(Type::F64, W2, WIdx);
+          Reg NewW = B.fadd(Wv, Delta);
+          B.arrayStore(Type::F64, W2, WIdx, NewW);
+        });
+      });
+    });
+  });
+
+  // Checksum: quantized final weights.
+  Reg Sum = K.varI64(0, "sum");
+  Reg Thousand = B.constF64(10000.0);
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    K.forUp(I, Zero, B.constI32(Hid * Out), [&] {
+      Reg Wv = B.arrayLoad(Type::F64, W2, I);
+      Reg Scaled = B.fmul(Wv, Thousand);
+      Reg Q = B.d2i(Scaled, "q");
+      Reg Q64 = Main->newReg(Type::I64, "q64");
+      B.copyTo(Q64, Q);
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Q64);
+    });
+  }
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,160 @@
+//===- workloads/kernels/NumericSort.cpp - jBYTEmark Numeric Sort -------------===//
+//
+// Heapsort of signed 32-bit integers, the classic jBYTEmark kernel: index
+// arithmetic (2*root+1) inside the sift-down loop is exactly the i+j /
+// 2i+1 subscript pattern Theorems 2/4 eliminate.
+//
+//===-----------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+/// Emits `void siftdown(arr, lo, hi)`.
+Function *buildSiftdown(Module &M) {
+  Function *F = M.createFunction("siftdown", Type::Void);
+  Reg Arr = F->addParam(Type::ArrayRef, "arr");
+  Reg LoP = F->addParam(Type::I32, "lo");
+  Reg HiP = F->addParam(Type::I32, "hi");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+
+  Reg Root = K.varI32(0, "root");
+  B.copyTo(Root, LoP);
+  Reg Done = K.varI32(0, "done");
+  Reg One = B.constI32(1);
+  Reg Two = B.constI32(2);
+  Reg Zero = B.constI32(0);
+
+  K.whileLoop(
+      [&] {
+        // !done && 2*root+1 <= hi
+        Reg Child = B.mul32(Root, Two);
+        Reg ChildP1 = B.add32(Child, One);
+        Reg CanSift = B.cmp32(CmpPred::SLE, ChildP1, HiP);
+        Reg NotDone = B.cmp32(CmpPred::EQ, Done, Zero);
+        return B.and32(CanSift, NotDone);
+      },
+      [&] {
+        Reg Child = K.varI32(0, "child");
+        Reg T = B.mul32(Root, Two);
+        B.binopTo(Child, Opcode::Add, Width::W32, T, One);
+
+        // Pick the larger child.
+        Reg HasRight = B.cmp32(CmpPred::SLT, Child, HiP);
+        K.ifThen(HasRight, [&] {
+          Reg Right = B.add32(Child, One);
+          Reg L = B.arrayLoad(Type::I32, Arr, Child);
+          Reg R = B.arrayLoad(Type::I32, Arr, Right);
+          Reg RightBigger = B.cmp32(CmpPred::SLT, L, R);
+          K.ifThen(RightBigger, [&] {
+            B.binopTo(Child, Opcode::Add, Width::W32, Child, One);
+          });
+        });
+
+        Reg RootVal = B.arrayLoad(Type::I32, Arr, Root);
+        Reg ChildVal = B.arrayLoad(Type::I32, Arr, Child);
+        Reg NeedSwap = B.cmp32(CmpPred::SLT, RootVal, ChildVal);
+        K.ifThenElse(
+            NeedSwap,
+            [&] {
+              B.arrayStore(Type::I32, Arr, Root, ChildVal);
+              B.arrayStore(Type::I32, Arr, Child, RootVal);
+              B.copyTo(Root, Child);
+            },
+            [&] { B.copyTo(Done, One); });
+      });
+  B.retVoid();
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildNumericSort(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("numeric_sort");
+  Function *Siftdown = buildSiftdown(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t N = 800 * static_cast<int32_t>(Params.Scale);
+  Reg Len = B.constI32(N, "N");
+  Reg Arr = B.newArray(Type::I32, Len, "arr");
+  Reg One = B.constI32(1);
+  Reg Zero = B.constI32(0);
+  Reg Two = B.constI32(2);
+
+  // Fill with a full-range LCG (positive and negative values).
+  {
+    Reg X = K.varI32(0x2545F491, "x");
+    Reg MulC = B.constI32(1103515245);
+    Reg AddC = B.constI32(12345);
+    Reg I = Main->newReg(Type::I32, "i");
+    K.forUp(I, Zero, Len, [&] {
+      B.binopTo(X, Opcode::Mul, Width::W32, X, MulC);
+      B.binopTo(X, Opcode::Add, Width::W32, X, AddC);
+      B.arrayStore(Type::I32, Arr, I, X);
+    });
+  }
+
+  // Heapify: for (start = N/2 - 1; start >= 0; --start).
+  {
+    Reg Start = Main->newReg(Type::I32, "start");
+    Reg Half = B.div32(Len, Two, "half");
+    Reg HiIdx = B.sub32(Len, One, "hiIdx");
+    K.forDown(Start, Half, Zero,
+              [&] { B.callTo(NoReg, Siftdown, {Arr, Start, HiIdx}); });
+  }
+
+  // Sort: for (end = N-1; end >= 1; --end) swap(a[0],a[end]); siftdown.
+  {
+    Reg End = Main->newReg(Type::I32, "end");
+    K.forDown(End, Len, One, [&] {
+      Reg A0 = B.arrayLoad(Type::I32, Arr, Zero);
+      Reg AE = B.arrayLoad(Type::I32, Arr, End);
+      B.arrayStore(Type::I32, Arr, Zero, AE);
+      B.arrayStore(Type::I32, Arr, End, A0);
+      Reg EndM1 = B.sub32(End, One);
+      B.callTo(NoReg, Siftdown, {Arr, Zero, EndM1});
+    });
+  }
+
+  // Checksum: sum64 of a[i] * (i & 31 + 1), plus an order check.
+  Reg Sum = K.varI64(0, "sum");
+  Reg Bad = K.varI32(0, "bad");
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    Reg ThirtyOne = B.constI32(31);
+    K.forUp(I, Zero, Len, [&] {
+      Reg V = B.arrayLoad(Type::I32, Arr, I);
+      Reg W = B.and32(I, ThirtyOne);
+      Reg WP = B.add32(W, One);
+      Reg P = B.mul32(V, WP);
+      Reg P64 = Main->newReg(Type::I64, "p64");
+      B.copyTo(P64, P); // Widening copy: needs a sign-extended source.
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, P64);
+
+      Reg NotFirst = B.cmp32(CmpPred::SGT, I, Zero);
+      K.ifThen(NotFirst, [&] {
+        Reg Prev = B.sub32(I, One);
+        Reg PV = B.arrayLoad(Type::I32, Arr, Prev);
+        Reg OutOfOrder = B.cmp32(CmpPred::SGT, PV, V);
+        K.ifThen(OutOfOrder, [&] {
+          B.binopTo(Bad, Opcode::Add, Width::W32, Bad, One);
+        });
+      });
+    });
+  }
+  Reg Bad64 = Main->newReg(Type::I64, "bad64");
+  B.copyTo(Bad64, Bad);
+  Reg Mix = B.constI64(1000003);
+  Reg BadTerm = B.mul64(Bad64, Mix);
+  B.binopTo(Sum, Opcode::Add, Width::W64, Sum, BadTerm);
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,138 @@
+//===- workloads/kernels/StringSort.cpp - jBYTEmark String Sort ----------------===//
+//
+// Shell sort of fixed-width byte strings through an index array. Byte
+// loads exercise the 8-bit extension path (Java bytes are signed; IA64
+// byte loads zero-extend), and the pool subscript base*16+k is the i+j
+// pattern of Theorem 2.
+//
+//===------------------------------------------------------------------------===//
+
+#include "workloads/KernelBuilder.h"
+#include "workloads/Kernels.h"
+
+using namespace sxe;
+
+namespace {
+
+constexpr int32_t StrLen = 16;
+
+/// Emits `i32 strcmp16(pool, i, j)`: lexicographic comparison of the
+/// 16-byte strings at slots i and j, returning negative/zero/positive.
+Function *buildStrcmp(Module &M) {
+  Function *F = M.createFunction("strcmp16", Type::I32);
+  Reg Pool = F->addParam(Type::ArrayRef, "pool");
+  Reg SlotI = F->addParam(Type::I32, "i");
+  Reg SlotJ = F->addParam(Type::I32, "j");
+
+  KernelBuilder K(F);
+  IRBuilder &B = K.ir();
+  Reg L = B.constI32(StrLen);
+  Reg BaseI = B.mul32(SlotI, L, "baseI");
+  Reg BaseJ = B.mul32(SlotJ, L, "baseJ");
+  Reg Result = K.varI32(0, "result");
+  Reg Zero = B.constI32(0);
+
+  Reg Kv = F->newReg(Type::I32, "k");
+  K.forUp(Kv, Zero, L, [&] {
+    Reg Undecided = B.cmp32(CmpPred::EQ, Result, Zero);
+    K.ifThen(Undecided, [&] {
+      Reg IdxI = B.add32(BaseI, Kv);
+      Reg IdxJ = B.add32(BaseJ, Kv);
+      Reg RawA = B.arrayLoad(Type::I8, Pool, IdxI, "rawA");
+      Reg A = B.sext(8, RawA, "a"); // Java byte semantics.
+      Reg RawB = B.arrayLoad(Type::I8, Pool, IdxJ, "rawB");
+      Reg Bv = B.sext(8, RawB, "b");
+      Reg Diff = B.sub32(A, Bv);
+      B.copyTo(Result, Diff);
+    });
+  });
+  B.ret(Result);
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> sxe::buildStringSort(const WorkloadParams &Params) {
+  auto M = std::make_unique<Module>("string_sort");
+  Function *Strcmp = buildStrcmp(*M);
+
+  Function *Main = M->createFunction("main", Type::I64);
+  KernelBuilder K(Main);
+  IRBuilder &B = K.ir();
+
+  const int32_t N = 160 * static_cast<int32_t>(Params.Scale);
+  Reg Count = B.constI32(N, "N");
+  Reg PoolLen = B.constI32(N * StrLen);
+  Reg Pool = B.newArray(Type::I8, PoolLen, "pool");
+  Reg Index = B.newArray(Type::I32, Count, "index");
+  Reg Zero = B.constI32(0);
+  Reg One = B.constI32(1);
+
+  // Fill the pool with pseudo-random bytes and the index identity.
+  K.fillLCG(Pool, PoolLen, 0x1234567, Type::I8);
+  {
+    Reg I = Main->newReg(Type::I32, "i");
+    K.forUp(I, Zero, Count, [&] { B.arrayStore(Type::I32, Index, I, I); });
+  }
+
+  // Shell sort of the index array ordered by the referenced strings.
+  {
+    Reg Gap = K.varI32(0, "gap");
+    Reg Two = B.constI32(2);
+    B.copyTo(Gap, Count);
+    B.binopTo(Gap, Opcode::Div, Width::W32, Gap, Two);
+    K.whileLoop(
+        [&] { return B.cmp32(CmpPred::SGT, Gap, Zero); },
+        [&] {
+          Reg I = Main->newReg(Type::I32, "si");
+          K.forUp(I, Gap, Count, [&] {
+            Reg Tmp = B.arrayLoad(Type::I32, Index, I, "tmp");
+            Reg J = K.varI32(0, "j");
+            B.copyTo(J, I);
+            Reg Moving = K.varI32(1, "moving");
+            K.whileLoop(
+                [&] {
+                  Reg InRange = B.cmp32(CmpPred::SGE, J, Gap);
+                  Reg Still = B.cmp32(CmpPred::NE, Moving, Zero);
+                  return B.and32(InRange, Still);
+                },
+                [&] {
+                  Reg JmG = B.sub32(J, Gap);
+                  Reg Prev = B.arrayLoad(Type::I32, Index, JmG, "prev");
+                  Reg Cmp = B.call(Strcmp, {Pool, Prev, Tmp}, "cmp");
+                  Reg GT = B.cmp32(CmpPred::SGT, Cmp, Zero);
+                  K.ifThenElse(
+                      GT,
+                      [&] {
+                        B.arrayStore(Type::I32, Index, J, Prev);
+                        B.copyTo(J, JmG);
+                      },
+                      [&] { B.copyTo(Moving, Zero); });
+                });
+            B.arrayStore(Type::I32, Index, J, Tmp);
+          });
+          B.binopTo(Gap, Opcode::Div, Width::W32, Gap, Two);
+        });
+  }
+
+  // Checksum: mix the sorted order and a few sampled bytes.
+  Reg Sum = K.varI64(0, "sum");
+  {
+    Reg I = Main->newReg(Type::I32, "ci");
+    Reg L = B.constI32(StrLen);
+    K.forUp(I, Zero, Count, [&] {
+      Reg Slot = B.arrayLoad(Type::I32, Index, I, "slot");
+      Reg Base = B.mul32(Slot, L);
+      Reg Raw = B.arrayLoad(Type::I8, Pool, Base, "raw");
+      Reg First = B.sext(8, Raw, "first");
+      Reg IP1 = B.add32(I, One);
+      Reg Term = B.mul32(First, IP1);
+      Reg Mixed = B.add32(Term, Slot);
+      Reg Mixed64 = Main->newReg(Type::I64, "mixed64");
+      B.copyTo(Mixed64, Mixed);
+      B.binopTo(Sum, Opcode::Add, Width::W64, Sum, Mixed64);
+    });
+  }
+  B.ret(Sum);
+  return M;
+}

@@ -1,0 +1,215 @@
+//===- tests/facts_test.cpp - ExtensionFacts table tests --------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "sxe/ExtensionFacts.h"
+
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+/// Builds one instruction inside a scratch function and hands it to the
+/// checker.
+struct FactsFixture {
+  std::unique_ptr<Module> M{std::make_unique<Module>("m")};
+  Function *F{M->createFunction("f", Type::F64)};
+  Reg IntP{F->addParam(Type::I32, "i")};
+  Reg IntQ{F->addParam(Type::I32, "j")};
+  Reg LongP{F->addParam(Type::I64, "l")};
+  Reg ByteP{F->addParam(Type::I8, "b")};
+  Reg CharP{F->addParam(Type::U16, "c")};
+  Reg DblP{F->addParam(Type::F64, "d")};
+  Reg ArrP{F->addParam(Type::ArrayRef, "a")};
+  IRBuilder B{F};
+
+  FactsFixture() { B.startBlock("entry"); }
+
+  const Instruction &last() { return F->entryBlock()->back(); }
+  const TargetInfo &T = TargetInfo::ia64();
+};
+
+TEST(FactsTest, CanonicalRegBits) {
+  FactsFixture Fx;
+  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.IntP), 32u);
+  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.ByteP), 8u);
+  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.CharP), 0u); // Chars: zero-extended.
+  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.LongP), 0u);
+  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.DblP), 0u);
+}
+
+TEST(FactsTest, RequiringUses) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+
+  B.i2d(Fx.IntP);
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+
+  B.binop(Opcode::Add, Width::W64, Fx.IntP, Fx.LongP);
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+  EXPECT_FALSE(requiresExtendedOperand(*Fx.F, Fx.last(), 1, Fx.T)); // I64.
+
+  B.div32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 1, Fx.T));
+
+  Reg Wide = Fx.F->newReg(Type::I64, "w");
+  B.copyTo(Wide, Fx.IntP); // Widening copy.
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+
+  B.newArray(Type::I32, Fx.IntP);
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+
+  B.arrayLoad(Type::I32, Fx.ArrP, Fx.IntP);
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 1, Fx.T)); // Index.
+
+  // Char registers never require a sign extension.
+  B.i2d(Fx.CharP);
+  EXPECT_FALSE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+}
+
+TEST(FactsTest, NonRequiringUses) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+
+  B.add32(Fx.IntP, Fx.IntQ);
+  EXPECT_FALSE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+  EXPECT_TRUE(passThroughOperand(*Fx.F, Fx.last(), 0, 32));
+  EXPECT_FALSE(upperBitsIrrelevant(*Fx.F, Fx.last(), 0, 32));
+
+  B.cmp32(CmpPred::SLT, Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 0, 32));
+  EXPECT_FALSE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+
+  B.arrayStore(Type::I32, Fx.ArrP, Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 2, 32)); // Value.
+  EXPECT_FALSE(upperBitsIrrelevant(*Fx.F, Fx.last(), 1, 32)); // Index.
+
+  // I64-element store needs the full value register.
+  Reg LongVal = Fx.LongP;
+  B.arrayStore(Type::I64, Fx.ArrP, Fx.IntP, LongVal);
+  EXPECT_FALSE(upperBitsIrrelevant(*Fx.F, Fx.last(), 2, 32));
+}
+
+TEST(FactsTest, WidthSensitivity) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+
+  // A W32 add is Case 1/2 only for 32-bit extensions: an 8-bit extension
+  // fixes DATA bits of the add.
+  B.add32(Fx.ByteP, Fx.IntQ);
+  EXPECT_FALSE(upperBitsIrrelevant(*Fx.F, Fx.last(), 0, 8));
+  EXPECT_FALSE(passThroughOperand(*Fx.F, Fx.last(), 0, 8));
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+
+  // Narrow stores only read the stored width.
+  B.arrayStore(Type::I8, Fx.ArrP, Fx.IntP, Fx.ByteP);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 2, 8));
+  B.arrayStore(Type::I16, Fx.ArrP, Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 2, 16));
+  EXPECT_FALSE(upperBitsIrrelevant(*Fx.F, Fx.last(), 2, 8));
+}
+
+TEST(FactsTest, ShiftOperands) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+
+  B.shl32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 1, 32)); // Count.
+  EXPECT_TRUE(passThroughOperand(*Fx.F, Fx.last(), 0, 32));  // Value.
+
+  B.shr32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 0, 32)); // Extract.
+  B.sar32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(upperBitsIrrelevant(*Fx.F, Fx.last(), 0, 32));
+}
+
+TEST(FactsTest, ArrayAnalyzableThrough) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+  B.add32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(arrayAnalyzableThrough(Fx.last()));
+  B.sub32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(arrayAnalyzableThrough(Fx.last()));
+  B.copy(Fx.IntP);
+  EXPECT_TRUE(arrayAnalyzableThrough(Fx.last()));
+  B.mul32(Fx.IntP, Fx.IntQ);
+  EXPECT_FALSE(arrayAnalyzableThrough(Fx.last()));
+  B.xor32(Fx.IntP, Fx.IntQ);
+  EXPECT_FALSE(arrayAnalyzableThrough(Fx.last()));
+}
+
+TEST(FactsTest, StructurallyExtendedDefs) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+
+  B.sext(8, Fx.IntP);
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+
+  B.sext(32, Fx.IntP);
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+
+  B.constI32(100);
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  B.constI32(200); // Needs 9 signed bits.
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 16));
+
+  B.cmp32(CmpPred::EQ, Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+
+  B.sar32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+
+  B.add32(Fx.IntP, Fx.IntQ);
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+}
+
+TEST(FactsTest, LoadExtensionDependsOnTarget) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+  const TargetInfo &PPC = TargetInfo::ppc64();
+
+  B.arrayLoad(Type::I32, Fx.ArrP, Fx.IntP);
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, 32));
+
+  B.arrayLoad(Type::I16, Fx.ArrP, Fx.IntP);
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 16));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, 16));
+  // Even a zero-extending short load is 32-extended ([0, 65535]).
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+
+  B.arrayLoad(Type::I8, Fx.ArrP, Fx.IntP);
+  // Byte loads zero-extend on both targets: [0,255] is 16-extended but
+  // not 8-extended.
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 16));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, 8));
+}
+
+TEST(FactsTest, PropagationIndices) {
+  FactsFixture Fx;
+  auto &B = Fx.B;
+
+  B.copy(Fx.IntP);
+  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), 32),
+            std::vector<unsigned>{0});
+
+  B.and32(Fx.IntP, Fx.IntQ);
+  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), 32),
+            (std::vector<unsigned>{0, 1}));
+  EXPECT_TRUE(defPropagatesExtension(*Fx.F, Fx.last(), 8).empty());
+
+  B.add32(Fx.IntP, Fx.IntQ);
+  EXPECT_TRUE(defPropagatesExtension(*Fx.F, Fx.last(), 32).empty());
+
+  // A wider extension preserves an already-narrower-extended value.
+  B.sext(32, Fx.IntP);
+  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), 8),
+            std::vector<unsigned>{0});
+}
+
+} // namespace

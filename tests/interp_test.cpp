@@ -1,0 +1,312 @@
+//===- tests/interp_test.cpp - Machine/Java semantics tests ----------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+/// Runs a freshly built single-function module and returns the result.
+ExecResult runModule(Module &M, InterpOptions Options = {},
+                     const std::vector<uint64_t> &Args = {}) {
+  Interpreter Interp(M, Options);
+  return Interp.run("main", Args);
+}
+
+TEST(InterpTest, W32AddLeavesUpperBitsUnextended) {
+  // 0x7fffffff + 1 on canonical inputs: the 64-bit register holds 2^31,
+  // NOT the sign-extended int value.
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg A = B.constI32(0x7FFFFFFF);
+  Reg One = B.constI32(1);
+  Reg Sum32 = B.add32(A, One, "sum");
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Sum32); // Exposes the raw register.
+  B.ret(Wide);
+
+  ExecResult R = runModule(*M);
+  EXPECT_EQ(R.ReturnValue, uint64_t(1) << 31); // Upper bits NOT sign bits.
+}
+
+TEST(InterpTest, Sext32CountsAndCanonicalizes) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg A = B.constI32(0x7FFFFFFF);
+  Reg One = B.constI32(1);
+  Reg Sum32 = B.add32(A, One, "sum");
+  B.sextTo(Sum32, 32, Sum32);
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Sum32);
+  B.ret(Wide);
+
+  ExecResult R = runModule(*M);
+  EXPECT_EQ(R.ReturnValue,
+            static_cast<uint64_t>(static_cast<int64_t>(INT32_MIN)));
+  EXPECT_EQ(R.ExecutedSext32, 1u);
+  EXPECT_EQ(R.totalExecutedSext(), 1u);
+}
+
+TEST(InterpTest, JavaModeCanonicalizesAutomatically) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg A = B.constI32(0x7FFFFFFF);
+  Reg One = B.constI32(1);
+  Reg Sum32 = B.add32(A, One, "sum");
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Sum32);
+  B.ret(Wide);
+
+  InterpOptions Java;
+  Java.Semantics = ExecSemantics::Java;
+  ExecResult R = runModule(*M, Java);
+  EXPECT_EQ(R.ReturnValue,
+            static_cast<uint64_t>(static_cast<int64_t>(INT32_MIN)));
+}
+
+TEST(InterpTest, W32DivisionFollowsJavaSemantics) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Min = B.constI32(INT32_MIN);
+  Reg MinusOne = B.constI32(-1);
+  Reg Q = B.div32(Min, MinusOne, "q"); // Java: wraps to INT32_MIN.
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Q);
+  B.ret(Wide);
+
+  ExecResult R = runModule(*M);
+  EXPECT_EQ(static_cast<int64_t>(R.ReturnValue), INT32_MIN);
+}
+
+TEST(InterpTest, DivisionByZeroTraps) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg A = B.constI32(7);
+  Reg Zero = B.constI32(0);
+  Reg Q = B.div32(A, Zero);
+  B.ret(Q);
+  EXPECT_EQ(runModule(*M).Trap, TrapKind::DivByZero);
+}
+
+TEST(InterpTest, BoundsCheckUsesLower32Bits) {
+  // Index register = 2^32 + 1: lower half 1 is in range, and the full
+  // value disagrees -> the wild-address detector fires.
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(8);
+  Reg Arr = B.newArray(Type::I32, Len, "arr");
+  Reg Idx = B.constI64((int64_t(1) << 32) + 1);
+  Reg V = B.arrayLoad(Type::I32, Arr, Idx, "v");
+  B.ret(V);
+  EXPECT_EQ(runModule(*M).Trap, TrapKind::WildAddress);
+}
+
+TEST(InterpTest, OutOfBoundsTrapsBeforeWildCheck) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(8);
+  Reg Arr = B.newArray(Type::I32, Len, "arr");
+  Reg Idx = B.constI32(-1); // Lower 32 = 0xffffffff >= 8 unsigned.
+  Reg V = B.arrayLoad(Type::I32, Arr, Idx, "v");
+  B.ret(V);
+  EXPECT_EQ(runModule(*M).Trap, TrapKind::BoundsCheck);
+}
+
+TEST(InterpTest, NegativeArraySizeTraps) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(-5);
+  Reg Arr = B.newArray(Type::I32, Len, "arr");
+  Reg Zero = B.constI32(0);
+  Reg V = B.arrayLoad(Type::I32, Arr, Zero);
+  B.ret(V);
+  EXPECT_EQ(runModule(*M).Trap, TrapKind::NegativeArraySize);
+}
+
+TEST(InterpTest, AllocationLimitEnforced) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(1000);
+  Reg Arr = B.newArray(Type::I32, Len, "arr");
+  Reg Zero = B.constI32(0);
+  Reg V = B.arrayLoad(Type::I32, Arr, Zero);
+  B.ret(V);
+
+  InterpOptions Options;
+  Options.MaxArrayLen = 999; // Configured resource limit (Theorem 4).
+  EXPECT_EQ(runModule(*M, Options).Trap, TrapKind::AllocationLimit);
+}
+
+TEST(InterpTest, ByteLoadsZeroExtendOnIA64) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(1);
+  Reg Arr = B.newArray(Type::I8, Len, "arr");
+  Reg Zero = B.constI32(0);
+  Reg Neg = B.constI32(-1); // Stored as 0xff.
+  B.arrayStore(Type::I8, Arr, Zero, Neg);
+  Reg Raw = B.arrayLoad(Type::I8, Arr, Zero, "raw");
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Raw);
+  B.ret(Wide);
+  EXPECT_EQ(runModule(*M).ReturnValue, 0xFFu); // Zero-extended raw byte.
+  EXPECT_EQ(runModule(*M).ExecutedSext8, 0u);
+}
+
+TEST(InterpTest, ShortLoadsSignExtendOnPPC64) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(1);
+  Reg Arr = B.newArray(Type::I16, Len, "arr");
+  Reg Zero = B.constI32(0);
+  Reg Neg = B.constI32(-2);
+  B.arrayStore(Type::I16, Arr, Zero, Neg);
+  Reg Raw = B.arrayLoad(Type::I16, Arr, Zero, "raw");
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Raw);
+  B.ret(Wide);
+
+  ExecResult IA64 = runModule(*M);
+  EXPECT_EQ(IA64.ReturnValue, 0xFFFEu); // ld2: zero-extended.
+
+  InterpOptions PPC;
+  PPC.Target = &TargetInfo::ppc64();
+  ExecResult PPC64 = runModule(*M, PPC);
+  EXPECT_EQ(static_cast<int64_t>(PPC64.ReturnValue), -2); // lha.
+}
+
+TEST(InterpTest, D2ISaturates) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Big = B.constF64(1e18);
+  Reg Q = B.d2i(Big, "q");
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, Q);
+  B.ret(Wide);
+  EXPECT_EQ(static_cast<int64_t>(runModule(*M).ReturnValue), INT32_MAX);
+}
+
+TEST(InterpTest, ShrW32IgnoresGarbageUpperBits) {
+  // x >>> 0 of a register with garbage upper bits extracts the low half.
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Garbage = B.constI64((int64_t(0xABCD) << 32) | 0x123);
+  Reg Zero = B.constI32(0);
+  Reg R = B.shr32(Garbage, Zero, "r");
+  Reg Wide = F->newReg(Type::I64, "wide");
+  B.copyTo(Wide, R);
+  B.ret(Wide);
+  EXPECT_EQ(runModule(*M).ReturnValue, 0x123u);
+}
+
+TEST(InterpTest, CallsReturnThroughRegisters) {
+  auto M = std::make_unique<Module>("m");
+  Function *Callee = M->createFunction("twice", Type::I32);
+  {
+    Reg P = Callee->addParam(Type::I32, "p");
+    IRBuilder B(Callee);
+    B.startBlock("entry");
+    Reg Two = B.constI32(2);
+    Reg R = B.mul32(P, Two);
+    B.sextTo(R, 32, R);
+    B.ret(R);
+  }
+  Function *Main = M->createFunction("main", Type::I32);
+  {
+    IRBuilder B(Main);
+    B.startBlock("entry");
+    Reg C = B.constI32(21);
+    Reg R = B.call(Callee, {C});
+    B.ret(R);
+  }
+  EXPECT_EQ(runModule(*M).ReturnValue, 42u);
+}
+
+TEST(InterpTest, StackOverflowTraps) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Result = F->newReg(Type::I32, "r");
+  B.callTo(Result, F, {}); // Infinite recursion.
+  B.ret(Result);
+
+  InterpOptions Options;
+  Options.MaxCallDepth = 64;
+  EXPECT_EQ(runModule(*M, Options).Trap, TrapKind::StackOverflow);
+}
+
+TEST(InterpTest, StepLimitTraps) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  B.jmp(Entry); // Infinite loop.
+
+  InterpOptions Options;
+  Options.MaxSteps = 1000;
+  EXPECT_EQ(runModule(*M, Options).Trap, TrapKind::StepLimit);
+}
+
+TEST(InterpTest, ProfileCollection) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("main", Type::I32);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Zero = B.constI32(0);
+  Reg Ten = B.constI32(10);
+  Reg I = F->newReg(Type::I32, "i");
+  B.copyTo(I, Zero);
+  BasicBlock *Head = F->createBlock("head");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.jmp(Head);
+  B.setBlock(Head);
+  Reg C = B.cmp32(CmpPred::SLT, I, Ten);
+  Instruction *Branch = B.br(C, Body, Exit);
+  B.setBlock(Body);
+  Reg One = B.constI32(1);
+  B.binopTo(I, Opcode::Add, Width::W32, I, One);
+  B.jmp(Head);
+  B.setBlock(Exit);
+  B.ret(I);
+
+  ProfileInfo Profile;
+  InterpOptions Options;
+  Options.Profile = &Profile;
+  runModule(*M, Options);
+  auto P = Profile.takenProbability(Branch);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_NEAR(*P, 10.0 / 11.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+//===- tests/lexer_test.cpp - Tokenizer unit tests -----------------------------===//
+
+#include "parser/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_TRUE(tokenize(Source, Tokens, Error)) << Error;
+  return Tokens;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto Tokens = lex("func @f(%p: i32) -> i32 { }");
+  ASSERT_GE(Tokens.size(), 11u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[0].Text, "func");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::GlobalName);
+  EXPECT_EQ(Tokens[1].Text, "f");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::LParen);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::RegName);
+  EXPECT_EQ(Tokens[3].Text, "p");
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::Colon);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::RParen);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::Arrow);
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::End);
+}
+
+TEST(LexerTest, NumbersIncludingNegativesAndHex) {
+  auto Tokens = lex("-42 0x1F 123");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_EQ(Tokens[0].Text, "-42");
+  EXPECT_EQ(Tokens[1].Text, "0x1F");
+  EXPECT_EQ(Tokens[2].Text, "123");
+}
+
+TEST(LexerTest, HexFloats) {
+  auto Tokens = lex("0x1.8p3 -0x1.921fb54442d18p+1");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "0x1.8p3");
+  EXPECT_EQ(Tokens[1].Text, "-0x1.921fb54442d18p+1");
+}
+
+TEST(LexerTest, DottedIdentifiers) {
+  auto Tokens = lex("add.w32 %lcg.x.12 for.head.0:");
+  EXPECT_EQ(Tokens[0].Text, "add.w32");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::RegName);
+  EXPECT_EQ(Tokens[1].Text, "lcg.x.12");
+  EXPECT_EQ(Tokens[2].Text, "for.head.0");
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Colon);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Tokens = lex("a ; comment to end\nb // another\nc");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+  EXPECT_EQ(Tokens[2].Line, 3u);
+}
+
+TEST(LexerTest, Strings) {
+  auto Tokens = lex("module \"hello world\"");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[1].Text, "hello world");
+}
+
+TEST(LexerTest, ErrorsReported) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_FALSE(tokenize("a ? b", Tokens, Error));
+  EXPECT_NE(Error.find("unexpected"), std::string::npos);
+
+  Tokens.clear();
+  Error.clear();
+  EXPECT_FALSE(tokenize("\"unterminated", Tokens, Error));
+  EXPECT_NE(Error.find("unterminated"), std::string::npos);
+
+  Tokens.clear();
+  Error.clear();
+  EXPECT_FALSE(tokenize("% ", Tokens, Error));
+  EXPECT_NE(Error.find("empty name"), std::string::npos);
+}
+
+TEST(LexerTest, LineNumbersTrackNewlines) {
+  auto Tokens = lex("a\nb\n\nc");
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[2].Line, 4u);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/parser_test.cpp - Textual IR round-trip tests ----------------------===//
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "tests/TestHelpers.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace sxe;
+using namespace sxe::test;
+
+namespace {
+
+TEST(ParserTest, ParsesMinimalFunction) {
+  ParseResult R = parseModule(R"(
+module "t"
+func @f(%p: i32) -> i32 {
+  reg %x: i32
+entry:
+  %x = add.w32 %p, %p
+  ret %x
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(moduleVerifies(*R.M));
+  Function *F = R.M->findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->countInstructions(), 2u);
+}
+
+TEST(ParserTest, ParsesAllInstructionForms) {
+  ParseResult R = parseModule(R"(
+func @helper(%v: i32) -> i32 {
+entry:
+  ret %v
+}
+func @f(%a: arrayref, %p: i32, %d: f64) -> f64 {
+  reg %x: i32
+  reg %y: i64
+  reg %z: f64
+  reg %c: i32
+  reg %len: i32
+  reg %arr: arrayref
+entry:
+  %x = const.i32 -42
+  %y = const.i64 1099511627776
+  %z = fconst 0x1.8p3
+  %x = copy %p
+  %x = sub.w32 %x, %p
+  %x = shr.w32 %x, %p
+  %x = sext8 %x
+  %x = zext32 %x
+  %z = fadd %z, %d
+  %z = i2d %x
+  %x = d2i %z
+  %c = cmp.w32 slt %x, %p
+  %c = fcmp sge %z, %d
+  %len = const.i32 8
+  %arr = newarray.i16 %len
+  %len = arraylen %arr
+  %x = arrayload.i32 %a, %len
+  arraystore.i32 %a, %len, %x
+  %x = call @helper(%x)
+  br %c, then, done
+then:
+  jmp done
+done:
+  ret %z
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(moduleVerifies(*R.M));
+}
+
+TEST(ParserTest, RoundTripsThroughPrinter) {
+  // Build a nontrivial module (a real workload), print it, parse it, and
+  // print again: the two prints must be identical.
+  WorkloadParams Params;
+  auto M = buildCompress(Params);
+  std::string First = printModule(*M);
+  ParseResult R = parseModule(First);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(First, printModule(*R.M));
+}
+
+class AllWorkloadsRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AllWorkloadsRoundTrip, PrintParsePrint) {
+  WorkloadParams Params;
+  auto M = allWorkloads()[GetParam()].Build(Params);
+  std::string First = printModule(*M);
+  ParseResult R = parseModule(First);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_TRUE(moduleVerifies(*R.M));
+  EXPECT_EQ(First, printModule(*R.M));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, AllWorkloadsRoundTrip,
+                         ::testing::Range<size_t>(0, allWorkloads().size()));
+
+TEST(ParserTest, ReportsUnknownRegister) {
+  ParseResult R = parseModule(R"(
+func @f() -> void {
+entry:
+  ret %nope
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("nope"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsUnknownMnemonic) {
+  ParseResult R = parseModule(R"(
+func @f() -> void {
+entry:
+  frobnicate
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsUndefinedBlock) {
+  ParseResult R = parseModule(R"(
+func @f(%c: i32) -> void {
+entry:
+  br %c, nowhere, entry
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("nowhere"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsUndefinedCallee) {
+  ParseResult R = parseModule(R"(
+func @f() -> void {
+entry:
+  call @ghost()
+  ret
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("ghost"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsMissingWidthSuffix) {
+  ParseResult R = parseModule(R"(
+func @f(%p: i32) -> void {
+  reg %x: i32
+entry:
+  %x = add %p, %p
+  ret
+}
+)");
+  ASSERT_FALSE(R.ok());
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  ParseResult R = parseModule(R"(
+; leading comment
+func @f() -> i32 {   // trailing comment
+  reg %x: i32
+entry:
+  %x = const.i32 7 ; seven
+  ret %x
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(ParserTest, HexFloatRoundTrip) {
+  ParseResult R = parseModule(R"(
+func @f() -> f64 {
+  reg %x: f64
+entry:
+  %x = fconst -0x1.921fb54442d18p+1
+  ret %x
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Instruction &I = R.M->findFunction("f")->entryBlock()->front();
+  EXPECT_DOUBLE_EQ(I.floatValue(), -0x1.921fb54442d18p+1);
+}
+
+} // namespace

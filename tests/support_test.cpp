@@ -1,0 +1,126 @@
+//===- tests/support_test.cpp - Support library tests -------------------------------===//
+
+#include "support/Format.h"
+#include "support/RNG.h"
+#include "support/Timer.h"
+#include "target/CostModel.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+TEST(FormatTest, Commas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(7), "7");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(formatWithCommas(1000000000ull), "1,000,000,000");
+}
+
+TEST(FormatTest, PercentAndFixed) {
+  EXPECT_EQ(formatPercent(0.4099), "40.99%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+  EXPECT_EQ(formatFixed(3.14159, 3), "3.142");
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(RNGTest, DeterministicAndBounded) {
+  RNG A(42), B(42);
+  for (int Trial = 0; Trial < 100; ++Trial)
+    EXPECT_EQ(A.next(), B.next());
+
+  RNG R(7);
+  for (int Trial = 0; Trial < 1000; ++Trial) {
+    EXPECT_LT(R.nextBelow(17), 17u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNGTest, RoughlyUniform) {
+  RNG R(1234);
+  int Buckets[8] = {0};
+  for (int Trial = 0; Trial < 8000; ++Trial)
+    ++Buckets[R.nextBelow(8)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, 700);
+    EXPECT_LT(Count, 1300);
+  }
+}
+
+TEST(TimerTest, Accumulates) {
+  Timer T;
+  T.start();
+  volatile unsigned Sink = 0;
+  for (unsigned K = 0; K < 100000; ++K)
+    Sink = Sink + K;
+  T.stop();
+  uint64_t First = T.elapsedNanos();
+  EXPECT_GT(First, 0u);
+  {
+    TimerScope Scope(T);
+    for (unsigned K = 0; K < 100000; ++K)
+      Sink = Sink + K;
+  }
+  EXPECT_GT(T.elapsedNanos(), First);
+  T.reset();
+  EXPECT_EQ(T.elapsedNanos(), 0u);
+}
+
+TEST(CostModelTest, RelativeCosts) {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("f", Type::I32);
+  Reg P = F->addParam(Type::I32, "p");
+  Reg A = F->addParam(Type::ArrayRef, "a");
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Add = B.add32(P, P);
+  Reg Div = B.div32(P, P);
+  Reg Load = B.arrayLoad(Type::I32, A, P);
+  Reg Ext = F->newReg(Type::I32, "e");
+  Instruction *SextI = B.sextTo(Ext, 32, P);
+  B.ret(Add);
+  (void)Div;
+  (void)Load;
+
+  const TargetInfo &T = TargetInfo::ia64();
+  const Instruction *AddI = nullptr, *DivI = nullptr, *LoadI = nullptr;
+  for (const Instruction &I : *F->entryBlock()) {
+    if (I.opcode() == Opcode::Add)
+      AddI = &I;
+    if (I.opcode() == Opcode::Div)
+      DivI = &I;
+    if (I.opcode() == Opcode::ArrayLoad)
+      LoadI = &I;
+  }
+  // A sign extension costs exactly one ALU cycle.
+  EXPECT_EQ(instructionCycleCost(*SextI, T), 1u);
+  EXPECT_EQ(instructionCycleCost(*AddI, T), 1u);
+  EXPECT_GT(instructionCycleCost(*DivI, T),
+            instructionCycleCost(*LoadI, T));
+  // IA64's shladd makes the access one cycle cheaper than PPC64's
+  // separate shift+add.
+  EXPECT_LT(instructionCycleCost(*LoadI, TargetInfo::ia64()),
+            instructionCycleCost(*LoadI, TargetInfo::ppc64()));
+
+  // Dummies never reach code.
+  Instruction Dummy(Opcode::JustExtended);
+  Dummy.setDest(P);
+  Dummy.addOperand(P);
+  EXPECT_EQ(instructionCycleCost(Dummy, T), 0u);
+}
+
+} // namespace

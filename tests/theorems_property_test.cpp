@@ -1,0 +1,201 @@
+//===- tests/theorems_property_test.cpp - Theorems 1-4 as math -----------------===//
+//
+// Section 3's theorems, checked as statements about 64-bit machine
+// arithmetic over randomized operands: if the hypotheses hold and the
+// bounds check passes on the lower 32 bits, the full 64-bit register used
+// for the effective address equals the checked index.
+//
+// Each theorem runs as a parameterized sweep over seeds; each seed drives
+// thousands of sampled operand combinations, biased toward the int32
+// boundary values where sign-extension bugs live.
+//
+//===-----------------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+constexpr int64_t Int32Min = INT32_MIN;
+constexpr int64_t Int32Max = INT32_MAX;
+
+/// Samples an "interesting" signed 32-bit value: boundaries, small values,
+/// or uniform.
+int32_t sampleInt32(sxe::RNG &R) {
+  switch (R.nextBelow(8)) {
+  case 0:
+    return 0;
+  case 1:
+    return -1;
+  case 2:
+    return INT32_MIN;
+  case 3:
+    return INT32_MAX;
+  case 4:
+    return static_cast<int32_t>(R.nextInRange(-64, 64));
+  case 5:
+    return static_cast<int32_t>(INT32_MAX - R.nextBelow(64));
+  case 6:
+    return static_cast<int32_t>(INT32_MIN + R.nextBelow(64));
+  default:
+    return static_cast<int32_t>(R.next());
+  }
+}
+
+uint64_t signExtended(int32_t Value) {
+  return static_cast<uint64_t>(static_cast<int64_t>(Value));
+}
+
+/// The bounds check: unsigned 32-bit compare of the LOWER register half.
+bool boundsCheckPasses(uint64_t Register, uint32_t Len) {
+  return static_cast<uint32_t>(Register) < Len;
+}
+
+/// The wild-address predicate: the full register must equal the checked
+/// non-negative index.
+bool addressCorrect(uint64_t Register) {
+  return Register == static_cast<uint64_t>(static_cast<uint32_t>(Register));
+}
+
+class TheoremSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// Theorem 1: upper 32 bits zero + LS => no extension needed.
+TEST_P(TheoremSweep, Theorem1UpperZero) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    uint32_t Low = static_cast<uint32_t>(R.next());
+    uint64_t Register = Low; // Upper 32 bits zero (e.g. IA64 zext load).
+    uint32_t Len = static_cast<uint32_t>(R.nextBelow(Int32Max)) + 1;
+    if (!boundsCheckPasses(Register, Len))
+      continue;
+    ASSERT_TRUE(addressCorrect(Register))
+        << "low=" << Low << " len=" << Len;
+  }
+}
+
+// Theorem 2: i, j sign-extended, one of them >= 0, LS(i+j) => the 64-bit
+// sum addresses the checked element.
+TEST_P(TheoremSweep, Theorem2AddNonNegativePart) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    int32_t I = sampleInt32(R);
+    int32_t J = sampleInt32(R);
+    if (I < 0 && J < 0)
+      continue; // Hypothesis: one part non-negative.
+    uint64_t Sum = signExtended(I) + signExtended(J); // 64-bit machine add.
+    uint32_t Len = static_cast<uint32_t>(R.nextBelow(Int32Max)) + 1;
+    if (!boundsCheckPasses(Sum, Len))
+      continue;
+    ASSERT_TRUE(addressCorrect(Sum)) << "i=" << I << " j=" << J;
+  }
+}
+
+// Theorem 3: upper half of i zero, 0 <= j <= 0x7fffffff, LS(i-j).
+TEST_P(TheoremSweep, Theorem3SubFromZeroUpper) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    uint64_t I = static_cast<uint32_t>(R.next()); // Upper zero.
+    int32_t J = sampleInt32(R);
+    if (J < 0)
+      continue;
+    uint64_t Diff = I - signExtended(J); // 64-bit machine subtract.
+    uint32_t Len = static_cast<uint32_t>(R.nextBelow(Int32Max)) + 1;
+    if (!boundsCheckPasses(Diff, Len))
+      continue;
+    ASSERT_TRUE(addressCorrect(Diff))
+        << "i=" << I << " j=" << J << " len=" << Len;
+  }
+}
+
+// Theorem 4: i, j sign-extended, one part >= (maxlen-1)-0x7fffffff, and
+// the bounds check is against a length <= maxlen.
+TEST_P(TheoremSweep, Theorem4BoundedPart) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    uint32_t MaxLen =
+        static_cast<uint32_t>(R.nextBelow(Int32Max)) + 1;
+    int64_t LoBound = static_cast<int64_t>(MaxLen) - 1 - Int32Max;
+    int32_t I = sampleInt32(R);
+    int32_t J = sampleInt32(R);
+    if (I < LoBound && J < LoBound)
+      continue; // Hypothesis: one part bounded below.
+    uint64_t Sum = signExtended(I) + signExtended(J);
+    uint32_t Len = static_cast<uint32_t>(R.nextBelow(MaxLen)) + 1;
+    if (Len > MaxLen)
+      continue;
+    if (!boundsCheckPasses(Sum, Len))
+      continue;
+    ASSERT_TRUE(addressCorrect(Sum))
+        << "i=" << I << " j=" << J << " maxlen=" << MaxLen;
+  }
+}
+
+// The NEGATIVE result implied by Figure 10: without Theorem 4's bound,
+// two sign-extended parts can pass the bounds check while the full sum
+// addresses wild memory — i.e. the hypotheses are not vacuous.
+TEST_P(TheoremSweep, UnboundedPartsCanGoWild) {
+  sxe::RNG R(GetParam());
+  bool FoundWild = false;
+  for (int Trial = 0; Trial < 200000 && !FoundWild; ++Trial) {
+    // Both parts very negative: sum wraps into a valid-looking low half.
+    int32_t I = static_cast<int32_t>(Int32Min + R.nextBelow(1000));
+    int32_t J = static_cast<int32_t>(Int32Min + R.nextBelow(1000));
+    uint64_t Sum = signExtended(I) + signExtended(J);
+    if (boundsCheckPasses(Sum, Int32Max) && !addressCorrect(Sum))
+      FoundWild = true;
+  }
+  EXPECT_TRUE(FoundWild)
+      << "expected a wild address without the Theorem 4 bound";
+}
+
+// Bitwise operations preserve a replicated sign: the AnalyzeDEF Case 2
+// fact behind defPropagatesExtension.
+TEST_P(TheoremSweep, BitwiseOpsPreserveExtension) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    uint64_t A = signExtended(sampleInt32(R));
+    uint64_t B = signExtended(sampleInt32(R));
+    auto IsExt = [](uint64_t V) {
+      return V == signExtended(static_cast<int32_t>(V));
+    };
+    ASSERT_TRUE(IsExt(A & B));
+    ASSERT_TRUE(IsExt(A | B));
+    ASSERT_TRUE(IsExt(A ^ B));
+    ASSERT_TRUE(IsExt(~A));
+  }
+}
+
+// The AND-with-positive fact (the paper's AnalyzeDEF Case 1 example):
+// garbage-upper AND zero-upper-nonnegative is sign-extended.
+TEST_P(TheoremSweep, AndWithPositiveIsExtended) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    uint64_t X = R.next(); // Arbitrary garbage register.
+    uint32_t M = static_cast<uint32_t>(R.nextBelow(Int32Max)); // [0, 2^31).
+    uint64_t Result = X & static_cast<uint64_t>(M);
+    ASSERT_EQ(Result, signExtended(static_cast<int32_t>(Result)));
+    ASSERT_LE(Result, static_cast<uint64_t>(M));
+  }
+}
+
+// The W32 logical-shift lowering (unsigned extract) produces zero-upper
+// results regardless of input garbage — the Shr fact in defUpperZero.
+TEST_P(TheoremSweep, ShrExtractIsZeroUpper) {
+  sxe::RNG R(GetParam());
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    uint64_t X = R.next();
+    unsigned Count = static_cast<unsigned>(R.nextBelow(32));
+    uint64_t Result = static_cast<uint64_t>(static_cast<uint32_t>(X)) >>
+                      Count;
+    ASSERT_EQ(Result >> 32, 0u);
+    if (Count >= 1) {
+      ASSERT_EQ(Result, signExtended(static_cast<int32_t>(Result)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace

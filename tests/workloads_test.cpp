@@ -1,0 +1,62 @@
+//===- tests/workloads_test.cpp - Differential tests over all kernels ----------===//
+//
+// For every benchmark kernel and every pipeline variant: the optimized
+// machine-semantics execution must produce the Java-semantics oracle
+// checksum with no trap (in particular no WildAddress, the miscompile
+// detector), the post-pipeline module must verify with no dummies left,
+// and the headline variant must remove extensions.
+//
+//===---------------------------------------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+class WorkloadSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadSweep, AllVariantsMatchOracle) {
+  const Workload &W = allWorkloads()[GetParam()];
+  RunnerOptions Options;
+  WorkloadReport Report = runWorkload(W, Options);
+
+  ASSERT_EQ(Report.Rows.size(), NumVariants);
+  for (const VariantRow &Row : Report.Rows) {
+    EXPECT_EQ(Row.Trap, TrapKind::None)
+        << W.Name << " / " << variantName(Row.V) << ": "
+        << trapKindName(Row.Trap);
+    EXPECT_EQ(Row.Checksum, Report.OracleChecksum)
+        << W.Name << " / " << variantName(Row.V);
+  }
+
+  const VariantRow *Baseline = Report.row(Variant::Baseline);
+  const VariantRow *First = Report.row(Variant::FirstAlgorithm);
+  const VariantRow *All = Report.row(Variant::All);
+  ASSERT_TRUE(Baseline && First && All);
+
+  // The paper's global shape: the new algorithm dominates the baseline and
+  // the first algorithm on every benchmark program.
+  EXPECT_GT(Baseline->DynamicSext32, 0u) << W.Name;
+  EXPECT_LE(First->DynamicSext32, Baseline->DynamicSext32) << W.Name;
+  EXPECT_LE(All->DynamicSext32, First->DynamicSext32) << W.Name;
+  EXPECT_LT(All->DynamicSext32, Baseline->DynamicSext32) << W.Name;
+
+  // Removing extensions must never make the cycle estimate worse.
+  EXPECT_LE(All->Cycles, Baseline->Cycles) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, WorkloadSweep,
+    ::testing::Range<size_t>(0, allWorkloads().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = allWorkloads()[Info.param].Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace
