@@ -4,7 +4,7 @@
 // the optimized IR and statistics, and optionally interprets a function.
 //
 // Usage:
-//   sxetool FILE [--variant=N|NAME] [--target=ia64|ppc64]
+//   sxetool FILE [--variant=N|NAME] [--target=ia64|ppc64|generic64]
 //           [--maxlen=HEX] [--run[=FUNC]] [--quiet]
 //
 // Examples:
@@ -33,7 +33,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: sxetool FILE [--variant=NAME] [--target=ia64|ppc64] "
+               "usage: sxetool FILE [--variant=NAME] "
+               "[--target=ia64|ppc64|generic64] "
                "[--maxlen=HEX] [--run[=FUNC]] [--quiet]\n"
                "variants:\n");
   for (Variant V : AllVariants)
@@ -91,6 +92,8 @@ int main(int argc, char **argv) {
       Target = &TargetInfo::ppc64();
     } else if (Arg == "--target=ia64") {
       Target = &TargetInfo::ia64();
+    } else if (Arg == "--target=generic64") {
+      Target = &TargetInfo::generic64();
     } else if (Arg.rfind("--maxlen=", 0) == 0) {
       MaxLen = static_cast<uint32_t>(
           std::strtoul(Arg.c_str() + 9, nullptr, 0));

@@ -1,0 +1,81 @@
+//===- target/CostModel.cpp - Static per-instruction cycle costs -------------===//
+
+#include "target/CostModel.h"
+
+#include "support/Error.h"
+
+using namespace sxe;
+
+unsigned sxe::instructionCycleCost(const Instruction &I,
+                                   const TargetInfo &Target) {
+  const CycleCosts &C = Target.costs();
+  switch (I.opcode()) {
+  // Dummy markers are an analysis device only; they are deleted before
+  // code generation and must never contribute cycles.
+  case Opcode::JustExtended:
+    return 0;
+
+  // Single-cycle ALU work, including every explicit extension: the paper's
+  // extend() is IA64 `sxt4` / PPC64 `extsw`, one cycle each.
+  case Opcode::ConstInt:
+  case Opcode::ConstF64:
+  case Opcode::Copy:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sar:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Sext8:
+  case Opcode::Sext16:
+  case Opcode::Sext32:
+  case Opcode::Zext32:
+  case Opcode::Cmp:
+  case Opcode::FCmp:
+    return C.Alu;
+
+  case Opcode::Mul:
+    return C.Mul;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return C.Div;
+
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FNeg:
+    return C.FpAlu;
+  case Opcode::FDiv:
+    return C.FpDiv;
+  case Opcode::I2D:
+  case Opcode::D2I:
+    return C.Conv;
+
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    return C.Branch;
+  case Opcode::Call:
+    return C.Call;
+  case Opcode::Trap:
+    return C.Branch;
+
+  case Opcode::NewArray:
+    return C.Alloc;
+  case Opcode::ArrayLen:
+    // A load of the length word from the array header; no index scaling.
+    return C.Load;
+
+  // Bounds check (32-bit compare + branch) + effective-address formation
+  // (shladd vs shift+add) + the memory operation.
+  case Opcode::ArrayLoad:
+    return 2 * C.Alu + Target.addressing().AddressCycles + C.Load;
+  case Opcode::ArrayStore:
+    return 2 * C.Alu + Target.addressing().AddressCycles + C.Store;
+  }
+  sxeUnreachable("invalid Opcode enumerator");
+}

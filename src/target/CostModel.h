@@ -1,0 +1,37 @@
+//===- target/CostModel.h - Static per-instruction cycle costs ---*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps one IR instruction to an estimated cycle cost on a given target.
+/// The interpreter accumulates these per executed instruction; the ratio of
+/// the accumulated totals across pipeline variants reproduces the *shape*
+/// of the paper's Figures 13/14 (who wins, roughly by how much). A sign
+/// extension costs exactly one ALU cycle — the quantity the optimization
+/// removes — and the dummy `just_extended` marker costs nothing because it
+/// never reaches generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_TARGET_COSTMODEL_H
+#define SXE_TARGET_COSTMODEL_H
+
+#include "ir/Instruction.h"
+#include "target/TargetInfo.h"
+
+namespace sxe {
+
+/// Estimated cycles to execute \p I once on \p Target.
+///
+/// Array accesses decompose into the Java bounds check (32-bit compare +
+/// branch), effective-address formation per the target's AddressingMode
+/// (IA64's fused shladd is one cycle cheaper than PPC64's shift+add), and
+/// the memory operation itself.
+unsigned instructionCycleCost(const Instruction &I, const TargetInfo &Target);
+
+} // namespace sxe
+
+#endif // SXE_TARGET_COSTMODEL_H

@@ -1,0 +1,43 @@
+//===- target/StaticCounts.cpp - Static extension census ---------------------===//
+
+#include "target/StaticCounts.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+using namespace sxe;
+
+StaticExtensionCounts sxe::countStaticExtensions(const Function &F) {
+  StaticExtensionCounts Counts;
+  for (const auto &BB : F.blocks())
+    for (const Instruction &I : *BB) {
+      switch (I.opcode()) {
+      case Opcode::Sext8:
+        ++Counts.Sext8;
+        break;
+      case Opcode::Sext16:
+        ++Counts.Sext16;
+        break;
+      case Opcode::Sext32:
+        ++Counts.Sext32;
+        break;
+      case Opcode::Zext32:
+        ++Counts.Zext32;
+        break;
+      case Opcode::JustExtended:
+        ++Counts.Dummies;
+        break;
+      default:
+        break;
+      }
+    }
+  return Counts;
+}
+
+StaticExtensionCounts sxe::countStaticExtensions(const Module &M) {
+  StaticExtensionCounts Counts;
+  for (const auto &F : M.functions())
+    Counts += countStaticExtensions(*F);
+  return Counts;
+}

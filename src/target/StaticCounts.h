@@ -1,0 +1,57 @@
+//===- target/StaticCounts.h - Static extension census -----------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts the extension instructions present in a function or module *in
+/// the IR*, as opposed to the dynamic counts the interpreter gathers while
+/// executing. The workload runner records the static census of every
+/// optimized clone next to its Tables 1/2 dynamic cell, and the PPC64
+/// comparison bench uses it to show that implicit load extension lowers the
+/// baseline static count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_TARGET_STATICCOUNTS_H
+#define SXE_TARGET_STATICCOUNTS_H
+
+#include <cstdint>
+
+namespace sxe {
+
+class Function;
+class Module;
+
+/// Per-kind census of extension instructions in the IR.
+struct StaticExtensionCounts {
+  uint64_t Sext8 = 0;   ///< Explicit sext8 instructions.
+  uint64_t Sext16 = 0;  ///< Explicit sext16 instructions.
+  uint64_t Sext32 = 0;  ///< Explicit sext32 — the paper's extend().
+  uint64_t Zext32 = 0;  ///< Explicit zext32 instructions.
+  uint64_t Dummies = 0; ///< just_extended markers still in the IR.
+
+  /// Total explicit sign extensions — the paper's instrumented quantity.
+  uint64_t totalSext() const { return Sext8 + Sext16 + Sext32; }
+
+  StaticExtensionCounts &operator+=(const StaticExtensionCounts &Other) {
+    Sext8 += Other.Sext8;
+    Sext16 += Other.Sext16;
+    Sext32 += Other.Sext32;
+    Zext32 += Other.Zext32;
+    Dummies += Other.Dummies;
+    return *this;
+  }
+};
+
+/// Census of one function.
+StaticExtensionCounts countStaticExtensions(const Function &F);
+
+/// Census of every function in \p M.
+StaticExtensionCounts countStaticExtensions(const Module &M);
+
+} // namespace sxe
+
+#endif // SXE_TARGET_STATICCOUNTS_H
