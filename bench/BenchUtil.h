@@ -17,6 +17,7 @@
 #define SXE_BENCH_BENCHUTIL_H
 
 #include "support/Format.h"
+#include "support/Json.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
@@ -36,11 +37,118 @@ inline unsigned envScale() {
   return Value >= 1 ? static_cast<unsigned>(Value) : 1;
 }
 
-/// Runs every workload of \p Suite under all variants.
+/// Shared command-line state for the table/figure binaries.
+///
+/// `--smoke` runs a 1-iteration / scale-1 sweep (for CI) and enables the
+/// JSON report at `BENCH_<name>.json` unless `--json=FILE` names another
+/// destination. `--json=FILE` alone enables the report at full scale.
+struct BenchContext {
+  std::string Name;
+  bool Smoke = false;
+  std::string JsonPath; ///< Empty = no JSON report.
+
+  unsigned scale() const { return Smoke ? 1 : envScale(); }
+  unsigned repeats(unsigned Full) const { return Smoke ? 1 : Full; }
+};
+
+inline BenchContext parseBenchArgs(const char *Name, int argc, char **argv) {
+  BenchContext Ctx;
+  Ctx.Name = Name;
+  for (int Index = 1; Index < argc; ++Index) {
+    std::string Arg = argv[Index];
+    if (Arg == "--smoke")
+      Ctx.Smoke = true;
+    else if (Arg.rfind("--json=", 0) == 0)
+      Ctx.JsonPath = Arg.substr(7);
+    else
+      std::fprintf(stderr,
+                   "%s: unknown option '%s' (supported: --smoke, "
+                   "--json=FILE)\n",
+                   Name, Arg.c_str());
+  }
+  if (Ctx.Smoke && Ctx.JsonPath.empty())
+    Ctx.JsonPath = std::string("BENCH_") + Name + ".json";
+  return Ctx;
+}
+
+/// Starts the `sxe.bench-report.v1` JSON document shared by all benches:
+/// the caller fills a bench-specific "results" member and then calls
+/// finishBenchReport.
+inline void beginBenchReport(JsonWriter &J, const BenchContext &Ctx) {
+  J.beginObject();
+  J.keyValue("schema", "sxe.bench-report.v1");
+  J.keyValue("bench", Ctx.Name);
+  J.keyValue("smoke", Ctx.Smoke);
+  J.keyValue("scale", Ctx.scale());
+}
+
+/// Closes the report and writes it to the context's JSON path (if any).
+inline void finishBenchReport(JsonWriter &J, const BenchContext &Ctx) {
+  J.endObject();
+  if (Ctx.JsonPath.empty())
+    return;
+  if (writeTextFile(Ctx.JsonPath, J.str()))
+    std::fprintf(stderr, "wrote %s\n", Ctx.JsonPath.c_str());
+  else
+    std::fprintf(stderr, "cannot write %s\n", Ctx.JsonPath.c_str());
+}
+
+/// Emits one (workload, variant) measurement row.
+inline void emitVariantRowJson(JsonWriter &J, const VariantRow &Row) {
+  J.beginObject();
+  J.keyValue("variant", variantName(Row.V));
+  J.keyValue("dynamic_sext32", Row.DynamicSext32);
+  J.keyValue("dynamic_sext_all", Row.DynamicSextAll);
+  J.keyValue("cycles", Row.Cycles);
+  J.keyValue("instructions", Row.Instructions);
+  J.keyValue("static_sext", Row.StaticSext);
+  J.keyValue("checksum_ok", Row.ChecksumOK);
+  J.key("pipeline");
+  J.beginObject();
+  J.keyValue("extensions_generated", Row.Pipeline.ExtensionsGenerated);
+  J.keyValue("extensions_inserted", Row.Pipeline.ExtensionsInserted);
+  J.keyValue("dummies_inserted", Row.Pipeline.DummiesInserted);
+  J.keyValue("extensions_eliminated", Row.Pipeline.ExtensionsEliminated);
+  J.keyValue("dummies_removed", Row.Pipeline.DummiesRemoved);
+  J.keyValue("general_opt_rewrites", Row.Pipeline.GeneralOptRewrites);
+  J.keyValue("subscript_extended", Row.Pipeline.SubscriptExtended);
+  J.keyValue("theorem1_fired", Row.Pipeline.SubscriptTheorem1);
+  J.keyValue("theorem2_fired", Row.Pipeline.SubscriptTheorem2);
+  J.keyValue("theorem3_fired", Row.Pipeline.SubscriptTheorem3);
+  J.keyValue("theorem4_fired", Row.Pipeline.SubscriptTheorem4);
+  J.keyValue("sxe_opt_ns", Row.Pipeline.SxeOptNanos);
+  J.keyValue("chain_creation_ns", Row.Pipeline.ChainCreationNanos);
+  J.keyValue("total_ns", Row.Pipeline.TotalNanos);
+  J.endObject();
+  J.endObject();
+}
+
+/// Emits the full suite sweep as `"results": [...]` — one object per
+/// workload with its per-variant rows. Used by the Table 1/2 and Figure
+/// 13/14 binaries.
+inline void emitSuiteResultsJson(JsonWriter &J,
+                                 const std::vector<WorkloadReport> &Reports) {
+  J.key("results");
+  J.beginArray();
+  for (const WorkloadReport &Report : Reports) {
+    J.beginObject();
+    J.keyValue("workload", Report.Name);
+    J.keyValue("suite", Report.Suite);
+    J.key("variants");
+    J.beginArray();
+    for (const VariantRow &Row : Report.Rows)
+      emitVariantRowJson(J, Row);
+    J.endArray();
+    J.endObject();
+  }
+  J.endArray();
+}
+
+/// Runs every workload of \p Suite under all variants at \p Scale.
 inline std::vector<WorkloadReport>
-runSuite(const std::vector<Workload> &Suite) {
+runSuite(const std::vector<Workload> &Suite, unsigned Scale) {
   RunnerOptions Options;
-  Options.Params.Scale = envScale();
+  Options.Params.Scale = Scale;
   std::vector<WorkloadReport> Reports;
   for (const Workload &W : Suite) {
     std::fprintf(stderr, "  compiling + running %-14s (12 variants)...\n",
@@ -48,6 +156,11 @@ runSuite(const std::vector<Workload> &Suite) {
     Reports.push_back(runWorkload(W, Options));
   }
   return Reports;
+}
+
+inline std::vector<WorkloadReport>
+runSuite(const std::vector<Workload> &Suite) {
+  return runSuite(Suite, envScale());
 }
 
 /// Percentage of baseline for one cell.

@@ -14,16 +14,26 @@
 using namespace sxe;
 using namespace sxe::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchContext Ctx = parseBenchArgs("fig13_14_performance", argc, argv);
   std::fprintf(stderr, "Figures 13/14 reproduction (cycle model), scale=%u\n",
-               envScale());
+               Ctx.scale());
 
-  std::vector<WorkloadReport> JByte = runSuite(jbytemarkWorkloads());
+  std::vector<WorkloadReport> JByte =
+      runSuite(jbytemarkWorkloads(), Ctx.scale());
   printSpeedupTable("Figure 13. Performance improvement for jBYTEmark",
                     JByte);
 
-  std::vector<WorkloadReport> Spec = runSuite(specjvm98Workloads());
+  std::vector<WorkloadReport> Spec =
+      runSuite(specjvm98Workloads(), Ctx.scale());
   printSpeedupTable("Figure 14. Performance improvement for SPECjvm98",
                     Spec);
+
+  std::vector<WorkloadReport> All = JByte;
+  All.insert(All.end(), Spec.begin(), Spec.end());
+  JsonWriter J;
+  beginBenchReport(J, Ctx);
+  emitSuiteResultsJson(J, All);
+  finishBenchReport(J, Ctx);
   return 0;
 }

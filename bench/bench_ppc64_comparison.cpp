@@ -13,9 +13,10 @@
 using namespace sxe;
 using namespace sxe::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchContext Ctx = parseBenchArgs("ppc64_comparison", argc, argv);
   std::fprintf(stderr, "IA64 vs PPC64 (implicit sign extension), scale=%u\n",
-               envScale());
+               Ctx.scale());
 
   std::printf("\nDynamic 32-bit sign extensions: IA64 (no implicit "
               "extension) vs PPC64 (lwa/lha)\n");
@@ -26,10 +27,15 @@ int main() {
               padLeft("ppc64 all", 12).c_str());
 
   RunnerOptions IA64Options;
-  IA64Options.Params.Scale = envScale();
+  IA64Options.Params.Scale = Ctx.scale();
   IA64Options.Variants = {Variant::Baseline, Variant::All};
   RunnerOptions PPCOptions = IA64Options;
   PPCOptions.Target = &TargetInfo::ppc64();
+
+  JsonWriter J;
+  beginBenchReport(J, Ctx);
+  J.key("results");
+  J.beginArray();
 
   for (const Workload &W : allWorkloads()) {
     std::fprintf(stderr, "  %s...\n", W.Name);
@@ -51,7 +57,24 @@ int main() {
         padLeft(formatWithCommas(PPCReport.row(Variant::All)->DynamicSext32),
                 12)
             .c_str());
+
+    J.beginObject();
+    J.keyValue("workload", IA64Report.Name);
+    J.keyValue("suite", IA64Report.Suite);
+    J.key("ia64_variants");
+    J.beginArray();
+    for (const VariantRow &Row : IA64Report.Rows)
+      emitVariantRowJson(J, Row);
+    J.endArray();
+    J.key("ppc64_variants");
+    J.beginArray();
+    for (const VariantRow &Row : PPCReport.Rows)
+      emitVariantRowJson(J, Row);
+    J.endArray();
+    J.endObject();
   }
+  J.endArray();
+  finishBenchReport(J, Ctx);
   std::printf("(the elimination algorithm narrows the gap between the two "
               "architectures, the paper's motivation for IA64)\n");
   return 0;

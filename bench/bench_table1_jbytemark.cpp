@@ -12,16 +12,23 @@
 using namespace sxe;
 using namespace sxe::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchContext Ctx = parseBenchArgs("table1_jbytemark", argc, argv);
   std::fprintf(stderr, "Table 1 reproduction: jBYTEmark, IA64 target, "
                        "scale=%u\n",
-               envScale());
-  std::vector<WorkloadReport> Reports = runSuite(jbytemarkWorkloads());
+               Ctx.scale());
+  std::vector<WorkloadReport> Reports =
+      runSuite(jbytemarkWorkloads(), Ctx.scale());
 
   printCountTable(
       "Table 1. Dynamic counts of remaining 32-bit sign extensions "
       "(jBYTEmark)",
       Reports);
   printPercentSeries("Figure 11. Dynamic counts for jBYTEmark", Reports);
+
+  JsonWriter J;
+  beginBenchReport(J, Ctx);
+  emitSuiteResultsJson(J, Reports);
+  finishBenchReport(J, Ctx);
   return 0;
 }

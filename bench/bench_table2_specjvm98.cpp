@@ -12,16 +12,23 @@
 using namespace sxe;
 using namespace sxe::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchContext Ctx = parseBenchArgs("table2_specjvm98", argc, argv);
   std::fprintf(stderr, "Table 2 reproduction: SPECjvm98, IA64 target, "
                        "scale=%u\n",
-               envScale());
-  std::vector<WorkloadReport> Reports = runSuite(specjvm98Workloads());
+               Ctx.scale());
+  std::vector<WorkloadReport> Reports =
+      runSuite(specjvm98Workloads(), Ctx.scale());
 
   printCountTable(
       "Table 2. Dynamic counts of remaining 32-bit sign extensions "
       "(SPECjvm98)",
       Reports);
   printPercentSeries("Figure 12. Dynamic counts for SPECjvm98", Reports);
+
+  JsonWriter J;
+  beginBenchReport(J, Ctx);
+  emitSuiteResultsJson(J, Reports);
+  finishBenchReport(J, Ctx);
   return 0;
 }

@@ -44,9 +44,10 @@ AblatedRun runAblated(const Workload &W, const WorkloadParams &Params,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchContext Ctx = parseBenchArgs("theorem_ablation", argc, argv);
   WorkloadParams Params;
-  Params.Scale = envScale();
+  Params.Scale = Ctx.scale();
 
   std::printf("Ablation: dynamic 32-bit extensions under 'new algorithm "
               "(all)' with one ingredient disabled (scale=%u)\n",
@@ -57,6 +58,11 @@ int main() {
               padLeft("no guards", 10).c_str(),
               padLeft("no induct.", 11).c_str(),
               padLeft("no array", 10).c_str());
+
+  JsonWriter J;
+  beginBenchReport(J, Ctx);
+  J.key("results");
+  J.beginArray();
 
   for (const Workload &W : allWorkloads()) {
     std::fprintf(stderr, "  %s...\n", W.Name);
@@ -80,7 +86,26 @@ int main() {
         padLeft(formatWithCommas(NoGuards.DynamicSext32), 10).c_str(),
         padLeft(formatWithCommas(NoInductive.DynamicSext32), 11).c_str(),
         padLeft(formatWithCommas(NoArray.DynamicSext32), 10).c_str());
+
+    J.beginObject();
+    J.keyValue("workload", W.Name);
+    J.keyValue("full", Full.DynamicSext32);
+    J.keyValue("no_dummies", NoDummies.DynamicSext32);
+    J.keyValue("no_guards", NoGuards.DynamicSext32);
+    J.keyValue("no_inductive", NoInductive.DynamicSext32);
+    J.keyValue("no_array_theorems", NoArray.DynamicSext32);
+    J.key("full_counters");
+    J.beginObject();
+    J.keyValue("subscript_extended", Full.Stats.SubscriptExtended);
+    J.keyValue("theorem1_fired", Full.Stats.SubscriptTheorem1);
+    J.keyValue("theorem2_fired", Full.Stats.SubscriptTheorem2);
+    J.keyValue("theorem3_fired", Full.Stats.SubscriptTheorem3);
+    J.keyValue("theorem4_fired", Full.Stats.SubscriptTheorem4);
+    J.endObject();
+    J.endObject();
   }
+  J.endArray();
+  finishBenchReport(J, Ctx);
 
   std::printf("\nSection 3 discharge breakdown during the full runs "
               "(static counts per compilation):\n");

@@ -6,10 +6,14 @@
 // Usage:
 //   sxetool FILE [--variant=N|NAME] [--target=ia64|ppc64|generic64]
 //           [--maxlen=HEX] [--run[=FUNC]] [--quiet]
+//           [--stats] [--stats-json=FILE] [--verify-each]
+//           [--dump-after-each=DIR]
 //
 // Examples:
 //   sxetool examples/ir/countdown.sxir --variant=all --run=main
 //   sxetool program.sxir --variant=baseline --quiet --run
+//   sxetool program.sxir --stats --stats-json=- --quiet
+//   sxetool program.sxir --verify-each --dump-after-each=/tmp/snap
 //
 //===------------------------------------------------------------------------------===//
 
@@ -17,7 +21,10 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "parser/Parser.h"
+#include "pm/InstrumentedPipeline.h"
+#include "pm/Report.h"
 #include "support/Format.h"
+#include "support/Json.h"
 #include "sxe/Pipeline.h"
 #include "target/StaticCounts.h"
 
@@ -36,6 +43,8 @@ void usage() {
                "usage: sxetool FILE [--variant=NAME] "
                "[--target=ia64|ppc64|generic64] "
                "[--maxlen=HEX] [--run[=FUNC]] [--quiet]\n"
+               "               [--stats] [--stats-json=FILE|-] "
+               "[--verify-each] [--dump-after-each=DIR]\n"
                "variants:\n");
   for (Variant V : AllVariants)
     std::fprintf(stderr, "  %s\n", variantName(V));
@@ -78,6 +87,10 @@ int main(int argc, char **argv) {
   uint32_t MaxLen = 0x7FFFFFFF;
   bool Run = false;
   bool Quiet = false;
+  bool PrintStats = false;
+  bool VerifyEach = false;
+  std::string StatsJsonFile;
+  std::string DumpDir;
   std::string RunFunc = "main";
 
   for (int Index = 1; Index < argc; ++Index) {
@@ -104,6 +117,14 @@ int main(int argc, char **argv) {
       RunFunc = Arg.substr(6);
     } else if (Arg == "--quiet") {
       Quiet = true;
+    } else if (Arg == "--stats") {
+      PrintStats = true;
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      StatsJsonFile = Arg.substr(13);
+    } else if (Arg == "--verify-each") {
+      VerifyEach = true;
+    } else if (Arg.rfind("--dump-after-each=", 0) == 0) {
+      DumpDir = Arg.substr(18);
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       usage();
@@ -139,7 +160,20 @@ int main(int argc, char **argv) {
 
   PipelineConfig Config = PipelineConfig::forVariant(V, *Target);
   Config.MaxArrayLen = MaxLen;
-  PipelineStats Stats = runPipeline(*Parsed.M, Config);
+
+  PassManagerOptions PMOptions;
+  PMOptions.VerifyEach = VerifyEach;
+  PMOptions.DumpDir = DumpDir;
+  InstrumentedPipelineResult Result =
+      runInstrumentedPipeline(*Parsed.M, Config, PMOptions);
+  if (!Result.Ok) {
+    std::fprintf(stderr, "sxetool: verify-each: pass '%s' broke the module: %s\n",
+                 Result.FailedPass.c_str(),
+                 Result.Problems.empty() ? "unknown problem"
+                                         : Result.Problems.front().c_str());
+    return 3;
+  }
+  const PipelineStats &Stats = Result.Legacy;
 
   StaticExtensionCounts Counts = countStaticExtensions(*Parsed.M);
   std::fprintf(stderr,
@@ -149,6 +183,26 @@ int main(int argc, char **argv) {
                Stats.ExtensionsGenerated, Stats.ExtensionsInserted,
                Stats.ExtensionsEliminated,
                static_cast<unsigned long long>(Counts.totalSext()));
+
+  if (PrintStats)
+    std::fprintf(stderr, "%s",
+                 statsReportTable(Result.Stats, Result.Timings).c_str());
+
+  if (!StatsJsonFile.empty()) {
+    StatsReportInfo Info;
+    Info.ModuleName = Parsed.M->name();
+    Info.VariantLabel = variantName(V);
+    Info.TargetName = Target->name();
+    Info.ChainCreationNanos = Result.ChainCreationNanos;
+    std::string Json = statsReportJson(Result.Stats, Result.Timings, Info);
+    if (StatsJsonFile == "-") {
+      std::printf("%s", Json.c_str());
+    } else if (!writeTextFile(StatsJsonFile, Json)) {
+      std::fprintf(stderr, "sxetool: cannot write %s\n",
+                   StatsJsonFile.c_str());
+      return 1;
+    }
+  }
 
   if (!Quiet)
     std::printf("%s", printModule(*Parsed.M).c_str());

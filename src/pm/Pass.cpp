@@ -1,0 +1,14 @@
+//===- pm/Pass.cpp - Uniform pass interface -----------------------------------===//
+
+#include "pm/Pass.h"
+
+using namespace sxe;
+
+FunctionAnalyses &PassContext::analyses(Function &F) {
+  auto &Slot = Cache[&F];
+  if (!Slot)
+    Slot = std::make_unique<FunctionAnalyses>(F, Config.Profile);
+  return *Slot;
+}
+
+void PassContext::invalidateAnalyses(Function &F) { Cache.erase(&F); }

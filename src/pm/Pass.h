@@ -1,0 +1,129 @@
+//===- pm/Pass.h - Uniform pass interface ------------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform interface every pipeline phase is wrapped behind, plus the
+/// context object threaded through a PassManager run. The context owns:
+///
+///  - the stat registry (pm/PassStats.h) the SXE_PASS_STAT macro targets;
+///  - a per-function cache of the block-level analyses (CFG, dominators,
+///    loops, block frequencies) shared by insertion, order determination,
+///    and elimination — a pass that does not change the block structure
+///    declares preservesCFG() and leaves the cache valid;
+///  - the inter-pass plumbing the Figure 5 phases hand each other: the
+///    list of extensions phase (3)-1 inserted and the elimination order
+///    phase (3)-2 chose;
+///  - the shared UD/DU chain-creation timer that Table 3 reports as its
+///    own column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_PM_PASS_H
+#define SXE_PM_PASS_H
+
+#include "analysis/BlockFrequency.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "pm/PassStats.h"
+#include "support/Timer.h"
+#include "sxe/Pipeline.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace sxe {
+
+/// The block-level analyses shared between the sign-extension phases,
+/// built once per function and cached until the CFG changes.
+struct FunctionAnalyses {
+  FunctionAnalyses(Function &F, const ProfileInfo *Profile)
+      : Cfg(F), Dom(Cfg), Loops(Cfg, Dom), Freq(Cfg, Loops, Profile) {}
+
+  CFG Cfg;
+  Dominators Dom;
+  LoopInfo Loops;
+  BlockFrequency Freq;
+};
+
+/// State threaded through one PassManager run over one module.
+class PassContext {
+public:
+  PassContext(const PipelineConfig &Config, PassStats &Stats)
+      : Config(Config), Stats(&Stats) {}
+
+  PassContext(const PassContext &) = delete;
+  PassContext &operator=(const PassContext &) = delete;
+
+  const PipelineConfig &config() const { return Config; }
+  PassStats &stats() { return *Stats; }
+
+  /// The cached analyses for \p F, built on first request.
+  FunctionAnalyses &analyses(Function &F);
+
+  /// Drops the cached analyses for \p F (called by the manager after any
+  /// pass that does not preserve the CFG).
+  void invalidateAnalyses(Function &F);
+
+  /// Extensions inserted into \p F by phase (3)-1 (insertion pass output,
+  /// order determination input).
+  std::vector<Instruction *> &inserted(Function &F) { return InsertedMap[&F]; }
+
+  /// The elimination order chosen for \p F by phase (3)-2.
+  std::vector<Instruction *> &order(Function &F) { return OrderMap[&F]; }
+
+  /// True once an order-determination pass has run over \p F.
+  bool hasOrder(Function &F) const { return OrderMap.count(&F) != 0; }
+
+  /// Accumulates UD/DU chain (and range analysis) construction time across
+  /// functions; Table 3's "UD/DU chain creation" column.
+  Timer &chainTimer() { return ChainTimer; }
+
+private:
+  const PipelineConfig &Config;
+  PassStats *Stats;
+  std::unordered_map<Function *, std::unique_ptr<FunctionAnalyses>> Cache;
+  std::unordered_map<Function *, std::vector<Instruction *>> InsertedMap;
+  std::unordered_map<Function *, std::vector<Instruction *>> OrderMap;
+  Timer ChainTimer;
+};
+
+/// A unit of IR transformation or analysis run by the PassManager.
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Stable machine-readable identifier ("conversion64", "elimination",
+  /// ...). Used as the stat-registry owner key, the timer row label, the
+  /// snapshot file stem, and the verify-each culprit name.
+  virtual const char *name() const = 0;
+
+  /// Runs the pass over one function.
+  virtual void run(Function &F, PassContext &Ctx) = 0;
+
+  /// True when the pass never adds, removes, or relinks basic blocks, so
+  /// cached CFG-derived analyses survive it.
+  virtual bool preservesCFG() const { return false; }
+
+  /// True for passes whose job is to *add* extension instructions
+  /// (conversion, insertion); the verify-each extension census exempts
+  /// them from its no-regression check.
+  virtual bool mayAddExtensions() const { return false; }
+
+  /// Which Table 3 bucket this pass's time belongs to.
+  enum class Group : uint8_t {
+    Conversion,  ///< Step 1: 32-bit to 64-bit conversion.
+    GeneralOpts, ///< Step 2: general optimizations.
+    SignExt,     ///< Step 3: the sign-extension phases.
+  };
+  virtual Group group() const { return Group::SignExt; }
+};
+
+} // namespace sxe
+
+#endif // SXE_PM_PASS_H

@@ -1,0 +1,113 @@
+//===- pm/PassManager.cpp - Instrumented pass sequencing ----------------------===//
+
+#include "pm/PassManager.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "support/Format.h"
+#include "support/Json.h"
+#include "target/StaticCounts.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+using namespace sxe;
+
+Pass *PassManager::add(std::unique_ptr<Pass> P) {
+  Passes.push_back(std::move(P));
+  return Passes.back().get();
+}
+
+/// `NN-<pass>.sxir`, with '/'-unfriendly characters mapped to '-'.
+static std::string snapshotFileName(unsigned Index, const std::string &Name) {
+  std::string Stem = Name;
+  for (char &C : Stem)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '-' && C != '_')
+      C = '-';
+  char Prefix[8];
+  std::snprintf(Prefix, sizeof(Prefix), "%02u-", Index);
+  return Prefix + Stem + ".sxir";
+}
+
+bool PassManager::run(Module &M, PassContext &Ctx) {
+  Failed = false;
+  Failure = PassFailure{};
+  Snapshots.clear();
+  if (Timings.size() != Passes.size()) {
+    Timings.clear();
+    for (const auto &P : Passes)
+      Timings.push_back(PassTiming{P->name(), P->group(), 0, 0, 0});
+  }
+
+  bool WantSnapshots = Options.CaptureSnapshots || !Options.DumpDir.empty();
+  if (!Options.DumpDir.empty())
+    std::filesystem::create_directories(Options.DumpDir);
+
+  uint64_t CensusBefore = countStaticExtensions(M).totalSext();
+
+  for (size_t Index = 0; Index < Passes.size(); ++Index) {
+    Pass &P = *Passes[Index];
+    PassTiming &T = Timings[Index];
+
+    uint64_t WallStart = wallNowNanos();
+    uint64_t CpuStart = threadCpuNanos();
+    for (const auto &FPtr : M.functions()) {
+      P.run(*FPtr, Ctx);
+      if (!P.preservesCFG())
+        Ctx.invalidateAnalyses(*FPtr);
+    }
+    T.WallNanos += wallNowNanos() - WallStart;
+    T.CpuNanos += threadCpuNanos() - CpuStart;
+    T.Runs += 1;
+
+    if (WantSnapshots) {
+      Snapshots.push_back(PassSnapshot{P.name(), printModule(M)});
+      if (!Options.DumpDir.empty()) {
+        std::string Path =
+            Options.DumpDir + "/" +
+            snapshotFileName(static_cast<unsigned>(Index), P.name());
+        writeTextFile(Path, Snapshots.back().IR);
+      }
+    }
+
+    if (Options.VerifyEach) {
+      std::vector<std::string> Problems;
+      // Dummy markers are legal between insertion and elimination; the
+      // final no-dummies condition is checked by callers on the end state.
+      if (!verifyModule(M, Problems)) {
+        Failed = true;
+        Failure = PassFailure{P.name(), std::move(Problems)};
+        return false;
+      }
+      uint64_t CensusAfter = countStaticExtensions(M).totalSext();
+      if (CensusAfter > CensusBefore && !P.mayAddExtensions()) {
+        Failed = true;
+        Failure = PassFailure{
+            P.name(),
+            {"static extension census regressed: " +
+             formatWithCommas(CensusBefore) + " -> " +
+             formatWithCommas(CensusAfter) +
+             " extensions after a pass not declared to insert any"}};
+        return false;
+      }
+      CensusBefore = CensusAfter;
+    }
+  }
+  return true;
+}
+
+uint64_t PassManager::totalWallNanos() const {
+  uint64_t Sum = 0;
+  for (const PassTiming &T : Timings)
+    Sum += T.WallNanos;
+  return Sum;
+}
+
+uint64_t PassManager::groupWallNanos(Pass::Group G) const {
+  uint64_t Sum = 0;
+  for (const PassTiming &T : Timings)
+    if (T.Group == G)
+      Sum += T.WallNanos;
+  return Sum;
+}

@@ -1,0 +1,76 @@
+//===- pm/PassStats.h - Named per-pass counters ------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter registry behind the pass-manager instrumentation: every
+/// pass registers named counters (`sext_eliminated`, `dummy_added`,
+/// `theorem4_fired`, ...) on first use via the SXE_PASS_STAT macro, and
+/// the registry preserves registration order so reports and goldens are
+/// deterministic. Counters are plain uint64_t cells owned by the registry
+/// instance — no globals, so concurrent pipelines over different modules
+/// do not share state (cf. redream's DEFINE_PASS_STAT, which this layer
+/// deliberately instancifies).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_PM_PASSSTATS_H
+#define SXE_PM_PASSSTATS_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sxe {
+
+/// One registered counter: which pass owns it, its name, and its value.
+struct StatEntry {
+  std::string Pass;
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// Registry of named per-pass counters.
+class PassStats {
+public:
+  /// Returns the counter cell for (\p Pass, \p Name), registering it at
+  /// the end of the entry list on first use. The reference stays valid
+  /// until the registry is destroyed (entries live in a deque).
+  uint64_t &counter(const std::string &Pass, const std::string &Name);
+
+  /// Returns the value of (\p Pass, \p Name), or 0 if never registered.
+  uint64_t value(const std::string &Pass, const std::string &Name) const;
+
+  /// All counters in registration order.
+  const std::deque<StatEntry> &entries() const { return Entries; }
+
+  /// Counters of one pass, in registration order.
+  std::vector<StatEntry> entriesForPass(const std::string &Pass) const;
+
+  /// Sums every counter named \p Name across passes (e.g. the total
+  /// `sext_eliminated` over elimination engines).
+  uint64_t total(const std::string &Name) const;
+
+private:
+  static std::string keyOf(const std::string &Pass, const std::string &Name) {
+    return Pass + "/" + Name;
+  }
+
+  std::deque<StatEntry> Entries;
+  std::unordered_map<std::string, size_t> Index;
+};
+
+/// Bumps a named counter for the current pass from inside a Pass member
+/// function: `SXE_PASS_STAT(Ctx, sext_eliminated) += N;`. The counter is
+/// registered under this pass's name() on first use.
+#define SXE_PASS_STAT(Ctx, StatName)                                          \
+  ((Ctx).stats().counter(this->name(), #StatName))
+
+} // namespace sxe
+
+#endif // SXE_PM_PASSSTATS_H

@@ -1,0 +1,222 @@
+//===- pm/Passes.cpp - Pass wrappers for the pipeline phases ------------------===//
+
+#include "pm/Passes.h"
+
+#include "opt/DeadCodeElim.h"
+#include "opt/ExtensionPRE.h"
+#include "opt/GeneralOpts.h"
+#include "opt/LocalOpts.h"
+#include "opt/SimplifyCFG.h"
+#include "sxe/Elimination.h"
+#include "sxe/FirstAlgorithm.h"
+#include "sxe/Insertion.h"
+#include "sxe/OrderDetermination.h"
+
+#include <unordered_set>
+
+using namespace sxe;
+
+namespace {
+
+class Conversion64Pass : public Pass {
+public:
+  explicit Conversion64Pass(GenPolicy Policy) : Policy(Policy) {}
+  const char *name() const override { return "conversion64"; }
+  Group group() const override { return Group::Conversion; }
+  bool preservesCFG() const override { return true; }
+  bool mayAddExtensions() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, sext_generated) +=
+        runConversion64(F, *Ctx.config().Target, Policy);
+  }
+
+private:
+  GenPolicy Policy;
+};
+
+class GeneralOptsPass : public Pass {
+public:
+  const char *name() const override { return "general-opts"; }
+  Group group() const override { return Group::GeneralOpts; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, rewrites) += runGeneralOpts(F, *Ctx.config().Target);
+  }
+};
+
+class SimplifyCFGPass : public Pass {
+public:
+  const char *name() const override { return "simplify-cfg"; }
+  Group group() const override { return Group::GeneralOpts; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, blocks_removed) += runSimplifyCFG(F);
+  }
+};
+
+class LocalOptsPass : public Pass {
+public:
+  const char *name() const override { return "local-opts"; }
+  Group group() const override { return Group::GeneralOpts; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, rewrites) += runLocalOpts(F);
+  }
+};
+
+class ExtensionPREPass : public Pass {
+public:
+  const char *name() const override { return "extension-pre"; }
+  Group group() const override { return Group::GeneralOpts; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, ext_removed_or_hoisted) +=
+        runExtensionPRE(F, *Ctx.config().Target);
+  }
+};
+
+class DeadCodeElimPass : public Pass {
+public:
+  const char *name() const override { return "dce"; }
+  Group group() const override { return Group::GeneralOpts; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, instrs_removed) += runDeadCodeElim(F);
+  }
+};
+
+class DummyInsertionPass : public Pass {
+public:
+  const char *name() const override { return "dummy-insertion"; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, dummy_added) += insertDummyExtends(F);
+  }
+};
+
+class InsertionPass : public Pass {
+public:
+  explicit InsertionPass(bool UsePDE) : UsePDE(UsePDE) {}
+  const char *name() const override { return "insertion"; }
+  bool preservesCFG() const override { return true; }
+  bool mayAddExtensions() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    std::vector<Instruction *> &Inserted = Ctx.inserted(F);
+    if (UsePDE) {
+      SXE_PASS_STAT(Ctx, pde_variant) = 1;
+      SXE_PASS_STAT(Ctx, sext_inserted) +=
+          runPDEInsertion(F, *Ctx.config().Target, &Inserted);
+    } else {
+      SXE_PASS_STAT(Ctx, pde_variant) = 0;
+      SXE_PASS_STAT(Ctx, sext_inserted) += runSimpleInsertion(
+          F, *Ctx.config().Target, &Inserted, &Ctx.analyses(F).Loops);
+    }
+  }
+
+private:
+  bool UsePDE;
+};
+
+class OrderDeterminationPass : public Pass {
+public:
+  explicit OrderDeterminationPass(bool ByFrequency)
+      : ByFrequency(ByFrequency) {}
+  const char *name() const override { return "order-determination"; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    std::vector<Instruction *> &Order = Ctx.order(F);
+    if (ByFrequency) {
+      SXE_PASS_STAT(Ctx, by_frequency) = 1;
+      const std::vector<Instruction *> &Inserted = Ctx.inserted(F);
+      std::unordered_set<Instruction *> InsertedSet(Inserted.begin(),
+                                                    Inserted.end());
+      FunctionAnalyses &A = Ctx.analyses(F);
+      Order = extensionsByFrequency(F, Ctx.config().Profile, &InsertedSet,
+                                    &A.Cfg, &A.Freq);
+    } else {
+      SXE_PASS_STAT(Ctx, by_frequency) = 0;
+      Order = extensionsInReverseDFS(F);
+    }
+    SXE_PASS_STAT(Ctx, extensions_ordered) += Order.size();
+  }
+
+private:
+  bool ByFrequency;
+};
+
+class EliminationPass : public Pass {
+public:
+  const char *name() const override { return "elimination"; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    const PipelineConfig &Config = Ctx.config();
+    // A preceding order-determination pass normally decides the order;
+    // standalone stacks fall back to the order-off default (reverse DFS).
+    std::vector<Instruction *> Order = Ctx.hasOrder(F)
+                                           ? Ctx.order(F)
+                                           : extensionsInReverseDFS(F);
+    EliminationOptions Options;
+    Options.Target = Config.Target;
+    Options.EnableArrayTheorems = Config.EnableArrayTheorems;
+    Options.MaxArrayLen = Config.MaxArrayLen;
+    Options.EnableInductiveArith = Config.EnableInductiveArith;
+    Options.EnableGuardRanges = Config.EnableGuardRanges;
+    Options.ChainTimer = &Ctx.chainTimer();
+    EliminationStats ES = runElimination(F, Order, Options);
+    SXE_PASS_STAT(Ctx, analyzed) += ES.Analyzed;
+    SXE_PASS_STAT(Ctx, sext_eliminated) += ES.Eliminated;
+    SXE_PASS_STAT(Ctx, eliminated_via_uses) += ES.EliminatedViaUses;
+    SXE_PASS_STAT(Ctx, eliminated_via_defs) += ES.EliminatedViaDefs;
+    SXE_PASS_STAT(Ctx, array_uses_proven) += ES.ArrayUsesProven;
+    SXE_PASS_STAT(Ctx, dummy_removed) += ES.DummiesRemoved;
+    SXE_PASS_STAT(Ctx, subscript_extended) += ES.SubscriptExtended;
+    SXE_PASS_STAT(Ctx, theorem1_fired) += ES.SubscriptTheorem1;
+    SXE_PASS_STAT(Ctx, theorem2_fired) += ES.SubscriptTheorem2;
+    SXE_PASS_STAT(Ctx, theorem3_fired) += ES.SubscriptTheorem3;
+    SXE_PASS_STAT(Ctx, theorem4_fired) += ES.SubscriptTheorem4;
+  }
+};
+
+class FirstAlgorithmPass : public Pass {
+public:
+  const char *name() const override { return "first-algorithm"; }
+  bool preservesCFG() const override { return true; }
+  void run(Function &F, PassContext &Ctx) override {
+    SXE_PASS_STAT(Ctx, sext_eliminated) +=
+        runFirstAlgorithm(F, *Ctx.config().Target);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> sxe::createConversion64Pass(GenPolicy Policy) {
+  return std::make_unique<Conversion64Pass>(Policy);
+}
+std::unique_ptr<Pass> sxe::createGeneralOptsPass() {
+  return std::make_unique<GeneralOptsPass>();
+}
+std::unique_ptr<Pass> sxe::createSimplifyCFGPass() {
+  return std::make_unique<SimplifyCFGPass>();
+}
+std::unique_ptr<Pass> sxe::createLocalOptsPass() {
+  return std::make_unique<LocalOptsPass>();
+}
+std::unique_ptr<Pass> sxe::createExtensionPREPass() {
+  return std::make_unique<ExtensionPREPass>();
+}
+std::unique_ptr<Pass> sxe::createDeadCodeElimPass() {
+  return std::make_unique<DeadCodeElimPass>();
+}
+std::unique_ptr<Pass> sxe::createDummyInsertionPass() {
+  return std::make_unique<DummyInsertionPass>();
+}
+std::unique_ptr<Pass> sxe::createInsertionPass(bool UsePDE) {
+  return std::make_unique<InsertionPass>(UsePDE);
+}
+std::unique_ptr<Pass> sxe::createOrderDeterminationPass(bool ByFrequency) {
+  return std::make_unique<OrderDeterminationPass>(ByFrequency);
+}
+std::unique_ptr<Pass> sxe::createEliminationPass() {
+  return std::make_unique<EliminationPass>();
+}
+std::unique_ptr<Pass> sxe::createFirstAlgorithmPass() {
+  return std::make_unique<FirstAlgorithmPass>();
+}

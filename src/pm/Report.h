@@ -1,0 +1,68 @@
+//===- pm/Report.h - Machine-readable pass statistics reports ----*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a PassManager run as the stable JSON schema
+/// `sxe.pass-stats.v1` (documented in docs/OBSERVABILITY.md and locked by
+/// tests/golden_file_test.cpp):
+///
+///   {
+///     "schema": "sxe.pass-stats.v1",
+///     "module": "...", "variant": "...", "target": "...",
+///     "passes": [
+///       {"name": "...", "group": "conversion|general-opts|sign-ext",
+///        "runs": N, "wall_ns": N, "cpu_ns": N,
+///        "counters": {"<stat>": N, ...}},
+///       ...
+///     ],
+///     "totals": {"wall_ns": N, "cpu_ns": N, "chain_creation_ns": N,
+///                "counters": {"<stat>": N, ...}}
+///   }
+///
+/// Pass order is execution order; counters appear in registration order.
+/// With IncludeTimings=false every *_ns field is emitted as 0 so goldens
+/// stay deterministic while still locking the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_PM_REPORT_H
+#define SXE_PM_REPORT_H
+
+#include "pm/PassManager.h"
+#include "pm/PassStats.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// Labels attached to a stats report.
+struct StatsReportInfo {
+  std::string ModuleName;
+  std::string VariantLabel;
+  std::string TargetName;
+  /// Nanosecond fields are reported as 0 when false (deterministic
+  /// golden mode).
+  bool IncludeTimings = true;
+  /// The context's UD/DU chain-creation time (overlaps the elimination
+  /// pass's wall time; reported separately like Table 3's column).
+  uint64_t ChainCreationNanos = 0;
+};
+
+/// Renders the sxe.pass-stats.v1 JSON document.
+std::string statsReportJson(const PassStats &Stats,
+                            const std::vector<PassTiming> &Timings,
+                            const StatsReportInfo &Info);
+
+/// Renders a human-readable per-pass table (used by `sxetool --stats`).
+std::string statsReportTable(const PassStats &Stats,
+                             const std::vector<PassTiming> &Timings);
+
+} // namespace sxe
+
+#endif // SXE_PM_REPORT_H

@@ -1,0 +1,135 @@
+//===- support/Json.cpp - Minimal JSON emission -------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace sxe;
+
+void JsonWriter::separate() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+    Out += '\n';
+    indent();
+  }
+}
+
+void JsonWriter::indent() {
+  Out.append(2 * NeedComma.size(), ' ');
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  bool HadElements = NeedComma.back();
+  NeedComma.pop_back();
+  if (HadElements) {
+    Out += '\n';
+    indent();
+  }
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  bool HadElements = NeedComma.back();
+  NeedComma.pop_back();
+  if (HadElements) {
+    Out += '\n';
+    indent();
+  }
+  Out += ']';
+}
+
+void JsonWriter::key(const std::string &Name) {
+  separate();
+  Out += quote(Name);
+  Out += ": ";
+  AfterKey = true;
+}
+
+void JsonWriter::value(const std::string &Text) {
+  separate();
+  Out += quote(Text);
+}
+
+void JsonWriter::value(const char *Text) { value(std::string(Text)); }
+
+void JsonWriter::value(uint64_t Number) {
+  separate();
+  Out += std::to_string(Number);
+}
+
+void JsonWriter::value(int64_t Number) {
+  separate();
+  Out += std::to_string(Number);
+}
+
+void JsonWriter::value(double Number) {
+  separate();
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.6g", Number);
+  Out += Buffer;
+}
+
+void JsonWriter::value(bool Flag) {
+  separate();
+  Out += Flag ? "true" : "false";
+}
+
+std::string JsonWriter::quote(const std::string &Raw) {
+  std::string Quoted = "\"";
+  for (char C : Raw) {
+    switch (C) {
+    case '"':
+      Quoted += "\\\"";
+      break;
+    case '\\':
+      Quoted += "\\\\";
+      break;
+    case '\n':
+      Quoted += "\\n";
+      break;
+    case '\r':
+      Quoted += "\\r";
+      break;
+    case '\t':
+      Quoted += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Quoted += Buffer;
+      } else {
+        Quoted += C;
+      }
+    }
+  }
+  Quoted += '"';
+  return Quoted;
+}
+
+bool sxe::writeTextFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Text;
+  return static_cast<bool>(Out);
+}

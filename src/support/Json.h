@@ -1,0 +1,79 @@
+//===- support/Json.h - Minimal JSON emission --------------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer used by the pass-manager statistics
+/// reports and the benchmark binaries (BENCH_*.json). Commas and nesting
+/// are handled automatically; strings are escaped per RFC 8259. Output is
+/// pretty-printed with two-space indentation so goldens diff readably.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_JSON_H
+#define SXE_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+/// Streaming JSON writer. Usage:
+///
+///   JsonWriter J;
+///   J.beginObject();
+///   J.keyValue("schema", "sxe.pass-stats.v1");
+///   J.key("passes"); J.beginArray(); ... J.endArray();
+///   J.endObject();
+///   std::string Text = J.str();
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key; must be followed by a value or container.
+  void key(const std::string &Name);
+
+  void value(const std::string &Text);
+  void value(const char *Text);
+  void value(uint64_t Number);
+  void value(int64_t Number);
+  void value(unsigned Number) { value(static_cast<uint64_t>(Number)); }
+  void value(double Number);
+  void value(bool Flag);
+
+  template <typename T> void keyValue(const std::string &Name, T Val) {
+    key(Name);
+    value(Val);
+  }
+
+  /// Returns the accumulated document. All containers must be closed.
+  const std::string &str() const { return Out; }
+
+  /// Escapes \p Raw as a JSON string literal (with quotes).
+  static std::string quote(const std::string &Raw);
+
+private:
+  void separate();
+  void indent();
+
+  std::string Out;
+  /// One entry per open container: true while the container already holds
+  /// at least one element (so the next element needs a comma).
+  std::vector<bool> NeedComma;
+  bool AfterKey = false;
+};
+
+/// Writes \p Text to \p Path. Returns false (and leaves a partial file at
+/// worst) on I/O failure.
+bool writeTextFile(const std::string &Path, const std::string &Text);
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_JSON_H

@@ -3,14 +3,26 @@
 #include "support/Timer.h"
 
 #include <chrono>
+#include <ctime>
 
 using namespace sxe;
 
-static uint64_t nowNanos() {
+uint64_t sxe::wallNowNanos() {
   auto Now = std::chrono::steady_clock::now().time_since_epoch();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count();
 }
 
-void Timer::start() { StartNanos = nowNanos(); }
+uint64_t sxe::threadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec Ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts) == 0)
+    return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(Ts.tv_nsec);
+#endif
+  return static_cast<uint64_t>(std::clock()) *
+         (1000000000ull / CLOCKS_PER_SEC);
+}
 
-void Timer::stop() { TotalNanos += nowNanos() - StartNanos; }
+void Timer::start() { StartNanos = wallNowNanos(); }
+
+void Timer::stop() { TotalNanos += wallNowNanos() - StartNanos; }

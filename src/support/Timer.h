@@ -42,6 +42,13 @@ private:
   uint64_t StartNanos = 0;
 };
 
+/// Current wall-clock reading in nanoseconds (monotonic epoch).
+uint64_t wallNowNanos();
+
+/// CPU time consumed by the calling thread, in nanoseconds. Falls back to
+/// process CPU time where per-thread clocks are unavailable.
+uint64_t threadCpuNanos();
+
 /// RAII helper that runs a timer for the lifetime of a scope.
 class TimerScope {
 public:

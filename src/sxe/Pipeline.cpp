@@ -1,19 +1,15 @@
 //===- sxe/Pipeline.cpp - The full compilation pipeline -----------------------===//
+//
+// Variant naming and configuration only. The execution engine behind
+// runPipeline lives in pm/InstrumentedPipeline.cpp: every phase runs as a
+// Pass under the instrumented PassManager, and the PipelineStats returned
+// here are a projection of its per-pass counters and timers.
+//
+//===----------------------------------------------------------------------------===//
 
 #include "sxe/Pipeline.h"
 
-#include "analysis/BlockFrequency.h"
-#include "analysis/Dominators.h"
-#include "analysis/LoopInfo.h"
-#include "opt/GeneralOpts.h"
 #include "support/Error.h"
-#include "support/Timer.h"
-#include "sxe/Elimination.h"
-#include "sxe/FirstAlgorithm.h"
-#include "sxe/Insertion.h"
-#include "sxe/OrderDetermination.h"
-
-#include <unordered_set>
 
 using namespace sxe;
 
@@ -105,114 +101,4 @@ PipelineConfig PipelineConfig::forVariant(Variant V,
     break;
   }
   return Config;
-}
-
-PipelineStats sxe::runPipeline(Module &M, const PipelineConfig &Config) {
-  PipelineStats Stats;
-  Timer Total, Conversion, Opts, Chains, Sxe;
-  Total.start();
-
-  for (const auto &FPtr : M.functions()) {
-    Function &F = *FPtr;
-
-    if (Config.Gen == GenPolicy::BeforeUse) {
-      // "Gen use" models extension generation at the code generation
-      // phase: the general optimizations run on the extension-free IR
-      // first, then the extensions are placed before uses and stay.
-      if (Config.GeneralOpts) {
-        TimerScope Scope(Opts);
-        Stats.GeneralOptRewrites += runGeneralOpts(F, *Config.Target);
-      }
-      {
-        TimerScope Scope(Conversion);
-        Stats.ExtensionsGenerated +=
-            runConversion64(F, *Config.Target, GenPolicy::BeforeUse);
-      }
-    } else {
-      {
-        TimerScope Scope(Conversion);
-        Stats.ExtensionsGenerated +=
-            runConversion64(F, *Config.Target, GenPolicy::AfterDef);
-      }
-      if (Config.GeneralOpts) {
-        TimerScope Scope(Opts);
-        Stats.GeneralOptRewrites += runGeneralOpts(F, *Config.Target);
-      }
-    }
-
-    switch (Config.Engine) {
-    case EliminationEngine::None:
-      break;
-    case EliminationEngine::BackwardFlow: {
-      TimerScope Scope(Sxe);
-      Stats.ExtensionsEliminated += runFirstAlgorithm(F, *Config.Target);
-      break;
-    }
-    case EliminationEngine::UdDu: {
-      TimerScope Scope(Sxe);
-
-      // Block-level analyses are shared by insertion and order
-      // determination: neither changes the block structure.
-      CFG Cfg(F);
-      Dominators Dom(Cfg);
-      LoopInfo Loops(Cfg, Dom);
-      BlockFrequency Freq(Cfg, Loops, Config.Profile);
-
-      // Phase (3)-1: insertion. Dummy markers always accompany the UD/DU
-      // engine — they are an analysis device consumed by elimination.
-      if (Config.EnableDummies)
-        Stats.DummiesInserted += insertDummyExtends(F);
-      std::vector<Instruction *> InsertedList;
-      if (Config.EnableInsertion) {
-        if (Config.UsePDEInsertion)
-          Stats.ExtensionsInserted +=
-              runPDEInsertion(F, *Config.Target, &InsertedList);
-        else
-          Stats.ExtensionsInserted += runSimpleInsertion(
-              F, *Config.Target, &InsertedList, &Loops);
-      }
-
-      // Phase (3)-2: order determination.
-      std::unordered_set<Instruction *> InsertedSet(InsertedList.begin(),
-                                                    InsertedList.end());
-      std::vector<Instruction *> Order =
-          Config.EnableOrder
-              ? extensionsByFrequency(F, Config.Profile, &InsertedSet,
-                                      &Cfg, &Freq)
-              : extensionsInReverseDFS(F);
-
-      // Phase (3)-3: elimination (UD/DU chain creation timed separately).
-      EliminationOptions ElimOptions;
-      ElimOptions.Target = Config.Target;
-      ElimOptions.EnableArrayTheorems = Config.EnableArrayTheorems;
-      ElimOptions.MaxArrayLen = Config.MaxArrayLen;
-      ElimOptions.EnableInductiveArith = Config.EnableInductiveArith;
-      ElimOptions.EnableGuardRanges = Config.EnableGuardRanges;
-      ElimOptions.ChainTimer = &Chains;
-      EliminationStats ES = runElimination(F, Order, ElimOptions);
-      Stats.ExtensionsEliminated += ES.Eliminated;
-      Stats.DummiesRemoved += ES.DummiesRemoved;
-      Stats.SubscriptExtended += ES.SubscriptExtended;
-      Stats.SubscriptTheorem1 += ES.SubscriptTheorem1;
-      Stats.SubscriptTheorem2 += ES.SubscriptTheorem2;
-      Stats.SubscriptTheorem3 += ES.SubscriptTheorem3;
-      Stats.SubscriptTheorem4 += ES.SubscriptTheorem4;
-      break;
-    }
-    }
-  }
-
-  Total.stop();
-  Stats.ConversionNanos = Conversion.elapsedNanos();
-  Stats.GeneralOptsNanos = Opts.elapsedNanos();
-  Stats.ChainCreationNanos = Chains.elapsedNanos();
-  // Chain creation runs inside the Sxe timer scope; carve it out so the
-  // two Table 3 columns do not overlap.
-  uint64_t SxeNanos = Sxe.elapsedNanos();
-  Stats.SxeOptNanos =
-      SxeNanos > Stats.ChainCreationNanos
-          ? SxeNanos - Stats.ChainCreationNanos
-          : 0;
-  Stats.TotalNanos = Total.elapsedNanos();
-  return Stats;
 }

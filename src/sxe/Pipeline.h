@@ -17,6 +17,12 @@
 /// breakdown (sign extension optimizations vs UD/DU chain creation vs
 /// everything else).
 ///
+/// runPipeline executes through the instrumented pass manager
+/// (pm/InstrumentedPipeline.h); PipelineStats is the backward-compatible
+/// aggregate of its per-pass counters and timers. New code that wants
+/// per-pass detail (named counters, wall/CPU per pass, verify-each, IR
+/// snapshots) should call runInstrumentedPipeline directly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SXE_SXE_PIPELINE_H

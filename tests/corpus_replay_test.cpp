@@ -1,0 +1,95 @@
+//===- tests/corpus_replay_test.cpp - Pinned-program regression corpus ----------===//
+//
+// Replays the checked-in programs under tests/corpus/ — hand-picked
+// outputs of the random_program_test generator — through every pipeline
+// variant with the same differential checks the fuzzer applies:
+//
+//   - the post-pipeline module verifies with no dummy extensions left,
+//   - machine-semantics execution matches the Java-semantics oracle
+//     (checksum AND trap kind), with no wild addresses,
+//   - the full algorithm never executes more extensions than baseline.
+//
+// Unlike the fuzzer, these programs never change, so a failure here
+// bisects cleanly to the offending pipeline commit.
+//
+//===---------------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Cloner.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "parser/Parser.h"
+#include "sxe/Pipeline.h"
+
+#include <fstream>
+#include <sstream>
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+std::unique_ptr<Module> loadCorpusFile(const std::string &Name) {
+  std::string Path =
+      std::string(SXE_SOURCE_DIR) + "/tests/corpus/" + Name + ".sxir";
+  std::ifstream In(Path);
+  EXPECT_TRUE(static_cast<bool>(In)) << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  ParseResult Parsed = parseModule(Buffer.str());
+  EXPECT_TRUE(Parsed.ok()) << Path << ": " << Parsed.Error;
+  return std::move(Parsed.M);
+}
+
+class CorpusReplay : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(CorpusReplay, AllVariantsMatchJavaOracle) {
+  std::unique_ptr<Module> Pristine = loadCorpusFile(GetParam());
+  ASSERT_NE(Pristine, nullptr);
+
+  std::vector<std::string> Problems;
+  ASSERT_TRUE(verifyModule(*Pristine, Problems)) << Problems.front();
+
+  InterpOptions Java;
+  Java.Semantics = ExecSemantics::Java;
+  Java.MaxSteps = 1u << 22;
+  ExecResult Oracle = Interpreter(*Pristine, Java).run("main");
+  ASSERT_NE(Oracle.Trap, TrapKind::StepLimit);
+
+  uint64_t BaselineSext = 0;
+  for (Variant V : AllVariants) {
+    auto Clone = cloneModule(*Pristine);
+    runPipeline(*Clone, PipelineConfig::forVariant(V));
+
+    VerifierOptions Options;
+    Options.AllowDummyExtends = false;
+    Problems.clear();
+    ASSERT_TRUE(verifyModule(*Clone, Problems, Options))
+        << variantName(V) << ": " << Problems.front();
+
+    InterpOptions Machine;
+    Machine.MaxSteps = 1u << 22;
+    ExecResult Got = Interpreter(*Clone, Machine).run("main");
+
+    EXPECT_NE(Got.Trap, TrapKind::WildAddress)
+        << variantName(V) << ": miscompile detected\n"
+        << printModule(*Clone);
+    EXPECT_EQ(Got.Trap, Oracle.Trap) << variantName(V);
+    if (Oracle.Trap == TrapKind::None) {
+      EXPECT_EQ(Got.ReturnValue, Oracle.ReturnValue) << variantName(V);
+    }
+
+    if (V == Variant::Baseline)
+      BaselineSext = Got.totalExecutedSext();
+    if (V == Variant::All && Oracle.Trap == TrapKind::None) {
+      EXPECT_LE(Got.totalExecutedSext(), BaselineSext);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
+                         ::testing::Values("generated_small",
+                                           "generated_medium",
+                                           "generated_large"));

@@ -1,0 +1,121 @@
+//===- tests/golden_file_test.cpp - Golden stats + snapshot documents -----------===//
+//
+// Runs the full pipeline over the two checked-in example programs for all
+// three targets and compares two artifacts per run against goldens in
+// tests/golden/:
+//
+//   <input>-<target>.stats.json  — the sxe.pass-stats.v1 report with
+//                                  timings zeroed (IncludeTimings=false),
+//                                  locking the schema and every counter;
+//   <input>-<target>.dumps.sxir  — the after-each-pass IR snapshots,
+//                                  locking the transformation sequence.
+//
+// Regenerate after an intentional pipeline change with:
+//
+//   UPDATE_GOLDENS=1 ctest -R golden_file_test
+//
+//===---------------------------------------------------------------------------===//
+
+#include "parser/Parser.h"
+#include "pm/InstrumentedPipeline.h"
+#include "pm/Report.h"
+#include "support/Json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+bool updateGoldens() {
+  const char *Raw = std::getenv("UPDATE_GOLDENS");
+  return Raw && Raw[0] && Raw[0] != '0';
+}
+
+std::string readTextFile(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path);
+  Ok = static_cast<bool>(In);
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+/// One golden artifact: compare against the checked-in file, or rewrite
+/// it when UPDATE_GOLDENS is set.
+void checkGolden(const std::string &Path, const std::string &Actual) {
+  if (updateGoldens()) {
+    ASSERT_TRUE(writeTextFile(Path, Actual)) << "cannot write " << Path;
+    return;
+  }
+  bool Ok = false;
+  std::string Expected = readTextFile(Path, Ok);
+  ASSERT_TRUE(Ok) << Path
+                  << " is missing; regenerate with UPDATE_GOLDENS=1";
+  EXPECT_EQ(Expected, Actual)
+      << Path << " is stale; regenerate with UPDATE_GOLDENS=1 if the "
+      << "pipeline change is intentional";
+}
+
+struct GoldenCase {
+  const char *Stem;   ///< Input file stem under examples/ir/.
+  const TargetInfo *Target;
+};
+
+void runGoldenCase(const GoldenCase &Case) {
+  std::string InputPath =
+      std::string(SXE_SOURCE_DIR) + "/examples/ir/" + Case.Stem + ".sxir";
+  bool Ok = false;
+  std::string Text = readTextFile(InputPath, Ok);
+  ASSERT_TRUE(Ok) << InputPath;
+
+  ParseResult Parsed = parseModule(Text);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
+
+  PipelineConfig Config =
+      PipelineConfig::forVariant(Variant::All, *Case.Target);
+  PassManagerOptions Options;
+  Options.CaptureSnapshots = true;
+  InstrumentedPipelineResult Result =
+      runInstrumentedPipeline(*Parsed.M, Config, Options);
+  ASSERT_TRUE(Result.Ok);
+
+  StatsReportInfo Info;
+  Info.ModuleName = Parsed.M->name();
+  Info.VariantLabel = variantName(Variant::All);
+  Info.TargetName = Case.Target->name();
+  Info.IncludeTimings = false; // Deterministic golden mode.
+  std::string StatsJson = statsReportJson(Result.Stats, Result.Timings, Info);
+
+  std::string Dumps;
+  for (const PassSnapshot &S : Result.Snapshots)
+    Dumps += "; === after " + S.PassName + " ===\n" + S.IR;
+
+  std::string GoldenDir = std::string(SXE_SOURCE_DIR) + "/tests/golden/";
+  std::string StemTarget = std::string(Case.Stem) + "-" + Case.Target->name();
+  checkGolden(GoldenDir + StemTarget + ".stats.json", StatsJson);
+  checkGolden(GoldenDir + StemTarget + ".dumps.sxir", Dumps);
+}
+
+} // namespace
+
+TEST(GoldenFileTest, Figure3IA64) {
+  runGoldenCase({"figure3", &TargetInfo::ia64()});
+}
+TEST(GoldenFileTest, Figure3PPC64) {
+  runGoldenCase({"figure3", &TargetInfo::ppc64()});
+}
+TEST(GoldenFileTest, Figure3Generic64) {
+  runGoldenCase({"figure3", &TargetInfo::generic64()});
+}
+TEST(GoldenFileTest, CountdownIA64) {
+  runGoldenCase({"countdown", &TargetInfo::ia64()});
+}
+TEST(GoldenFileTest, CountdownPPC64) {
+  runGoldenCase({"countdown", &TargetInfo::ppc64()});
+}
+TEST(GoldenFileTest, CountdownGeneric64) {
+  runGoldenCase({"countdown", &TargetInfo::generic64()});
+}
