@@ -1,0 +1,232 @@
+//===- bench/bench_compile_service.cpp - Compile service throughput -------------===//
+//
+// Measures the jit/ compile service the way a VM would feel it:
+//
+//   1. modules/second over a generated corpus (all 17 paper workloads,
+//      replicated with unique marker functions so every module is a
+//      distinct cache key) at 1, 2, 4, and 8 worker threads;
+//   2. the code cache: a second pass over the same corpus, reporting the
+//      hit rate and verifying byte-identical artifacts;
+//   3. determinism: every parallel run's output is compared against the
+//      serial (jobs=0) reference compile, byte for byte.
+//
+// Emits `sxe.bench-report.v1` JSON like the table/figure benches
+// (`--smoke` writes BENCH_compile_service.json for CI). Thread scaling
+// requires hardware parallelism: on a single-core host the 8-worker run
+// degenerates to ~1x, which the report records honestly.
+//
+//===------------------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "jit/CompileService.h"
+#include "support/Timer.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace sxe;
+using namespace sxe::bench;
+
+namespace {
+
+struct CorpusModule {
+  std::string Name;
+  std::string Source;
+};
+
+/// Builds Replicas distinct variants of every registered workload. Each
+/// replica appends a `uniq_<r>` marker function so its structural hash —
+/// and therefore its cache key — is unique.
+std::vector<CorpusModule> buildCorpus(unsigned Replicas) {
+  std::vector<CorpusModule> Corpus;
+  WorkloadParams Params;
+  for (const Workload &W : allWorkloads()) {
+    for (unsigned R = 0; R < Replicas; ++R) {
+      std::unique_ptr<Module> M = W.Build(Params);
+      Function *Marker =
+          M->createFunction("uniq_" + std::to_string(R), Type::I32);
+      IRBuilder B(Marker);
+      B.startBlock("entry");
+      B.ret(B.constI32(static_cast<int32_t>(R)));
+      CorpusModule C;
+      C.Name = std::string(W.Name) + "#" + std::to_string(R);
+      C.Source = printModule(*M);
+      Corpus.push_back(std::move(C));
+    }
+  }
+  return Corpus;
+}
+
+/// One measured sweep of the corpus through a service.
+struct SweepResult {
+  uint64_t WallNanos = 0;
+  double ModulesPerSec = 0.0;
+  bool Identical = true; ///< vs the reference outputs (when provided).
+  unsigned Failures = 0;
+  uint64_t TotalEliminated = 0;
+};
+
+SweepResult
+sweepCorpus(CompileService &Service, const std::vector<CorpusModule> &Corpus,
+            const std::map<std::string, std::string> *Reference) {
+  SweepResult Out;
+  Timer Elapsed;
+  Elapsed.start();
+  std::vector<std::future<CompileResult>> Futures;
+  Futures.reserve(Corpus.size());
+  for (const CorpusModule &C : Corpus) {
+    CompileRequest Request;
+    Request.Name = C.Name;
+    Request.Source = C.Source;
+    Request.Config = PipelineConfig::forVariant(Variant::All);
+    Request.Hotness = static_cast<double>(C.Source.size());
+    Futures.push_back(Service.enqueue(std::move(Request)));
+  }
+  for (auto &Future : Futures) {
+    CompileResult Result = Future.get();
+    if (!Result.Ok) {
+      ++Out.Failures;
+      std::fprintf(stderr, "  %s FAILED: %s\n", Result.Name.c_str(),
+                   Result.Error.c_str());
+      continue;
+    }
+    Out.TotalEliminated += Result.Code->Stats.total("sext_eliminated");
+    if (Reference) {
+      auto It = Reference->find(Result.Name);
+      if (It == Reference->end() || It->second != Result.Code->IRText)
+        Out.Identical = false;
+    }
+  }
+  Elapsed.stop();
+  Out.WallNanos = Elapsed.elapsedNanos();
+  Out.ModulesPerSec = Out.WallNanos
+                          ? static_cast<double>(Corpus.size()) * 1e9 /
+                                static_cast<double>(Out.WallNanos)
+                          : 0.0;
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchContext Ctx = parseBenchArgs("compile_service", argc, argv);
+  unsigned Replicas = Ctx.Smoke ? 2 : 2 + 2 * Ctx.scale();
+
+  std::fprintf(stderr, "generating corpus (%u replicas x 17 workloads)...\n",
+               Replicas);
+  std::vector<CorpusModule> Corpus = buildCorpus(Replicas);
+
+  // Serial reference: jobs=0 (inline deterministic mode), no cache.
+  std::fprintf(stderr, "reference compile (serial, no cache)...\n");
+  std::map<std::string, std::string> Reference;
+  {
+    CompileServiceOptions Options;
+    Options.Jobs = 0;
+    CompileService Service(Options);
+    for (const CorpusModule &C : Corpus) {
+      CompileRequest Request;
+      Request.Name = C.Name;
+      Request.Source = C.Source;
+      Request.Config = PipelineConfig::forVariant(Variant::All);
+      CompileResult Result = Service.enqueue(std::move(Request)).get();
+      if (Result.Ok)
+        Reference.emplace(Result.Name, Result.Code->IRText);
+    }
+  }
+
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+  std::vector<std::pair<unsigned, SweepResult>> Runs;
+  for (unsigned Jobs : JobCounts) {
+    CodeCache Cache; // Fresh per run: every module misses once.
+    CompileServiceOptions Options;
+    Options.Jobs = Jobs;
+    Options.Cache = &Cache;
+    CompileService Service(Options);
+    SweepResult Result = sweepCorpus(Service, Corpus, &Reference);
+    std::fprintf(stderr,
+                 "  jobs=%u: %7.1f modules/s (%6.1f ms, identical=%s)\n",
+                 Jobs, Result.ModulesPerSec,
+                 Result.WallNanos / 1e6, Result.Identical ? "yes" : "NO");
+    Runs.emplace_back(Jobs, Result);
+  }
+  double Speedup8v1 =
+      Runs.front().second.WallNanos
+          ? static_cast<double>(Runs.front().second.WallNanos) /
+                static_cast<double>(Runs.back().second.WallNanos)
+          : 0.0;
+
+  // Cache pass: warm the cache with one full sweep, then resweep and
+  // measure the hit rate plus artifact identity.
+  CodeCache Cache;
+  CompileServiceOptions Options;
+  Options.Jobs = 8;
+  Options.Cache = &Cache;
+  CompileService Service(Options);
+  sweepCorpus(Service, Corpus, nullptr);
+  CodeCacheStats Before = Cache.stats();
+  SweepResult Second = sweepCorpus(Service, Corpus, &Reference);
+  CodeCacheStats After = Cache.stats();
+  uint64_t PassHits = After.Hits - Before.Hits;
+  uint64_t PassMisses = After.Misses - Before.Misses;
+  double HitRate = (PassHits + PassMisses)
+                       ? 100.0 * static_cast<double>(PassHits) /
+                             static_cast<double>(PassHits + PassMisses)
+                       : 0.0;
+
+  std::printf("\ncompile service throughput (%zu modules, %u hw threads)\n",
+              Corpus.size(), std::thread::hardware_concurrency());
+  std::printf("%-8s %14s %12s %10s\n", "jobs", "modules/s", "wall ms",
+              "identical");
+  for (const auto &Run : Runs)
+    std::printf("%-8u %14.1f %12.1f %10s\n", Run.first,
+                Run.second.ModulesPerSec, Run.second.WallNanos / 1e6,
+                Run.second.Identical ? "yes" : "NO");
+  std::printf("speedup 8 vs 1 workers: %.2fx\n", Speedup8v1);
+  std::printf("second pass over warm cache: %.1f%% hits (%llu/%llu), "
+              "identical=%s, %.1f modules/s\n",
+              HitRate, static_cast<unsigned long long>(PassHits),
+              static_cast<unsigned long long>(PassHits + PassMisses),
+              Second.Identical ? "yes" : "NO", Second.ModulesPerSec);
+
+  if (!Ctx.JsonPath.empty()) {
+    JsonWriter J;
+    beginBenchReport(J, Ctx);
+    J.keyValue("corpus_modules", static_cast<uint64_t>(Corpus.size()));
+    J.keyValue("hw_threads",
+               static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    J.key("runs");
+    J.beginArray();
+    for (const auto &Run : Runs) {
+      J.beginObject();
+      J.keyValue("jobs", static_cast<uint64_t>(Run.first));
+      J.keyValue("wall_ns", Run.second.WallNanos);
+      J.keyValue("modules_per_sec", Run.second.ModulesPerSec);
+      J.keyValue("identical_to_serial", Run.second.Identical);
+      J.keyValue("failures", static_cast<uint64_t>(Run.second.Failures));
+      J.endObject();
+    }
+    J.endArray();
+    J.keyValue("speedup_8_vs_1", Speedup8v1);
+    J.key("second_pass");
+    J.beginObject();
+    J.keyValue("hit_rate_percent", HitRate);
+    J.keyValue("hits", PassHits);
+    J.keyValue("lookups", PassHits + PassMisses);
+    J.keyValue("identical_to_serial", Second.Identical);
+    J.keyValue("modules_per_sec", Second.ModulesPerSec);
+    J.endObject();
+    finishBenchReport(J, Ctx);
+  }
+
+  bool Ok = Second.Identical && HitRate >= 90.0;
+  for (const auto &Run : Runs)
+    Ok = Ok && Run.second.Identical && Run.second.Failures == 0;
+  return Ok ? 0 : 1;
+}

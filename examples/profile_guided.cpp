@@ -1,31 +1,39 @@
-//===- examples/profile_guided.cpp - Figure 15: profiles beat PDE ---------------===//
+//===- examples/profile_guided.cpp - Figure 15 through the tiered JIT -----------===//
 //
 // The paper's Figure 15 argument: partial dead code elimination cannot
 // move a sign extension from one diamond arm to the join, but
 // insertion + profile-guided order determination places the surviving
 // extension on the *cold* path.
 //
-// The program below has a diamond inside a loop: the hot arm (97% by
-// profile) computes t = i + 1 and needs no extension; the join uses t as
-// an array index. We compile it three ways and show where the extension
-// lands.
+// This example exercises the real mixed-mode loop: the TieredController
+// runs the program in the interpreter tier (collecting branch profiles),
+// then enqueues a profile-guided recompile with the CompileService — the
+// same interpret -> profile -> recompile path a production VM takes,
+// instead of hand-fed synthetic profiles.
+//
+// The program has a diamond inside a loop: the hot arm (97% by profile)
+// computes t = i + 1 and needs no extension; the join uses t as an array
+// index. We compile it with PDE, without a profile, and through the
+// tiered path, and show where the extension lands each time.
 //
 // Run:  ./profile_guided
 //
 //===-----------------------------------------------------------------------------===//
 
-#include "analysis/ProfileInfo.h"
-#include "interp/Interpreter.h"
 #include "ir/Cloner.h"
 #include "ir/IRBuilder.h"
-#include "ir/IRPrinter.h"
+#include "jit/CompileService.h"
+#include "jit/TieredController.h"
+#include "parser/Parser.h"
 #include "sxe/Pipeline.h"
 
 #include <cstdio>
 
 using namespace sxe;
 
-int main() {
+namespace {
+
+std::unique_ptr<Module> buildDiamond() {
   auto M = std::make_unique<Module>("diamond");
   Function *F = M->createFunction("diamond", Type::I32);
   Reg A = F->addParam(Type::ArrayRef, "a");
@@ -78,7 +86,7 @@ int main() {
   B.setBlock(Exit);
   B.ret(Sum);
 
-  // A main() for profiling.
+  // A main() for the interpreter tier to profile.
   Function *Main = M->createFunction("main", Type::I32);
   {
     IRBuilder MB(Main);
@@ -90,55 +98,78 @@ int main() {
     MB.callTo(Result, F, {Arr, Count});
     MB.ret(Result);
   }
+  return M;
+}
 
-  // Collect a branch profile with the Java-semantics interpreter (the
-  // VM's interpreter tier).
-  ProfileInfo Profile;
+/// Prints which blocks of `diamond` still hold extensions in \p IRText.
+void showBlocks(const std::string &IRText, const char *Label) {
+  ParseResult Parsed = parseModule(IRText);
+  if (!Parsed.ok()) {
+    std::printf("=== %s === (unparseable: %s)\n", Label,
+                Parsed.Error.c_str());
+    return;
+  }
+  std::printf("=== %s ===\n", Label);
+  for (const auto &BB : Parsed.M->findFunction("diamond")->blocks()) {
+    unsigned Count = 0;
+    for (const Instruction &Inst : *BB)
+      Count += Inst.isSext() ? 1 : 0;
+    if (Count)
+      std::printf("  block %-6s: %u extension(s)\n", BB->name().c_str(),
+                  Count);
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::unique_ptr<Module> M = buildDiamond();
+
+  // One compile service with a code cache behind every tier.
+  CodeCache Cache;
+  CompileServiceOptions ServiceOptions;
+  ServiceOptions.Jobs = 2;
+  ServiceOptions.Cache = &Cache;
+  CompileService Service(ServiceOptions);
+
+  // The PDE reference, for contrast (no profile in play).
   {
-    InterpOptions Options;
-    Options.Semantics = ExecSemantics::Java;
-    Options.Profile = &Profile;
-    Interpreter Interp(*M, Options);
-    Interp.run("main");
+    CompileRequest Request;
+    Request.Name = "diamond:pde";
+    Request.M = cloneModule(*M);
+    Request.Config = PipelineConfig::forVariant(Variant::AllPDE);
+    CompileResult Result = Service.enqueue(std::move(Request)).get();
+    if (Result.Ok)
+      showBlocks(Result.Code->IRText, "all, using PDE insertion (reference)");
   }
 
-  auto showBlocks = [&](Module &Mod, const char *Label) {
-    std::printf("=== %s ===\n", Label);
-    for (const auto &BB : Mod.findFunction("diamond")->blocks()) {
-      unsigned Count = 0;
-      for (const Instruction &Inst : *BB)
-        Count += Inst.isSext() ? 1 : 0;
-      if (Count)
-        std::printf("  block %-6s: %u extension(s)\n", BB->name().c_str(),
-                    Count);
-    }
-    std::printf("\n");
-  };
+  // The real mixed-mode loop: interpret (tier 0, profiling), compile
+  // without a profile (tier 1), recompile profile-guided (tier 2).
+  TieredController Controller(Service);
+  TieredOutcome Outcome = Controller.run(*M);
 
-  {
-    auto Clone = cloneModule(*M);
-    runPipeline(*Clone, PipelineConfig::forVariant(Variant::AllPDE));
-    showBlocks(*Clone, "all, using PDE insertion (reference)");
-  }
-  {
-    auto Clone = cloneModule(*M);
-    PipelineConfig Config = PipelineConfig::forVariant(Variant::All);
-    runPipeline(*Clone, Config);
-    showBlocks(*Clone, "new algorithm, static frequency estimate");
-  }
-  {
-    auto Clone = cloneModule(*M);
-    PipelineConfig Config = PipelineConfig::forVariant(Variant::All);
-    Config.Profile = &Profile;
-    runPipeline(*Clone, Config);
-    showBlocks(*Clone, "new algorithm, interpreter branch profile");
-  }
+  std::printf("tier 0 (interpreter): trap=%s checksum=%lld "
+              "instructions=%llu profile=%s\n\n",
+              trapKindName(Outcome.Warmup.Trap),
+              static_cast<long long>(Outcome.Warmup.ReturnValue),
+              static_cast<unsigned long long>(
+                  Outcome.Warmup.ExecutedInstructions),
+              Outcome.ProfileCollected ? "collected" : "empty");
+
+  if (Outcome.Unprofiled.Ok)
+    showBlocks(Outcome.Unprofiled.Code->IRText,
+               "tier 1: new algorithm, static frequency estimate");
+  if (Outcome.Profiled.Ok)
+    showBlocks(Outcome.Profiled.Code->IRText,
+               "tier 2: new algorithm, interpreter branch profile");
 
   std::printf(
       "PDE-style sinking leaves an extension at the join, executed every\n"
       "iteration: it may not lengthen any path, so it cannot move work\n"
-      "into the diamond's arms or out of the loop (Figure 15). Insertion\n"
-      "plus order determination rebuilds the extension where it is\n"
-      "cheapest — the loop exit — so the join runs extension-free.\n");
-  return 0;
+      "into the diamond's arms or out of the loop (Figure 15). The tiered\n"
+      "recompile feeds the interpreter's branch profile to insertion plus\n"
+      "order determination, which rebuild the extension where it is\n"
+      "cheapest - the loop exit - so the join runs extension-free.\n");
+  return Outcome.Warmup.ok() && Outcome.Profiled.Ok ? 0 : 1;
 }

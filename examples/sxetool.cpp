@@ -8,31 +8,45 @@
 //           [--maxlen=HEX] [--run[=FUNC]] [--quiet]
 //           [--stats] [--stats-json=FILE] [--verify-each]
 //           [--dump-after-each=DIR]
+//   sxetool --batch=DIR --jobs=N [--out=DIR] [--variant=...] [--target=...]
 //
 // Examples:
 //   sxetool examples/ir/countdown.sxir --variant=all --run=main
 //   sxetool program.sxir --variant=baseline --quiet --run
 //   sxetool program.sxir --stats --stats-json=- --quiet
 //   sxetool program.sxir --verify-each --dump-after-each=/tmp/snap
+//   sxetool --batch=tests/corpus --jobs=8 --out=/tmp/opt
+//
+// Batch mode compiles every `.sxir` module under DIR through the
+// jit/CompileService: N worker threads, the content-addressed code
+// cache, hotness = module size (big modules first for load balance).
+// `--jobs=0` is the deterministic serial mode; its output is
+// byte-identical to any parallel run.
 //
 //===------------------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "jit/CompileService.h"
 #include "parser/Parser.h"
 #include "pm/InstrumentedPipeline.h"
 #include "pm/Report.h"
 #include "support/Format.h"
 #include "support/Json.h"
+#include "support/Timer.h"
 #include "sxe/Pipeline.h"
 #include "target/StaticCounts.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace sxe;
 
@@ -45,9 +59,97 @@ void usage() {
                "[--maxlen=HEX] [--run[=FUNC]] [--quiet]\n"
                "               [--stats] [--stats-json=FILE|-] "
                "[--verify-each] [--dump-after-each=DIR]\n"
+               "       sxetool --batch=DIR --jobs=N [--out=DIR] "
+               "[--variant=NAME] [--target=...]\n"
                "variants:\n");
   for (Variant V : AllVariants)
     std::fprintf(stderr, "  %s\n", variantName(V));
+}
+
+/// Compiles every `.sxir` under \p BatchDir through a CompileService with
+/// \p Jobs workers and a shared code cache; writes optimized modules to
+/// \p OutDir when non-empty. Returns the process exit code.
+int runBatch(const std::string &BatchDir, unsigned Jobs,
+             const std::string &OutDir, const PipelineConfig &Config) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> Files;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(BatchDir, Ec))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".sxir")
+      Files.push_back(Entry.path());
+  if (Ec) {
+    std::fprintf(stderr, "sxetool: cannot read %s: %s\n", BatchDir.c_str(),
+                 Ec.message().c_str());
+    return 1;
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "sxetool: no .sxir files under %s\n",
+                 BatchDir.c_str());
+    return 1;
+  }
+  std::sort(Files.begin(), Files.end());
+
+  if (!OutDir.empty())
+    fs::create_directories(OutDir);
+
+  CodeCache Cache;
+  CompileServiceOptions Options;
+  Options.Jobs = Jobs;
+  Options.Cache = &Cache;
+  CompileService Service(Options);
+
+  Timer Elapsed;
+  Elapsed.start();
+  std::vector<std::future<CompileResult>> Futures;
+  Futures.reserve(Files.size());
+  for (const fs::path &File : Files) {
+    std::ifstream In(File);
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    CompileRequest Request;
+    Request.Name = File.filename().string();
+    Request.Source = Buffer.str();
+    Request.Config = Config;
+    Request.Hotness = static_cast<double>(Request.Source.size());
+    Futures.push_back(Service.enqueue(std::move(Request)));
+  }
+
+  unsigned Failures = 0;
+  for (size_t Index = 0; Index < Futures.size(); ++Index) {
+    CompileResult Result = Futures[Index].get();
+    if (!Result.Ok) {
+      ++Failures;
+      std::fprintf(stderr, "  %-28s FAILED: %s\n", Result.Name.c_str(),
+                   Result.Error.c_str());
+      continue;
+    }
+    std::fprintf(stderr, "  %-28s eliminated=%-5llu %s\n",
+                 Result.Name.c_str(),
+                 static_cast<unsigned long long>(
+                     Result.Code->Stats.total("sext_eliminated")),
+                 Result.CacheHit ? "[cache hit]" : "");
+    if (!OutDir.empty()) {
+      fs::path OutPath = fs::path(OutDir) / Files[Index].filename();
+      if (!writeTextFile(OutPath.string(), Result.Code->IRText)) {
+        std::fprintf(stderr, "sxetool: cannot write %s\n",
+                     OutPath.string().c_str());
+        ++Failures;
+      }
+    }
+  }
+  Elapsed.stop();
+
+  CodeCacheStats CStats = Cache.stats();
+  double Seconds = Elapsed.elapsedSeconds();
+  std::fprintf(stderr,
+               "batch: %zu modules | jobs=%u | %.3fs | %.1f modules/s | "
+               "cache %llu hit / %llu miss / %llu evicted | %u failed\n",
+               Files.size(), Jobs, Seconds,
+               Seconds > 0 ? static_cast<double>(Files.size()) / Seconds : 0.0,
+               static_cast<unsigned long long>(CStats.Hits),
+               static_cast<unsigned long long>(CStats.Misses),
+               static_cast<unsigned long long>(CStats.Evictions), Failures);
+  return Failures == 0 ? 0 : 1;
 }
 
 bool variantByName(const std::string &Name, Variant &Out) {
@@ -92,6 +194,9 @@ int main(int argc, char **argv) {
   std::string StatsJsonFile;
   std::string DumpDir;
   std::string RunFunc = "main";
+  std::string BatchDir;
+  std::string OutDir;
+  unsigned Jobs = 1;
 
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
@@ -125,6 +230,12 @@ int main(int argc, char **argv) {
       VerifyEach = true;
     } else if (Arg.rfind("--dump-after-each=", 0) == 0) {
       DumpDir = Arg.substr(18);
+    } else if (Arg.rfind("--batch=", 0) == 0) {
+      BatchDir = Arg.substr(8);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Jobs = static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    } else if (Arg.rfind("--out=", 0) == 0) {
+      OutDir = Arg.substr(6);
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       usage();
@@ -132,6 +243,11 @@ int main(int argc, char **argv) {
     } else {
       FileName = Arg;
     }
+  }
+  if (!BatchDir.empty()) {
+    PipelineConfig Config = PipelineConfig::forVariant(V, *Target);
+    Config.MaxArrayLen = MaxLen;
+    return runBatch(BatchDir, Jobs, OutDir, Config);
   }
   if (FileName.empty()) {
     usage();

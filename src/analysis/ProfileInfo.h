@@ -24,10 +24,12 @@
 #include "ir/BasicBlock.h"
 #include "ir/Function.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace sxe {
 
@@ -59,6 +61,32 @@ public:
   bool empty() const { return BranchCounts.empty(); }
 
   void clear() { BranchCounts.clear(); }
+
+  /// Order-independent 64-bit digest of the recorded counts. The jit/
+  /// code cache folds this into its key so a profile-guided recompile of
+  /// a module never hits the entry compiled without (or with a different)
+  /// profile.
+  uint64_t fingerprint() const {
+    std::vector<std::pair<std::string, const Counters *>> Sorted;
+    Sorted.reserve(BranchCounts.size());
+    for (const auto &KV : BranchCounts)
+      Sorted.emplace_back(KV.first, &KV.second);
+    std::sort(Sorted.begin(), Sorted.end());
+    uint64_t Hash = 0xCBF29CE484222325ull;
+    auto Mix = [&Hash](uint64_t Word) {
+      for (unsigned Byte = 0; Byte < 8; ++Byte) {
+        Hash ^= (Word >> (Byte * 8)) & 0xFF;
+        Hash *= 0x100000001B3ull;
+      }
+    };
+    for (const auto &KV : Sorted) {
+      for (char C : KV.first)
+        Mix(static_cast<unsigned char>(C));
+      Mix(KV.second->Taken);
+      Mix(KV.second->NotTaken);
+    }
+    return Hash;
+  }
 
 private:
   static std::string keyFor(const Instruction *Branch) {

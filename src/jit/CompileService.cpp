@@ -1,0 +1,188 @@
+//===- jit/CompileService.cpp - Multi-threaded compile service ----------------===//
+
+#include "jit/CompileService.h"
+
+#include "ir/IRPrinter.h"
+#include "parser/Parser.h"
+#include "pm/InstrumentedPipeline.h"
+#include "support/IRHash.h"
+#include "support/Timer.h"
+
+using namespace sxe;
+
+CompileService::CompileService(CompileServiceOptions Opts)
+    : Options(std::move(Opts)) {
+  Workers.reserve(Options.Jobs);
+  for (unsigned Index = 0; Index < Options.Jobs; ++Index)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+void CompileService::workerLoop() {
+  while (std::unique_ptr<QueuedCompile> Job = Queue.pop()) {
+    CompileResult Result = compileOne(Job->Request);
+    finish(*Job, std::move(Result));
+  }
+}
+
+void CompileService::finish(QueuedCompile &Job, CompileResult Result) {
+  Job.Promise.set_value(std::move(Result));
+  {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    --Pending;
+  }
+  AllDone.notify_all();
+}
+
+CompileResult CompileService::compileOne(CompileRequest &Request) {
+  CompileResult Result;
+  Result.Name = Request.Name;
+
+  Timer Cost;
+  Cost.start();
+
+  std::unique_ptr<Module> M = std::move(Request.M);
+  if (!M) {
+    ParseResult Parsed = parseModule(Request.Source);
+    if (!Parsed.ok()) {
+      Cost.stop();
+      Result.Error = "parse error: " + Parsed.Error;
+      Result.WallNanos = Cost.elapsedNanos();
+      Result.CpuNanos = Cost.elapsedCpuNanos();
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.Failed;
+      return Result;
+    }
+    M = std::move(Parsed.M);
+  }
+
+  uint64_t InputHash = hashModule(*M);
+  std::string Key = codeCacheKey(InputHash, Request.Config);
+  if (Options.Cache) {
+    if (std::shared_ptr<const CompiledCode> Hit = Options.Cache->lookup(Key)) {
+      Cost.stop();
+      Result.Ok = true;
+      Result.CacheHit = true;
+      Result.Code = std::move(Hit);
+      Result.WallNanos = Cost.elapsedNanos();
+      Result.CpuNanos = Cost.elapsedCpuNanos();
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.CacheHits;
+      return Result;
+    }
+  }
+
+  InstrumentedPipelineResult Run =
+      runInstrumentedPipeline(*M, Request.Config, Options.PM);
+  Cost.stop();
+  Result.WallNanos = Cost.elapsedNanos();
+  Result.CpuNanos = Cost.elapsedCpuNanos();
+
+  if (!Run.Ok) {
+    Result.Error = "pass '" + Run.FailedPass + "' broke the module";
+    if (!Run.Problems.empty())
+      Result.Error += ": " + Run.Problems.front();
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.Failed;
+    return Result;
+  }
+
+  auto Code = std::make_shared<CompiledCode>();
+  Code->IRText = printModule(*M);
+  Code->Stats = std::move(Run.Stats);
+  Code->Legacy = Run.Legacy;
+  Code->InputIRHash = InputHash;
+
+  if (Options.Cache)
+    Options.Cache->insert(Key, Code);
+
+  Result.Ok = true;
+  Result.Code = std::move(Code);
+
+  // Per-thread stats merged on completion (pm/PassStats.h).
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.Compiled;
+  Counters.Aggregate.merge(Result.Code->Stats);
+  return Result;
+}
+
+std::future<CompileResult> CompileService::enqueue(CompileRequest Request) {
+  auto Job = std::make_unique<QueuedCompile>();
+  Job->Request = std::move(Request);
+  std::future<CompileResult> Future = Job->Promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.Submitted;
+  }
+
+  if (Options.Jobs == 0) {
+    // Deterministic inline mode: serve on the caller's thread, in
+    // submission order.
+    CompileResult Result = compileOne(Job->Request);
+    Job->Promise.set_value(std::move(Result));
+    return Future;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    ++Pending;
+  }
+  if (!Queue.push(Job)) {
+    // The queue is closed (shutdown raced this enqueue): refuse politely
+    // instead of leaving the future forever unready.
+    CompileResult Refused;
+    Refused.Name = Job->Request.Name;
+    Refused.Error = "compile service is shut down";
+    finish(*Job, std::move(Refused));
+  }
+  return Future;
+}
+
+void CompileService::drain() {
+  std::unique_lock<std::mutex> Lock(PendingMu);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void CompileService::shutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    if (ShutDown)
+      return;
+    ShutDown = true;
+  }
+  Queue.close();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+}
+
+CompileServiceStats CompileService::stats() const {
+  CompileServiceStats Copy;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Copy.Submitted = Counters.Submitted;
+    Copy.Compiled = Counters.Compiled;
+    Copy.CacheHits = Counters.CacheHits;
+    Copy.Failed = Counters.Failed;
+    Copy.Aggregate.merge(Counters.Aggregate);
+  }
+  // Surface the service and cache counters in the pass-stats vocabulary
+  // so `sxe.pass-stats.v1` consumers see them as pseudo-passes.
+  Copy.Aggregate.counter("compile-service", "submitted") = Copy.Submitted;
+  Copy.Aggregate.counter("compile-service", "compiled") = Copy.Compiled;
+  Copy.Aggregate.counter("compile-service", "cache_hits") = Copy.CacheHits;
+  Copy.Aggregate.counter("compile-service", "failed") = Copy.Failed;
+  if (Options.Cache) {
+    CodeCacheStats CacheStats = Options.Cache->stats();
+    Copy.Aggregate.counter("code-cache", "hits") = CacheStats.Hits;
+    Copy.Aggregate.counter("code-cache", "misses") = CacheStats.Misses;
+    Copy.Aggregate.counter("code-cache", "insertions") =
+        CacheStats.Insertions;
+    Copy.Aggregate.counter("code-cache", "evictions") = CacheStats.Evictions;
+    Copy.Aggregate.counter("code-cache", "entries") = CacheStats.Entries;
+  }
+  return Copy;
+}

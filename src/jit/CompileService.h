@@ -1,0 +1,122 @@
+//===- jit/CompileService.h - Multi-threaded compile service -----*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent, cache-fronted front end over runInstrumentedPipeline:
+/// a hotness-ordered CompileQueue feeding N worker threads, each running
+/// the full Figure 5 pipeline over its own module with its own PassStats
+/// registry (no shared mutable state on the compile path), fronted by an
+/// optional content-addressed CodeCache.
+///
+///   enqueue(request) -> std::future<CompileResult>
+///
+/// Workers park on a condition variable when idle and drain the queue on
+/// shutdown (graceful: every accepted request's future is fulfilled).
+/// With Jobs = 0 the service runs in deterministic inline mode — enqueue
+/// compiles synchronously on the caller's thread — which is the reference
+/// schedule the parallel-determinism tests compare against.
+///
+/// Per-run PassStats are merged into a service-wide aggregate under a
+/// lock after each compile (per-thread stats merged on completion; see
+/// pm/PassStats.h), and cache/service counters are reported through the
+/// same `sxe.pass-stats.v1` vocabulary under the pseudo-pass names
+/// `compile-service` and `code-cache`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_JIT_COMPILESERVICE_H
+#define SXE_JIT_COMPILESERVICE_H
+
+#include "jit/CodeCache.h"
+#include "jit/CompileQueue.h"
+#include "jit/CompileTask.h"
+#include "pm/PassManager.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sxe {
+
+struct CompileServiceOptions {
+  /// Worker threads. 0 = deterministic inline mode: enqueue() compiles on
+  /// the calling thread before returning (futures are ready immediately).
+  unsigned Jobs = 1;
+  /// Optional shared artifact cache (not owned; must outlive the
+  /// service). Null disables caching.
+  CodeCache *Cache = nullptr;
+  /// Instrumentation options threaded into every pipeline run. Snapshot
+  /// capture/dump directories are shared across workers; leave them off
+  /// for concurrent batches.
+  PassManagerOptions PM;
+};
+
+/// Service-wide counter snapshot.
+struct CompileServiceStats {
+  uint64_t Submitted = 0;
+  uint64_t Compiled = 0;  ///< Pipeline actually ran.
+  uint64_t CacheHits = 0; ///< Served from the code cache.
+  uint64_t Failed = 0;    ///< Parse or verify-each failures.
+  /// Sum of per-run PassStats across every compiled request.
+  PassStats Aggregate;
+};
+
+/// A multi-threaded compilation server over the instrumented pipeline.
+class CompileService {
+public:
+  explicit CompileService(CompileServiceOptions Options = {});
+
+  /// Drains the queue and joins the workers (graceful shutdown).
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Submits \p Request; the future carries the result. In inline mode
+  /// the compile happens before this returns. After shutdown() the future
+  /// holds an Ok=false result without being queued.
+  std::future<CompileResult> enqueue(CompileRequest Request);
+
+  /// Blocks until every request enqueued so far has completed.
+  void drain();
+
+  /// Stops accepting work, finishes what is queued, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Copy of the service counters and the merged per-pass aggregate.
+  CompileServiceStats stats() const;
+
+  /// The cache handed in at construction (may be null).
+  CodeCache *cache() const { return Options.Cache; }
+
+  unsigned jobs() const { return Options.Jobs; }
+
+private:
+  void workerLoop();
+  CompileResult compileOne(CompileRequest &Request);
+  void finish(QueuedCompile &Job, CompileResult Result);
+
+  CompileServiceOptions Options;
+  CompileQueue Queue;
+  std::vector<std::thread> Workers;
+
+  mutable std::mutex StatsMu;
+  CompileServiceStats Counters;
+
+  std::mutex PendingMu;
+  std::condition_variable AllDone;
+  uint64_t Pending = 0;
+  bool ShutDown = false;
+};
+
+} // namespace sxe
+
+#endif // SXE_JIT_COMPILESERVICE_H

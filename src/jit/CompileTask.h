@@ -1,0 +1,83 @@
+//===- jit/CompileTask.h - Compile service job vocabulary --------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of work the compile service moves around: a CompileRequest
+/// (what to compile, under which pipeline configuration, how hot), the
+/// CompileResult a worker produces, and the CompiledCode artifact the
+/// code cache stores. Requests carry either a ready-made Module or `.sxir`
+/// source text; source is parsed on the worker thread, so a batch load
+/// parallelizes parsing too.
+///
+/// Hotness echoes the paper's order determination: the queue serves the
+/// hottest pending job first, so under a backlog the methods the profile
+/// says matter most are compiled first (Section 2.2's execute-hottest-
+/// first, lifted from extensions to whole compile jobs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_JIT_COMPILETASK_H
+#define SXE_JIT_COMPILETASK_H
+
+#include "ir/Module.h"
+#include "pm/PassStats.h"
+#include "sxe/Pipeline.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sxe {
+
+/// One compilation job submitted to the CompileService.
+struct CompileRequest {
+  /// Display label for reports (file name, workload name, ...).
+  std::string Name;
+  /// The module to compile; may be null when Source is set instead.
+  std::unique_ptr<Module> M;
+  /// `.sxir` text, parsed on the worker when M is null.
+  std::string Source;
+  /// Pipeline configuration; Target and Profile pointees must outlive the
+  /// request's completion.
+  PipelineConfig Config;
+  /// Queue priority: higher compiles first. Ties serve in submission
+  /// order, so equal-hotness batches stay FIFO-deterministic.
+  double Hotness = 0.0;
+};
+
+/// The cacheable artifact of one successful compilation: everything a
+/// cache hit must reproduce byte-for-byte.
+struct CompiledCode {
+  /// Optimized module in textual `.sxir` form.
+  std::string IRText;
+  /// Per-pass named counters of the producing run.
+  PassStats Stats;
+  /// Legacy aggregate view of the same run.
+  PipelineStats Legacy;
+  /// Structural hash of the *input* module (the cache key's content half).
+  uint64_t InputIRHash = 0;
+};
+
+/// Outcome of one request.
+struct CompileResult {
+  std::string Name;
+  bool Ok = false;
+  std::string Error; ///< Parse/verify/pipeline failure description.
+  /// True when the artifact came from the code cache without running the
+  /// pipeline.
+  bool CacheHit = false;
+  /// The artifact (shared with the cache); null when !Ok.
+  std::shared_ptr<const CompiledCode> Code;
+  /// Worker-side cost of serving the request (cache probe + compile).
+  uint64_t WallNanos = 0;
+  /// Thread-CPU cost on the serving worker.
+  uint64_t CpuNanos = 0;
+};
+
+} // namespace sxe
+
+#endif // SXE_JIT_COMPILETASK_H

@@ -1,0 +1,56 @@
+//===- jit/TieredController.cpp - Interpret, profile, recompile ---------------===//
+
+#include "jit/TieredController.h"
+
+#include "ir/Cloner.h"
+
+using namespace sxe;
+
+TieredController::TieredController(CompileService &Service,
+                                   TieredOptions Options)
+    : Service(Service), Options(std::move(Options)) {}
+
+TieredOutcome TieredController::run(const Module &M,
+                                    const std::vector<uint64_t> &Args) {
+  TieredOutcome Outcome;
+
+  // Tier 0: the interpreter tier. Java semantics models the bytecode
+  // interpreter; profile recording keys on (function, instruction id),
+  // which the cloner preserves, so the counts transfer to the compile
+  // tiers' clones.
+  Profile.clear();
+  InterpOptions Warmup;
+  Warmup.Target = Options.Target;
+  Warmup.Semantics = ExecSemantics::Java;
+  Warmup.MaxSteps = Options.WarmupMaxSteps;
+  Warmup.Profile = &Profile;
+  Outcome.Warmup = Interpreter(M, Warmup).run(Options.Entry, Args);
+  Outcome.ProfileCollected = !Profile.empty();
+
+  PipelineConfig Config =
+      PipelineConfig::forVariant(Options.TierVariant, *Options.Target);
+
+  std::future<CompileResult> UnprofiledFuture;
+  if (Options.CompileUnprofiledTier) {
+    CompileRequest Tier1;
+    Tier1.Name = M.name() + ":tier1";
+    Tier1.M = cloneModule(M);
+    Tier1.Config = Config;
+    Tier1.Hotness = 0.0; // Background tier: yields to hot recompiles.
+    UnprofiledFuture = Service.enqueue(std::move(Tier1));
+  }
+
+  CompileRequest Tier2;
+  Tier2.Name = M.name() + ":tier2";
+  Tier2.M = cloneModule(M);
+  Tier2.Config = Config;
+  Tier2.Config.Profile = &Profile;
+  // The hotter the warm-up ran, the sooner the recompile is served.
+  Tier2.Hotness = static_cast<double>(Outcome.Warmup.ExecutedInstructions);
+  std::future<CompileResult> ProfiledFuture = Service.enqueue(std::move(Tier2));
+
+  if (UnprofiledFuture.valid())
+    Outcome.Unprofiled = UnprofiledFuture.get();
+  Outcome.Profiled = ProfiledFuture.get();
+  return Outcome;
+}

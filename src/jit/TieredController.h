@@ -1,0 +1,89 @@
+//===- jit/TieredController.h - Interpret, profile, recompile ----*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's mixed-mode VM loop, end to end: run the program in the
+/// bytecode-interpreter tier (Java semantics) under a warm-up step
+/// budget, collecting branch profiles, then enqueue a profile-guided
+/// recompile with the dynamic compiler — exactly the producer/consumer
+/// pair of Section 2.2, where order determination consumes interpreter
+/// profiles (cf. OCAMLJIT2's interpret-then-JIT tiering, PAPERS.md).
+///
+/// Tier 0   interpreter, ExecSemantics::Java, ProfileInfo recording
+/// Tier 1   (optional) compile with static frequency estimates
+/// Tier 2   recompile with Config.Profile = the tier-0 profile, enqueued
+///          at a hotness proportional to the observed execution count
+///
+/// The controller owns the ProfileInfo, so the pointer baked into the
+/// tier-2 request stays valid for the compile's whole lifetime. One
+/// controller instance serves one workload at a time; many controllers
+/// may share one CompileService.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_JIT_TIEREDCONTROLLER_H
+#define SXE_JIT_TIEREDCONTROLLER_H
+
+#include "analysis/ProfileInfo.h"
+#include "interp/Interpreter.h"
+#include "jit/CompileService.h"
+#include "sxe/Pipeline.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sxe {
+
+struct TieredOptions {
+  const TargetInfo *Target = &TargetInfo::ia64();
+  /// Pipeline variant used by both compiled tiers.
+  Variant TierVariant = Variant::All;
+  /// Interpreter step budget for the warm-up run.
+  uint64_t WarmupMaxSteps = 1ull << 24;
+  /// Function executed by the warm-up run.
+  std::string Entry = "main";
+  /// Also compile tier 1 (no profile) so callers can compare placements;
+  /// skipping it saves one compile when only the final code matters.
+  bool CompileUnprofiledTier = true;
+};
+
+/// Everything one tiered compilation produces.
+struct TieredOutcome {
+  /// The tier-0 interpreter run (trap, checksum, dynamic counts).
+  ExecResult Warmup;
+  /// True when the warm-up observed at least one conditional branch.
+  bool ProfileCollected = false;
+  /// Tier 1: compiled with static frequency estimates (Ok=false with an
+  /// empty error when CompileUnprofiledTier was off).
+  CompileResult Unprofiled;
+  /// Tier 2: the profile-guided recompile.
+  CompileResult Profiled;
+};
+
+/// Drives interpret -> profile -> enqueue-recompile over one module.
+class TieredController {
+public:
+  TieredController(CompileService &Service, TieredOptions Options = {});
+
+  /// Runs the full tiering sequence over \p M (never mutated: compiled
+  /// tiers work on clones). Blocks until the enqueued compiles finish.
+  TieredOutcome run(const Module &M,
+                    const std::vector<uint64_t> &Args = {});
+
+  /// The branch profile collected by the last run().
+  const ProfileInfo &profile() const { return Profile; }
+
+private:
+  CompileService &Service;
+  TieredOptions Options;
+  ProfileInfo Profile;
+};
+
+} // namespace sxe
+
+#endif // SXE_JIT_TIEREDCONTROLLER_H

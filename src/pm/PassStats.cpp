@@ -37,3 +37,8 @@ uint64_t PassStats::total(const std::string &Name) const {
       Sum += E.Value;
   return Sum;
 }
+
+void PassStats::merge(const PassStats &Other) {
+  for (const StatEntry &E : Other.Entries)
+    counter(E.Pass, E.Name) += E.Value;
+}

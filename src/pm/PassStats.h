@@ -15,6 +15,14 @@
 /// do not share state (cf. redream's DEFINE_PASS_STAT, which this layer
 /// deliberately instancifies).
 ///
+/// Concurrency model: a PassStats instance is single-threaded by design.
+/// SXE_PASS_STAT stays a bare `uint64_t&` bump — no atomics on the pass
+/// hot path — because every concurrent pipeline run owns a private
+/// registry (runInstrumentedPipeline creates one per call). Aggregation
+/// across the jit/ worker pool happens *after* a run completes, via
+/// merge() under the service's stats lock: per-thread stats merged on
+/// completion.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SXE_PM_PASSSTATS_H
@@ -55,6 +63,12 @@ public:
   /// Sums every counter named \p Name across passes (e.g. the total
   /// `sext_eliminated` over elimination engines).
   uint64_t total(const std::string &Name) const;
+
+  /// Adds every counter of \p Other into this registry, registering
+  /// counters this instance has not seen yet in Other's order. The
+  /// jit/CompileService merges each worker's per-run stats through this
+  /// (under its own lock) once the run completes.
+  void merge(const PassStats &Other);
 
 private:
   static std::string keyOf(const std::string &Pass, const std::string &Name) {

@@ -1,0 +1,93 @@
+//===- support/IRHash.cpp - Stable structural IR hashing ----------------------===//
+//
+// Only inline accessors of the IR headers are used, so sxe_support gains
+// no link-time dependency on sxe_ir.
+//
+//===---------------------------------------------------------------------------===//
+
+#include "support/IRHash.h"
+
+#include "ir/Module.h"
+
+#include <cstring>
+#include <unordered_map>
+
+using namespace sxe;
+
+namespace {
+
+uint64_t bitsOf(double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return Bits;
+}
+
+void hashFunctionInto(StableHasher &H, const Function &F,
+                      const std::unordered_map<const Function *, uint64_t>
+                          &FunctionIndex) {
+  H.mix(F.name());
+  H.mix(static_cast<uint64_t>(F.returnType()));
+  H.mix(static_cast<uint64_t>(F.numParams()));
+  H.mix(static_cast<uint64_t>(F.numRegs()));
+  for (Reg R = 0; R < F.numRegs(); ++R)
+    H.mix(static_cast<uint64_t>(F.regType(R)));
+
+  // Successor and block references hash as layout indices: stable across
+  // processes, insensitive to block ids left behind by erased blocks.
+  std::unordered_map<const BasicBlock *, uint64_t> BlockIndex;
+  for (const auto &BB : F.blocks())
+    BlockIndex.emplace(BB.get(), BlockIndex.size());
+
+  H.mix(static_cast<uint64_t>(F.numBlocks()));
+  for (const auto &BB : F.blocks()) {
+    H.mix(static_cast<uint64_t>(BB->size()));
+    for (const Instruction &Inst : *BB) {
+      H.mix(static_cast<uint64_t>(Inst.opcode()));
+      H.mix(static_cast<uint64_t>(Inst.width()));
+      H.mix(static_cast<uint64_t>(Inst.type()));
+      H.mix(static_cast<uint64_t>(Inst.pred()));
+      H.mix(static_cast<uint64_t>(Inst.dest()));
+      H.mix(static_cast<uint64_t>(Inst.numOperands()));
+      for (Reg Operand : Inst.operands())
+        H.mix(static_cast<uint64_t>(Operand));
+      H.mix(static_cast<uint64_t>(Inst.intValue()));
+      H.mix(bitsOf(Inst.floatValue()));
+      H.mix(static_cast<uint64_t>(Inst.numSuccessors()));
+      for (unsigned Index = 0; Index < Inst.numSuccessors(); ++Index)
+        H.mix(BlockIndex.at(Inst.successor(Index)));
+      if (const Function *Callee = Inst.callee())
+        H.mix(FunctionIndex.at(Callee) + 1);
+      else
+        H.mix(0);
+    }
+  }
+}
+
+std::unordered_map<const Function *, uint64_t>
+functionIndexOf(const Module &M) {
+  std::unordered_map<const Function *, uint64_t> Index;
+  for (const auto &F : M.functions())
+    Index.emplace(F.get(), Index.size());
+  return Index;
+}
+
+} // namespace
+
+uint64_t sxe::hashFunction(const Function &F) {
+  StableHasher H;
+  // A lone function hashes its callees by name (no module-wide index).
+  std::unordered_map<const Function *, uint64_t> Index;
+  if (const Module *M = F.parent())
+    Index = functionIndexOf(*M);
+  hashFunctionInto(H, F, Index);
+  return H.result();
+}
+
+uint64_t sxe::hashModule(const Module &M) {
+  StableHasher H;
+  auto Index = functionIndexOf(M);
+  H.mix(static_cast<uint64_t>(M.functions().size()));
+  for (const auto &F : M.functions())
+    hashFunctionInto(H, *F, Index);
+  return H.result();
+}

@@ -19,10 +19,22 @@ uint64_t sxe::threadCpuNanos() {
     return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
            static_cast<uint64_t>(Ts.tv_nsec);
 #endif
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec Ps;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &Ps) == 0)
+    return static_cast<uint64_t>(Ps.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(Ps.tv_nsec);
+#endif
   return static_cast<uint64_t>(std::clock()) *
          (1000000000ull / CLOCKS_PER_SEC);
 }
 
-void Timer::start() { StartNanos = wallNowNanos(); }
+void Timer::start() {
+  StartNanos = wallNowNanos();
+  StartCpuNanos = threadCpuNanos();
+}
 
-void Timer::stop() { TotalNanos += wallNowNanos() - StartNanos; }
+void Timer::stop() {
+  TotalNanos += wallNowNanos() - StartNanos;
+  TotalCpuNanos += threadCpuNanos() - StartCpuNanos;
+}

@@ -6,9 +6,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Wall-clock timing used to reproduce Table 3 (the JIT compilation-time
-/// breakdown). Timers accumulate across start/stop cycles so a pass that
-/// runs once per function can report its total share of the pipeline.
+/// Wall-clock and thread-CPU timing used to reproduce Table 3 (the JIT
+/// compilation-time breakdown). Timers accumulate across start/stop
+/// cycles so a pass that runs once per function can report its total
+/// share of the pipeline.
+///
+/// Each timer tracks *both* clocks. The CPU side reads the calling
+/// thread's CPU clock (CLOCK_THREAD_CPUTIME_ID), never the process
+/// clock, so per-pass CPU numbers stay meaningful when the jit/ worker
+/// pool runs N pipelines concurrently: a worker's timer charges only the
+/// cycles its own thread burned, not the whole pool's. Wall time, by
+/// contrast, inflates under contention — compare the two to see queueing.
+/// A timer must be started and stopped on the same thread.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,34 +28,41 @@
 
 namespace sxe {
 
-/// Accumulating wall-clock timer with nanosecond resolution.
+/// Accumulating wall-clock + thread-CPU timer with nanosecond resolution.
 class Timer {
 public:
   /// Starts (or restarts) a measurement interval.
   void start();
 
-  /// Ends the current measurement interval and adds it to the total.
+  /// Ends the current measurement interval and adds it to the totals.
+  /// Must run on the thread that called start().
   void stop();
 
-  /// Returns the accumulated time in nanoseconds.
+  /// Returns the accumulated wall time in nanoseconds.
   uint64_t elapsedNanos() const { return TotalNanos; }
 
-  /// Returns the accumulated time in seconds.
+  /// Returns the accumulated CPU time of the measuring thread(s), in
+  /// nanoseconds.
+  uint64_t elapsedCpuNanos() const { return TotalCpuNanos; }
+
+  /// Returns the accumulated wall time in seconds.
   double elapsedSeconds() const { return TotalNanos * 1e-9; }
 
   /// Discards all accumulated time.
-  void reset() { TotalNanos = 0; }
+  void reset() { TotalNanos = TotalCpuNanos = 0; }
 
 private:
   uint64_t TotalNanos = 0;
   uint64_t StartNanos = 0;
+  uint64_t TotalCpuNanos = 0;
+  uint64_t StartCpuNanos = 0;
 };
 
 /// Current wall-clock reading in nanoseconds (monotonic epoch).
 uint64_t wallNowNanos();
 
 /// CPU time consumed by the calling thread, in nanoseconds. Falls back to
-/// process CPU time where per-thread clocks are unavailable.
+/// the process CPU clock where per-thread clocks are unavailable.
 uint64_t threadCpuNanos();
 
 /// RAII helper that runs a timer for the lifetime of a scope.
