@@ -21,6 +21,9 @@
 #include "ir/IRBuilder.h"
 #include "ir/IRPrinter.h"
 #include "jit/CompileService.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/Json.h"
 #include "support/Timer.h"
 #include "workloads/Workload.h"
 
@@ -163,11 +166,17 @@ int main(int argc, char **argv) {
           : 0.0;
 
   // Cache pass: warm the cache with one full sweep, then resweep and
-  // measure the hit rate plus artifact identity.
+  // measure the hit rate plus artifact identity. This 8-worker service is
+  // also the observed one: its trace timeline and metrics registry are
+  // written next to the JSON report (the CI bench-smoke artifact).
   CodeCache Cache;
+  TraceCollector Trace;
+  MetricsRegistry Metrics;
   CompileServiceOptions Options;
   Options.Jobs = 8;
   Options.Cache = &Cache;
+  Options.Trace = &Trace;
+  Options.Metrics = &Metrics;
   CompileService Service(Options);
   sweepCorpus(Service, Corpus, nullptr);
   CodeCacheStats Before = Cache.stats();
@@ -222,7 +231,23 @@ int main(int argc, char **argv) {
     J.keyValue("identical_to_serial", Second.Identical);
     J.keyValue("modules_per_sec", Second.ModulesPerSec);
     J.endObject();
+    J.keyValue("trace_thread_tracks",
+               static_cast<uint64_t>(Trace.threadTracks()));
     finishBenchReport(J, Ctx);
+
+    // Side artifacts of the observed 8-worker service, next to the JSON
+    // report: BENCH_*.trace.json (Chrome trace) and BENCH_*.prom
+    // (Prometheus text with the compile-latency histogram).
+    std::string Stem = Ctx.JsonPath;
+    if (Stem.size() > 5 && Stem.rfind(".json") == Stem.size() - 5)
+      Stem.resize(Stem.size() - 5);
+    if (!writeTextFile(Stem + ".trace.json", Trace.toJson()) ||
+        !writeTextFile(Stem + ".prom", Metrics.toPrometheus()))
+      std::fprintf(stderr, "cannot write observability artifacts for %s\n",
+                   Ctx.JsonPath.c_str());
+    else
+      std::fprintf(stderr, "wrote %s.trace.json and %s.prom\n", Stem.c_str(),
+                   Stem.c_str());
   }
 
   bool Ok = Second.Identical && HitRate >= 90.0;

@@ -8,14 +8,21 @@
 //           [--maxlen=HEX] [--run[=FUNC]] [--quiet]
 //           [--stats] [--stats-json=FILE] [--verify-each]
 //           [--dump-after-each=DIR]
+//           [--trace=FILE] [--remarks=FILE|-] [--metrics[=FILE|-]]
+//           [--metrics-json=FILE|-]
 //   sxetool --batch=DIR --jobs=N [--out=DIR] [--variant=...] [--target=...]
+//           [--trace=FILE] [--remarks=FILE|-] [--metrics[=FILE|-]]
+//   sxetool --validate-obs=FILE
 //
 // Examples:
 //   sxetool examples/ir/countdown.sxir --variant=all --run=main
 //   sxetool program.sxir --variant=baseline --quiet --run
 //   sxetool program.sxir --stats --stats-json=- --quiet
 //   sxetool program.sxir --verify-each --dump-after-each=/tmp/snap
-//   sxetool --batch=tests/corpus --jobs=8 --out=/tmp/opt
+//   sxetool program.sxir --quiet --remarks=- --trace=/tmp/run.trace.json
+//   sxetool --batch=tests/corpus --jobs=8 --out=/tmp/opt \
+//           --trace=/tmp/batch.trace.json --metrics=/tmp/batch.prom
+//   sxetool --validate-obs=/tmp/batch.trace.json
 //
 // Batch mode compiles every `.sxir` module under DIR through the
 // jit/CompileService: N worker threads, the content-addressed code
@@ -23,12 +30,23 @@
 // `--jobs=0` is the deterministic serial mode; its output is
 // byte-identical to any parallel run.
 //
+// Observability (obs/): `--trace` writes a Chrome-trace/Perfetto JSON
+// timeline (`sxe.trace.v1`; in batch mode one track per worker),
+// `--remarks` a `sxe.remarks.v1` JSONL stream of per-extension decisions
+// (batch mode concatenates modules in submission order, so the stream is
+// identical for any --jobs), `--metrics` a Prometheus text dump and
+// `--metrics-json` the same registry as JSON (`sxe.metrics.v1`).
+// `--validate-obs` checks an emitted artifact against its schema tag.
+//
 //===------------------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "jit/CompileService.h"
+#include "obs/Metrics.h"
+#include "obs/Remarks.h"
+#include "obs/Trace.h"
 #include "parser/Parser.h"
 #include "pm/InstrumentedPipeline.h"
 #include "pm/Report.h"
@@ -59,18 +77,140 @@ void usage() {
                "[--maxlen=HEX] [--run[=FUNC]] [--quiet]\n"
                "               [--stats] [--stats-json=FILE|-] "
                "[--verify-each] [--dump-after-each=DIR]\n"
+               "               [--trace=FILE] [--remarks=FILE|-] "
+               "[--metrics[=FILE|-]] [--metrics-json=FILE|-]\n"
                "       sxetool --batch=DIR --jobs=N [--out=DIR] "
-               "[--variant=NAME] [--target=...]\n"
+               "[--variant=NAME] [--target=...] [--trace=...]\n"
+               "       sxetool --validate-obs=FILE\n"
                "variants:\n");
   for (Variant V : AllVariants)
     std::fprintf(stderr, "  %s\n", variantName(V));
+}
+
+/// Where to write the observability artifacts ("" = off, "-" = stdout).
+struct ObsFiles {
+  std::string TraceFile;
+  std::string RemarksFile;
+  std::string MetricsFile;     ///< Prometheus text exposition.
+  std::string MetricsJsonFile; ///< Same registry as sxe.metrics.v1 JSON.
+
+  bool any() const {
+    return !TraceFile.empty() || !RemarksFile.empty() ||
+           !MetricsFile.empty() || !MetricsJsonFile.empty();
+  }
+};
+
+/// Writes \p Content to \p Path, where "-" means stdout. Returns false
+/// (with a message) on I/O failure.
+bool writeArtifact(const std::string &Path, const std::string &Content) {
+  if (Path == "-") {
+    std::fwrite(Content.data(), 1, Content.size(), stdout);
+    return true;
+  }
+  if (!writeTextFile(Path, Content)) {
+    std::fprintf(stderr, "sxetool: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Writes every requested artifact of one run. Returns false on I/O
+/// failure.
+bool writeObsArtifacts(const ObsFiles &Obs, const TraceCollector *Trace,
+                       const std::vector<Remark> &Remarks,
+                       const MetricsRegistry *Metrics) {
+  bool Ok = true;
+  if (!Obs.TraceFile.empty() && Trace)
+    Ok &= writeArtifact(Obs.TraceFile, Trace->toJson());
+  if (!Obs.RemarksFile.empty())
+    Ok &= writeArtifact(Obs.RemarksFile, remarksToJsonl(Remarks));
+  if (!Obs.MetricsFile.empty() && Metrics)
+    Ok &= writeArtifact(Obs.MetricsFile, Metrics->toPrometheus());
+  if (!Obs.MetricsJsonFile.empty() && Metrics)
+    Ok &= writeArtifact(Obs.MetricsJsonFile, Metrics->toJson());
+  return Ok;
+}
+
+/// `--validate-obs=FILE`: checks an emitted artifact against its schema
+/// tag. Trace documents must carry otherData.schema == sxe.trace.v1 and a
+/// traceEvents array; remark streams must parse line-by-line with the
+/// sxe.remarks.v1 header; metrics JSON must carry schema ==
+/// sxe.metrics.v1; a Prometheus dump must expose at least one sxe_
+/// series. Returns the process exit code.
+int validateObsFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "sxetool: cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  auto Fail = [&Path](const std::string &Why) {
+    std::fprintf(stderr, "sxetool: %s: INVALID: %s\n", Path.c_str(),
+                 Why.c_str());
+    return 1;
+  };
+  auto Pass = [&Path](const char *What) {
+    std::fprintf(stderr, "sxetool: %s: valid %s\n", Path.c_str(), What);
+    return 0;
+  };
+
+  // Prometheus text exposition: not JSON, starts with a # HELP comment.
+  if (Text.rfind("# HELP", 0) == 0) {
+    if (Text.find("\nsxe_") == std::string::npos &&
+        Text.rfind("sxe_", 0) != 0)
+      return Fail("no sxe_ series in Prometheus dump");
+    return Pass("Prometheus metrics");
+  }
+
+  // Whole-document JSON first: trace and metrics exports span lines.
+  JsonValue Doc;
+  std::string Error;
+  if (parseJson(Text, Doc, Error)) {
+    if (const JsonValue *Other = Doc.find("otherData")) {
+      if (Other->stringField("schema") != kTraceSchema)
+        return Fail("otherData.schema is not " + std::string(kTraceSchema));
+      const JsonValue *Events = Doc.find("traceEvents");
+      if (!Events || !Events->isArray())
+        return Fail("missing traceEvents array");
+      return Pass("trace");
+    }
+    if (Doc.stringField("schema") == kMetricsSchema)
+      return Pass("metrics JSON");
+    // A one-remark stream parses as a whole document too; fall through.
+  }
+
+  // JSONL remark stream: header line {"schema": "sxe.remarks.v1"},
+  // every following line one record.
+  size_t Line = 0, Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    ++Line;
+    std::string Record = Text.substr(Pos, End - Pos);
+    JsonValue V;
+    if (!Record.empty()) {
+      if (!parseJson(Record, V, Error))
+        return Fail("line " + std::to_string(Line) + ": " + Error);
+      if (Line == 1 && V.stringField("schema") != kRemarksSchema)
+        return Fail("header schema is not " + std::string(kRemarksSchema));
+    }
+    Pos = End + 1;
+  }
+  if (Line == 0)
+    return Fail("empty file");
+  return Pass("remark stream");
 }
 
 /// Compiles every `.sxir` under \p BatchDir through a CompileService with
 /// \p Jobs workers and a shared code cache; writes optimized modules to
 /// \p OutDir when non-empty. Returns the process exit code.
 int runBatch(const std::string &BatchDir, unsigned Jobs,
-             const std::string &OutDir, const PipelineConfig &Config) {
+             const std::string &OutDir, const PipelineConfig &Config,
+             const ObsFiles &Obs) {
   namespace fs = std::filesystem;
   std::vector<fs::path> Files;
   std::error_code Ec;
@@ -93,9 +233,16 @@ int runBatch(const std::string &BatchDir, unsigned Jobs,
     fs::create_directories(OutDir);
 
   CodeCache Cache;
+  TraceCollector Trace;
+  MetricsRegistry Metrics;
   CompileServiceOptions Options;
   Options.Jobs = Jobs;
   Options.Cache = &Cache;
+  if (!Obs.TraceFile.empty())
+    Options.Trace = &Trace;
+  if (!Obs.MetricsFile.empty() || !Obs.MetricsJsonFile.empty())
+    Options.Metrics = &Metrics;
+  Options.CollectRemarks = !Obs.RemarksFile.empty();
   CompileService Service(Options);
 
   Timer Elapsed;
@@ -115,8 +262,14 @@ int runBatch(const std::string &BatchDir, unsigned Jobs,
   }
 
   unsigned Failures = 0;
+  // Remarks concatenate in submission (Files) order, not completion
+  // order, so the stream is byte-identical for any --jobs value.
+  std::vector<Remark> BatchRemarks;
   for (size_t Index = 0; Index < Futures.size(); ++Index) {
     CompileResult Result = Futures[Index].get();
+    if (Result.Ok && Options.CollectRemarks)
+      BatchRemarks.insert(BatchRemarks.end(), Result.Code->Remarks.begin(),
+                          Result.Code->Remarks.end());
     if (!Result.Ok) {
       ++Failures;
       std::fprintf(stderr, "  %-28s FAILED: %s\n", Result.Name.c_str(),
@@ -149,6 +302,9 @@ int runBatch(const std::string &BatchDir, unsigned Jobs,
                static_cast<unsigned long long>(CStats.Hits),
                static_cast<unsigned long long>(CStats.Misses),
                static_cast<unsigned long long>(CStats.Evictions), Failures);
+
+  if (!writeObsArtifacts(Obs, &Trace, BatchRemarks, &Metrics))
+    return 1;
   return Failures == 0 ? 0 : 1;
 }
 
@@ -197,6 +353,7 @@ int main(int argc, char **argv) {
   std::string BatchDir;
   std::string OutDir;
   unsigned Jobs = 1;
+  ObsFiles Obs;
 
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
@@ -236,6 +393,18 @@ int main(int argc, char **argv) {
       Jobs = static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
     } else if (Arg.rfind("--out=", 0) == 0) {
       OutDir = Arg.substr(6);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Obs.TraceFile = Arg.substr(8);
+    } else if (Arg.rfind("--remarks=", 0) == 0) {
+      Obs.RemarksFile = Arg.substr(10);
+    } else if (Arg == "--metrics") {
+      Obs.MetricsFile = "-";
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Obs.MetricsFile = Arg.substr(10);
+    } else if (Arg.rfind("--metrics-json=", 0) == 0) {
+      Obs.MetricsJsonFile = Arg.substr(15);
+    } else if (Arg.rfind("--validate-obs=", 0) == 0) {
+      return validateObsFile(Arg.substr(15));
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       usage();
@@ -247,7 +416,7 @@ int main(int argc, char **argv) {
   if (!BatchDir.empty()) {
     PipelineConfig Config = PipelineConfig::forVariant(V, *Target);
     Config.MaxArrayLen = MaxLen;
-    return runBatch(BatchDir, Jobs, OutDir, Config);
+    return runBatch(BatchDir, Jobs, OutDir, Config, Obs);
   }
   if (FileName.empty()) {
     usage();
@@ -277,11 +446,24 @@ int main(int argc, char **argv) {
   PipelineConfig Config = PipelineConfig::forVariant(V, *Target);
   Config.MaxArrayLen = MaxLen;
 
+  TraceCollector Trace;
+  MetricsRegistry Metrics;
   PassManagerOptions PMOptions;
   PMOptions.VerifyEach = VerifyEach;
   PMOptions.DumpDir = DumpDir;
+  if (!Obs.TraceFile.empty())
+    PMOptions.Trace = &Trace;
+  PMOptions.CollectRemarks = !Obs.RemarksFile.empty();
+  uint64_t CompileStart = wallNowNanos();
   InstrumentedPipelineResult Result =
       runInstrumentedPipeline(*Parsed.M, Config, PMOptions);
+  if (!Obs.MetricsFile.empty() || !Obs.MetricsJsonFile.empty()) {
+    Metrics.counter("sxe_compiles_total", "Pipeline runs completed").inc();
+    Metrics
+        .histogram("sxe_compile_latency_seconds",
+                   "Wall time of one pipeline run")
+        .observe(static_cast<double>(wallNowNanos() - CompileStart) * 1e-9);
+  }
   if (!Result.Ok) {
     std::fprintf(stderr, "sxetool: verify-each: pass '%s' broke the module: %s\n",
                  Result.FailedPass.c_str(),
@@ -319,6 +501,9 @@ int main(int argc, char **argv) {
       return 1;
     }
   }
+
+  if (!writeObsArtifacts(Obs, &Trace, Result.Remarks.remarks(), &Metrics))
+    return 1;
 
   if (!Quiet)
     std::printf("%s", printModule(*Parsed.M).c_str());

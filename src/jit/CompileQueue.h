@@ -36,6 +36,9 @@ struct QueuedCompile {
   CompileRequest Request;
   std::promise<CompileResult> Promise;
   uint64_t Seq = 0; ///< Assigned by the queue at push time.
+  /// wallNowNanos() at enqueue; the service's queue-wait span and
+  /// sxe_queue_wait_seconds histogram measure from here to pop.
+  uint64_t EnqueueNanos = 0;
 };
 
 /// Thread-safe max-heap of pending compiles (hotness first, FIFO ties).

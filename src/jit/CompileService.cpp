@@ -12,15 +12,43 @@ using namespace sxe;
 
 CompileService::CompileService(CompileServiceOptions Opts)
     : Options(std::move(Opts)) {
+  if (MetricsRegistry *Reg = Options.Metrics) {
+    Metrics.Compiles =
+        &Reg->counter("sxe_compiles_total", "Pipeline runs completed");
+    Metrics.CacheHits = &Reg->counter("sxe_cache_hits_total",
+                                      "Requests served from the code cache");
+    Metrics.Failures = &Reg->counter("sxe_compile_failures_total",
+                                     "Parse or verify-each failures");
+    Metrics.QueueDepth =
+        &Reg->gauge("sxe_queue_depth", "Compile requests currently queued");
+    Metrics.CompileLatency = &Reg->histogram(
+        "sxe_compile_latency_seconds", "Wall time of one pipeline run");
+    Metrics.QueueWait = &Reg->histogram(
+        "sxe_queue_wait_seconds", "Time a request spent queued before a "
+                                  "worker picked it up");
+  }
   Workers.reserve(Options.Jobs);
   for (unsigned Index = 0; Index < Options.Jobs; ++Index)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, Index] { workerLoop(Index); });
 }
 
 CompileService::~CompileService() { shutdown(); }
 
-void CompileService::workerLoop() {
+void CompileService::workerLoop(unsigned WorkerIndex) {
+  if (Options.Trace)
+    Options.Trace->nameThread("worker-" + std::to_string(WorkerIndex));
   while (std::unique_ptr<QueuedCompile> Job = Queue.pop()) {
+    uint64_t PopNanos = wallNowNanos();
+    if (Metrics.QueueDepth)
+      Metrics.QueueDepth->set(static_cast<int64_t>(Queue.size()));
+    if (Job->EnqueueNanos && PopNanos > Job->EnqueueNanos) {
+      if (Options.Trace)
+        Options.Trace->addSpan("queue-wait", "service", Job->EnqueueNanos,
+                               PopNanos, {{"module", Job->Request.Name}});
+      if (Metrics.QueueWait)
+        Metrics.QueueWait->observe(
+            static_cast<double>(PopNanos - Job->EnqueueNanos) * 1e-9);
+    }
     CompileResult Result = compileOne(Job->Request);
     finish(*Job, std::move(Result));
   }
@@ -60,21 +88,44 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
   uint64_t InputHash = hashModule(*M);
   std::string Key = codeCacheKey(InputHash, Request.Config);
   if (Options.Cache) {
-    if (std::shared_ptr<const CompiledCode> Hit = Options.Cache->lookup(Key)) {
+    uint64_t ProbeStart = wallNowNanos();
+    std::shared_ptr<const CompiledCode> Hit = Options.Cache->lookup(Key);
+    if (Options.Trace)
+      Options.Trace->addSpan("cache-probe", "service", ProbeStart,
+                             wallNowNanos(),
+                             {{"module", Request.Name},
+                              {"hit", Hit ? "true" : "false"}});
+    if (Hit) {
       Cost.stop();
       Result.Ok = true;
       Result.CacheHit = true;
       Result.Code = std::move(Hit);
       Result.WallNanos = Cost.elapsedNanos();
       Result.CpuNanos = Cost.elapsedCpuNanos();
+      if (Metrics.CacheHits)
+        Metrics.CacheHits->inc();
       std::lock_guard<std::mutex> Lock(StatsMu);
       ++Counters.CacheHits;
       return Result;
     }
   }
 
+  PassManagerOptions PMOpts = Options.PM;
+  if (Options.Trace)
+    PMOpts.Trace = Options.Trace;
+  if (Options.CollectRemarks)
+    PMOpts.CollectRemarks = true;
+
+  uint64_t CompileStart = wallNowNanos();
   InstrumentedPipelineResult Run =
-      runInstrumentedPipeline(*M, Request.Config, Options.PM);
+      runInstrumentedPipeline(*M, Request.Config, PMOpts);
+  uint64_t CompileEnd = wallNowNanos();
+  if (Options.Trace)
+    Options.Trace->addSpan("compile", "service", CompileStart, CompileEnd,
+                           {{"module", Request.Name}});
+  if (Metrics.CompileLatency)
+    Metrics.CompileLatency->observe(
+        static_cast<double>(CompileEnd - CompileStart) * 1e-9);
   Cost.stop();
   Result.WallNanos = Cost.elapsedNanos();
   Result.CpuNanos = Cost.elapsedCpuNanos();
@@ -83,6 +134,8 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
     Result.Error = "pass '" + Run.FailedPass + "' broke the module";
     if (!Run.Problems.empty())
       Result.Error += ": " + Run.Problems.front();
+    if (Metrics.Failures)
+      Metrics.Failures->inc();
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.Failed;
     return Result;
@@ -92,6 +145,7 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
   Code->IRText = printModule(*M);
   Code->Stats = std::move(Run.Stats);
   Code->Legacy = Run.Legacy;
+  Code->Remarks = Run.Remarks.take();
   Code->InputIRHash = InputHash;
 
   if (Options.Cache)
@@ -99,6 +153,8 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
 
   Result.Ok = true;
   Result.Code = std::move(Code);
+  if (Metrics.Compiles)
+    Metrics.Compiles->inc();
 
   // Per-thread stats merged on completion (pm/PassStats.h).
   std::lock_guard<std::mutex> Lock(StatsMu);
@@ -129,7 +185,11 @@ std::future<CompileResult> CompileService::enqueue(CompileRequest Request) {
     std::lock_guard<std::mutex> Lock(PendingMu);
     ++Pending;
   }
-  if (!Queue.push(Job)) {
+  Job->EnqueueNanos = wallNowNanos();
+  if (Queue.push(Job)) {
+    if (Metrics.QueueDepth)
+      Metrics.QueueDepth->set(static_cast<int64_t>(Queue.size()));
+  } else {
     // The queue is closed (shutdown raced this enqueue): refuse politely
     // instead of leaving the future forever unready.
     CompileResult Refused;

@@ -34,6 +34,8 @@
 #include "jit/CodeCache.h"
 #include "jit/CompileQueue.h"
 #include "jit/CompileTask.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pm/PassManager.h"
 
 #include <condition_variable>
@@ -56,6 +58,18 @@ struct CompileServiceOptions {
   /// capture/dump directories are shared across workers; leave them off
   /// for concurrent batches.
   PassManagerOptions PM;
+  /// Optional trace collector (not owned; thread-safe). Workers label
+  /// their tracks "worker-N" and emit queue-wait / cache-probe / compile
+  /// spans per request; the collector is also threaded into every
+  /// pipeline run for per-pass spans.
+  TraceCollector *Trace = nullptr;
+  /// Optional metrics registry (not owned). The service feeds
+  /// sxe_compiles_total, sxe_cache_hits_total, sxe_compile_failures_total,
+  /// sxe_queue_depth, sxe_compile_latency_seconds, sxe_queue_wait_seconds.
+  MetricsRegistry *Metrics = nullptr;
+  /// Collect structured optimization remarks during each pipeline run and
+  /// store them in the CompiledCode artifact (cache hits replay them).
+  bool CollectRemarks = false;
 };
 
 /// Service-wide counter snapshot.
@@ -100,11 +114,24 @@ public:
   unsigned jobs() const { return Options.Jobs; }
 
 private:
-  void workerLoop();
+  void workerLoop(unsigned WorkerIndex);
   CompileResult compileOne(CompileRequest &Request);
   void finish(QueuedCompile &Job, CompileResult Result);
 
+  /// Resolved metric handles (null when Options.Metrics is null);
+  /// registered once at construction so the compile path never takes the
+  /// registry mutex.
+  struct MetricHandles {
+    Counter *Compiles = nullptr;
+    Counter *CacheHits = nullptr;
+    Counter *Failures = nullptr;
+    Gauge *QueueDepth = nullptr;
+    Histogram *CompileLatency = nullptr;
+    Histogram *QueueWait = nullptr;
+  };
+
   CompileServiceOptions Options;
+  MetricHandles Metrics;
   CompileQueue Queue;
   std::vector<std::thread> Workers;
 

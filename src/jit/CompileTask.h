@@ -24,6 +24,7 @@
 #define SXE_JIT_COMPILETASK_H
 
 #include "ir/Module.h"
+#include "obs/Remarks.h"
 #include "pm/PassStats.h"
 #include "sxe/Pipeline.h"
 
@@ -58,6 +59,10 @@ struct CompiledCode {
   PassStats Stats;
   /// Legacy aggregate view of the same run.
   PipelineStats Legacy;
+  /// Structured optimization remarks of the producing run (empty unless
+  /// the service collected remarks). Stored in the artifact so a cache
+  /// hit replays the identical remark stream.
+  std::vector<Remark> Remarks;
   /// Structural hash of the *input* module (the cache key's content half).
   uint64_t InputIRHash = 0;
 };

@@ -1,0 +1,250 @@
+//===- obs/Metrics.cpp - Counters, gauges, latency histograms -----------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sxe;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Counts(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+  for (size_t Index = 0; Index <= Bounds.size(); ++Index)
+    Counts[Index].store(0, std::memory_order_relaxed);
+  for (size_t Index = 1; Index < Bounds.size(); ++Index)
+    assert(Bounds[Index - 1] < Bounds[Index] &&
+           "histogram bounds must ascend");
+}
+
+void Histogram::observe(double Value) {
+  size_t Index = 0;
+  while (Index < Bounds.size() && Value > Bounds[Index])
+    ++Index;
+  Counts[Index].fetch_add(1, std::memory_order_relaxed);
+  Total.fetch_add(1, std::memory_order_relaxed);
+  double Nano = Value * 1e9;
+  SumNano.fetch_add(Nano > 0 ? static_cast<uint64_t>(Nano) : 0,
+                    std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(SumNano.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+std::vector<double> sxe::defaultLatencyBucketBounds() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+          2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0};
+}
+
+MetricsRegistry::Instrument &
+MetricsRegistry::instrument(InstrumentKind Kind, const std::string &Name,
+                            const std::string &Help,
+                            std::vector<double> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (Instrument &I : Instruments)
+    if (I.Name == Name) {
+      assert(I.Kind == Kind && "metric re-registered with another kind");
+      return I;
+    }
+  Instruments.emplace_back();
+  Instrument &I = Instruments.back();
+  I.Kind = Kind;
+  I.Name = Name;
+  I.Help = Help;
+  if (Kind == InstrumentKind::Histogram) {
+    if (UpperBounds.empty())
+      UpperBounds = defaultLatencyBucketBounds();
+    I.TheHistogram = std::make_unique<Histogram>(std::move(UpperBounds));
+  }
+  return I;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  return instrument(InstrumentKind::Counter, Name, Help, {}).TheCounter;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  return instrument(InstrumentKind::Gauge, Name, Help, {}).TheGauge;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help,
+                                      std::vector<double> UpperBounds) {
+  return *instrument(InstrumentKind::Histogram, Name, Help,
+                     std::move(UpperBounds))
+              .TheHistogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  // Snapshot Other under its lock, then feed this registry through the
+  // public registration path (which takes our lock); never hold both.
+  struct Snapshot {
+    InstrumentKind Kind;
+    std::string Name;
+    std::string Help;
+    uint64_t CounterValue = 0;
+    int64_t GaugeValue = 0;
+    std::vector<double> Bounds;
+    std::vector<uint64_t> BucketCounts;
+    uint64_t HistTotal = 0;
+    uint64_t HistSumNano = 0;
+  };
+  std::vector<Snapshot> Snapshots;
+  {
+    std::lock_guard<std::mutex> Lock(Other.Mu);
+    for (const Instrument &I : Other.Instruments) {
+      Snapshot S;
+      S.Kind = I.Kind;
+      S.Name = I.Name;
+      S.Help = I.Help;
+      switch (I.Kind) {
+      case InstrumentKind::Counter:
+        S.CounterValue = I.TheCounter.value();
+        break;
+      case InstrumentKind::Gauge:
+        S.GaugeValue = I.TheGauge.value();
+        break;
+      case InstrumentKind::Histogram:
+        S.Bounds = I.TheHistogram->bounds();
+        for (size_t Index = 0; Index <= S.Bounds.size(); ++Index)
+          S.BucketCounts.push_back(I.TheHistogram->bucketCount(Index));
+        S.HistTotal = I.TheHistogram->count();
+        S.HistSumNano =
+            I.TheHistogram->SumNano.load(std::memory_order_relaxed);
+        break;
+      }
+      Snapshots.push_back(std::move(S));
+    }
+  }
+
+  for (const Snapshot &S : Snapshots) {
+    switch (S.Kind) {
+    case InstrumentKind::Counter:
+      counter(S.Name, S.Help).inc(S.CounterValue);
+      break;
+    case InstrumentKind::Gauge: {
+      Gauge &G = gauge(S.Name, S.Help);
+      if (S.GaugeValue > G.value())
+        G.set(S.GaugeValue);
+      break;
+    }
+    case InstrumentKind::Histogram: {
+      Histogram &H = histogram(S.Name, S.Help, S.Bounds);
+      if (H.bounds() != S.Bounds)
+        break; // Mismatched layout: refuse rather than misfile counts.
+      for (size_t Index = 0; Index < S.BucketCounts.size(); ++Index)
+        H.Counts[Index].fetch_add(S.BucketCounts[Index],
+                                  std::memory_order_relaxed);
+      H.Total.fetch_add(S.HistTotal, std::memory_order_relaxed);
+      H.SumNano.fetch_add(S.HistSumNano, std::memory_order_relaxed);
+      break;
+    }
+    }
+  }
+}
+
+/// Shortest round-trippable formatting for bounds/sums (Prometheus uses
+/// plain decimal text).
+static std::string formatDouble(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  // Prefer the shortest representation that round-trips.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    char Short[64];
+    std::snprintf(Short, sizeof(Short), "%.*g", Precision, Value);
+    double Back;
+    std::sscanf(Short, "%lf", &Back);
+    if (Back == Value)
+      return Short;
+  }
+  return Buffer;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  JsonWriter J;
+  J.beginObject();
+  J.keyValue("schema", kMetricsSchema);
+
+  J.key("counters");
+  J.beginObject();
+  for (const Instrument &I : Instruments)
+    if (I.Kind == InstrumentKind::Counter)
+      J.keyValue(I.Name, I.TheCounter.value());
+  J.endObject();
+
+  J.key("gauges");
+  J.beginObject();
+  for (const Instrument &I : Instruments)
+    if (I.Kind == InstrumentKind::Gauge)
+      J.keyValue(I.Name, static_cast<int64_t>(I.TheGauge.value()));
+  J.endObject();
+
+  J.key("histograms");
+  J.beginObject();
+  for (const Instrument &I : Instruments) {
+    if (I.Kind != InstrumentKind::Histogram)
+      continue;
+    const Histogram &H = *I.TheHistogram;
+    J.key(I.Name);
+    J.beginObject();
+    J.key("buckets");
+    J.beginArray();
+    for (size_t Index = 0; Index < H.bounds().size(); ++Index) {
+      J.beginObject();
+      J.keyValue("le", H.bounds()[Index]);
+      J.keyValue("count", H.bucketCount(Index));
+      J.endObject();
+    }
+    J.endArray();
+    J.keyValue("inf_count", H.bucketCount(H.bounds().size()));
+    J.keyValue("sum", H.sum());
+    J.keyValue("count", H.count());
+    J.endObject();
+  }
+  J.endObject();
+
+  J.endObject();
+  return J.str() + "\n";
+}
+
+std::string MetricsRegistry::toPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  for (const Instrument &I : Instruments) {
+    if (!I.Help.empty())
+      Out += "# HELP " + I.Name + " " + I.Help + "\n";
+    switch (I.Kind) {
+    case InstrumentKind::Counter:
+      Out += "# TYPE " + I.Name + " counter\n";
+      Out += I.Name + " " + std::to_string(I.TheCounter.value()) + "\n";
+      break;
+    case InstrumentKind::Gauge:
+      Out += "# TYPE " + I.Name + " gauge\n";
+      Out += I.Name + " " + std::to_string(I.TheGauge.value()) + "\n";
+      break;
+    case InstrumentKind::Histogram: {
+      const Histogram &H = *I.TheHistogram;
+      Out += "# TYPE " + I.Name + " histogram\n";
+      uint64_t Cumulative = 0;
+      for (size_t Index = 0; Index < H.bounds().size(); ++Index) {
+        Cumulative += H.bucketCount(Index);
+        Out += I.Name + "_bucket{le=\"" + formatDouble(H.bounds()[Index]) +
+               "\"} " + std::to_string(Cumulative) + "\n";
+      }
+      Cumulative += H.bucketCount(H.bounds().size());
+      Out += I.Name + "_bucket{le=\"+Inf\"} " + std::to_string(Cumulative) +
+             "\n";
+      Out += I.Name + "_sum " + formatDouble(H.sum()) + "\n";
+      Out += I.Name + "_count " + std::to_string(H.count()) + "\n";
+      break;
+    }
+    }
+  }
+  return Out;
+}

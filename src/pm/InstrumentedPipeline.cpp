@@ -97,7 +97,9 @@ sxe::runInstrumentedPipeline(Module &M, const PipelineConfig &Config,
   InstrumentedPipelineResult Result;
   PassManager PM(Options);
   buildPipelinePasses(PM, Config);
-  PassContext Ctx(Config, Result.Stats);
+  PassContext Ctx(Config, Result.Stats,
+                  Options.CollectRemarks ? &Result.Remarks : nullptr,
+                  Options.Trace);
 
   Result.Ok = PM.run(M, Ctx);
   if (!Result.Ok && PM.failure()) {

@@ -18,6 +18,7 @@
 #ifndef SXE_PM_INSTRUMENTEDPIPELINE_H
 #define SXE_PM_INSTRUMENTEDPIPELINE_H
 
+#include "obs/Remarks.h"
 #include "pm/PassManager.h"
 #include "pm/PassStats.h"
 #include "sxe/Pipeline.h"
@@ -31,6 +32,9 @@ namespace sxe {
 struct InstrumentedPipelineResult {
   /// Named per-pass counters.
   PassStats Stats;
+  /// Structured optimization remarks, in emission order (empty unless
+  /// PassManagerOptions::CollectRemarks was set).
+  RemarkCollector Remarks;
   /// Per-pass wall/CPU timers, in execution order.
   std::vector<PassTiming> Timings;
   /// Module snapshots after each pass (when requested).

@@ -18,7 +18,11 @@
 ///    list of extensions phase (3)-1 inserted and the elimination order
 ///    phase (3)-2 chose;
 ///  - the shared UD/DU chain-creation timer that Table 3 reports as its
-///    own column.
+///    own column;
+///  - the observability sinks (obs/): an optional per-run remark
+///    collector the phases stream structured optimization remarks into,
+///    and an optional trace collector the manager emits per-pass spans
+///    through. Both are null when the run is not being observed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +43,9 @@
 
 namespace sxe {
 
+class RemarkCollector;
+class TraceCollector;
+
 /// The block-level analyses shared between the sign-extension phases,
 /// built once per function and cached until the CFG changes.
 struct FunctionAnalyses {
@@ -54,14 +61,23 @@ struct FunctionAnalyses {
 /// State threaded through one PassManager run over one module.
 class PassContext {
 public:
-  PassContext(const PipelineConfig &Config, PassStats &Stats)
-      : Config(Config), Stats(&Stats) {}
+  PassContext(const PipelineConfig &Config, PassStats &Stats,
+              RemarkCollector *Remarks = nullptr,
+              TraceCollector *Trace = nullptr)
+      : Config(Config), Stats(&Stats), Remarks(Remarks), Trace(Trace) {}
 
   PassContext(const PassContext &) = delete;
   PassContext &operator=(const PassContext &) = delete;
 
   const PipelineConfig &config() const { return Config; }
   PassStats &stats() { return *Stats; }
+
+  /// The optimization-remark sink for this run, or null when remarks are
+  /// not being collected. Passes must check before emitting.
+  RemarkCollector *remarks() { return Remarks; }
+
+  /// The trace-span sink for this run, or null when tracing is off.
+  TraceCollector *trace() { return Trace; }
 
   /// The cached analyses for \p F, built on first request.
   FunctionAnalyses &analyses(Function &F);
@@ -87,6 +103,8 @@ public:
 private:
   const PipelineConfig &Config;
   PassStats *Stats;
+  RemarkCollector *Remarks = nullptr;
+  TraceCollector *Trace = nullptr;
   std::unordered_map<Function *, std::unique_ptr<FunctionAnalyses>> Cache;
   std::unordered_map<Function *, std::vector<Instruction *>> InsertedMap;
   std::unordered_map<Function *, std::vector<Instruction *>> OrderMap;

@@ -4,6 +4,7 @@
 
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "target/StaticCounts.h"
@@ -57,9 +58,14 @@ bool PassManager::run(Module &M, PassContext &Ctx) {
       if (!P.preservesCFG())
         Ctx.invalidateAnalyses(*FPtr);
     }
-    T.WallNanos += wallNowNanos() - WallStart;
+    uint64_t WallEnd = wallNowNanos();
+    T.WallNanos += WallEnd - WallStart;
     T.CpuNanos += threadCpuNanos() - CpuStart;
     T.Runs += 1;
+
+    if (TraceCollector *Trace = Ctx.trace())
+      Trace->addSpan(P.name(), "pass", WallStart, WallEnd,
+                     {{"module", M.name()}});
 
     if (WantSnapshots) {
       Snapshots.push_back(PassSnapshot{P.name(), printModule(M)});

@@ -65,6 +65,13 @@ struct PassManagerOptions {
   /// When non-empty, also write each snapshot to `DIR/NN-<pass>.sxir`
   /// (the directory is created; implies snapshot capture).
   std::string DumpDir;
+  /// When set, the manager emits one "pass" span per pass execution into
+  /// this collector (and runInstrumentedPipeline threads it into the
+  /// PassContext so phases can add finer-grained spans).
+  TraceCollector *Trace = nullptr;
+  /// Collect structured optimization remarks (obs/Remarks.h) during the
+  /// run; runInstrumentedPipeline exposes them on its result.
+  bool CollectRemarks = false;
 };
 
 /// Sequences passes over a module with timing, verification, and snapshot

@@ -4,15 +4,26 @@
 
 using namespace sxe;
 
-uint64_t &PassStats::counter(const std::string &Pass,
-                             const std::string &Name) {
+StatEntry &PassStats::entry(const std::string &Pass,
+                            const std::string &Name) {
   std::string Key = keyOf(Pass, Name);
   auto It = Index.find(Key);
   if (It != Index.end())
-    return Entries[It->second].Value;
+    return Entries[It->second];
   Index.emplace(std::move(Key), Entries.size());
-  Entries.push_back(StatEntry{Pass, Name, 0});
-  return Entries.back().Value;
+  Entries.push_back(StatEntry{Pass, Name, 0, false});
+  return Entries.back();
+}
+
+uint64_t &PassStats::counter(const std::string &Pass,
+                             const std::string &Name) {
+  return entry(Pass, Name).Value;
+}
+
+uint64_t &PassStats::flag(const std::string &Pass, const std::string &Name) {
+  StatEntry &E = entry(Pass, Name);
+  E.IsFlag = true;
+  return E.Value;
 }
 
 uint64_t PassStats::value(const std::string &Pass,
@@ -39,6 +50,15 @@ uint64_t PassStats::total(const std::string &Name) const {
 }
 
 void PassStats::merge(const PassStats &Other) {
-  for (const StatEntry &E : Other.Entries)
-    counter(E.Pass, E.Name) += E.Value;
+  for (const StatEntry &E : Other.Entries) {
+    StatEntry &Mine = entry(E.Pass, E.Name);
+    if (E.IsFlag) {
+      // Mode flags describe a configuration, not an amount: N runs in PDE
+      // mode must aggregate to pde_variant = 1, not N.
+      Mine.IsFlag = true;
+      Mine.Value = Mine.Value > E.Value ? Mine.Value : E.Value;
+    } else {
+      Mine.Value += E.Value;
+    }
+  }
 }

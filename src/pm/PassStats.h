@@ -41,6 +41,11 @@ struct StatEntry {
   std::string Pass;
   std::string Name;
   uint64_t Value = 0;
+  /// True for mode flags (`pde_variant`, `by_frequency`): 0/1 values
+  /// describing *how* a pass ran, not how much it did. merge() combines
+  /// flags by max instead of addition, so an 8-worker aggregate still
+  /// reports 1, not 8.
+  bool IsFlag = false;
 };
 
 /// Registry of named per-pass counters.
@@ -50,6 +55,10 @@ public:
   /// the end of the entry list on first use. The reference stays valid
   /// until the registry is destroyed (entries live in a deque).
   uint64_t &counter(const std::string &Pass, const std::string &Name);
+
+  /// Like counter(), but marks the entry as a mode flag: merge()
+  /// combines it by max/assignment instead of addition.
+  uint64_t &flag(const std::string &Pass, const std::string &Name);
 
   /// Returns the value of (\p Pass, \p Name), or 0 if never registered.
   uint64_t value(const std::string &Pass, const std::string &Name) const;
@@ -65,7 +74,9 @@ public:
   uint64_t total(const std::string &Name) const;
 
   /// Adds every counter of \p Other into this registry, registering
-  /// counters this instance has not seen yet in Other's order. The
+  /// counters this instance has not seen yet in Other's order. Additive
+  /// counters sum; flag entries (StatEntry::IsFlag) merge by max, so the
+  /// aggregate of N same-mode runs reports the mode, not N. The
   /// jit/CompileService merges each worker's per-run stats through this
   /// (under its own lock) once the run completes.
   void merge(const PassStats &Other);
@@ -74,6 +85,8 @@ private:
   static std::string keyOf(const std::string &Pass, const std::string &Name) {
     return Pass + "/" + Name;
   }
+
+  StatEntry &entry(const std::string &Pass, const std::string &Name);
 
   std::deque<StatEntry> Entries;
   std::unordered_map<std::string, size_t> Index;
@@ -84,6 +97,11 @@ private:
 /// registered under this pass's name() on first use.
 #define SXE_PASS_STAT(Ctx, StatName)                                          \
   ((Ctx).stats().counter(this->name(), #StatName))
+
+/// Like SXE_PASS_STAT for mode flags (assigned 0/1, merged by max):
+/// `SXE_PASS_STAT_FLAG(Ctx, pde_variant) = 1;`.
+#define SXE_PASS_STAT_FLAG(Ctx, StatName)                                     \
+  ((Ctx).stats().flag(this->name(), #StatName))
 
 } // namespace sxe
 

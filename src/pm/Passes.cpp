@@ -2,6 +2,7 @@
 
 #include "pm/Passes.h"
 
+#include "obs/Remarks.h"
 #include "opt/DeadCodeElim.h"
 #include "opt/ExtensionPRE.h"
 #include "opt/GeneralOpts.h"
@@ -18,6 +19,23 @@ using namespace sxe;
 
 namespace {
 
+/// Emits the per-function summary remark the generation-side passes
+/// produce: "\p Pass made \p Decision happen to \p Count extensions in
+/// \p F". Skipped when the pass did nothing in this function, so remark
+/// streams stay dense and count-sums still match the pass counters.
+void addSummaryRemark(PassContext &Ctx, const char *Pass, const Function &F,
+                      RemarkDecision Decision, uint64_t Count) {
+  RemarkCollector *Remarks = Ctx.remarks();
+  if (!Remarks || Count == 0)
+    return;
+  Remark R;
+  R.Pass = Pass;
+  R.Function = F.name();
+  R.Decision = Decision;
+  R.Count = Count;
+  Remarks->add(std::move(R));
+}
+
 class Conversion64Pass : public Pass {
 public:
   explicit Conversion64Pass(GenPolicy Policy) : Policy(Policy) {}
@@ -26,8 +44,9 @@ public:
   bool preservesCFG() const override { return true; }
   bool mayAddExtensions() const override { return true; }
   void run(Function &F, PassContext &Ctx) override {
-    SXE_PASS_STAT(Ctx, sext_generated) +=
-        runConversion64(F, *Ctx.config().Target, Policy);
+    unsigned Generated = runConversion64(F, *Ctx.config().Target, Policy);
+    SXE_PASS_STAT(Ctx, sext_generated) += Generated;
+    addSummaryRemark(Ctx, name(), F, RemarkDecision::Generated, Generated);
   }
 
 private:
@@ -68,8 +87,9 @@ public:
   Group group() const override { return Group::GeneralOpts; }
   bool preservesCFG() const override { return true; }
   void run(Function &F, PassContext &Ctx) override {
-    SXE_PASS_STAT(Ctx, ext_removed_or_hoisted) +=
-        runExtensionPRE(F, *Ctx.config().Target);
+    unsigned Moved = runExtensionPRE(F, *Ctx.config().Target);
+    SXE_PASS_STAT(Ctx, ext_removed_or_hoisted) += Moved;
+    addSummaryRemark(Ctx, name(), F, RemarkDecision::Moved, Moved);
   }
 };
 
@@ -100,15 +120,17 @@ public:
   bool mayAddExtensions() const override { return true; }
   void run(Function &F, PassContext &Ctx) override {
     std::vector<Instruction *> &Inserted = Ctx.inserted(F);
+    unsigned Placed = 0;
     if (UsePDE) {
-      SXE_PASS_STAT(Ctx, pde_variant) = 1;
-      SXE_PASS_STAT(Ctx, sext_inserted) +=
-          runPDEInsertion(F, *Ctx.config().Target, &Inserted);
+      SXE_PASS_STAT_FLAG(Ctx, pde_variant) = 1;
+      Placed = runPDEInsertion(F, *Ctx.config().Target, &Inserted);
     } else {
-      SXE_PASS_STAT(Ctx, pde_variant) = 0;
-      SXE_PASS_STAT(Ctx, sext_inserted) += runSimpleInsertion(
-          F, *Ctx.config().Target, &Inserted, &Ctx.analyses(F).Loops);
+      SXE_PASS_STAT_FLAG(Ctx, pde_variant) = 0;
+      Placed = runSimpleInsertion(F, *Ctx.config().Target, &Inserted,
+                                  &Ctx.analyses(F).Loops);
     }
+    SXE_PASS_STAT(Ctx, sext_inserted) += Placed;
+    addSummaryRemark(Ctx, name(), F, RemarkDecision::Inserted, Placed);
   }
 
 private:
@@ -124,7 +146,7 @@ public:
   void run(Function &F, PassContext &Ctx) override {
     std::vector<Instruction *> &Order = Ctx.order(F);
     if (ByFrequency) {
-      SXE_PASS_STAT(Ctx, by_frequency) = 1;
+      SXE_PASS_STAT_FLAG(Ctx, by_frequency) = 1;
       const std::vector<Instruction *> &Inserted = Ctx.inserted(F);
       std::unordered_set<Instruction *> InsertedSet(Inserted.begin(),
                                                     Inserted.end());
@@ -132,7 +154,7 @@ public:
       Order = extensionsByFrequency(F, Ctx.config().Profile, &InsertedSet,
                                     &A.Cfg, &A.Freq);
     } else {
-      SXE_PASS_STAT(Ctx, by_frequency) = 0;
+      SXE_PASS_STAT_FLAG(Ctx, by_frequency) = 0;
       Order = extensionsInReverseDFS(F);
     }
     SXE_PASS_STAT(Ctx, extensions_ordered) += Order.size();
@@ -160,6 +182,7 @@ public:
     Options.EnableInductiveArith = Config.EnableInductiveArith;
     Options.EnableGuardRanges = Config.EnableGuardRanges;
     Options.ChainTimer = &Ctx.chainTimer();
+    Options.Remarks = Ctx.remarks();
     EliminationStats ES = runElimination(F, Order, Options);
     SXE_PASS_STAT(Ctx, analyzed) += ES.Analyzed;
     SXE_PASS_STAT(Ctx, sext_eliminated) += ES.Eliminated;

@@ -93,33 +93,100 @@ void JsonWriter::value(bool Flag) {
   Out += Flag ? "true" : "false";
 }
 
+/// Length of the valid UTF-8 sequence starting at \p Text[Index], or 0
+/// when the bytes there do not form one (truncated, overlong, surrogate,
+/// or out-of-range encodings all count as invalid).
+static size_t utf8SequenceLength(const std::string &Text, size_t Index) {
+  auto Byte = [&](size_t Offset) -> unsigned {
+    return static_cast<unsigned char>(Text[Index + Offset]);
+  };
+  auto IsCont = [&](size_t Offset) {
+    return Index + Offset < Text.size() && (Byte(Offset) & 0xC0) == 0x80;
+  };
+  unsigned Lead = Byte(0);
+  if (Lead < 0x80)
+    return 1;
+  if (Lead < 0xC2) // Continuation byte or overlong 2-byte lead.
+    return 0;
+  if (Lead < 0xE0)
+    return IsCont(1) ? 2 : 0;
+  if (Lead < 0xF0) {
+    if (!IsCont(1) || !IsCont(2))
+      return 0;
+    unsigned Code = ((Lead & 0x0F) << 12) | ((Byte(1) & 0x3F) << 6);
+    if (Code < 0x800)
+      return 0; // Overlong.
+    if (Code >= 0xD800 && Code <= 0xDFFF)
+      return 0; // Surrogate half.
+    return 3;
+  }
+  if (Lead < 0xF5) {
+    if (!IsCont(1) || !IsCont(2) || !IsCont(3))
+      return 0;
+    unsigned Code = ((Lead & 0x07) << 18) | ((Byte(1) & 0x3F) << 12);
+    if (Code < 0x10000 || Code > 0x10FFFF)
+      return 0; // Overlong or beyond U+10FFFF.
+    return 4;
+  }
+  return 0;
+}
+
 std::string JsonWriter::quote(const std::string &Raw) {
   std::string Quoted = "\"";
-  for (char C : Raw) {
+  for (size_t Index = 0; Index < Raw.size();) {
+    char C = Raw[Index];
     switch (C) {
     case '"':
       Quoted += "\\\"";
-      break;
+      ++Index;
+      continue;
     case '\\':
       Quoted += "\\\\";
-      break;
+      ++Index;
+      continue;
     case '\n':
       Quoted += "\\n";
-      break;
+      ++Index;
+      continue;
     case '\r':
       Quoted += "\\r";
-      break;
+      ++Index;
+      continue;
     case '\t':
       Quoted += "\\t";
-      break;
+      ++Index;
+      continue;
     default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buffer[8];
-        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
-        Quoted += Buffer;
-      } else {
-        Quoted += C;
-      }
+      break;
+    }
+    unsigned char Byte = static_cast<unsigned char>(C);
+    if (Byte < 0x20) {
+      // Control characters must be escaped (RFC 8259 §7).
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                    static_cast<unsigned>(Byte));
+      Quoted += Buffer;
+      ++Index;
+      continue;
+    }
+    if (Byte < 0x80) {
+      Quoted += C;
+      ++Index;
+      continue;
+    }
+    // Non-ASCII: pass valid UTF-8 through untouched; map each invalid
+    // byte to its Latin-1 code point (U+0080..U+00FF) so arbitrary
+    // (fuzzer- or user-supplied) names still produce a valid document.
+    size_t Length = utf8SequenceLength(Raw, Index);
+    if (Length > 0) {
+      Quoted.append(Raw, Index, Length);
+      Index += Length;
+    } else {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                    static_cast<unsigned>(Byte));
+      Quoted += Buffer;
+      ++Index;
     }
   }
   Quoted += '"';
@@ -132,4 +199,363 @@ bool sxe::writeTextFile(const std::string &Path, const std::string &Text) {
     return false;
   Out << Text;
   return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue + parseJson
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(const std::string &Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, Value] : Members)
+    if (Key == Name)
+      return &Value;
+  return nullptr;
+}
+
+std::string JsonValue::stringField(const std::string &Name) const {
+  const JsonValue *Member = find(Name);
+  return Member && Member->isString() ? Member->stringValue() : std::string();
+}
+
+JsonValue JsonValue::makeBool(bool V) {
+  JsonValue Out;
+  Out.K = Kind::Bool;
+  Out.Flag = V;
+  return Out;
+}
+JsonValue JsonValue::makeNumber(double V) {
+  JsonValue Out;
+  Out.K = Kind::Number;
+  Out.Number = V;
+  return Out;
+}
+JsonValue JsonValue::makeString(std::string V) {
+  JsonValue Out;
+  Out.K = Kind::String;
+  Out.Text = std::move(V);
+  return Out;
+}
+JsonValue JsonValue::makeArray(std::vector<JsonValue> V) {
+  JsonValue Out;
+  Out.K = Kind::Array;
+  Out.Elements = std::move(V);
+  return Out;
+}
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> V) {
+  JsonValue Out;
+  Out.K = Kind::Object;
+  Out.Members = std::move(V);
+  return Out;
+}
+
+namespace {
+
+/// Strict RFC 8259 recursive-descent parser over an in-memory document.
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parseDocument(JsonValue &Out) {
+    skipWhitespace();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing garbage after the document");
+    return true;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 256;
+
+  bool fail(const std::string &Message) {
+    Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char Expected, const char *What) {
+    if (Pos >= Text.size() || Text[Pos] != Expected)
+      return fail(std::string("expected ") + What);
+    ++Pos;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of document");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (Text.compare(Pos, 4, "true") != 0)
+        return fail("malformed literal");
+      Pos += 4;
+      Out = JsonValue::makeBool(true);
+      return true;
+    case 'f':
+      if (Text.compare(Pos, 5, "false") != 0)
+        return fail("malformed literal");
+      Pos += 5;
+      Out = JsonValue::makeBool(false);
+      return true;
+    case 'n':
+      if (Text.compare(Pos, 4, "null") != 0)
+        return fail("malformed literal");
+      Pos += 4;
+      Out = JsonValue::makeNull();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '{'
+    std::vector<std::pair<std::string, JsonValue>> Members;
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      Out = JsonValue::makeObject(std::move(Members));
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (!consume(':', "':'"))
+        return false;
+      skipWhitespace();
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Members.emplace_back(std::move(Key), std::move(Value));
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        Out = JsonValue::makeObject(std::move(Members));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '['
+    std::vector<JsonValue> Elements;
+    skipWhitespace();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      Out = JsonValue::makeArray(std::move(Elements));
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      JsonValue Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Elements.push_back(std::move(Value));
+      skipWhitespace();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        Out = JsonValue::makeArray(std::move(Elements));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (unsigned Index = 0; Index < 4; ++Index) {
+      char C = Text[Pos + Index];
+      unsigned Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = 10 + (C - 'a');
+      else if (C >= 'A' && C <= 'F')
+        Digit = 10 + (C - 'A');
+      else
+        return fail("bad hex digit in \\u escape");
+      Out = Out * 16 + Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "'\"'"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // backslash
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // High surrogate: require the paired low surrogate.
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired high surrogate");
+          Pos += 2;
+          unsigned Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("unpaired low surrogate");
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    auto Digits = [&] {
+      size_t Before = Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+      return Pos > Before;
+    };
+    if (Pos < Text.size() && Text[Pos] == '0') {
+      ++Pos; // No leading zeros (RFC 8259 §6).
+    } else if (!Digits()) {
+      return fail("malformed number");
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (!Digits())
+        return fail("malformed number fraction");
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (!Digits())
+        return fail("malformed number exponent");
+    }
+    Out = JsonValue::makeNumber(std::stod(Text.substr(Start, Pos - Start)));
+    return true;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool sxe::parseJson(const std::string &Text, JsonValue &Out,
+                    std::string &Error) {
+  return JsonParser(Text, Error).parseDocument(Out);
 }

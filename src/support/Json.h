@@ -7,9 +7,17 @@
 ///
 /// \file
 /// A small streaming JSON writer used by the pass-manager statistics
-/// reports and the benchmark binaries (BENCH_*.json). Commas and nesting
-/// are handled automatically; strings are escaped per RFC 8259. Output is
-/// pretty-printed with two-space indentation so goldens diff readably.
+/// reports, the obs/ trace, remarks, and metrics exporters, and the
+/// benchmark binaries (BENCH_*.json). Commas and nesting are handled
+/// automatically; strings are escaped per RFC 8259 — including control
+/// characters and invalid UTF-8 bytes in user-controlled names, which are
+/// escaped as \uXXXX so the output is always a valid JSON document.
+/// Output is pretty-printed with two-space indentation so goldens diff
+/// readably.
+///
+/// The matching reader half, parseJson, is a strict recursive-descent
+/// RFC 8259 parser used to validate emitted documents (obs well-formedness
+/// tests, `sxetool --validate-obs`) and to consume small reports.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,7 +25,9 @@
 #define SXE_SUPPORT_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sxe {
@@ -73,6 +83,56 @@ private:
 /// Writes \p Text to \p Path. Returns false (and leaves a partial file at
 /// worst) on I/O failure.
 bool writeTextFile(const std::string &Path, const std::string &Text);
+
+/// A parsed JSON value. Objects preserve member order (emission order
+/// matters to the golden files, so the reader reports it faithfully).
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolValue() const { return Flag; }
+  double numberValue() const { return Number; }
+  const std::string &stringValue() const { return Text; }
+  const std::vector<JsonValue> &array() const { return Elements; }
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *find(const std::string &Name) const;
+
+  /// Convenience: the string value of member \p Name, or "" when absent
+  /// or not a string.
+  std::string stringField(const std::string &Name) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V);
+  static JsonValue makeNumber(double V);
+  static JsonValue makeString(std::string V);
+  static JsonValue makeArray(std::vector<JsonValue> V);
+  static JsonValue makeObject(std::vector<std::pair<std::string, JsonValue>> V);
+
+private:
+  Kind K = Kind::Null;
+  bool Flag = false;
+  double Number = 0;
+  std::string Text;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses one complete JSON document from \p Text (trailing whitespace
+/// allowed, anything else is an error). Returns false and describes the
+/// problem in \p Error on malformed input.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
 
 } // namespace sxe
 

@@ -5,6 +5,8 @@
 #include "analysis/CFG.h"
 #include "analysis/UseDefChains.h"
 #include "analysis/ValueRange.h"
+#include "ir/Opcode.h"
+#include "obs/Remarks.h"
 #include "sxe/ExtensionFacts.h"
 #include "support/Error.h"
 
@@ -119,6 +121,20 @@ private:
   unsigned CurrentBits = 32;
   VisitSet UseVisited;   ///< AnalyzeUSE traversal marks.
   VisitSet ArrayVisited; ///< AnalyzeARRAY per-access marks.
+
+  /// Remark attribution for the extension under analysis: the innermost
+  /// use that first answered "requires the extension" (for retained
+  /// remarks), reset per analyzeExtend.
+  const Instruction *BlockingUse = nullptr;
+  const char *BlockingReason = nullptr;
+
+  /// Records the first blocking use of the current analysis.
+  void noteBlocked(const Instruction *User, const char *Reason) {
+    if (!BlockingUse) {
+      BlockingUse = User;
+      BlockingReason = Reason;
+    }
+  }
 
   /// The extendedness and upper-zero queries start fresh visited sets
   /// when they consult each other, so a definition cycle that keeps
@@ -552,8 +568,14 @@ bool Eliminator::analyzeUse(Instruction *User, unsigned OpIndex,
 
   // The effective address of an array access.
   if (User->isArrayIndexOperand(OpIndex)) {
-    if (AnalyzeArray && Options.EnableArrayTheorems && CurrentBits == 32)
-      return analyzeArray(User);
+    if (AnalyzeArray && Options.EnableArrayTheorems && CurrentBits == 32) {
+      if (analyzeArray(User)) {
+        noteBlocked(User, "array subscript not proven by Theorems 1-4");
+        return true;
+      }
+      return false;
+    }
+    noteBlocked(User, "array subscript outside AnalyzeARRAY scope");
     return true;
   }
 
@@ -567,6 +589,7 @@ bool Eliminator::analyzeUse(Instruction *User, unsigned OpIndex,
     return false;
   }
 
+  noteBlocked(User, "use reads the extended bits");
   return true; // Requires the extension.
 }
 
@@ -575,6 +598,8 @@ bool Eliminator::analyzeExtend(Instruction *Ext) {
   CurrentBits = extensionBits(Ext->opcode());
   UseVisited.clear();
   ArrayVisited.clear();
+  BlockingUse = nullptr;
+  BlockingReason = nullptr;
 
   bool Required = false;
   std::vector<UseRef> Uses = Chains->usesOf(Ext);
@@ -603,11 +628,52 @@ bool Eliminator::analyzeExtend(Instruction *Ext) {
   return true;
 }
 
+/// Builds the per-extension remark for one analyzeExtend decision. The
+/// theorem fields carry the counter deltas of this extension alone, so a
+/// stream's field sums reproduce the EliminationStats totals exactly.
+static Remark extensionRemark(const Function &F, const Instruction *Ext,
+                              const EliminationStats &Before,
+                              const EliminationStats &After, bool Kept,
+                              const Instruction *BlockingUse,
+                              const char *BlockingReason) {
+  Remark R;
+  R.Pass = "elimination";
+  R.Function = F.name();
+  R.InstId = Ext->id();
+  R.Op = opcodeMnemonic(Ext->opcode());
+  if (Kept) {
+    R.Decision = RemarkDecision::Retained;
+    if (BlockingReason)
+      R.Reason = BlockingReason;
+    if (BlockingUse) {
+      R.BlockingInst = BlockingUse->id();
+      R.BlockingOp = opcodeMnemonic(BlockingUse->opcode());
+    }
+  } else {
+    R.Decision = RemarkDecision::Eliminated;
+    R.Analysis = After.EliminatedViaDefs > Before.EliminatedViaDefs
+                     ? RemarkAnalysis::Def
+                     : RemarkAnalysis::Use;
+  }
+  R.SubscriptExtended = After.SubscriptExtended - Before.SubscriptExtended;
+  R.Theorem1 = After.SubscriptTheorem1 - Before.SubscriptTheorem1;
+  R.Theorem2 = After.SubscriptTheorem2 - Before.SubscriptTheorem2;
+  R.Theorem3 = After.SubscriptTheorem3 - Before.SubscriptTheorem3;
+  R.Theorem4 = After.SubscriptTheorem4 - Before.SubscriptTheorem4;
+  R.ArrayUsesProven = After.ArrayUsesProven - Before.ArrayUsesProven;
+  return R;
+}
+
 EliminationStats Eliminator::run(const std::vector<Instruction *> &Order) {
   for (Instruction *Ext : Order) {
     assert(Ext->isSext() && "order list must contain extensions");
     ++Stats.Analyzed;
-    if (analyzeExtend(Ext))
+    EliminationStats Before = Stats;
+    bool Kept = analyzeExtend(Ext);
+    if (Options.Remarks)
+      Options.Remarks->add(extensionRemark(F, Ext, Before, Stats, Kept,
+                                           BlockingUse, BlockingReason));
+    if (Kept)
       continue;
     if (Ext->dest() == Ext->operand(0)) {
       // The common `i = extend(i)` form: deleting it is a no-op move.

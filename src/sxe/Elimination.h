@@ -48,6 +48,8 @@
 
 namespace sxe {
 
+class RemarkCollector;
+
 /// Configuration of the elimination phase.
 struct EliminationOptions {
   const TargetInfo *Target = nullptr;
@@ -62,6 +64,12 @@ struct EliminationOptions {
   /// When set, accumulates the UD/DU chain (and range analysis) build
   /// time, reported separately in Table 3 ("UD/DU chain creation").
   Timer *ChainTimer = nullptr;
+  /// When set, the phase emits one structured remark per analyzed
+  /// extension (obs/Remarks.h): the decision, the analysis that proved
+  /// it, the per-extension theorem attribution, and for retained
+  /// extensions the blocking instruction. The theorem fields of a
+  /// module's remarks sum to the matching EliminationStats counters.
+  RemarkCollector *Remarks = nullptr;
 };
 
 /// Counters reported by the elimination phase.

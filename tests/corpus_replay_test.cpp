@@ -7,7 +7,10 @@
 //   - the post-pipeline module verifies with no dummy extensions left,
 //   - machine-semantics execution matches the Java-semantics oracle
 //     (checksum AND trap kind), with no wild addresses,
-//   - the full algorithm never executes more extensions than baseline.
+//   - the full algorithm never executes more extensions than baseline,
+//   - the optimization-remarks stream is consistent with the pass
+//     counters: eliminated remarks sum to sext_eliminated, and the
+//     per-remark theorem attribution sums to theorem1..4_fired.
 //
 // Unlike the fuzzer, these programs never change, so a failure here
 // bisects cleanly to the offending pipeline commit.
@@ -18,7 +21,9 @@
 #include "ir/Cloner.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
+#include "obs/Remarks.h"
 #include "parser/Parser.h"
+#include "pm/InstrumentedPipeline.h"
 #include "sxe/Pipeline.h"
 
 #include <fstream>
@@ -87,6 +92,43 @@ TEST_P(CorpusReplay, AllVariantsMatchJavaOracle) {
       EXPECT_LE(Got.totalExecutedSext(), BaselineSext);
     }
   }
+}
+
+// The remarks stream is a per-extension decomposition of the aggregate
+// pass counters, so the sums must agree exactly for every corpus module:
+// eliminated remarks reproduce sext_eliminated, eliminated+retained
+// cover every analyzed extension, and the theorem attribution fields
+// reproduce theorem1..4_fired.
+TEST_P(CorpusReplay, RemarkCountsMatchPassCounters) {
+  std::unique_ptr<Module> M = loadCorpusFile(GetParam());
+  ASSERT_NE(M, nullptr);
+
+  PassManagerOptions Options;
+  Options.CollectRemarks = true;
+  InstrumentedPipelineResult Result = runInstrumentedPipeline(
+      *M, PipelineConfig::forVariant(Variant::All), Options);
+  ASSERT_TRUE(Result.Ok);
+
+  uint64_t Eliminated = 0, Retained = 0, T1 = 0, T2 = 0, T3 = 0, T4 = 0;
+  for (const Remark &R : Result.Remarks.remarks()) {
+    if (R.Pass != "elimination")
+      continue;
+    if (R.Decision == RemarkDecision::Eliminated)
+      Eliminated += R.Count;
+    if (R.Decision == RemarkDecision::Retained)
+      Retained += R.Count;
+    T1 += R.Theorem1;
+    T2 += R.Theorem2;
+    T3 += R.Theorem3;
+    T4 += R.Theorem4;
+  }
+  const PassStats &Stats = Result.Stats;
+  EXPECT_EQ(Eliminated, Stats.value("elimination", "sext_eliminated"));
+  EXPECT_EQ(Eliminated + Retained, Stats.value("elimination", "analyzed"));
+  EXPECT_EQ(T1, Stats.value("elimination", "theorem1_fired"));
+  EXPECT_EQ(T2, Stats.value("elimination", "theorem2_fired"));
+  EXPECT_EQ(T3, Stats.value("elimination", "theorem3_fired"));
+  EXPECT_EQ(T4, Stats.value("elimination", "theorem4_fired"));
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,

@@ -1,14 +1,17 @@
 //===- tests/golden_file_test.cpp - Golden stats + snapshot documents -----------===//
 //
 // Runs the full pipeline over the two checked-in example programs for all
-// three targets and compares two artifacts per run against goldens in
+// three targets and compares three artifacts per run against goldens in
 // tests/golden/:
 //
-//   <input>-<target>.stats.json  — the sxe.pass-stats.v1 report with
-//                                  timings zeroed (IncludeTimings=false),
-//                                  locking the schema and every counter;
-//   <input>-<target>.dumps.sxir  — the after-each-pass IR snapshots,
-//                                  locking the transformation sequence.
+//   <input>-<target>.stats.json     — the sxe.pass-stats.v1 report with
+//                                     timings zeroed (IncludeTimings=false),
+//                                     locking the schema and every counter;
+//   <input>-<target>.dumps.sxir     — the after-each-pass IR snapshots,
+//                                     locking the transformation sequence;
+//   <input>-<target>.remarks.jsonl  — the sxe.remarks.v1 stream, locking
+//                                     the per-extension decisions, theorem
+//                                     attribution, and blocking reasons.
 //
 // Regenerate after an intentional pipeline change with:
 //
@@ -16,6 +19,7 @@
 //
 //===---------------------------------------------------------------------------===//
 
+#include "obs/Remarks.h"
 #include "parser/Parser.h"
 #include "pm/InstrumentedPipeline.h"
 #include "pm/Report.h"
@@ -78,6 +82,7 @@ void runGoldenCase(const GoldenCase &Case) {
       PipelineConfig::forVariant(Variant::All, *Case.Target);
   PassManagerOptions Options;
   Options.CaptureSnapshots = true;
+  Options.CollectRemarks = true;
   InstrumentedPipelineResult Result =
       runInstrumentedPipeline(*Parsed.M, Config, Options);
   ASSERT_TRUE(Result.Ok);
@@ -97,6 +102,8 @@ void runGoldenCase(const GoldenCase &Case) {
   std::string StemTarget = std::string(Case.Stem) + "-" + Case.Target->name();
   checkGolden(GoldenDir + StemTarget + ".stats.json", StatsJson);
   checkGolden(GoldenDir + StemTarget + ".dumps.sxir", Dumps);
+  checkGolden(GoldenDir + StemTarget + ".remarks.jsonl",
+              remarksToJsonl(Result.Remarks.remarks()));
 }
 
 } // namespace

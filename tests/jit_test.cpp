@@ -516,6 +516,33 @@ TEST(PassStatsMerge, SumsAndPreservesFirstSeenOrder) {
   EXPECT_EQ(A.entries()[2].Name, "sext_generated");
 }
 
+TEST(PassStatsMerge, FlagsCombineByMaxNotAddition) {
+  // Mode flags describe *how* a pass ran; merging the per-run stats of
+  // N identically-configured workers must still report 1, not N.
+  PassStats Merged;
+  for (unsigned Run = 0; Run < 8; ++Run) {
+    PassStats PerRun;
+    PerRun.flag("insertion", "pde_variant") = 1;
+    PerRun.flag("order-determination", "by_frequency") = 0;
+    PerRun.counter("elimination", "sext_eliminated") = 3;
+    Merged.merge(PerRun);
+  }
+  EXPECT_EQ(Merged.value("insertion", "pde_variant"), 1u);
+  EXPECT_EQ(Merged.value("order-determination", "by_frequency"), 0u);
+  EXPECT_EQ(Merged.value("elimination", "sext_eliminated"), 24u);
+
+  // max also wins when the flag appears on both sides with 0 first, and
+  // the flag bit itself survives the merge into a fresh registry.
+  PassStats Zero, One;
+  Zero.flag("insertion", "pde_variant") = 0;
+  One.flag("insertion", "pde_variant") = 1;
+  Zero.merge(One);
+  Zero.merge(One);
+  EXPECT_EQ(Zero.value("insertion", "pde_variant"), 1u);
+  ASSERT_EQ(Zero.entries().size(), 1u);
+  EXPECT_TRUE(Zero.entries()[0].IsFlag);
+}
+
 TEST(TimerCpu, AccumulatesThreadCpuAlongsideWall) {
   Timer T;
   volatile uint64_t Sink = 0;

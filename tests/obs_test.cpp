@@ -1,0 +1,365 @@
+//===- tests/obs_test.cpp - Tracing, metrics, remarks ---------------------------===//
+//
+// Locks the src/obs/ contracts:
+//
+//   - Histogram bucket boundaries: an observation equal to a bound lands
+//     in that bound's bucket (Prometheus `le` semantics), above the last
+//     bound in the overflow bucket;
+//   - MetricsRegistry is safe under concurrent observation and merges
+//     per-thread registries like PassStats (counters/histograms add,
+//     gauges max) — the TSan CI job runs this suite;
+//   - TraceCollector's export is well-formed JSON (parsed back with
+//     support/Json), carries the sxe.trace.v1 schema tag, and an
+//     8-worker compile-service batch produces at least two thread
+//     tracks;
+//   - the remark stream of a parallel (jobs=8) compile-service batch is
+//     byte-identical to the serial (jobs=0) reference, including on
+//     cache hits (remarks live in the cached artifact);
+//   - the Prometheus exposition carries the compile-latency histogram
+//     with cumulative buckets, +Inf, _sum, and _count.
+//
+//===-----------------------------------------------------------------------------===//
+
+#include "jit/CompileService.h"
+#include "obs/Metrics.h"
+#include "parser/Parser.h"
+#include "obs/Remarks.h"
+#include "obs/Trace.h"
+#include "pm/InstrumentedPipeline.h"
+#include "support/Json.h"
+#include "support/Timer.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+#include <gtest/gtest.h>
+
+using namespace sxe;
+
+namespace {
+
+std::string loadCorpusSource(const std::string &Name) {
+  std::string Path =
+      std::string(SXE_SOURCE_DIR) + "/tests/corpus/" + Name + ".sxir";
+  std::ifstream In(Path);
+  EXPECT_TRUE(static_cast<bool>(In)) << Path;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Buffer.str();
+}
+
+const char *const CorpusNames[] = {"generated_small", "generated_medium",
+                                   "generated_large"};
+
+/// Runs the pinned corpus through a service and returns the remark
+/// streams concatenated in submission order.
+std::string batchRemarks(unsigned Jobs, CodeCache *Cache) {
+  CompileServiceOptions Options;
+  Options.Jobs = Jobs;
+  Options.Cache = Cache;
+  Options.CollectRemarks = true;
+  CompileService Service(Options);
+  std::vector<std::future<CompileResult>> Futures;
+  for (const char *Name : CorpusNames) {
+    CompileRequest Request;
+    Request.Name = Name;
+    Request.Source = loadCorpusSource(Name);
+    Request.Config = PipelineConfig::forVariant(Variant::All);
+    Request.Hotness = static_cast<double>(Request.Source.size());
+    Futures.push_back(Service.enqueue(std::move(Request)));
+  }
+  std::vector<Remark> All;
+  for (auto &Future : Futures) {
+    CompileResult Result = Future.get();
+    EXPECT_TRUE(Result.Ok) << Result.Error;
+    if (Result.Ok)
+      All.insert(All.end(), Result.Code->Remarks.begin(),
+                 Result.Code->Remarks.end());
+  }
+  return remarksToJsonl(All);
+}
+
+// --- Histograms ---------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram H({1.0, 2.0, 4.0});
+  H.observe(0.5);  // <= 1.0
+  H.observe(1.0);  // == bound: still bucket 0 (le semantics)
+  H.observe(1.5);  // <= 2.0
+  H.observe(4.0);  // == last bound
+  H.observe(99.0); // overflow
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u); // +Inf
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_NEAR(H.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0, 1e-6);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreAscending) {
+  std::vector<double> Bounds = defaultLatencyBucketBounds();
+  ASSERT_GE(Bounds.size(), 4u);
+  for (size_t I = 1; I < Bounds.size(); ++I)
+    EXPECT_LT(Bounds[I - 1], Bounds[I]);
+}
+
+TEST(Metrics, CountersAndGauges) {
+  MetricsRegistry Reg;
+  Counter &C = Reg.counter("sxe_events_total", "events");
+  C.inc();
+  C.inc(4);
+  EXPECT_EQ(C.value(), 5u);
+  // Re-registration returns the same instrument.
+  EXPECT_EQ(&Reg.counter("sxe_events_total"), &C);
+
+  Gauge &G = Reg.gauge("sxe_depth", "depth");
+  G.set(7);
+  G.add(-2);
+  EXPECT_EQ(G.value(), 5);
+}
+
+TEST(Metrics, ConcurrentObservationAndMerge) {
+  // Hot path under contention (the TSan job watches this), then the
+  // per-thread-registry merge pattern on top.
+  MetricsRegistry Shared;
+  Counter &C = Shared.counter("sxe_ops_total");
+  Histogram &H = Shared.histogram("sxe_op_seconds", "", {0.5, 1.0});
+  constexpr unsigned Threads = 8, PerThread = 1000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C, &H, T] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        C.inc();
+        H.observe(T % 2 ? 0.25 : 2.0);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(H.count(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(H.bucketCount(0), uint64_t(Threads) / 2 * PerThread);
+  EXPECT_EQ(H.bucketCount(2), uint64_t(Threads) / 2 * PerThread);
+
+  MetricsRegistry PerThreadReg;
+  PerThreadReg.counter("sxe_ops_total").inc(10);
+  PerThreadReg.gauge("sxe_peak").set(3);
+  PerThreadReg.histogram("sxe_op_seconds", "", {0.5, 1.0}).observe(0.1);
+  Shared.gauge("sxe_peak").set(9);
+  Shared.merge(PerThreadReg);
+  EXPECT_EQ(Shared.counter("sxe_ops_total").value(),
+            uint64_t(Threads) * PerThread + 10);
+  EXPECT_EQ(Shared.gauge("sxe_peak").value(), 9); // max, not sum
+  EXPECT_EQ(Shared.histogram("sxe_op_seconds").count(),
+            uint64_t(Threads) * PerThread + 1);
+}
+
+TEST(Metrics, JsonExportParsesBackWithSchema) {
+  MetricsRegistry Reg;
+  Reg.counter("sxe_compiles_total", "runs").inc(3);
+  Reg.gauge("sxe_queue_depth").set(2);
+  Reg.histogram("sxe_compile_latency_seconds", "latency", {0.1, 1.0})
+      .observe(0.05);
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Reg.toJson(), Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("schema"), kMetricsSchema);
+  const JsonValue *Counters = Doc.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_TRUE(Counters->isObject());
+  const JsonValue *Compiles = Counters->find("sxe_compiles_total");
+  ASSERT_NE(Compiles, nullptr);
+  EXPECT_EQ(Compiles->numberValue(), 3.0);
+  const JsonValue *Hists = Doc.find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  const JsonValue *Latency = Hists->find("sxe_compile_latency_seconds");
+  ASSERT_NE(Latency, nullptr);
+  const JsonValue *Buckets = Latency->find("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  ASSERT_TRUE(Buckets->isArray());
+  EXPECT_EQ(Buckets->array().size(), 2u);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry Reg;
+  Reg.counter("sxe_compiles_total", "Pipeline runs").inc(2);
+  Histogram &H =
+      Reg.histogram("sxe_compile_latency_seconds", "latency", {0.1, 1.0});
+  H.observe(0.05);
+  H.observe(0.5);
+  H.observe(30.0);
+  std::string Text = Reg.toPrometheus();
+  EXPECT_NE(Text.find("# HELP sxe_compiles_total Pipeline runs"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE sxe_compiles_total counter"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sxe_compiles_total 2"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE sxe_compile_latency_seconds histogram"),
+            std::string::npos);
+  // Buckets are cumulative.
+  EXPECT_NE(Text.find("sxe_compile_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sxe_compile_latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sxe_compile_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sxe_compile_latency_seconds_count 3"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sxe_compile_latency_seconds_sum"), std::string::npos);
+}
+
+// --- Traces -------------------------------------------------------------------
+
+TEST(Trace, ExportIsWellFormedAndSchemaTagged) {
+  TraceCollector Trace;
+  {
+    TraceSpan Span(&Trace, "compile", "service");
+    Span.arg("module", "m \"quoted\"\n");
+  }
+  uint64_t Now = wallNowNanos();
+  Trace.addSpan("pass", "pass", Now, Now + 1500);
+  Trace.nameThread("main");
+  EXPECT_EQ(Trace.size(), 2u);
+  EXPECT_EQ(Trace.threadTracks(), 1u);
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Trace.toJson(), Doc, Error)) << Error;
+  const JsonValue *Other = Doc.find("otherData");
+  ASSERT_NE(Other, nullptr);
+  EXPECT_EQ(Other->stringField("schema"), kTraceSchema);
+  const JsonValue *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  // 2 "X" spans + 1 thread_name metadata event.
+  ASSERT_EQ(Events->array().size(), 3u);
+  unsigned Complete = 0, Meta = 0;
+  for (const JsonValue &E : Events->array()) {
+    if (E.stringField("ph") == "X")
+      ++Complete;
+    if (E.stringField("ph") == "M")
+      ++Meta;
+  }
+  EXPECT_EQ(Complete, 2u);
+  EXPECT_EQ(Meta, 1u);
+}
+
+TEST(Trace, NullCollectorSpanIsDisabled) {
+  TraceSpan Span(nullptr, "noop", "service");
+  Span.arg("ignored", "x"); // Must not crash.
+}
+
+TEST(Trace, PipelineRunEmitsOnePassSpanPerPass) {
+  ParseResult Parsed = parseModule(loadCorpusSource("generated_small"));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
+  TraceCollector Trace;
+  PassManagerOptions Options;
+  Options.Trace = &Trace;
+  InstrumentedPipelineResult Result = runInstrumentedPipeline(
+      *Parsed.M, PipelineConfig::forVariant(Variant::All), Options);
+  ASSERT_TRUE(Result.Ok);
+  EXPECT_EQ(Trace.size(), Result.Timings.size());
+}
+
+TEST(Trace, EightWorkerBatchHasMultipleThreadTracks) {
+  TraceCollector Trace;
+  MetricsRegistry Metrics;
+  CompileServiceOptions Options;
+  Options.Jobs = 8;
+  Options.Trace = &Trace;
+  Options.Metrics = &Metrics;
+  CompileService Service(Options);
+  std::vector<std::future<CompileResult>> Futures;
+  // Enough jobs that at least two workers get one even under unlucky
+  // scheduling: each worker blocks in a full pipeline run per job.
+  for (unsigned Round = 0; Round < 8; ++Round)
+    for (const char *Name : CorpusNames) {
+      CompileRequest Request;
+      Request.Name = std::string(Name) + "#" + std::to_string(Round);
+      Request.Source = loadCorpusSource(Name);
+      Request.Config = PipelineConfig::forVariant(Variant::All);
+      Futures.push_back(Service.enqueue(std::move(Request)));
+    }
+  for (auto &Future : Futures)
+    EXPECT_TRUE(Future.get().Ok);
+  Service.shutdown();
+
+  EXPECT_GE(Trace.threadTracks(), 2u);
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Trace.toJson(), Doc, Error)) << Error;
+  EXPECT_EQ(Metrics.counter("sxe_compiles_total").value(), 24u);
+  EXPECT_EQ(Metrics.histogram("sxe_compile_latency_seconds").count(), 24u);
+}
+
+// --- Remarks ------------------------------------------------------------------
+
+TEST(Remarks, SerializationOmitsDefaultsAndEscapes) {
+  Remark R;
+  R.Pass = "elimination";
+  R.Function = "f\"1\"";
+  R.InstId = 7;
+  R.Op = "sext32";
+  R.Decision = RemarkDecision::Eliminated;
+  R.Analysis = RemarkAnalysis::Use;
+  std::string Line = remarkToJsonLine(R);
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Line, Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("function"), "f\"1\"");
+  EXPECT_EQ(Doc.stringField("decision"), "eliminated");
+  EXPECT_EQ(Doc.stringField("analysis"), "use");
+  EXPECT_EQ(Doc.find("count"), nullptr);    // Count == 1 omitted.
+  EXPECT_EQ(Doc.find("theorem1"), nullptr); // zero omitted
+  std::string Header = remarksHeaderLine();
+  ASSERT_TRUE(parseJson(Header, Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("schema"), kRemarksSchema);
+}
+
+TEST(Remarks, ParallelBatchMatchesSerialByteForByte) {
+  std::string Serial = batchRemarks(/*Jobs=*/0, /*Cache=*/nullptr);
+  std::string Parallel = batchRemarks(/*Jobs=*/8, /*Cache=*/nullptr);
+  EXPECT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(Remarks, CacheHitReplaysIdenticalRemarks) {
+  CodeCache Cache;
+  std::string Cold = batchRemarks(/*Jobs=*/2, &Cache);
+  std::string Warm = batchRemarks(/*Jobs=*/2, &Cache);
+  EXPECT_EQ(Cold, Warm);
+  EXPECT_GT(Cache.stats().Hits, 0u);
+}
+
+TEST(Remarks, EliminationRemarksMatchStatsCounters) {
+  ParseResult Parsed = parseModule(loadCorpusSource("generated_medium"));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.Error;
+  PassManagerOptions Options;
+  Options.CollectRemarks = true;
+  InstrumentedPipelineResult Result = runInstrumentedPipeline(
+      *Parsed.M, PipelineConfig::forVariant(Variant::All), Options);
+  ASSERT_TRUE(Result.Ok);
+
+  uint64_t Eliminated = 0, Retained = 0, T1 = 0, T2 = 0, T3 = 0, T4 = 0;
+  for (const Remark &R : Result.Remarks.remarks()) {
+    if (R.Pass != "elimination")
+      continue;
+    if (R.Decision == RemarkDecision::Eliminated)
+      Eliminated += R.Count;
+    if (R.Decision == RemarkDecision::Retained)
+      Retained += R.Count;
+    T1 += R.Theorem1;
+    T2 += R.Theorem2;
+    T3 += R.Theorem3;
+    T4 += R.Theorem4;
+  }
+  const PassStats &Stats = Result.Stats;
+  EXPECT_EQ(Eliminated, Stats.value("elimination", "sext_eliminated"));
+  EXPECT_EQ(Eliminated + Retained, Stats.value("elimination", "analyzed"));
+  EXPECT_EQ(T1, Stats.value("elimination", "theorem1_fired"));
+  EXPECT_EQ(T2, Stats.value("elimination", "theorem2_fired"));
+  EXPECT_EQ(T3, Stats.value("elimination", "theorem3_fired"));
+  EXPECT_EQ(T4, Stats.value("elimination", "theorem4_fired"));
+}
+
+} // namespace

@@ -1,11 +1,13 @@
 //===- tests/support_test.cpp - Support library tests -------------------------------===//
 
 #include "support/Format.h"
+#include "support/Json.h"
 #include "support/RNG.h"
 #include "support/Timer.h"
 #include "target/CostModel.h"
 #include "ir/IRBuilder.h"
 
+#include <string>
 #include <gtest/gtest.h>
 
 using namespace sxe;
@@ -121,6 +123,108 @@ TEST(CostModelTest, RelativeCosts) {
   Dummy.setDest(P);
   Dummy.addOperand(P);
   EXPECT_EQ(instructionCycleCost(Dummy, T), 0u);
+}
+
+// --- JSON string escaping (RFC 8259) and the parser ---------------------------
+
+/// Parses the single JSON string produced by JsonWriter::quote back into
+/// its decoded value.
+std::string quoteRoundTrip(const std::string &Raw) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_TRUE(parseJson(JsonWriter::quote(Raw), V, Error))
+      << Error << " for " << JsonWriter::quote(Raw);
+  EXPECT_TRUE(V.isString());
+  return V.stringValue();
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonWriter::quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonWriter::quote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(JsonWriter::quote("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(JsonWriter::quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonWriter::quote("back\\slash"), "\"back\\\\slash\"");
+  // Bare control bytes become \u escapes, not raw bytes.
+  EXPECT_EQ(JsonWriter::quote(std::string("a\001b", 3)), "\"a\\u0001b\"");
+  EXPECT_EQ(JsonWriter::quote(std::string("a\x1f", 2)), "\"a\\u001f\"");
+  EXPECT_EQ(JsonWriter::quote(std::string("nul\0!", 5)), "\"nul\\u0000!\"");
+}
+
+TEST(JsonTest, QuotePassesValidUtf8Through) {
+  // 2-, 3-, and 4-byte sequences survive unescaped.
+  EXPECT_EQ(JsonWriter::quote("caf\xC3\xA9"), "\"caf\xC3\xA9\"");
+  EXPECT_EQ(JsonWriter::quote("\xE2\x82\xAC"), "\"\xE2\x82\xAC\"");
+  EXPECT_EQ(JsonWriter::quote("\xF0\x9F\x98\x80"), "\"\xF0\x9F\x98\x80\"");
+}
+
+TEST(JsonTest, QuoteMapsInvalidBytesToLatin1Escapes) {
+  // A lone continuation byte, a truncated lead, an overlong encoding, and
+  // a CESU-8 surrogate must not produce invalid JSON output.
+  EXPECT_EQ(JsonWriter::quote(std::string("\x80", 1)), "\"\\u0080\"");
+  EXPECT_EQ(JsonWriter::quote(std::string("\xC3", 1)), "\"\\u00c3\"");
+  EXPECT_EQ(JsonWriter::quote(std::string("\xC0\xAF", 2)),
+            "\"\\u00c0\\u00af\"");
+  EXPECT_EQ(JsonWriter::quote(std::string("\xED\xA0\x80", 3)),
+            "\"\\u00ed\\u00a0\\u0080\"");
+}
+
+TEST(JsonTest, QuoteFuzzEveryByteValueParsesBack) {
+  // Fuzz-ish: random byte strings — including every byte value — must
+  // always produce output the strict parser accepts.
+  RNG Rng(0x5eed);
+  for (unsigned Round = 0; Round < 200; ++Round) {
+    std::string Raw;
+    unsigned Len = static_cast<unsigned>(Rng.nextBelow(32));
+    for (unsigned I = 0; I < Len; ++I)
+      Raw.push_back(static_cast<char>(Rng.nextBelow(256)));
+    JsonValue V;
+    std::string Error;
+    ASSERT_TRUE(parseJson(JsonWriter::quote(Raw), V, Error))
+        << Error << " for round " << Round;
+    ASSERT_TRUE(V.isString());
+  }
+  // ASCII and valid UTF-8 round-trip exactly.
+  EXPECT_EQ(quoteRoundTrip("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(quoteRoundTrip("tab\there\nline"), "tab\there\nline");
+  EXPECT_EQ(quoteRoundTrip("caf\xC3\xA9"), "caf\xC3\xA9");
+}
+
+TEST(JsonTest, ParserAcceptsDocuments) {
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(parseJson(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"e\": \"\\u0041\\u00e9\\ud83d\\ude00\"}",
+      V, Error))
+      << Error;
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_TRUE(A->isArray());
+  ASSERT_EQ(A->array().size(), 3u);
+  EXPECT_EQ(A->array()[0].numberValue(), 1.0);
+  EXPECT_EQ(A->array()[2].numberValue(), -300.0);
+  const JsonValue *B = V.find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B->find("c")->boolValue());
+  EXPECT_TRUE(B->find("d")->isNull());
+  // \u escapes decode to UTF-8, including a surrogate pair.
+  EXPECT_EQ(V.stringField("e"), "A\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  const char *Bad[] = {
+      "",           "{",           "[1, ]",     "{\"a\": }",
+      "{\"a\" 1}",  "[1 2]",       "01",        "1.",
+      "+1",         "\"unclosed",  "tru",       "nul",
+      "{} garbage", "\"\\ud800\"", // Lone high surrogate.
+      "\"\\x41\"",                 // Invalid escape.
+  };
+  for (const char *Text : Bad) {
+    JsonValue V;
+    std::string Error;
+    EXPECT_FALSE(parseJson(Text, V, Error)) << "accepted: " << Text;
+  }
 }
 
 } // namespace
