@@ -14,11 +14,10 @@ BlockFrequency::BlockFrequency(const CFG &Cfg, const LoopInfo &Loops,
   // result is then scaled by LoopScale^depth. Back edges are edges into a
   // loop header from inside that header's loop.
   const auto &RPO = Cfg.reversePostOrder();
-  for (BasicBlock *BB : RPO)
-    Freq[BB] = 0.0;
+  Freq.assign(Cfg.function().numBlocks(), 0.0);
   if (RPO.empty())
     return;
-  Freq[RPO.front()] = 1.0;
+  Freq[RPO.front()->num()] = 1.0;
 
   auto isBackEdge = [&](const BasicBlock *From, const BasicBlock *To) {
     const Loop *L = Loops.loopFor(To);
@@ -26,7 +25,7 @@ BlockFrequency::BlockFrequency(const CFG &Cfg, const LoopInfo &Loops,
   };
 
   for (BasicBlock *BB : RPO) {
-    double FromFreq = Freq[BB];
+    double FromFreq = Freq[BB->num()];
     const Instruction *Term = BB->terminator();
     if (!Term)
       continue;
@@ -49,17 +48,17 @@ BlockFrequency::BlockFrequency(const CFG &Cfg, const LoopInfo &Loops,
       if (isBackEdge(BB, Succ))
         continue;
       double Prob = NumSuccs == 2 ? (Index == 0 ? Prob0 : 1.0 - Prob0) : 1.0;
-      Freq[Succ] += FromFreq * Prob;
+      Freq[Succ->num()] += FromFreq * Prob;
     }
   }
 
   for (BasicBlock *BB : RPO)
-    Freq[BB] *= std::pow(LoopScale, Loops.loopDepth(BB));
+    Freq[BB->num()] *= std::pow(LoopScale, Loops.loopDepth(BB));
 }
 
 double BlockFrequency::frequency(const BasicBlock *BB) const {
-  auto It = Freq.find(BB);
-  return It == Freq.end() ? 0.0 : It->second;
+  uint32_t N = BB->num();
+  return N < Freq.size() ? Freq[N] : 0.0;
 }
 
 std::vector<BasicBlock *> BlockFrequency::blocksByDescendingFrequency() const {

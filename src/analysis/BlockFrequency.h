@@ -21,7 +21,6 @@
 #include "analysis/LoopInfo.h"
 #include "analysis/ProfileInfo.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace sxe {
@@ -44,7 +43,8 @@ public:
 
 private:
   const CFG &Cfg;
-  std::unordered_map<const BasicBlock *, double> Freq;
+  /// Indexed by dense block number; 0.0 for unreachable blocks.
+  std::vector<double> Freq;
 };
 
 } // namespace sxe

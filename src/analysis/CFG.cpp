@@ -9,11 +9,10 @@
 using namespace sxe;
 
 CFG::CFG(Function &F) : F(F) {
-  // Ensure every block has an entry in the maps, reachable or not.
-  for (const auto &BB : F.blocks()) {
-    Preds[BB.get()];
-    Succs[BB.get()];
-  }
+  const Function::Numbering &N = F.numberInstructions();
+  Preds.resize(N.NumBlocks);
+  Succs.resize(N.NumBlocks);
+  RPOIndex.assign(N.NumBlocks, ~0u);
 
   for (const auto &BB : F.blocks()) {
     const Instruction *Term = BB->terminator();
@@ -21,31 +20,31 @@ CFG::CFG(Function &F) : F(F) {
       continue;
     for (unsigned Index = 0; Index < Term->numSuccessors(); ++Index) {
       BasicBlock *Succ = Term->successor(Index);
-      Succs[BB.get()].push_back(Succ);
-      Preds[Succ].push_back(BB.get());
+      Succs[BB->num()].push_back(Succ);
+      Preds[Succ->num()].push_back(BB.get());
     }
   }
 
   // Iterative DFS from the entry block; records preorder and postorder.
   std::vector<BasicBlock *> PostOrder;
-  std::unordered_map<const BasicBlock *, bool> Visited;
+  std::vector<char> Visited(N.NumBlocks, 0);
   struct Frame {
     BasicBlock *BB;
     unsigned NextSucc;
   };
   std::vector<Frame> Stack;
 
-  BasicBlock *Entry = F.entryBlock();
-  Visited[Entry] = true;
+  Entry = F.entryBlock();
+  Visited[Entry->num()] = 1;
   DFO.push_back(Entry);
   Stack.push_back({Entry, 0});
   while (!Stack.empty()) {
     Frame &Top = Stack.back();
-    const auto &SuccList = Succs[Top.BB];
+    const auto &SuccList = Succs[Top.BB->num()];
     if (Top.NextSucc < SuccList.size()) {
       BasicBlock *Succ = SuccList[Top.NextSucc++];
-      if (!Visited[Succ]) {
-        Visited[Succ] = true;
+      if (!Visited[Succ->num()]) {
+        Visited[Succ->num()] = 1;
         DFO.push_back(Succ);
         Stack.push_back({Succ, 0});
       }
@@ -57,25 +56,5 @@ CFG::CFG(Function &F) : F(F) {
 
   RPO.assign(PostOrder.rbegin(), PostOrder.rend());
   for (unsigned Index = 0; Index < RPO.size(); ++Index)
-    RPOIndex[RPO[Index]] = Index;
-}
-
-const std::vector<BasicBlock *> &
-CFG::predecessors(const BasicBlock *BB) const {
-  auto It = Preds.find(BB);
-  assert(It != Preds.end() && "block not in CFG snapshot");
-  return It->second;
-}
-
-const std::vector<BasicBlock *> &CFG::successors(const BasicBlock *BB) const {
-  auto It = Succs.find(BB);
-  assert(It != Succs.end() && "block not in CFG snapshot");
-  return It->second;
-}
-
-unsigned CFG::rpoIndex(const BasicBlock *BB) const {
-  auto It = RPOIndex.find(BB);
-  if (It == RPOIndex.end())
-    return ~0u;
-  return It->second;
+    RPOIndex[RPO[Index]->num()] = Index;
 }

@@ -11,6 +11,12 @@
 /// "in the reverse depth first search order" (Section 4.1), which is the
 /// post-order this module computes.
 ///
+/// The side tables are flat vectors indexed by the dense block numbers of
+/// Function::numberInstructions() — construction takes the numbering, so a
+/// snapshot stays internally consistent for as long as the block list is
+/// unchanged (block numbers only move when blocks are created or erased,
+/// which invalidates any CFG snapshot anyway).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SXE_ANALYSIS_CFG_H
@@ -18,7 +24,6 @@
 
 #include "ir/Function.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace sxe {
@@ -31,8 +36,17 @@ public:
 
   Function &function() const { return F; }
 
-  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const;
-  const std::vector<BasicBlock *> &successors(const BasicBlock *BB) const;
+  /// The function's entry block (the root of every traversal here).
+  BasicBlock *entry() const { return Entry; }
+
+  const std::vector<BasicBlock *> &predecessors(const BasicBlock *BB) const {
+    assert(BB->num() < Preds.size() && "block not in CFG snapshot");
+    return Preds[BB->num()];
+  }
+  const std::vector<BasicBlock *> &successors(const BasicBlock *BB) const {
+    assert(BB->num() < Succs.size() && "block not in CFG snapshot");
+    return Succs[BB->num()];
+  }
 
   /// Blocks reachable from entry, in depth-first preorder.
   const std::vector<BasicBlock *> &depthFirstOrder() const { return DFO; }
@@ -42,7 +56,10 @@ public:
   const std::vector<BasicBlock *> &reversePostOrder() const { return RPO; }
 
   /// Position of \p BB in the reverse post-order, or ~0u if unreachable.
-  unsigned rpoIndex(const BasicBlock *BB) const;
+  unsigned rpoIndex(const BasicBlock *BB) const {
+    uint32_t N = BB->num();
+    return N < RPOIndex.size() ? RPOIndex[N] : ~0u;
+  }
 
   bool isReachable(const BasicBlock *BB) const {
     return rpoIndex(BB) != ~0u;
@@ -50,9 +67,10 @@ public:
 
 private:
   Function &F;
-  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Preds;
-  std::unordered_map<const BasicBlock *, std::vector<BasicBlock *>> Succs;
-  std::unordered_map<const BasicBlock *, unsigned> RPOIndex;
+  BasicBlock *Entry = nullptr;
+  std::vector<std::vector<BasicBlock *>> Preds;
+  std::vector<std::vector<BasicBlock *>> Succs;
+  std::vector<unsigned> RPOIndex;
   std::vector<BasicBlock *> DFO;
   std::vector<BasicBlock *> RPO;
 };

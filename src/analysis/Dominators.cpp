@@ -5,19 +5,20 @@
 using namespace sxe;
 
 Dominators::Dominators(const CFG &Cfg) : Cfg(Cfg) {
+  IDom.assign(Cfg.function().numBlocks(), nullptr);
   const auto &RPO = Cfg.reversePostOrder();
   if (RPO.empty())
     return;
 
   BasicBlock *Entry = RPO.front();
-  IDom[Entry] = Entry; // Temporarily self, fixed to null at the end.
+  idomSlot(Entry) = Entry; // Temporarily self, fixed to null at the end.
 
   auto intersect = [&](BasicBlock *A, BasicBlock *B) {
     while (A != B) {
       while (Cfg.rpoIndex(A) > Cfg.rpoIndex(B))
-        A = IDom[A];
+        A = idomSlot(A);
       while (Cfg.rpoIndex(B) > Cfg.rpoIndex(A))
-        B = IDom[B];
+        B = idomSlot(B);
     }
     return A;
   };
@@ -30,26 +31,27 @@ Dominators::Dominators(const CFG &Cfg) : Cfg(Cfg) {
         continue;
       BasicBlock *NewIDom = nullptr;
       for (BasicBlock *Pred : Cfg.predecessors(BB)) {
-        if (!Cfg.isReachable(Pred) || !IDom.count(Pred))
+        // Processed == has an immediate dominator assigned (the entry
+        // temporarily points at itself).
+        if (!Cfg.isReachable(Pred) || !idomSlot(Pred))
           continue;
         NewIDom = NewIDom ? intersect(NewIDom, Pred) : Pred;
       }
       if (!NewIDom)
         continue;
-      auto It = IDom.find(BB);
-      if (It == IDom.end() || It->second != NewIDom) {
-        IDom[BB] = NewIDom;
+      if (idomSlot(BB) != NewIDom) {
+        idomSlot(BB) = NewIDom;
         Changed = true;
       }
     }
   }
 
-  IDom[Entry] = nullptr;
+  idomSlot(Entry) = nullptr;
 }
 
 BasicBlock *Dominators::immediateDominator(const BasicBlock *BB) const {
-  auto It = IDom.find(BB);
-  return It == IDom.end() ? nullptr : It->second;
+  uint32_t N = BB->num();
+  return N < IDom.size() ? IDom[N] : nullptr;
 }
 
 bool Dominators::dominates(const BasicBlock *A, const BasicBlock *B) const {

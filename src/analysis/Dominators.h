@@ -17,7 +17,7 @@
 
 #include "analysis/CFG.h"
 
-#include <unordered_map>
+#include <vector>
 
 namespace sxe {
 
@@ -35,8 +35,12 @@ public:
   bool dominates(const BasicBlock *A, const BasicBlock *B) const;
 
 private:
+  BasicBlock *&idomSlot(const BasicBlock *BB) { return IDom[BB->num()]; }
+
   const CFG &Cfg;
-  std::unordered_map<const BasicBlock *, BasicBlock *> IDom;
+  /// Indexed by dense block number; null for the entry block, unreachable
+  /// blocks, and not-yet-processed blocks during construction.
+  std::vector<BasicBlock *> IDom;
 };
 
 } // namespace sxe

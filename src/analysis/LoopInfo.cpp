@@ -5,6 +5,7 @@
 using namespace sxe;
 
 LoopInfo::LoopInfo(const CFG &Cfg, const Dominators &Dom) {
+  InnermostLoop.assign(Cfg.function().numBlocks(), nullptr);
   // Find back edges: Tail -> Header where Header dominates Tail. Loops that
   // share a header are merged, as is conventional for natural loops.
   std::unordered_map<BasicBlock *, Loop *> LoopOfHeader;
@@ -55,7 +56,7 @@ LoopInfo::LoopInfo(const CFG &Cfg, const Dominators &Dom) {
         Innermost = L.get();
     }
     if (Innermost)
-      InnermostLoop[BB] = Innermost;
+      InnermostLoop[BB->num()] = Innermost;
   }
 
   for (const auto &L : Loops) {
@@ -71,8 +72,8 @@ LoopInfo::LoopInfo(const CFG &Cfg, const Dominators &Dom) {
 }
 
 Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
-  auto It = InnermostLoop.find(BB);
-  return It == InnermostLoop.end() ? nullptr : It->second;
+  uint32_t N = BB->num();
+  return N < InnermostLoop.size() ? InnermostLoop[N] : nullptr;
 }
 
 unsigned LoopInfo::loopDepth(const BasicBlock *BB) const {

@@ -60,7 +60,8 @@ public:
 
 private:
   std::vector<std::unique_ptr<Loop>> Loops;
-  std::unordered_map<const BasicBlock *, Loop *> InnermostLoop;
+  /// Indexed by dense block number.
+  std::vector<Loop *> InnermostLoop;
 };
 
 } // namespace sxe

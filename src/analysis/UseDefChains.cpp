@@ -59,18 +59,30 @@ private:
 } // namespace
 
 UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
-  // Enumerate definitions: one per value-producing instruction, plus one
-  // entry pseudo-definition per register (ids NumInstDefs..).
+  const Function::Numbering &Numbers = F.numberInstructions();
+
+  // Operand-slot prefix sum and the defs/uses tables, over every
+  // instruction (reachable or not) in layout order.
+  OpStart.resize(Numbers.NumInsts + 1);
   std::vector<Instruction *> DefInsts;
-  std::unordered_map<const Instruction *, unsigned> DefIdOf;
-  for (const auto &BB : F.blocks()) {
-    for (Instruction &I : *BB) {
-      if (!I.hasDest())
-        continue;
-      DefIdOf[&I] = static_cast<unsigned>(DefInsts.size());
-      DefInsts.push_back(&I);
+  std::vector<unsigned> DefIdOf(Numbers.NumInsts, ~0u);
+  {
+    unsigned Slot = 0;
+    for (const auto &BB : F.blocks()) {
+      for (Instruction &I : *BB) {
+        OpStart[I.num()] = Slot;
+        Slot += I.numOperands();
+        if (I.hasDest()) {
+          DefIdOf[I.num()] = static_cast<unsigned>(DefInsts.size());
+          DefInsts.push_back(&I);
+        }
+      }
     }
+    OpStart[Numbers.NumInsts] = Slot;
+    UseDefs.resize(Slot);
+    DefUses.resize(Numbers.NumInsts);
   }
+
   const size_t NumInstDefs = DefInsts.size();
   const size_t NumDefs = NumInstDefs + F.numRegs();
 
@@ -85,11 +97,8 @@ UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
   for (size_t DefId = 0; DefId < NumDefs; ++DefId)
     DefsOfReg[defReg(DefId)].push_back(static_cast<unsigned>(DefId));
 
-  // GEN/KILL per reachable block.
+  // GEN/KILL per reachable block, indexed by RPO position.
   const auto &RPO = Cfg.reversePostOrder();
-  std::unordered_map<const BasicBlock *, unsigned> BlockIndex;
-  for (unsigned Index = 0; Index < RPO.size(); ++Index)
-    BlockIndex[RPO[Index]] = Index;
 
   std::vector<BitSet> Gen(RPO.size(), BitSet(NumDefs));
   std::vector<BitSet> Kill(RPO.size(), BitSet(NumDefs));
@@ -100,7 +109,7 @@ UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
     for (Instruction &I : *RPO[Index]) {
       if (!I.hasDest())
         continue;
-      unsigned DefId = DefIdOf[&I];
+      unsigned DefId = DefIdOf[I.num()];
       Reg R = I.dest();
       for (unsigned Other : DefsOfReg[R]) {
         Kill[Index].set(Other);
@@ -111,26 +120,50 @@ UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
     }
   }
 
-  // Entry block receives the entry pseudo-definitions.
+  // The entry block receives the entry pseudo-definitions — derived from
+  // the CFG's entry, which heads the RPO by construction (every traversal
+  // starts there); the assert keeps a future RPO change from silently
+  // corrupting the seeding.
+  const unsigned EntryIndex = Cfg.rpoIndex(Cfg.entry());
+  assert(EntryIndex == 0 && "CFG entry block must head the RPO");
   for (Reg R = 0; R < F.numRegs(); ++R)
-    In[0].set(NumInstDefs + R);
+    In[EntryIndex].set(NumInstDefs + R);
 
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
+  // Reaching-definitions fixpoint: an ascending-RPO sweep over dirty
+  // blocks only. A block re-enters the worklist when a predecessor's Out
+  // grows, so iteration count scales with changed blocks, not total
+  // blocks. The transfer functions are monotone, so this converges to the
+  // same least fixpoint as the classic all-blocks repeat-until-stable loop.
+  std::vector<char> Dirty(RPO.size(), 1);
+  bool Pending = !RPO.empty();
+  while (Pending) {
+    Pending = false;
     for (unsigned Index = 0; Index < RPO.size(); ++Index) {
-      if (Index != 0) {
+      if (!Dirty[Index])
+        continue;
+      Dirty[Index] = 0;
+      if (Index != EntryIndex) {
         for (const BasicBlock *Pred : Cfg.predecessors(RPO[Index])) {
-          auto It = BlockIndex.find(Pred);
-          if (It == BlockIndex.end())
+          unsigned PredIndex = Cfg.rpoIndex(Pred);
+          if (PredIndex == ~0u)
             continue; // Unreachable predecessor.
-          Changed |= In[Index].unionWith(Out[It->second]);
+          In[Index].unionWith(Out[PredIndex]);
         }
       }
       BitSet NewOut(NumDefs);
       NewOut.transferFrom(In[Index], Kill[Index], Gen[Index]);
-      // transferFrom overwrites, so detect change via union trick.
-      Changed |= Out[Index].unionWith(NewOut);
+      if (Out[Index].unionWith(NewOut)) {
+        for (const BasicBlock *Succ : Cfg.successors(RPO[Index])) {
+          unsigned SuccIndex = Cfg.rpoIndex(Succ);
+          if (!Dirty[SuccIndex]) {
+            Dirty[SuccIndex] = 1;
+            // Blocks later in this sweep are picked up without another
+            // pass; a marked block at or before Index needs one.
+            if (SuccIndex <= Index)
+              Pending = true;
+          }
+        }
+      }
     }
   }
 
@@ -155,14 +188,15 @@ UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
                 });
 
     for (Instruction &I : *RPO[Index]) {
-      for (unsigned OpIndex = 0; OpIndex < I.numOperands(); ++OpIndex) {
+      unsigned Slot = OpStart[I.num()];
+      for (unsigned OpIndex = 0; OpIndex < I.numOperands();
+           ++OpIndex, ++Slot) {
         Reg R = I.operand(OpIndex);
-        UseKey Key{&I, OpIndex};
-        UseDefs[Key] = Current[R];
+        UseDefs[Slot] = Current[R];
         for (Instruction *D : Current[R]) {
           if (!D)
             continue;
-          DefUses[D].push_back(UseRef{&I, OpIndex});
+          DefUses[D->num()].push_back(UseRef{&I, OpIndex});
         }
       }
       if (I.hasDest()) {
@@ -173,25 +207,12 @@ UseDefChains::UseDefChains(Function &F, const CFG &Cfg) : F(F) {
   }
 }
 
-const std::vector<Instruction *> &
-UseDefChains::defsOf(const Instruction *User, unsigned OpIndex) const {
-  auto It = UseDefs.find(UseKey{User, OpIndex});
-  if (It == UseDefs.end())
-    return EmptyDefs;
-  return It->second;
-}
-
 std::vector<Instruction *> &
 UseDefChains::mutableDefsOf(const Instruction *User, unsigned OpIndex) {
-  return UseDefs[UseKey{User, OpIndex}];
-}
-
-const std::vector<UseRef> &
-UseDefChains::usesOf(const Instruction *Def) const {
-  auto It = DefUses.find(Def);
-  if (It == DefUses.end())
-    return EmptyUses;
-  return It->second;
+  unsigned Slot = slotOf(User, OpIndex);
+  if (Slot == ~0u)
+    reportFatalError("mutableDefsOf: operand unknown to this UD snapshot");
+  return UseDefs[Slot];
 }
 
 bool UseDefChains::entryDefReaches(const Instruction *User,
@@ -223,7 +244,7 @@ void UseDefChains::spliceOutDef(Instruction *Removed) {
         continue;
       Defs.push_back(D);
       if (D) {
-        auto &DUses = DefUses[D];
+        auto &DUses = DefUses[D->num()];
         if (std::find(DUses.begin(), DUses.end(), Use) == DUses.end())
           DUses.push_back(Use);
       }
@@ -236,18 +257,19 @@ void UseDefChains::spliceOutDef(Instruction *Removed) {
 void UseDefChains::forgetInstruction(Instruction *I) {
   // Unregister I's operand uses from the DU chains of their defs.
   for (unsigned OpIndex = 0; OpIndex < I->numOperands(); ++OpIndex) {
-    for (Instruction *D : defsOf(I, OpIndex)) {
+    unsigned Slot = slotOf(I, OpIndex);
+    if (Slot == ~0u)
+      continue;
+    for (Instruction *D : UseDefs[Slot]) {
       if (!D)
         continue;
-      auto It = DefUses.find(D);
-      if (It == DefUses.end())
-        continue;
-      auto &DUses = It->second;
+      auto &DUses = DefUses[D->num()];
       DUses.erase(std::remove(DUses.begin(), DUses.end(),
                               UseRef{I, OpIndex}),
                   DUses.end());
     }
-    UseDefs.erase(UseKey{I, OpIndex});
+    UseDefs[Slot].clear();
   }
-  DefUses.erase(I);
+  if (I->num() < DefUses.size())
+    DefUses[I->num()].clear();
 }

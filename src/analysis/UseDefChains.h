@@ -21,6 +21,13 @@
 /// reaching definitions, which is exact for a definition whose value is its
 /// first operand.
 ///
+/// The tables are flat vectors over the dense instruction numbers of
+/// Function::numberInstructions(): UD chains are indexed by operand slot
+/// (a prefix sum over operand counts), DU chains by defining instruction.
+/// Instructions inserted after construction read Instruction::Unnumbered
+/// and resolve to the empty chain, exactly like the map misses of the old
+/// hash-table representation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SXE_ANALYSIS_USEDEFCHAINS_H
@@ -28,7 +35,6 @@
 
 #include "analysis/CFG.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace sxe {
@@ -54,14 +60,34 @@ public:
   /// Definitions reaching operand \p OpIndex of \p User. A null pointer in
   /// the result is the function-entry definition of the register.
   const std::vector<Instruction *> &defsOf(const Instruction *User,
-                                           unsigned OpIndex) const;
+                                           unsigned OpIndex) const {
+    unsigned Slot = slotOf(User, OpIndex);
+    return Slot == ~0u ? EmptyDefs : UseDefs[Slot];
+  }
 
   /// Operand uses reached by the value \p Def writes.
-  const std::vector<UseRef> &usesOf(const Instruction *Def) const;
+  const std::vector<UseRef> &usesOf(const Instruction *Def) const {
+    uint32_t N = Def->num();
+    return N < DefUses.size() ? DefUses[N] : EmptyUses;
+  }
 
   /// Returns true if the function-entry value of the register can reach
   /// operand \p OpIndex of \p User.
   bool entryDefReaches(const Instruction *User, unsigned OpIndex) const;
+
+  /// Dense key for operand \p OpIndex of \p User: a stable index less than
+  /// numOperandSlots(), or ~0u for operands unknown to this snapshot (the
+  /// instruction or operand was added after construction).
+  unsigned slotOf(const Instruction *User, unsigned OpIndex) const {
+    size_t N = User->num();
+    if (N + 1 >= OpStart.size()) // Also catches Instruction::Unnumbered.
+      return ~0u;
+    unsigned Slot = OpStart[N] + OpIndex;
+    return Slot < OpStart[N + 1] ? Slot : ~0u;
+  }
+
+  /// Total operand slots in this snapshot (the slotOf key universe).
+  size_t numOperandSlots() const { return UseDefs.size(); }
 
   /// Updates the chains for the removal of \p Removed, a definition whose
   /// runtime value equals its operand 0 register (extend, just_extended,
@@ -76,25 +102,16 @@ public:
   void forgetInstruction(Instruction *I);
 
 private:
-  struct UseKey {
-    const Instruction *User;
-    unsigned OpIndex;
-    bool operator==(const UseKey &Other) const {
-      return User == Other.User && OpIndex == Other.OpIndex;
-    }
-  };
-  struct UseKeyHash {
-    size_t operator()(const UseKey &Key) const {
-      return std::hash<const void *>()(Key.User) * 31 + Key.OpIndex;
-    }
-  };
-
   std::vector<Instruction *> &mutableDefsOf(const Instruction *User,
                                             unsigned OpIndex);
 
   Function &F;
-  std::unordered_map<UseKey, std::vector<Instruction *>, UseKeyHash> UseDefs;
-  std::unordered_map<const Instruction *, std::vector<UseRef>> DefUses;
+  /// Operand-slot prefix sum by instruction number (size NumInsts + 1).
+  std::vector<unsigned> OpStart;
+  /// Reaching definitions per operand slot.
+  std::vector<std::vector<Instruction *>> UseDefs;
+  /// Reached uses per defining-instruction number.
+  std::vector<std::vector<UseRef>> DefUses;
   std::vector<Instruction *> EmptyDefs;
   std::vector<UseRef> EmptyUses;
 };

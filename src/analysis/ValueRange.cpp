@@ -6,8 +6,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <functional>
-#include <unordered_set>
 
 using namespace sxe;
 
@@ -68,11 +66,18 @@ ValueInterval negInterval(ValueInterval A) {
 
 ValueRange::ValueRange(Function &F, const UseDefChains &Chains,
                        const TargetInfo &Target, uint32_t MaxArrayLen,
-                       bool UseGuards)
+                       bool UseGuards, const CFG *PrecomputedCfg)
     : F(F), Chains(Chains), Target(Target), MaxLen(MaxArrayLen) {
+  const Function::Numbering &Numbers = F.numberInstructions();
+  DefRanges.assign(Numbers.NumInsts, ValueInterval());
+  HasRange.assign(Numbers.NumInsts, 0);
   if (UseGuards) {
-    CFG Cfg(F);
-    collectGuards(Cfg);
+    if (PrecomputedCfg) {
+      collectGuards(*PrecomputedCfg);
+    } else {
+      CFG Cfg(F);
+      collectGuards(Cfg);
+    }
   }
   runFixpoint();
 }
@@ -84,9 +89,9 @@ void ValueRange::runFixpoint() {
   // (transfer(final) included in final for every definition, including
   // the guard bounds, which repush their dependents through
   // GuardBoundDependents) plus meet-only narrowing.
+  const size_t NumInsts = DefRanges.size();
   std::vector<Instruction *> Defs;
-  std::unordered_map<const Instruction *, std::vector<Instruction *>>
-      ChainUsers;
+  std::vector<std::vector<Instruction *>> ChainUsers(NumInsts);
   for (const auto &BB : F.blocks())
     for (Instruction &I : *BB)
       if (I.hasDest())
@@ -94,62 +99,64 @@ void ValueRange::runFixpoint() {
   for (Instruction *I : Defs)
     for (const UseRef &Use : Chains.usesOf(I))
       if (Use.User->hasDest())
-        ChainUsers[I].push_back(Use.User);
+        ChainUsers[I->num()].push_back(Use.User);
 
   constexpr unsigned WidenAt = 8;
   constexpr unsigned HardLimit = 64;
 
   Ascending = true;
   std::deque<Instruction *> Worklist(Defs.begin(), Defs.end());
-  std::unordered_set<const Instruction *> InWorklist(Defs.begin(),
-                                                     Defs.end());
-  std::unordered_map<const Instruction *, unsigned> Updates;
+  std::vector<char> InWorklist(NumInsts, 0);
+  for (Instruction *I : Defs)
+    InWorklist[I->num()] = 1;
+  std::vector<unsigned> Updates(NumInsts, 0);
 
   auto pushUsers = [&](Instruction *I) {
     auto pushOne = [&](Instruction *User) {
-      if (InWorklist.insert(User).second)
+      char &Flag = InWorklist[User->num()];
+      if (!Flag) {
+        Flag = 1;
         Worklist.push_back(User);
+      }
     };
-    auto CIt = ChainUsers.find(I);
-    if (CIt != ChainUsers.end())
-      for (Instruction *User : CIt->second)
-        pushOne(User);
-    auto GIt = GuardBoundDependents.find(I);
-    if (GIt != GuardBoundDependents.end())
-      for (Instruction *User : GIt->second)
+    for (Instruction *User : ChainUsers[I->num()])
+      pushOne(User);
+    if (I->num() < GuardBoundDependents.size())
+      for (Instruction *User : GuardBoundDependents[I->num()])
         pushOne(User);
   };
 
   while (!Worklist.empty()) {
     Instruction *I = Worklist.front();
     Worklist.pop_front();
-    InWorklist.erase(I);
+    InWorklist[I->num()] = 0;
 
     SawBottom = false;
     ValueInterval T = transfer(*I);
     if (SawBottom)
       continue; // Operands still bottom; a later update repushes us.
 
-    auto It = DefRanges.find(I);
-    ValueInterval New = It == DefRanges.end() ? T : It->second.join(T);
-    if (It != DefRanges.end() && New == It->second)
+    const uint32_t N = I->num();
+    ValueInterval New = HasRange[N] ? DefRanges[N].join(T) : T;
+    if (HasRange[N] && New == DefRanges[N])
       continue;
 
-    unsigned &Count = Updates[I];
+    unsigned &Count = Updates[N];
     ++Count;
     if (Count > HardLimit) {
       // Safety backstop: jump to top (stopping mid-ascent would leave an
       // unsound under-approximation).
       New = typeRange(F.regType(I->dest()));
-    } else if (Count >= WidenAt && It != DefRanges.end()) {
-      if (New.Lo < It->second.Lo)
+    } else if (Count >= WidenAt && HasRange[N]) {
+      if (New.Lo < DefRanges[N].Lo)
         New.Lo = typeRange(F.regType(I->dest())).Lo;
-      if (New.Hi > It->second.Hi)
+      if (New.Hi > DefRanges[N].Hi)
         New.Hi = typeRange(F.regType(I->dest())).Hi;
-      if (New == It->second)
+      if (New == DefRanges[N])
         continue;
     }
-    DefRanges[I] = New;
+    DefRanges[N] = New;
+    HasRange[N] = 1;
     pushUsers(I);
   }
 
@@ -160,11 +167,11 @@ void ValueRange::runFixpoint() {
   for (unsigned Round = 0; Round < 2; ++Round) {
     for (Instruction *I : Defs) {
       ValueInterval T = transfer(*I);
-      auto It = DefRanges.find(I);
+      const uint32_t N = I->num();
       ValueInterval Cur =
-          It == DefRanges.end() ? typeRange(F.regType(I->dest()))
-                                : It->second;
-      DefRanges[I] = T.meet(Cur);
+          HasRange[N] ? DefRanges[N] : typeRange(F.regType(I->dest()));
+      DefRanges[N] = T.meet(Cur);
+      HasRange[N] = 1;
     }
   }
 }
@@ -223,9 +230,8 @@ ValueInterval ValueRange::entryRange(Reg R) const {
 }
 
 ValueInterval ValueRange::rangeOfDef(const Instruction *Def) const {
-  auto It = DefRanges.find(Def);
-  if (It != DefRanges.end())
-    return It->second;
+  if (hasRange(Def))
+    return DefRanges[Def->num()];
   return typeRange(F.regType(Def->dest()));
 }
 
@@ -252,10 +258,9 @@ ValueInterval ValueRange::joinOperand(const Instruction &I,
     if (!D) {
       R = entryRange(I.operand(OpIndex));
     } else if (Ascending) {
-      auto It = DefRanges.find(D);
-      if (It == DefRanges.end())
+      if (!hasRange(D))
         continue; // Bottom: identity of the join.
-      R = It->second;
+      R = DefRanges[D->num()];
     } else {
       R = rangeOfDef(D);
     }
@@ -276,17 +281,16 @@ ValueInterval ValueRange::operandRange(const Instruction &I,
 }
 
 void ValueRange::collectGuards(const CFG &Cfg) {
-  // Instruction ordinals and per-block first definition positions, used to
-  // decide whether a use precedes any redefinition within its block.
-  unsigned Ordinal = 0;
+  // Per-block first definition positions, used to decide whether a use
+  // precedes any redefinition within its block. The positions are the
+  // dense instruction numbers: they are assigned in layout order, so they
+  // serve directly as instruction ordinals.
+  FirstDefOrdinal.assign(F.numBlocks(), {});
   for (const auto &BB : F.blocks()) {
-    auto &FirstDefs = FirstDefOrdinal[BB.get()];
-    for (const Instruction &I : *BB) {
-      InstOrdinal[&I] = Ordinal;
+    auto &FirstDefs = FirstDefOrdinal[BB->num()];
+    for (const Instruction &I : *BB)
       if (I.hasDest() && !FirstDefs.count(I.dest()))
-        FirstDefs[I.dest()] = Ordinal;
-      ++Ordinal;
-    }
+        FirstDefs[I.dest()] = I.num();
   }
 
   const auto &RPO = Cfg.reversePostOrder();
@@ -357,8 +361,8 @@ void ValueRange::collectGuards(const CFG &Cfg) {
         BasicBlock *GuardSucc = Term->successor(EdgeIndex);
         G.ValidIn[F.entryBlock()->id()] = false;
         auto blockHasDef = [&](const BasicBlock *BB) {
-          auto It = FirstDefOrdinal.find(BB);
-          return It != FirstDefOrdinal.end() && It->second.count(Var) != 0;
+          return BB->num() < FirstDefOrdinal.size() &&
+                 FirstDefOrdinal[BB->num()].count(Var) != 0;
         };
         bool Changed = true;
         while (Changed) {
@@ -386,6 +390,8 @@ void ValueRange::collectGuards(const CFG &Cfg) {
           }
         }
 
+        if (GuardsByReg.size() < F.numRegs())
+          GuardsByReg.resize(F.numRegs());
         GuardsByReg[Var].push_back(static_cast<unsigned>(Guards.size()));
         Guards.push_back(std::move(G));
       }
@@ -395,7 +401,8 @@ void ValueRange::collectGuards(const CFG &Cfg) {
   // Worklist edges for the ascending fixpoint: when a definition feeding
   // a guard's bound is updated, every definition that reads the guarded
   // register must be recomputed (its guard constraint may have loosened).
-  std::unordered_map<Reg, std::vector<Instruction *>> DefsReadingReg;
+  GuardBoundDependents.assign(DefRanges.size(), {});
+  std::vector<std::vector<Instruction *>> DefsReadingReg(F.numRegs());
   for (const auto &BB : F.blocks())
     for (Instruction &I : *BB) {
       if (!I.hasDest())
@@ -404,16 +411,15 @@ void ValueRange::collectGuards(const CFG &Cfg) {
         DefsReadingReg[Operand].push_back(&I);
     }
   for (const Guard &G : Guards) {
-    auto ReadersIt = DefsReadingReg.find(G.Var);
-    if (ReadersIt == DefsReadingReg.end())
+    const std::vector<Instruction *> &Readers = DefsReadingReg[G.Var];
+    if (Readers.empty())
       continue;
     for (const Instruction *BoundDef :
          Chains.defsOf(G.Cmp, G.BoundOpIndex)) {
       if (!BoundDef)
         continue;
-      auto &Deps = GuardBoundDependents[BoundDef];
-      Deps.insert(Deps.end(), ReadersIt->second.begin(),
-                  ReadersIt->second.end());
+      auto &Deps = GuardBoundDependents[BoundDef->num()];
+      Deps.insert(Deps.end(), Readers.begin(), Readers.end());
     }
   }
 }
@@ -447,30 +453,28 @@ bool ValueRange::guardValidAt(const Guard &G,
   if (!BB || BB->id() >= G.ValidIn.size() || !G.ValidIn[BB->id()])
     return false;
   // Valid at block entry; invalidated by a redefinition before the use.
-  auto BlockIt = FirstDefOrdinal.find(BB);
-  if (BlockIt == FirstDefOrdinal.end())
+  if (BB->num() >= FirstDefOrdinal.size())
     return true;
-  auto DefIt = BlockIt->second.find(G.Var);
-  if (DefIt == BlockIt->second.end())
+  const auto &FirstDefs = FirstDefOrdinal[BB->num()];
+  auto DefIt = FirstDefs.find(G.Var);
+  if (DefIt == FirstDefs.end())
     return true;
-  auto UserIt = InstOrdinal.find(&User);
-  if (UserIt == InstOrdinal.end())
+  if (User.num() == Instruction::Unnumbered)
     return false; // Inserted after analysis construction: be conservative.
-  return DefIt->second >= UserIt->second;
+  return DefIt->second >= User.num();
 }
 
 ValueInterval ValueRange::refineWithGuards(const Instruction &User,
                                            unsigned OpIndex,
                                            ValueInterval R) const {
   Reg Var = User.operand(OpIndex);
-  auto It = GuardsByReg.find(Var);
-  if (It == GuardsByReg.end())
+  if (Var >= GuardsByReg.size() || GuardsByReg[Var].empty())
     return R;
   // Guard facts speak about the lower-32 value; only refine ranges that
   // already denote it.
   if (!R.fitsInt32() && isSubRegisterIntType(F.regType(Var)))
     R = ValueInterval::full32();
-  for (unsigned Index : It->second) {
+  for (unsigned Index : GuardsByReg[Var]) {
     const Guard &G = Guards[Index];
     if (!guardValidAt(G, User))
       continue;

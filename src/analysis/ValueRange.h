@@ -72,14 +72,24 @@ struct ValueInterval {
 };
 
 /// Per-definition integer range facts for one function.
+///
+/// The per-definition tables are flat vectors over the dense instruction
+/// numbers of Function::numberInstructions(); because the numbering is
+/// assigned in layout order, it doubles as the instruction ordinal the
+/// guard machinery compares against redefinition positions. Instructions
+/// inserted after construction read Instruction::Unnumbered and fall back
+/// to the conservative answer, exactly like the map misses of the old
+/// hash-table representation.
 class ValueRange {
 public:
   /// Computes ranges for every definition of \p F. \p MaxArrayLen is the
   /// configured maximum array length (Java: 0x7fffffff; Theorem 4 also
-  /// covers smaller configured limits).
+  /// covers smaller configured limits). When the caller already has a CFG
+  /// for the current shape of \p F it can pass it as \p PrecomputedCfg to
+  /// spare guard collection a rebuild.
   ValueRange(Function &F, const UseDefChains &Chains,
              const TargetInfo &Target, uint32_t MaxArrayLen,
-             bool UseGuards = true);
+             bool UseGuards = true, const CFG *PrecomputedCfg = nullptr);
 
   uint32_t maxArrayLen() const { return MaxLen; }
 
@@ -134,20 +144,31 @@ private:
   /// sets SawBottom and the transfer result is discarded.
   ValueInterval joinOperand(const Instruction &I, unsigned OpIndex) const;
 
+  /// True when \p I has a computed range in DefRanges (bottom otherwise
+  /// during the ascending phase; type range after it).
+  bool hasRange(const Instruction *I) const {
+    uint32_t N = I->num();
+    return N < HasRange.size() && HasRange[N];
+  }
+
   Function &F;
   const UseDefChains &Chains;
   const TargetInfo &Target;
   uint32_t MaxLen;
-  std::unordered_map<const Instruction *, ValueInterval> DefRanges;
-  std::unordered_map<Reg, std::vector<unsigned>> GuardsByReg;
+  /// Computed interval per instruction number; valid where HasRange is set.
+  std::vector<ValueInterval> DefRanges;
+  std::vector<char> HasRange;
+  /// Guard indices per guarded register (indexed by Reg).
+  std::vector<std::vector<unsigned>> GuardsByReg;
   std::vector<Guard> Guards;
-  std::unordered_map<const Instruction *, unsigned> InstOrdinal;
-  std::unordered_map<const BasicBlock *, std::unordered_map<Reg, unsigned>>
-      FirstDefOrdinal;
-  /// Extra worklist edges: a definition feeding a guard's bound, mapped to
-  /// the definitions whose transfer reads the guarded register.
-  std::unordered_map<const Instruction *, std::vector<Instruction *>>
-      GuardBoundDependents;
+  /// First-definition position of each register per block number. The
+  /// positions are instruction numbers, which are assigned in layout order
+  /// and therefore totally order the instructions of a block.
+  std::vector<std::unordered_map<Reg, unsigned>> FirstDefOrdinal;
+  /// Extra worklist edges: a definition feeding a guard's bound (indexed
+  /// by instruction number), mapped to the definitions whose transfer
+  /// reads the guarded register.
+  std::vector<std::vector<Instruction *>> GuardBoundDependents;
   bool Ascending = false;
   mutable bool SawBottom = false;
 };

@@ -7,51 +7,91 @@
 
 using namespace sxe;
 
-Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
-  Instruction *Raw = Inst.get();
-  Raw->setParent(this);
-  Raw->setId(Parent->nextInstructionId());
-  Insts.push_back(std::move(Inst));
-  return Raw;
+BasicBlock::~BasicBlock() {
+  for (Instruction *I = Head; I;) {
+    Instruction *Next = I->next();
+    I->~Instruction();
+    I = Next;
+  }
+  Head = Tail = nullptr;
+  Count = 0;
 }
 
-BasicBlock::InstList::iterator BasicBlock::findIterator(Instruction *Inst) {
-  for (auto It = Insts.begin(), E = Insts.end(); It != E; ++It)
-    if (It->get() == Inst)
-      return It;
-  reportFatalError("instruction not found in its claimed parent block");
+Instruction *BasicBlock::link(Instruction *Inst, Instruction *Before,
+                              Instruction *After) {
+  assert(Inst->parent() == nullptr && "instruction already in a block");
+  Inst->setParent(this);
+  Inst->setId(Parent->nextInstructionId());
+  Inst->Num = Instruction::Unnumbered;
+  Inst->PrevInst = Before;
+  Inst->NextInst = After;
+  if (Before)
+    Before->NextInst = Inst;
+  else
+    Head = Inst;
+  if (After)
+    After->PrevInst = Inst;
+  else
+    Tail = Inst;
+  ++Count;
+  if (Inst->isTerminator())
+    Parent->noteCFGMutation();
+  else
+    Parent->noteIRMutation();
+  return Inst;
+}
+
+Instruction *BasicBlock::adopt(std::unique_ptr<Instruction> Inst) {
+  Instruction *Copy = Parent->cloneInstruction(*Inst);
+  return Copy;
+}
+
+Instruction *BasicBlock::append(Instruction *Inst) {
+  return link(Inst, Tail, nullptr);
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *Pos, Instruction *Inst) {
+  assert(Pos && Pos->parent() == this &&
+         "insertBefore position not in this block");
+  return link(Inst, Pos->prev(), Pos);
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *Pos, Instruction *Inst) {
+  assert(Pos && Pos->parent() == this &&
+         "insertAfter position not in this block");
+  return link(Inst, Pos, Pos->next());
+}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  return append(adopt(std::move(Inst)));
 }
 
 Instruction *BasicBlock::insertBefore(Instruction *Pos,
                                       std::unique_ptr<Instruction> Inst) {
-  Instruction *Raw = Inst.get();
-  Raw->setParent(this);
-  Raw->setId(Parent->nextInstructionId());
-  Insts.insert(findIterator(Pos), std::move(Inst));
-  return Raw;
+  return insertBefore(Pos, adopt(std::move(Inst)));
 }
 
 Instruction *BasicBlock::insertAfter(Instruction *Pos,
                                      std::unique_ptr<Instruction> Inst) {
-  Instruction *Raw = Inst.get();
-  Raw->setParent(this);
-  Raw->setId(Parent->nextInstructionId());
-  auto It = findIterator(Pos);
-  ++It;
-  Insts.insert(It, std::move(Inst));
-  return Raw;
+  return insertAfter(Pos, adopt(std::move(Inst)));
 }
 
-void BasicBlock::erase(Instruction *Inst) { Insts.erase(findIterator(Inst)); }
-
-Instruction *BasicBlock::terminator() {
-  if (Insts.empty() || !Insts.back()->isTerminator())
-    return nullptr;
-  return Insts.back().get();
-}
-
-const Instruction *BasicBlock::terminator() const {
-  if (Insts.empty() || !Insts.back()->isTerminator())
-    return nullptr;
-  return Insts.back().get();
+void BasicBlock::erase(Instruction *Inst) {
+  if (!Inst || Inst->parent() != this)
+    reportFatalError("instruction not found in its claimed parent block");
+  bool WasTerminator = Inst->isTerminator();
+  if (Inst->prev())
+    Inst->PrevInst->NextInst = Inst->next();
+  else
+    Head = Inst->next();
+  if (Inst->next())
+    Inst->NextInst->PrevInst = Inst->prev();
+  else
+    Tail = Inst->prev();
+  --Count;
+  if (WasTerminator)
+    Parent->noteCFGMutation();
+  else
+    Parent->noteIRMutation();
+  Inst->~Instruction();
 }

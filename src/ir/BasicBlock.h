@@ -6,10 +6,13 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A basic block: an owned sequence of instructions ending in a terminator.
-/// Instruction pointers are stable across insertions and removals (the
-/// UD/DU chains key on them), so instructions are held by unique_ptr in a
-/// std::list.
+/// A basic block: an intrusively linked sequence of instructions ending in
+/// a terminator. Instructions are allocated from the owning Function's
+/// arena and chained through their prev/next pointers, so insertion and
+/// removal are O(1) and instruction pointers are stable across mutations
+/// (the UD/DU chains key on them). For compatibility, the insertion
+/// methods also accept std::unique_ptr<Instruction>; those copies are
+/// moved into the arena on admission.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,7 +21,6 @@
 
 #include "ir/Instruction.h"
 
-#include <list>
 #include <memory>
 #include <string>
 
@@ -29,85 +31,123 @@ class Function;
 /// A straight-line sequence of instructions with a single terminator.
 class BasicBlock {
 public:
-  using InstList = std::list<std::unique_ptr<Instruction>>;
-
-  /// Iterator that presents the owned instructions as Instruction&.
-  template <typename BaseIt> class DerefIterator {
+  /// Forward iterator over the intrusive instruction list.
+  template <typename InstT> class InstIterator {
   public:
-    DerefIterator() = default;
-    explicit DerefIterator(BaseIt It) : It(It) {}
-    Instruction &operator*() const { return **It; }
-    Instruction *operator->() const { return It->get(); }
-    DerefIterator &operator++() {
-      ++It;
+    InstIterator() = default;
+    explicit InstIterator(InstT *I) : I(I) {}
+    InstT &operator*() const { return *I; }
+    InstT *operator->() const { return I; }
+    InstIterator &operator++() {
+      I = I->next();
       return *this;
     }
-    bool operator==(const DerefIterator &Other) const {
-      return It == Other.It;
+    InstIterator operator++(int) {
+      InstIterator Old = *this;
+      I = I->next();
+      return Old;
     }
-    bool operator!=(const DerefIterator &Other) const {
-      return It != Other.It;
-    }
-    BaseIt base() const { return It; }
+    bool operator==(const InstIterator &Other) const { return I == Other.I; }
+    bool operator!=(const InstIterator &Other) const { return I != Other.I; }
 
   private:
-    BaseIt It{};
+    InstT *I = nullptr;
   };
 
-  using iterator = DerefIterator<InstList::iterator>;
-  using const_iterator = DerefIterator<InstList::const_iterator>;
+  using iterator = InstIterator<Instruction>;
+  using const_iterator = InstIterator<const Instruction>;
 
   BasicBlock(Function *Parent, unsigned Id, std::string Name)
       : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  /// Destroys the linked instructions (their memory stays in the arena).
+  ~BasicBlock();
 
   Function *parent() const { return Parent; }
   unsigned id() const { return Id; }
   const std::string &name() const { return Name; }
 
-  iterator begin() { return iterator(Insts.begin()); }
-  iterator end() { return iterator(Insts.end()); }
-  const_iterator begin() const { return const_iterator(Insts.begin()); }
-  const_iterator end() const { return const_iterator(Insts.end()); }
+  /// Dense layout number from the last Function::numberInstructions()
+  /// call. Analyses index flat block tables with it.
+  uint32_t num() const { return Num; }
 
-  bool empty() const { return Insts.empty(); }
-  size_t size() const { return Insts.size(); }
+  iterator begin() { return iterator(Head); }
+  iterator end() { return iterator(); }
+  const_iterator begin() const { return const_iterator(Head); }
+  const_iterator end() const { return const_iterator(); }
 
-  Instruction &front() { return *Insts.front(); }
-  Instruction &back() { return *Insts.back(); }
-  const Instruction &back() const { return *Insts.back(); }
+  bool empty() const { return Head == nullptr; }
+  size_t size() const { return Count; }
 
-  /// Appends \p Inst to the end of the block and returns it.
+  Instruction &front() {
+    assert(Head && "front() on empty block");
+    return *Head;
+  }
+  Instruction &back() {
+    assert(Tail && "back() on empty block");
+    return *Tail;
+  }
+  const Instruction &back() const {
+    assert(Tail && "back() on empty block");
+    return *Tail;
+  }
+
+  /// Appends the detached, arena-allocated \p Inst to the end of the block
+  /// and returns it.
+  Instruction *append(Instruction *Inst);
+
+  /// Inserts detached \p Inst immediately before \p Pos (which must be in
+  /// this block) and returns it.
+  Instruction *insertBefore(Instruction *Pos, Instruction *Inst);
+
+  /// Inserts detached \p Inst immediately after \p Pos (which must be in
+  /// this block) and returns it.
+  Instruction *insertAfter(Instruction *Pos, Instruction *Inst);
+
+  /// Compatibility admission: copies \p Inst into the function arena.
   Instruction *append(std::unique_ptr<Instruction> Inst);
-
-  /// Inserts \p Inst immediately before \p Pos (which must be in this
-  /// block) and returns it.
   Instruction *insertBefore(Instruction *Pos,
                             std::unique_ptr<Instruction> Inst);
-
-  /// Inserts \p Inst immediately after \p Pos (which must be in this block)
-  /// and returns it.
   Instruction *insertAfter(Instruction *Pos,
                            std::unique_ptr<Instruction> Inst);
 
-  /// Unlinks and destroys \p Inst, which must be in this block.
+  /// Unlinks and destroys \p Inst, which must be in this block. The arena
+  /// retains the memory until the Function dies.
   void erase(Instruction *Inst);
 
   /// Returns the terminator, or null if the block is empty or unterminated.
-  Instruction *terminator();
-  const Instruction *terminator() const;
-
-  /// Returns true if the block ends in a terminator instruction.
-  bool isTerminated() const {
-    return !Insts.empty() && Insts.back()->isTerminator();
+  Instruction *terminator() {
+    return Tail && Tail->isTerminator() ? Tail : nullptr;
+  }
+  const Instruction *terminator() const {
+    return Tail && Tail->isTerminator() ? Tail : nullptr;
   }
 
+  /// Returns true if the block ends in a terminator instruction.
+  bool isTerminated() const { return Tail && Tail->isTerminator(); }
+
 private:
-  InstList::iterator findIterator(Instruction *Inst);
+  friend class Function;
+
+  /// Assigns identity and links \p Inst between \p Before and \p After
+  /// (either may be null at the boundaries), bumping the right epoch.
+  Instruction *link(Instruction *Inst, Instruction *Before,
+                    Instruction *After);
+
+  /// Copies \p Inst into the owning function's arena as a detached
+  /// instruction.
+  Instruction *adopt(std::unique_ptr<Instruction> Inst);
 
   Function *Parent;
   unsigned Id;
+  uint32_t Num = 0;
   std::string Name;
-  InstList Insts;
+  Instruction *Head = nullptr;
+  Instruction *Tail = nullptr;
+  size_t Count = 0;
 };
 
 } // namespace sxe

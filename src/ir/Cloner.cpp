@@ -32,7 +32,7 @@ void cloneFunctionBody(const Function &Src, Function &Dst,
   for (const auto &BB : Src.blocks()) {
     BasicBlock *NewBB = BlockMap[BB.get()];
     for (const Instruction &I : *BB) {
-      auto NewInst = std::make_unique<Instruction>(I.opcode());
+      Instruction *NewInst = Dst.newInstruction(I.opcode());
       NewInst->setWidth(I.width());
       NewInst->setType(I.type());
       NewInst->setPred(I.pred());
@@ -53,7 +53,7 @@ void cloneFunctionBody(const Function &Src, Function &Dst,
           reportFatalError("cloneModule: call target outside the module");
         NewInst->setCallee(It->second);
       }
-      Instruction *Placed = NewBB->append(std::move(NewInst));
+      Instruction *Placed = NewBB->append(NewInst);
       // Preserve the original id so profile data keyed by (function,
       // instruction id) carries over to every clone.
       Placed->setId(I.id());

@@ -29,7 +29,8 @@ std::string Function::regName(Reg R) const {
 BasicBlock *Function::createBlock(std::string BlockName) {
   unsigned Id = static_cast<unsigned>(Blocks.size());
   Blocks.push_back(
-      std::make_unique<BasicBlock>(this, Id, std::move(BlockName)));
+      BlockPtr(IRArena.create<BasicBlock>(this, Id, std::move(BlockName))));
+  noteCFGMutation();
   return Blocks.back().get();
 }
 
@@ -46,10 +47,20 @@ void Function::eraseBlock(BasicBlock *BB) {
   for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
     if (It->get() == BB) {
       Blocks.erase(It);
+      noteCFGMutation();
       return;
     }
   }
   reportFatalError("eraseBlock: block not in this function");
+}
+
+Instruction *Function::cloneInstruction(const Instruction &I) {
+  Instruction *Copy = IRArena.create<Instruction>(I);
+  Copy->Parent = nullptr;
+  Copy->PrevInst = nullptr;
+  Copy->NextInst = nullptr;
+  Copy->Num = Instruction::Unnumbered;
+  return Copy;
 }
 
 size_t Function::countInstructions() const {
@@ -63,4 +74,20 @@ void Function::clearAllAnalysisFlags() {
   for (const auto &BB : Blocks)
     for (Instruction &I : *BB)
       I.clearFlags();
+}
+
+const Function::Numbering &Function::numberInstructions() {
+  if (NumberedEpoch == IREpoch)
+    return Numbers;
+  uint32_t BlockNum = 0;
+  uint32_t InstNum = 0;
+  for (const auto &BB : Blocks) {
+    BB->Num = BlockNum++;
+    for (Instruction &I : *BB)
+      I.Num = InstNum++;
+  }
+  Numbers.NumBlocks = BlockNum;
+  Numbers.NumInsts = InstNum;
+  NumberedEpoch = IREpoch;
+  return Numbers;
 }

@@ -11,6 +11,15 @@
 /// 0..numParams()-1 and are sign-extended on entry per the calling
 /// convention (the ABI extends sub-register integer arguments).
 ///
+/// All IR objects (instructions and blocks) live in a per-function bump
+/// arena (support/Arena.h): allocation is a pointer increment and the
+/// memory is released wholesale when the function dies. Two monotonic
+/// epoch counters validate cached derived state: irEpoch() advances on
+/// any value or shape mutation, cfgEpoch() only when the block graph
+/// changes. numberInstructions() assigns dense layout numbers to blocks
+/// and instructions (cached per irEpoch) so analyses can use flat vectors
+/// instead of pointer-keyed hash maps.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SXE_IR_FUNCTION_H
@@ -18,6 +27,7 @@
 
 #include "ir/BasicBlock.h"
 #include "ir/Type.h"
+#include "support/Arena.h"
 
 #include <memory>
 #include <string>
@@ -30,6 +40,21 @@ class Module;
 /// A function of the sxe IR.
 class Function {
 public:
+  /// Blocks are arena-allocated; the deleter only runs the destructor.
+  struct BlockDeleter {
+    void operator()(BasicBlock *BB) const {
+      if (BB)
+        BB->~BasicBlock();
+    }
+  };
+  using BlockPtr = std::unique_ptr<BasicBlock, BlockDeleter>;
+
+  /// Dense numbering summary from numberInstructions().
+  struct Numbering {
+    uint32_t NumBlocks = 0;
+    uint32_t NumInsts = 0;
+  };
+
   Function(Module *Parent, std::string Name, Type ReturnType)
       : Parent(Parent), Name(std::move(Name)), ReturnType(ReturnType) {}
 
@@ -72,9 +97,7 @@ public:
   size_t numBlocks() const { return Blocks.size(); }
 
   /// Blocks in creation (layout) order.
-  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
-    return Blocks;
-  }
+  const std::vector<BlockPtr> &blocks() const { return Blocks; }
 
   /// Returns the block named \p BlockName, or null.
   BasicBlock *findBlock(const std::string &BlockName);
@@ -82,6 +105,16 @@ public:
   /// Unlinks and destroys \p BB. The caller must have removed every
   /// branch to it; the entry block cannot be erased.
   void eraseBlock(BasicBlock *BB);
+
+  /// Allocates a detached instruction in the function arena. It joins a
+  /// block through BasicBlock::append / insertBefore / insertAfter.
+  Instruction *newInstruction(Opcode Op) {
+    return IRArena.create<Instruction>(Op);
+  }
+
+  /// Allocates a detached arena copy of \p I (links, parent, and dense
+  /// number reset; id copied — insertion reassigns it).
+  Instruction *cloneInstruction(const Instruction &I);
 
   /// Returns the next unique instruction id (used by BasicBlock insertion).
   uint32_t nextInstructionId() { return NextInstId++; }
@@ -100,15 +133,46 @@ public:
   /// Resets the USE/DEF/ARRAY analysis flags on every instruction.
   void clearAllAnalysisFlags();
 
+  /// Advances on any IR mutation (operand/dest/width rewrites, insertion,
+  /// removal). Cached value-level analyses (UD/DU chains, ranges) and the
+  /// dense numbering validate against it.
+  uint64_t irEpoch() const { return IREpoch; }
+
+  /// Advances only when the block graph changes (blocks created or
+  /// erased, terminators added, removed, morphed, or retargeted). Cached
+  /// CFG-derived analyses validate against it.
+  uint64_t cfgEpoch() const { return CFGEpoch; }
+
+  void noteIRMutation() { ++IREpoch; }
+  void noteCFGMutation() {
+    ++IREpoch;
+    ++CFGEpoch;
+  }
+
+  /// Assigns dense layout numbers (block-major, list order) to every block
+  /// and instruction; cached until the next IR mutation. Instructions
+  /// inserted after a numbering read Instruction::Unnumbered until the
+  /// next call.
+  const Numbering &numberInstructions();
+
+  /// The arena backing this function's IR (sizing/diagnostics).
+  const Arena &arena() const { return IRArena; }
+
 private:
+  // Declared first so every IR object is destroyed before its storage.
+  Arena IRArena;
   Module *Parent;
   std::string Name;
   Type ReturnType;
   unsigned NumParams = 0;
   uint32_t NextInstId = 0;
+  uint64_t IREpoch = 1;
+  uint64_t CFGEpoch = 1;
+  uint64_t NumberedEpoch = 0;
+  Numbering Numbers;
   std::vector<Type> RegTypes;
   std::vector<std::string> RegNames;
-  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<BlockPtr> Blocks;
 };
 
 } // namespace sxe

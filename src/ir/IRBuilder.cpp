@@ -6,55 +6,55 @@
 
 using namespace sxe;
 
-Instruction *IRBuilder::emit(std::unique_ptr<Instruction> Inst) {
+Instruction *IRBuilder::emit(Instruction *Inst) {
   assert(BB && "no insertion block set");
-  return BB->append(std::move(Inst));
+  return BB->append(Inst);
 }
 
 Reg IRBuilder::constI32(int32_t Value, const std::string &Name) {
   Reg Dst = freshReg(Type::I32, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::ConstInt);
+  Instruction *Inst = F->newInstruction(Opcode::ConstInt);
   Inst->setDest(Dst);
   Inst->setType(Type::I32);
   Inst->setIntValue(Value);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
 Reg IRBuilder::constI64(int64_t Value, const std::string &Name) {
   Reg Dst = freshReg(Type::I64, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::ConstInt);
+  Instruction *Inst = F->newInstruction(Opcode::ConstInt);
   Inst->setDest(Dst);
   Inst->setType(Type::I64);
   Inst->setIntValue(Value);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
 Reg IRBuilder::constF64(double Value, const std::string &Name) {
   Reg Dst = freshReg(Type::F64, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::ConstF64);
+  Instruction *Inst = F->newInstruction(Opcode::ConstF64);
   Inst->setDest(Dst);
   Inst->setType(Type::F64);
   Inst->setFloatValue(Value);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
 Instruction *IRBuilder::constTo(Reg Dst, int64_t Value) {
-  auto Inst = std::make_unique<Instruction>(Opcode::ConstInt);
+  Instruction *Inst = F->newInstruction(Opcode::ConstInt);
   Inst->setDest(Dst);
   Inst->setType(F->regType(Dst));
   Inst->setIntValue(Value);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::constF64To(Reg Dst, double Value) {
-  auto Inst = std::make_unique<Instruction>(Opcode::ConstF64);
+  Instruction *Inst = F->newInstruction(Opcode::ConstF64);
   Inst->setDest(Dst);
   Inst->setType(Type::F64);
   Inst->setFloatValue(Value);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::copy(Reg Src, const std::string &Name) {
@@ -64,10 +64,10 @@ Reg IRBuilder::copy(Reg Src, const std::string &Name) {
 }
 
 Instruction *IRBuilder::copyTo(Reg Dst, Reg Src) {
-  auto Inst = std::make_unique<Instruction>(Opcode::Copy);
+  Instruction *Inst = F->newInstruction(Opcode::Copy);
   Inst->setDest(Dst);
   Inst->addOperand(Src);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::binop(Opcode Op, Width W, Reg A, Reg B,
@@ -80,12 +80,12 @@ Reg IRBuilder::binop(Opcode Op, Width W, Reg A, Reg B,
 Instruction *IRBuilder::binopTo(Reg Dst, Opcode Op, Width W, Reg A, Reg B) {
   assert(opcodeInfo(Op).HasWidth && opcodeInfo(Op).NumOperands == 2 &&
          "binopTo requires a binary integer opcode");
-  auto Inst = std::make_unique<Instruction>(Op);
+  Instruction *Inst = F->newInstruction(Op);
   Inst->setDest(Dst);
   Inst->setWidth(W);
   Inst->addOperand(A);
   Inst->addOperand(B);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::unop(Opcode Op, Width W, Reg A, const std::string &Name) {
@@ -97,11 +97,11 @@ Reg IRBuilder::unop(Opcode Op, Width W, Reg A, const std::string &Name) {
 Instruction *IRBuilder::unopTo(Reg Dst, Opcode Op, Width W, Reg A) {
   assert((Op == Opcode::Neg || Op == Opcode::Not) &&
          "unopTo requires Neg or Not");
-  auto Inst = std::make_unique<Instruction>(Op);
+  Instruction *Inst = F->newInstruction(Op);
   Inst->setDest(Dst);
   Inst->setWidth(W);
   Inst->addOperand(A);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::sextTo(Reg Dst, unsigned Bits, Reg Src) {
@@ -119,10 +119,10 @@ Instruction *IRBuilder::sextTo(Reg Dst, unsigned Bits, Reg Src) {
   default:
     reportFatalError("sextTo requires 8, 16, or 32 bits");
   }
-  auto Inst = std::make_unique<Instruction>(Op);
+  Instruction *Inst = F->newInstruction(Op);
   Inst->setDest(Dst);
   Inst->addOperand(Src);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::sext(unsigned Bits, Reg Src, const std::string &Name) {
@@ -141,10 +141,10 @@ Reg IRBuilder::zext32(Reg Src, const std::string &Name) {
 }
 
 Instruction *IRBuilder::zext32To(Reg Dst, Reg Src) {
-  auto Inst = std::make_unique<Instruction>(Opcode::Zext32);
+  Instruction *Inst = F->newInstruction(Opcode::Zext32);
   Inst->setDest(Dst);
   Inst->addOperand(Src);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::fbinop(Opcode Op, Reg A, Reg B, const std::string &Name) {
@@ -157,19 +157,19 @@ Instruction *IRBuilder::fbinopTo(Reg Dst, Opcode Op, Reg A, Reg B) {
   assert((Op == Opcode::FAdd || Op == Opcode::FSub || Op == Opcode::FMul ||
           Op == Opcode::FDiv) &&
          "fbinopTo requires a binary FP opcode");
-  auto Inst = std::make_unique<Instruction>(Op);
+  Instruction *Inst = F->newInstruction(Op);
   Inst->setDest(Dst);
   Inst->addOperand(A);
   Inst->addOperand(B);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::fneg(Reg A, const std::string &Name) {
   Reg Dst = freshReg(Type::F64, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::FNeg);
+  Instruction *Inst = F->newInstruction(Opcode::FNeg);
   Inst->setDest(Dst);
   Inst->addOperand(A);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
@@ -180,10 +180,10 @@ Reg IRBuilder::i2d(Reg A, const std::string &Name) {
 }
 
 Instruction *IRBuilder::i2dTo(Reg Dst, Reg A) {
-  auto Inst = std::make_unique<Instruction>(Opcode::I2D);
+  Instruction *Inst = F->newInstruction(Opcode::I2D);
   Inst->setDest(Dst);
   Inst->addOperand(A);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::d2i(Reg A, const std::string &Name) {
@@ -193,74 +193,74 @@ Reg IRBuilder::d2i(Reg A, const std::string &Name) {
 }
 
 Instruction *IRBuilder::d2iTo(Reg Dst, Reg A) {
-  auto Inst = std::make_unique<Instruction>(Opcode::D2I);
+  Instruction *Inst = F->newInstruction(Opcode::D2I);
   Inst->setDest(Dst);
   Inst->addOperand(A);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::cmp(CmpPred Pred, Width W, Reg A, Reg B,
                    const std::string &Name) {
   Reg Dst = freshReg(Type::I32, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::Cmp);
+  Instruction *Inst = F->newInstruction(Opcode::Cmp);
   Inst->setDest(Dst);
   Inst->setWidth(W);
   Inst->setPred(Pred);
   Inst->addOperand(A);
   Inst->addOperand(B);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
 Reg IRBuilder::fcmp(CmpPred Pred, Reg A, Reg B, const std::string &Name) {
   Reg Dst = freshReg(Type::I32, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::FCmp);
+  Instruction *Inst = F->newInstruction(Opcode::FCmp);
   Inst->setDest(Dst);
   Inst->setPred(Pred);
   Inst->addOperand(A);
   Inst->addOperand(B);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
 Instruction *IRBuilder::br(Reg Cond, BasicBlock *IfTrue, BasicBlock *IfFalse) {
-  auto Inst = std::make_unique<Instruction>(Opcode::Br);
+  Instruction *Inst = F->newInstruction(Opcode::Br);
   Inst->addOperand(Cond);
   Inst->setSuccessor(0, IfTrue);
   Inst->setSuccessor(1, IfFalse);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::jmp(BasicBlock *Target) {
-  auto Inst = std::make_unique<Instruction>(Opcode::Jmp);
+  Instruction *Inst = F->newInstruction(Opcode::Jmp);
   Inst->setSuccessor(0, Target);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::retVoid() {
-  auto Inst = std::make_unique<Instruction>(Opcode::Ret);
-  return emit(std::move(Inst));
+  Instruction *Inst = F->newInstruction(Opcode::Ret);
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::ret(Reg Value) {
-  auto Inst = std::make_unique<Instruction>(Opcode::Ret);
+  Instruction *Inst = F->newInstruction(Opcode::Ret);
   Inst->addOperand(Value);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::trap() {
-  auto Inst = std::make_unique<Instruction>(Opcode::Trap);
-  return emit(std::move(Inst));
+  Instruction *Inst = F->newInstruction(Opcode::Trap);
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::callTo(Reg Dst, Function *Callee,
                                const std::vector<Reg> &Args) {
-  auto Inst = std::make_unique<Instruction>(Opcode::Call);
+  Instruction *Inst = F->newInstruction(Opcode::Call);
   Inst->setDest(Dst);
   Inst->setCallee(Callee);
   for (Reg Arg : Args)
     Inst->addOperand(Arg);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Reg IRBuilder::call(Function *Callee, const std::vector<Reg> &Args,
@@ -274,20 +274,20 @@ Reg IRBuilder::call(Function *Callee, const std::vector<Reg> &Args,
 
 Reg IRBuilder::newArray(Type ElemTy, Reg Length, const std::string &Name) {
   Reg Dst = freshReg(Type::ArrayRef, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::NewArray);
+  Instruction *Inst = F->newInstruction(Opcode::NewArray);
   Inst->setDest(Dst);
   Inst->setType(ElemTy);
   Inst->addOperand(Length);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
 Reg IRBuilder::arrayLen(Reg Array, const std::string &Name) {
   Reg Dst = freshReg(Type::I32, Name);
-  auto Inst = std::make_unique<Instruction>(Opcode::ArrayLen);
+  Instruction *Inst = F->newInstruction(Opcode::ArrayLen);
   Inst->setDest(Dst);
   Inst->addOperand(Array);
-  emit(std::move(Inst));
+  emit(Inst);
   return Dst;
 }
 
@@ -303,20 +303,20 @@ Reg IRBuilder::arrayLoad(Type ElemTy, Reg Array, Reg Index,
 
 Instruction *IRBuilder::arrayLoadTo(Reg Dst, Type ElemTy, Reg Array,
                                     Reg Index) {
-  auto Inst = std::make_unique<Instruction>(Opcode::ArrayLoad);
+  Instruction *Inst = F->newInstruction(Opcode::ArrayLoad);
   Inst->setDest(Dst);
   Inst->setType(ElemTy);
   Inst->addOperand(Array);
   Inst->addOperand(Index);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }
 
 Instruction *IRBuilder::arrayStore(Type ElemTy, Reg Array, Reg Index,
                                    Reg Value) {
-  auto Inst = std::make_unique<Instruction>(Opcode::ArrayStore);
+  Instruction *Inst = F->newInstruction(Opcode::ArrayStore);
   Inst->setType(ElemTy);
   Inst->addOperand(Array);
   Inst->addOperand(Index);
   Inst->addOperand(Value);
-  return emit(std::move(Inst));
+  return emit(Inst);
 }

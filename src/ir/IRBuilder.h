@@ -179,7 +179,7 @@ public:
   Instruction *arrayStore(Type ElemTy, Reg Array, Reg Index, Reg Value);
 
 private:
-  Instruction *emit(std::unique_ptr<Instruction> Inst);
+  Instruction *emit(Instruction *Inst);
   Reg freshReg(Type Ty, const std::string &Name) {
     return F->newReg(Ty, Name);
   }

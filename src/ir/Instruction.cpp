@@ -1,0 +1,102 @@
+//===- ir/Instruction.cpp - IR instruction mutators ---------------------------===//
+//
+// The mutating setters live out of line so they can advance the owning
+// Function's analysis epochs (Function is incomplete in Instruction.h).
+//
+//===---------------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/Function.h"
+
+using namespace sxe;
+
+void Instruction::noteIRMutation() {
+  if (Parent && Parent->parent())
+    Parent->parent()->noteIRMutation();
+}
+
+void Instruction::noteCFGMutation() {
+  if (Parent && Parent->parent())
+    Parent->parent()->noteCFGMutation();
+}
+
+void Instruction::setWidth(Width NewW) {
+  W = NewW;
+  noteIRMutation();
+}
+
+void Instruction::setType(Type NewTy) {
+  Ty = NewTy;
+  noteIRMutation();
+}
+
+void Instruction::setPred(CmpPred NewPred) {
+  Pred = NewPred;
+  noteIRMutation();
+}
+
+void Instruction::setDest(Reg R) {
+  Dest = R;
+  noteIRMutation();
+}
+
+void Instruction::setOperand(unsigned Index, Reg R) {
+  assert(Index < Operands.size() && "operand index out of range");
+  Operands[Index] = R;
+  noteIRMutation();
+}
+
+void Instruction::addOperand(Reg R) {
+  Operands.push_back(R);
+  noteIRMutation();
+}
+
+void Instruction::setIntValue(int64_t V) {
+  IntValue = V;
+  noteIRMutation();
+}
+
+void Instruction::setFloatValue(double V) {
+  FloatValue = V;
+  noteIRMutation();
+}
+
+void Instruction::setCallee(Function *F) {
+  Callee = F;
+  noteIRMutation();
+}
+
+void Instruction::setSuccessor(unsigned Index, BasicBlock *BB) {
+  assert(Index < 2 && "successor index out of range");
+  Succs[Index] = BB;
+  noteCFGMutation();
+}
+
+void Instruction::morphToConstInt(int64_t Value, Type ConstTy) {
+  bool WasTerminator = isTerminator();
+  Op = Opcode::ConstInt;
+  Ty = ConstTy;
+  IntValue = Value;
+  Operands.clear();
+  Succs[0] = Succs[1] = nullptr;
+  Callee = nullptr;
+  if (WasTerminator)
+    noteCFGMutation();
+  else
+    noteIRMutation();
+}
+
+void Instruction::morphToCopy() {
+  assert(Operands.size() == 1 && Dest != NoReg &&
+         "morphToCopy requires a unary definition");
+  bool WasTerminator = isTerminator();
+  Op = Opcode::Copy;
+  Ty = Type::Void;
+  Succs[0] = Succs[1] = nullptr;
+  Callee = nullptr;
+  if (WasTerminator)
+    noteCFGMutation();
+  else
+    noteIRMutation();
+}

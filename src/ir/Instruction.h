@@ -11,6 +11,13 @@
 /// elimination algorithm tags each instruction with three traversal flags
 /// (USE, DEF, ARRAY); they live directly on the instruction as in the paper.
 ///
+/// Instructions are allocated from their Function's arena and linked into
+/// their block through intrusive prev/next pointers, so insertion and
+/// removal are O(1) and pointers stay stable for the UD/DU chains. Every
+/// value- or shape-mutating setter notifies the owning Function (once the
+/// instruction is attached to a block), which advances the IR / CFG epoch
+/// counters that validate cached analyses and the dense numbering.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SXE_IR_INSTRUCTION_H
@@ -48,6 +55,10 @@ public:
     FlagARRAY = 1 << 2,
   };
 
+  /// Dense-number sentinel: not yet assigned by Function::numberInstructions
+  /// (or inserted after the numbering was taken).
+  static constexpr uint32_t Unnumbered = ~static_cast<uint32_t>(0);
+
   explicit Instruction(Opcode Op) : Op(Op) {}
 
   Opcode opcode() const { return Op; }
@@ -56,18 +67,18 @@ public:
   /// Semantic width of an integer operation (meaningful when
   /// info().HasWidth).
   Width width() const { return W; }
-  void setWidth(Width NewW) { W = NewW; }
+  void setWidth(Width NewW);
   bool isW32() const { return W == Width::W32; }
 
   /// Element type of an array operation, or value type of a constant.
   Type type() const { return Ty; }
-  void setType(Type NewTy) { Ty = NewTy; }
+  void setType(Type NewTy);
 
   CmpPred pred() const { return Pred; }
-  void setPred(CmpPred NewPred) { Pred = NewPred; }
+  void setPred(CmpPred NewPred);
 
   Reg dest() const { return Dest; }
-  void setDest(Reg R) { Dest = R; }
+  void setDest(Reg R);
   bool hasDest() const { return Dest != NoReg; }
 
   unsigned numOperands() const { return Operands.size(); }
@@ -75,18 +86,15 @@ public:
     assert(Index < Operands.size() && "operand index out of range");
     return Operands[Index];
   }
-  void setOperand(unsigned Index, Reg R) {
-    assert(Index < Operands.size() && "operand index out of range");
-    Operands[Index] = R;
-  }
-  void addOperand(Reg R) { Operands.push_back(R); }
+  void setOperand(unsigned Index, Reg R);
+  void addOperand(Reg R);
   const std::vector<Reg> &operands() const { return Operands; }
 
   int64_t intValue() const { return IntValue; }
-  void setIntValue(int64_t V) { IntValue = V; }
+  void setIntValue(int64_t V);
 
   double floatValue() const { return FloatValue; }
-  void setFloatValue(double V) { FloatValue = V; }
+  void setFloatValue(double V);
 
   bool isTerminator() const { return info().IsTerminator; }
 
@@ -101,21 +109,29 @@ public:
     assert(Index < numSuccessors() && "successor index out of range");
     return Succs[Index];
   }
-  void setSuccessor(unsigned Index, BasicBlock *BB) {
-    assert(Index < 2 && "successor index out of range");
-    Succs[Index] = BB;
-  }
+  void setSuccessor(unsigned Index, BasicBlock *BB);
 
   Function *callee() const { return Callee; }
-  void setCallee(Function *F) { Callee = F; }
+  void setCallee(Function *F);
 
   BasicBlock *parent() const { return Parent; }
   void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// Intrusive block-list links; null at the block boundaries (and while
+  /// detached).
+  Instruction *prev() const { return PrevInst; }
+  Instruction *next() const { return NextInst; }
 
   /// Unique id within the owning function, assigned at insertion; stable
   /// across mutations, used for deterministic ordering and diagnostics.
   uint32_t id() const { return Id; }
   void setId(uint32_t NewId) { Id = NewId; }
+
+  /// Dense layout number from the last Function::numberInstructions()
+  /// call, or Unnumbered for instructions inserted since. Analyses index
+  /// flat tables with it; lookups must treat out-of-range / Unnumbered as
+  /// a miss.
+  uint32_t num() const { return Num; }
 
   bool testFlag(AnalysisFlag Flag) const { return (Flags & Flag) != 0; }
   void setFlag(AnalysisFlag Flag) { Flags |= Flag; }
@@ -124,26 +140,12 @@ public:
   /// Rewrites this instruction in place into `dest = const Value`,
   /// keeping its identity (parent block, id, destination register). Used
   /// by constant folding.
-  void morphToConstInt(int64_t Value, Type ConstTy) {
-    Op = Opcode::ConstInt;
-    Ty = ConstTy;
-    IntValue = Value;
-    Operands.clear();
-    Succs[0] = Succs[1] = nullptr;
-    Callee = nullptr;
-  }
+  void morphToConstInt(int64_t Value, Type ConstTy);
 
   /// Rewrites this instruction in place into `dest = copy src0`, keeping
   /// its identity. Used when an extension with a distinct destination
   /// register is proven unnecessary: the value move must survive.
-  void morphToCopy() {
-    assert(Operands.size() == 1 && Dest != NoReg &&
-           "morphToCopy requires a unary definition");
-    Op = Opcode::Copy;
-    Ty = Type::Void;
-    Succs[0] = Succs[1] = nullptr;
-    Callee = nullptr;
-  }
+  void morphToCopy();
 
   /// Returns true for Sext8/Sext16/Sext32 — the explicit extend()
   /// instructions the optimization eliminates.
@@ -161,6 +163,13 @@ public:
   }
 
 private:
+  friend class BasicBlock;
+  friend class Function;
+
+  /// Epoch hooks, defined in Instruction.cpp where Function is complete.
+  void noteIRMutation();
+  void noteCFGMutation();
+
   Opcode Op;
   Width W = Width::W64;
   Type Ty = Type::Void;
@@ -168,12 +177,15 @@ private:
   uint8_t Flags = 0;
   Reg Dest = NoReg;
   uint32_t Id = 0;
+  uint32_t Num = Unnumbered;
   std::vector<Reg> Operands;
   int64_t IntValue = 0;
   double FloatValue = 0.0;
   BasicBlock *Succs[2] = {nullptr, nullptr};
   Function *Callee = nullptr;
   BasicBlock *Parent = nullptr;
+  Instruction *PrevInst = nullptr;
+  Instruction *NextInst = nullptr;
 };
 
 } // namespace sxe

@@ -2,7 +2,7 @@
 
 #include "opt/DeadCodeElim.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisCache.h"
 
 #include <unordered_map>
 #include <vector>
@@ -38,9 +38,11 @@ bool isPureDef(const Instruction &I) {
   return !I.info().MayTrap;
 }
 
-/// One liveness + removal round. Returns the number of removals.
-unsigned sweepOnce(Function &F) {
-  CFG Cfg(F);
+/// One liveness + removal round. Returns the number of removals. Removal
+/// never touches the block graph, so every sweep after the first reuses
+/// the cached CFG.
+unsigned sweepOnce(Function &F, AnalysisCache &Cache) {
+  const CFG &Cfg = Cache.cfg();
   size_t Words = (F.numRegs() + 63) / 64;
 
   std::unordered_map<const BasicBlock *, LiveSet> LiveOut;
@@ -103,9 +105,14 @@ unsigned sweepOnce(Function &F) {
 
 } // namespace
 
-unsigned sxe::runDeadCodeElim(Function &F) {
+unsigned sxe::runDeadCodeElim(Function &F, AnalysisCache *Cache) {
+  std::unique_ptr<AnalysisCache> Own;
+  if (!Cache) {
+    Own = std::make_unique<AnalysisCache>(F);
+    Cache = Own.get();
+  }
   unsigned Total = 0;
-  while (unsigned Removed = sweepOnce(F))
+  while (unsigned Removed = sweepOnce(F, *Cache))
     Total += Removed;
   return Total;
 }

@@ -2,9 +2,7 @@
 
 #include "opt/ExtensionPRE.h"
 
-#include "analysis/CFG.h"
-#include "analysis/Dominators.h"
-#include "analysis/LoopInfo.h"
+#include "analysis/AnalysisCache.h"
 #include "sxe/ExtensionFacts.h"
 
 #include <unordered_map>
@@ -69,8 +67,9 @@ void applyTransfer(const Function &F, const TargetInfo &Target,
   clearBit(Facts, Dest);
 }
 
-unsigned runAvailabilityCSE(Function &F, const TargetInfo &Target) {
-  CFG Cfg(F);
+unsigned runAvailabilityCSE(Function &F, const TargetInfo &Target,
+                            AnalysisCache &Cache) {
+  const CFG &Cfg = Cache.cfg();
   size_t Words = (F.numRegs() + 63) / 64;
   const auto &RPO = Cfg.reversePostOrder();
 
@@ -124,10 +123,9 @@ unsigned runAvailabilityCSE(Function &F, const TargetInfo &Target) {
   return Removed;
 }
 
-unsigned runLoopHoisting(Function &F) {
-  CFG Cfg(F);
-  Dominators Dom(Cfg);
-  LoopInfo Loops(Cfg, Dom);
+unsigned runLoopHoisting(Function &F, AnalysisCache &Cache) {
+  const LoopInfo &Loops = Cache.loops();
+  const CFG &Cfg = Cache.cfg();
   unsigned Moved = 0;
 
   for (const auto &L : Loops.loops()) {
@@ -165,10 +163,10 @@ unsigned runLoopHoisting(Function &F) {
       for (Instruction *Ext : Candidates) {
         // The extension is the register's only definition in the loop:
         // hoist it to the preheader.
-        auto Clone = std::make_unique<Instruction>(Ext->opcode());
+        Instruction *Clone = F.newInstruction(Ext->opcode());
         Clone->setDest(Ext->dest());
         Clone->addOperand(Ext->operand(0));
-        Preheader->insertBefore(Preheader->terminator(), std::move(Clone));
+        Preheader->insertBefore(Preheader->terminator(), Clone);
         DefsInLoop[Ext->dest()] = 0;
         BB->erase(Ext);
         ++Moved;
@@ -180,9 +178,17 @@ unsigned runLoopHoisting(Function &F) {
 
 } // namespace
 
-unsigned sxe::runExtensionPRE(Function &F, const TargetInfo &Target) {
+unsigned sxe::runExtensionPRE(Function &F, const TargetInfo &Target,
+                              AnalysisCache *Cache) {
+  std::unique_ptr<AnalysisCache> Own;
+  if (!Cache) {
+    Own = std::make_unique<AnalysisCache>(F);
+    Cache = Own.get();
+  }
   unsigned Total = 0;
-  Total += runLoopHoisting(F);
-  Total += runAvailabilityCSE(F, Target);
+  // Hoisting moves instructions between existing blocks, so the CSE phase
+  // reuses the same cached CFG.
+  Total += runLoopHoisting(F, *Cache);
+  Total += runAvailabilityCSE(F, Target, *Cache);
   return Total;
 }

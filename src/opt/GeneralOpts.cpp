@@ -2,6 +2,7 @@
 
 #include "opt/GeneralOpts.h"
 
+#include "analysis/AnalysisCache.h"
 #include "opt/DeadCodeElim.h"
 #include "opt/ExtensionPRE.h"
 #include "opt/LocalOpts.h"
@@ -9,16 +10,22 @@
 
 using namespace sxe;
 
-unsigned sxe::runGeneralOpts(Function &F, const TargetInfo &Target) {
+unsigned sxe::runGeneralOpts(Function &F, const TargetInfo &Target,
+                             AnalysisCache *Cache) {
+  std::unique_ptr<AnalysisCache> Own;
+  if (!Cache) {
+    Own = std::make_unique<AnalysisCache>(F);
+    Cache = Own.get();
+  }
   unsigned Total = 0;
   // Two rounds are enough in practice: folding exposes dead code, DCE
   // exposes further folding opportunities once.
   for (unsigned Round = 0; Round < 2; ++Round) {
     unsigned RoundWork = 0;
-    RoundWork += runSimplifyCFG(F);
+    RoundWork += runSimplifyCFG(F, Cache);
     RoundWork += runLocalOpts(F);
-    RoundWork += runExtensionPRE(F, Target);
-    RoundWork += runDeadCodeElim(F);
+    RoundWork += runExtensionPRE(F, Target, Cache);
+    RoundWork += runDeadCodeElim(F, Cache);
     Total += RoundWork;
     if (RoundWork == 0)
       break;

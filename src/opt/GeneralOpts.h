@@ -20,9 +20,13 @@
 
 namespace sxe {
 
+class AnalysisCache;
+
 /// Runs the step-2 optimizations over \p F. Returns the total number of
-/// rewrites/removals performed.
-unsigned runGeneralOpts(Function &F, const TargetInfo &Target);
+/// rewrites/removals performed. \p Cache, when given, is shared by every
+/// constituent pass so analyses rebuild only when the IR actually moved.
+unsigned runGeneralOpts(Function &F, const TargetInfo &Target,
+                        AnalysisCache *Cache = nullptr);
 
 } // namespace sxe
 

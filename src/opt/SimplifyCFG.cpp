@@ -2,7 +2,7 @@
 
 #include "opt/SimplifyCFG.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisCache.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -24,8 +24,11 @@ void retargetBranches(Function &F, BasicBlock *From, BasicBlock *To) {
   }
 }
 
-/// One cleanup round; returns the number of blocks removed.
-unsigned simplifyOnce(Function &F) {
+/// One cleanup round; returns the number of blocks removed. The cache
+/// bounds CFG construction to one build per block-graph mutation: step 2
+/// rebuilds only when step 1 erased something, and step 3 reuses step 2's
+/// graph whenever the merge list came up empty.
+unsigned simplifyOnce(Function &F, AnalysisCache &Cache) {
   unsigned Removed = 0;
 
   // 1. Thread trivial jump chains: a non-entry block containing only
@@ -53,7 +56,7 @@ unsigned simplifyOnce(Function &F) {
   // 2. Merge B -> S when B ends in `jmp S` and S has no other
   //    predecessors (and S is not the entry).
   {
-    CFG Cfg(F);
+    const CFG &Cfg = Cache.cfg();
     // Collect merge pairs first; each round merges disjoint pairs.
     std::unordered_set<BasicBlock *> Touched;
     std::vector<std::pair<BasicBlock *, BasicBlock *>> Merges;
@@ -81,9 +84,7 @@ unsigned simplifyOnce(Function &F) {
       for (Instruction &I : *Succ)
         Moved.push_back(&I);
       for (Instruction *I : Moved) {
-        auto Clone = std::make_unique<Instruction>(*I);
-        Clone->setParent(nullptr);
-        Instruction *Placed = Pred->append(std::move(Clone));
+        Instruction *Placed = Pred->append(F.cloneInstruction(*I));
         Placed->setId(I->id()); // Keep profile keys stable.
       }
       retargetBranches(F, Succ, Pred); // Defensive; none should exist.
@@ -94,7 +95,7 @@ unsigned simplifyOnce(Function &F) {
 
   // 3. Drop unreachable blocks.
   {
-    CFG Cfg(F);
+    const CFG &Cfg = Cache.cfg();
     std::vector<BasicBlock *> Dead;
     for (const auto &BB : F.blocks())
       if (!Cfg.isReachable(BB.get()))
@@ -110,9 +111,14 @@ unsigned simplifyOnce(Function &F) {
 
 } // namespace
 
-unsigned sxe::runSimplifyCFG(Function &F) {
+unsigned sxe::runSimplifyCFG(Function &F, AnalysisCache *Cache) {
+  std::unique_ptr<AnalysisCache> Own;
+  if (!Cache) {
+    Own = std::make_unique<AnalysisCache>(F);
+    Cache = Own.get();
+  }
   unsigned Total = 0;
-  while (unsigned Removed = simplifyOnce(F))
+  while (unsigned Removed = simplifyOnce(F, *Cache))
     Total += Removed;
   return Total;
 }

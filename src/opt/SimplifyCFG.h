@@ -23,8 +23,13 @@
 
 namespace sxe {
 
-/// Simplifies \p F's CFG. Returns the number of blocks removed.
-unsigned runSimplifyCFG(Function &F);
+class AnalysisCache;
+
+/// Simplifies \p F's CFG. Returns the number of blocks removed. When the
+/// caller passes its shared \p Cache the cleanup rounds reuse its CFG,
+/// rebuilding only when a round actually erased or merged blocks;
+/// otherwise a private cache is used.
+unsigned runSimplifyCFG(Function &F, AnalysisCache *Cache = nullptr);
 
 } // namespace sxe
 

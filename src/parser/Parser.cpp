@@ -149,6 +149,9 @@ private:
   BasicBlock *CurrentBlock = nullptr;
   /// Call sites to resolve once all functions exist.
   std::vector<std::pair<Instruction *, std::string>> CallFixups;
+  /// Callee name of the call currently being parsed; the fixup records
+  /// the instruction pointer the block admission returns.
+  std::string PendingCallee;
 };
 
 bool Parser::parseFunction(Module &M) {
@@ -393,7 +396,7 @@ bool Parser::parseInstruction(Function &F) {
     }
     if (!expect(TokenKind::RParen, "')'"))
       return false;
-    CallFixups.push_back({Inst.get(), Callee});
+    PendingCallee = Callee;
     break;
   }
   default: {
@@ -406,7 +409,11 @@ bool Parser::parseInstruction(Function &F) {
   }
   }
 
-  CurrentBlock->append(std::move(Inst));
+  Instruction *Placed = CurrentBlock->append(std::move(Inst));
+  if (*Op == Opcode::Call) {
+    CallFixups.push_back({Placed, PendingCallee});
+    PendingCallee.clear();
+  }
   return true;
 }
 

@@ -4,11 +4,18 @@
 
 using namespace sxe;
 
-FunctionAnalyses &PassContext::analyses(Function &F) {
-  auto &Slot = Cache[&F];
+AnalysisCache &PassContext::cache(Function &F) {
+  auto &Slot = Caches[&F];
   if (!Slot)
-    Slot = std::make_unique<FunctionAnalyses>(F, Config.Profile);
+    Slot = std::make_unique<AnalysisCache>(F, Config.Target, Config.Profile,
+                                           Config.MaxArrayLen,
+                                           Config.EnableGuardRanges);
   return *Slot;
 }
 
-void PassContext::invalidateAnalyses(Function &F) { Cache.erase(&F); }
+AnalysisCacheStats PassContext::cacheStats() const {
+  AnalysisCacheStats Total;
+  for (const auto &[F, C] : Caches)
+    Total += C->stats();
+  return Total;
+}

@@ -10,10 +10,12 @@
 /// context object threaded through a PassManager run. The context owns:
 ///
 ///  - the stat registry (pm/PassStats.h) the SXE_PASS_STAT macro targets;
-///  - a per-function cache of the block-level analyses (CFG, dominators,
-///    loops, block frequencies) shared by insertion, order determination,
-///    and elimination — a pass that does not change the block structure
-///    declares preservesCFG() and leaves the cache valid;
+///  - a per-function AnalysisCache (analysis/AnalysisCache.h) shared by
+///    every phase. Invalidation is by the function's mutation epochs, not
+///    by pass declarations: a pass that does not change the block
+///    structure leaves cfgEpoch() alone and the block-tier analyses
+///    survive it automatically (preservesCFG() remains as declarative
+///    metadata);
 ///  - the inter-pass plumbing the Figure 5 phases hand each other: the
 ///    list of extensions phase (3)-1 inserted and the elimination order
 ///    phase (3)-2 chose;
@@ -29,10 +31,7 @@
 #ifndef SXE_PM_PASS_H
 #define SXE_PM_PASS_H
 
-#include "analysis/BlockFrequency.h"
-#include "analysis/CFG.h"
-#include "analysis/Dominators.h"
-#include "analysis/LoopInfo.h"
+#include "analysis/AnalysisCache.h"
 #include "pm/PassStats.h"
 #include "support/Timer.h"
 #include "sxe/Pipeline.h"
@@ -45,18 +44,6 @@ namespace sxe {
 
 class RemarkCollector;
 class TraceCollector;
-
-/// The block-level analyses shared between the sign-extension phases,
-/// built once per function and cached until the CFG changes.
-struct FunctionAnalyses {
-  FunctionAnalyses(Function &F, const ProfileInfo *Profile)
-      : Cfg(F), Dom(Cfg), Loops(Cfg, Dom), Freq(Cfg, Loops, Profile) {}
-
-  CFG Cfg;
-  Dominators Dom;
-  LoopInfo Loops;
-  BlockFrequency Freq;
-};
 
 /// State threaded through one PassManager run over one module.
 class PassContext {
@@ -79,12 +66,15 @@ public:
   /// The trace-span sink for this run, or null when tracing is off.
   TraceCollector *trace() { return Trace; }
 
-  /// The cached analyses for \p F, built on first request.
-  FunctionAnalyses &analyses(Function &F);
+  /// The shared analysis cache for \p F, created on first request and
+  /// configured from this run's PipelineConfig. Analyses rebuild lazily
+  /// when the function's mutation epochs move; no explicit invalidation
+  /// calls are needed (or exist).
+  AnalysisCache &cache(Function &F);
 
-  /// Drops the cached analyses for \p F (called by the manager after any
-  /// pass that does not preserve the CFG).
-  void invalidateAnalyses(Function &F);
+  /// Sum of the analysis-cache counters across every function of the run.
+  /// Observability only; not part of the sxe.pass-stats.v1 schema.
+  AnalysisCacheStats cacheStats() const;
 
   /// Extensions inserted into \p F by phase (3)-1 (insertion pass output,
   /// order determination input).
@@ -105,7 +95,7 @@ private:
   PassStats *Stats;
   RemarkCollector *Remarks = nullptr;
   TraceCollector *Trace = nullptr;
-  std::unordered_map<Function *, std::unique_ptr<FunctionAnalyses>> Cache;
+  std::unordered_map<Function *, std::unique_ptr<AnalysisCache>> Caches;
   std::unordered_map<Function *, std::vector<Instruction *>> InsertedMap;
   std::unordered_map<Function *, std::vector<Instruction *>> OrderMap;
   Timer ChainTimer;

@@ -53,11 +53,8 @@ bool PassManager::run(Module &M, PassContext &Ctx) {
 
     uint64_t WallStart = wallNowNanos();
     uint64_t CpuStart = threadCpuNanos();
-    for (const auto &FPtr : M.functions()) {
-      P.run(*FPtr, Ctx);
-      if (!P.preservesCFG())
-        Ctx.invalidateAnalyses(*FPtr);
-    }
+    for (const auto &FPtr : M.functions())
+      P.run(*FPtr, Ctx); // Cached analyses self-invalidate by epoch.
     uint64_t WallEnd = wallNowNanos();
     T.WallNanos += WallEnd - WallStart;
     T.CpuNanos += threadCpuNanos() - CpuStart;

@@ -58,7 +58,7 @@ public:
   const char *name() const override { return "general-opts"; }
   Group group() const override { return Group::GeneralOpts; }
   void run(Function &F, PassContext &Ctx) override {
-    SXE_PASS_STAT(Ctx, rewrites) += runGeneralOpts(F, *Ctx.config().Target);
+    SXE_PASS_STAT(Ctx, rewrites) += runGeneralOpts(F, *Ctx.config().Target, &Ctx.cache(F));
   }
 };
 
@@ -67,7 +67,7 @@ public:
   const char *name() const override { return "simplify-cfg"; }
   Group group() const override { return Group::GeneralOpts; }
   void run(Function &F, PassContext &Ctx) override {
-    SXE_PASS_STAT(Ctx, blocks_removed) += runSimplifyCFG(F);
+    SXE_PASS_STAT(Ctx, blocks_removed) += runSimplifyCFG(F, &Ctx.cache(F));
   }
 };
 
@@ -87,7 +87,7 @@ public:
   Group group() const override { return Group::GeneralOpts; }
   bool preservesCFG() const override { return true; }
   void run(Function &F, PassContext &Ctx) override {
-    unsigned Moved = runExtensionPRE(F, *Ctx.config().Target);
+    unsigned Moved = runExtensionPRE(F, *Ctx.config().Target, &Ctx.cache(F));
     SXE_PASS_STAT(Ctx, ext_removed_or_hoisted) += Moved;
     addSummaryRemark(Ctx, name(), F, RemarkDecision::Moved, Moved);
   }
@@ -99,7 +99,7 @@ public:
   Group group() const override { return Group::GeneralOpts; }
   bool preservesCFG() const override { return true; }
   void run(Function &F, PassContext &Ctx) override {
-    SXE_PASS_STAT(Ctx, instrs_removed) += runDeadCodeElim(F);
+    SXE_PASS_STAT(Ctx, instrs_removed) += runDeadCodeElim(F, &Ctx.cache(F));
   }
 };
 
@@ -123,11 +123,12 @@ public:
     unsigned Placed = 0;
     if (UsePDE) {
       SXE_PASS_STAT_FLAG(Ctx, pde_variant) = 1;
-      Placed = runPDEInsertion(F, *Ctx.config().Target, &Inserted);
+      Placed = runPDEInsertion(F, *Ctx.config().Target, &Inserted,
+                              &Ctx.cache(F));
     } else {
       SXE_PASS_STAT_FLAG(Ctx, pde_variant) = 0;
       Placed = runSimpleInsertion(F, *Ctx.config().Target, &Inserted,
-                                  &Ctx.analyses(F).Loops);
+                                  &Ctx.cache(F).loops());
     }
     SXE_PASS_STAT(Ctx, sext_inserted) += Placed;
     addSummaryRemark(Ctx, name(), F, RemarkDecision::Inserted, Placed);
@@ -150,12 +151,12 @@ public:
       const std::vector<Instruction *> &Inserted = Ctx.inserted(F);
       std::unordered_set<Instruction *> InsertedSet(Inserted.begin(),
                                                     Inserted.end());
-      FunctionAnalyses &A = Ctx.analyses(F);
+      AnalysisCache &A = Ctx.cache(F);
       Order = extensionsByFrequency(F, Ctx.config().Profile, &InsertedSet,
-                                    &A.Cfg, &A.Freq);
+                                    &A.cfg(), &A.frequencies());
     } else {
       SXE_PASS_STAT_FLAG(Ctx, by_frequency) = 0;
-      Order = extensionsInReverseDFS(F);
+      Order = extensionsInReverseDFS(F, &Ctx.cache(F).cfg());
     }
     SXE_PASS_STAT(Ctx, extensions_ordered) += Order.size();
   }
@@ -172,15 +173,16 @@ public:
     const PipelineConfig &Config = Ctx.config();
     // A preceding order-determination pass normally decides the order;
     // standalone stacks fall back to the order-off default (reverse DFS).
-    std::vector<Instruction *> Order = Ctx.hasOrder(F)
-                                           ? Ctx.order(F)
-                                           : extensionsInReverseDFS(F);
+    std::vector<Instruction *> Order =
+        Ctx.hasOrder(F) ? Ctx.order(F)
+                        : extensionsInReverseDFS(F, &Ctx.cache(F).cfg());
     EliminationOptions Options;
     Options.Target = Config.Target;
     Options.EnableArrayTheorems = Config.EnableArrayTheorems;
     Options.MaxArrayLen = Config.MaxArrayLen;
     Options.EnableInductiveArith = Config.EnableInductiveArith;
     Options.EnableGuardRanges = Config.EnableGuardRanges;
+    Options.Cache = &Ctx.cache(F);
     Options.ChainTimer = &Ctx.chainTimer();
     Options.Remarks = Ctx.remarks();
     EliminationStats ES = runElimination(F, Order, Options);
@@ -204,7 +206,7 @@ public:
   bool preservesCFG() const override { return true; }
   void run(Function &F, PassContext &Ctx) override {
     SXE_PASS_STAT(Ctx, sext_eliminated) +=
-        runFirstAlgorithm(F, *Ctx.config().Target);
+        runFirstAlgorithm(F, *Ctx.config().Target, &Ctx.cache(F));
   }
 };
 

@@ -1,0 +1,132 @@
+//===- support/Arena.h - Bump-pointer slab allocator -------------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena backing the IR of one Function. Allocation is a
+/// pointer increment; nothing is ever freed individually. The arena does
+/// NOT run destructors: owners that allocate non-trivially-destructible
+/// objects (Instruction owns a std::vector) must invoke the destructor
+/// explicitly before abandoning an object (see BasicBlock::erase), and the
+/// enclosing Function destroys every live object before the arena itself
+/// dies. reset() rewinds to the first slab and reuses the memory already
+/// reserved; it is only legal once every object in the arena has been
+/// destroyed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_ARENA_H
+#define SXE_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace sxe {
+
+/// Bump-pointer allocator over malloc'd slabs with geometric growth.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    for (const Slab &S : Slabs)
+      std::free(S.Base);
+  }
+
+  /// Returns \p Bytes of storage aligned to \p Align.
+  void *allocate(size_t Bytes, size_t Align) {
+    uintptr_t P = (Cur + (Align - 1)) & ~static_cast<uintptr_t>(Align - 1);
+    if (P + Bytes > End) {
+      newSlab(Bytes + Align);
+      P = (Cur + (Align - 1)) & ~static_cast<uintptr_t>(Align - 1);
+    }
+    Cur = P + Bytes;
+    Allocated += Bytes;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Constructs a T in the arena. The caller owns the object's lifetime:
+  /// the arena never calls ~T.
+  template <typename T, typename... Args> T *create(Args &&...ArgList) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(ArgList)...);
+  }
+
+  /// Rewinds the bump pointer to the start of the first slab, keeping the
+  /// reserved memory for reuse. Every object previously created must
+  /// already have been destroyed.
+  void reset() {
+    Allocated = 0;
+    CurSlab = 0;
+    if (Slabs.empty()) {
+      Cur = End = 0;
+      return;
+    }
+    Cur = reinterpret_cast<uintptr_t>(Slabs[0].Base);
+    End = Cur + Slabs[0].Size;
+  }
+
+  /// Total bytes handed out since construction or the last reset().
+  size_t bytesAllocated() const { return Allocated; }
+
+  /// Total bytes of slab memory reserved from the system.
+  size_t bytesReserved() const {
+    size_t Sum = 0;
+    for (const Slab &S : Slabs)
+      Sum += S.Size;
+    return Sum;
+  }
+
+  size_t numSlabs() const { return Slabs.size(); }
+
+private:
+  struct Slab {
+    void *Base;
+    size_t Size;
+  };
+
+  void newSlab(size_t AtLeast) {
+    // After reset() earlier slabs are reused before growing.
+    while (CurSlab + 1 < Slabs.size()) {
+      ++CurSlab;
+      Cur = reinterpret_cast<uintptr_t>(Slabs[CurSlab].Base);
+      End = Cur + Slabs[CurSlab].Size;
+      if (Cur + AtLeast <= End)
+        return;
+    }
+    size_t Size = Slabs.empty() ? FirstSlabBytes : Slabs.back().Size * 2;
+    if (Size > MaxSlabBytes)
+      Size = MaxSlabBytes;
+    if (Size < AtLeast)
+      Size = AtLeast;
+    void *Base = std::malloc(Size);
+    if (!Base)
+      throw std::bad_alloc();
+    Slabs.push_back(Slab{Base, Size});
+    CurSlab = Slabs.size() - 1;
+    Cur = reinterpret_cast<uintptr_t>(Base);
+    End = Cur + Size;
+  }
+
+  static constexpr size_t FirstSlabBytes = 4096;
+  static constexpr size_t MaxSlabBytes = 1u << 20;
+
+  std::vector<Slab> Slabs;
+  size_t CurSlab = 0;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t Allocated = 0;
+};
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_ARENA_H

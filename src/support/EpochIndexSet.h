@@ -1,0 +1,83 @@
+//===- support/EpochIndexSet.h - Reusable dense visited set ------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of small integer keys tuned for the elimination queries, which
+/// clear their visited sets thousands of times per function. Membership is
+/// one array compare; clear() is an epoch bump (O(1)); and a watermark /
+/// rollback pair gives the copy-on-branch semantics AnalyzeDEF's And-nodes
+/// need (speculatively visit, then discard the speculation) without ever
+/// copying a hash set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SUPPORT_EPOCHINDEXSET_H
+#define SXE_SUPPORT_EPOCHINDEXSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sxe {
+
+/// Dense integer set with O(1) clear and rollback-to-watermark.
+class EpochIndexSet {
+public:
+  /// Grows the key universe to at least \p Universe keys.
+  void reserve(size_t Universe) {
+    if (Marks.size() < Universe)
+      Marks.resize(Universe, 0);
+  }
+
+  /// Inserts \p Key; returns true when the key was already present.
+  /// (Matches the unordered_set-insert idiom `!insert(K).second`.)
+  bool testAndSet(uint32_t Key) {
+    if (Key >= Marks.size())
+      Marks.resize(Key + 1, 0);
+    if (Marks[Key] == Epoch)
+      return true;
+    Marks[Key] = Epoch;
+    Log.push_back(Key);
+    return false;
+  }
+
+  bool contains(uint32_t Key) const {
+    return Key < Marks.size() && Marks[Key] == Epoch;
+  }
+
+  /// Empties the set in O(1).
+  void clear() {
+    Log.clear();
+    if (++Epoch == 0) { // Wrapped: wipe stale marks so none alias epoch 0.
+      Marks.assign(Marks.size(), 0);
+      Epoch = 1;
+    }
+  }
+
+  /// Number of keys inserted since the last clear().
+  size_t size() const { return Log.size(); }
+
+  /// Marks the current insertion point. rollback() to it erases every key
+  /// inserted after the watermark, keeping earlier ones.
+  size_t watermark() const { return Log.size(); }
+
+  void rollback(size_t Watermark) {
+    while (Log.size() > Watermark) {
+      Marks[Log.back()] = Epoch - 1;
+      Log.pop_back();
+    }
+  }
+
+private:
+  std::vector<uint32_t> Marks;
+  std::vector<uint32_t> Log;
+  uint32_t Epoch = 1;
+};
+
+} // namespace sxe
+
+#endif // SXE_SUPPORT_EPOCHINDEXSET_H

@@ -10,11 +10,11 @@ using namespace sxe;
 
 namespace {
 
-std::unique_ptr<Instruction> makeExtend(unsigned Bits, Reg R) {
+Instruction *makeExtend(Function &F, unsigned Bits, Reg R) {
   Opcode Op = Bits == 8    ? Opcode::Sext8
               : Bits == 16 ? Opcode::Sext16
                            : Opcode::Sext32;
-  auto Ext = std::make_unique<Instruction>(Op);
+  Instruction *Ext = F.newInstruction(Op);
   Ext->setDest(R);
   Ext->addOperand(R);
   return Ext;
@@ -36,7 +36,7 @@ unsigned convertAfterDef(Function &F, const TargetInfo &Target) {
       NeedExtend.push_back(&I);
     }
     for (Instruction *Def : NeedExtend) {
-      BB->insertAfter(Def, makeExtend(canonicalRegBits(F, Def->dest()),
+      BB->insertAfter(Def, makeExtend(F, canonicalRegBits(F, Def->dest()),
                                       Def->dest()));
       ++Generated;
     }
@@ -91,7 +91,7 @@ unsigned convertBeforeUse(Function &F, const TargetInfo &Target) {
       }
     }
     for (const auto &[Use, R] : Insertions) {
-      BB->insertBefore(Use, makeExtend(canonicalRegBits(F, R), R));
+      BB->insertBefore(Use, makeExtend(F, canonicalRegBits(F, R), R));
       ++Generated;
     }
   }

@@ -2,17 +2,15 @@
 
 #include "sxe/Elimination.h"
 
-#include "analysis/CFG.h"
-#include "analysis/UseDefChains.h"
-#include "analysis/ValueRange.h"
+#include "analysis/AnalysisCache.h"
 #include "ir/Opcode.h"
 #include "obs/Remarks.h"
 #include "sxe/ExtensionFacts.h"
+#include "support/EpochIndexSet.h"
 #include "support/Error.h"
 
+#include <deque>
 #include <memory>
-
-#include <unordered_set>
 
 using namespace sxe;
 
@@ -21,22 +19,42 @@ namespace {
 constexpr int64_t Int32Max = 0x7FFFFFFF;
 
 /// One EliminateOneExtend run uses visited sets in place of the paper's
-/// per-instruction USE/DEF/ARRAY flag bits: the set key carries the
-/// operand index, which matters when one instruction uses the register in
-/// operands with different semantics (e.g. `a[i] = i`).
-struct VisitKey {
-  const void *Ptr;
-  unsigned Index;
-  bool operator==(const VisitKey &Other) const {
-    return Ptr == Other.Ptr && Index == Other.Index;
+/// per-instruction USE/DEF/ARRAY flag bits. The sets are keyed by dense
+/// indices derived from the instruction numbering — the operand slot for
+/// AnalyzeUSE (the operand index matters when one instruction uses the
+/// register in operands with different semantics, e.g. `a[i] = i`), and
+/// the instruction number (times a small fact index for extendedness
+/// queries) everywhere else.
+///
+/// The mutually recursive queries each start "fresh" visited sets; this
+/// LIFO pool hands out cleared EpochIndexSets so a fresh set costs an
+/// epoch bump instead of a hash-set allocation. Release order follows
+/// scope exit, which matches the recursion.
+struct VisitPool {
+  size_t Universe = 0;
+  std::deque<EpochIndexSet> Sets;
+  size_t Depth = 0;
+
+  EpochIndexSet &acquire() {
+    if (Depth == Sets.size())
+      Sets.emplace_back();
+    EpochIndexSet &S = Sets[Depth++];
+    S.reserve(Universe);
+    S.clear();
+    return S;
   }
+  void release() { --Depth; }
 };
-struct VisitKeyHash {
-  size_t operator()(const VisitKey &Key) const {
-    return std::hash<const void *>()(Key.Ptr) * 31 + Key.Index;
-  }
+
+/// Scope guard for one pooled visited set.
+struct ScopedVisit {
+  VisitPool &Pool;
+  EpochIndexSet &Set;
+  explicit ScopedVisit(VisitPool &Pool) : Pool(Pool), Set(Pool.acquire()) {}
+  ~ScopedVisit() { Pool.release(); }
+  ScopedVisit(const ScopedVisit &) = delete;
+  ScopedVisit &operator=(const ScopedVisit &) = delete;
 };
-using VisitSet = std::unordered_set<VisitKey, VisitKeyHash>;
 
 /// The elimination engine for one function.
 class Eliminator {
@@ -49,13 +67,29 @@ public:
     // the chains too); both are timed under the analysis bucket.
     if (Options.ChainTimer)
       Options.ChainTimer->start();
-    Cfg = std::make_unique<CFG>(F);
-    Chains = std::make_unique<UseDefChains>(F, *Cfg);
-    Ranges = std::make_unique<ValueRange>(F, *Chains, *Options.Target,
-                                          Options.MaxArrayLen,
-                                          Options.EnableGuardRanges);
+    if (Options.Cache) {
+      // Cache hits cost (and therefore time) nothing here — exactly the
+      // point: a pipeline that kept the snapshot valid since the last
+      // build skips chain creation entirely.
+      Chains = &Options.Cache->chains();
+      Ranges = &Options.Cache->ranges();
+    } else {
+      OwnCfg = std::make_unique<CFG>(F);
+      OwnChains = std::make_unique<UseDefChains>(F, *OwnCfg);
+      OwnRanges = std::make_unique<ValueRange>(F, *OwnChains,
+                                               *Options.Target,
+                                               Options.MaxArrayLen,
+                                               Options.EnableGuardRanges,
+                                               OwnCfg.get());
+      Chains = OwnChains.get();
+      Ranges = OwnRanges.get();
+    }
     if (Options.ChainTimer)
       Options.ChainTimer->stop();
+    const size_t NumInsts = F.numberInstructions().NumInsts;
+    Pool.Universe = NumInsts * NumExtFacts;
+    UseVisited.reserve(Chains->numOperandSlots());
+    ArrayVisited.reserve(NumInsts);
   }
 
   EliminationStats run(const std::vector<Instruction *> &Order);
@@ -76,28 +110,41 @@ private:
 
   /// Theorem check for one definition reaching an array subscript.
   bool subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
-                      uint32_t MaxLen, VisitSet &Visited);
+                      uint32_t MaxLen, EpochIndexSet &Visited);
 
   // --- Live extension-state queries (AnalyzeDEF generalized) -------------
 
   /// True if every definition reaching operand \p OpIndex of \p User
   /// produces a \p Bits-extended value (the current EXT masked out).
   bool useExtended(const Instruction *User, unsigned OpIndex, unsigned Bits,
-                   VisitSet &Visited);
+                   EpochIndexSet &Visited);
 
   /// True if \p Def produces a \p Bits-extended value.
   /// \p AllowUpperZeroRule breaks the mutual recursion with the
   /// upper-zero query.
-  bool defExtended(const Instruction *Def, unsigned Bits, VisitSet &Visited,
-                   bool AllowUpperZeroRule = true);
+  bool defExtended(const Instruction *Def, unsigned Bits,
+                   EpochIndexSet &Visited, bool AllowUpperZeroRule = true);
 
   /// True if every definition reaching operand \p OpIndex of \p User
   /// leaves the register's upper 32 bits zero.
   bool useUpperZero(const Instruction *User, unsigned OpIndex,
-                    VisitSet &Visited);
+                    EpochIndexSet &Visited);
 
   /// True if \p Def leaves the register's upper 32 bits zero.
-  bool defUpperZero(const Instruction *Def, VisitSet &Visited);
+  bool defUpperZero(const Instruction *Def, EpochIndexSet &Visited);
+
+  /// Distinct extendedness facts per instruction (8-, 16-, 32-bit), giving
+  /// the key stride of the defExtended visited sets.
+  static constexpr unsigned NumExtFacts = 3;
+
+  /// Visited-set key of "Def produces a Bits-extended value".
+  uint32_t extKey(const Instruction *Def, unsigned Bits) const {
+    assert((Bits == 8 || Bits == 16 || Bits == 32) &&
+           "extension width outside the fact universe");
+    assert(Def->num() != Instruction::Unnumbered &&
+           "definition outside the analysis snapshot");
+    return Def->num() * NumExtFacts + (Bits == 8 ? 0 : Bits == 16 ? 1 : 2);
+  }
 
   /// Extension state of the function-entry definition of \p R.
   bool entryExtended(Reg R, unsigned Bits) const;
@@ -112,15 +159,19 @@ private:
 
   Function &F;
   const EliminationOptions &Options;
-  std::unique_ptr<CFG> Cfg;
-  std::unique_ptr<UseDefChains> Chains;
-  std::unique_ptr<ValueRange> Ranges;
+  /// Private analyses, used only when no shared cache was supplied.
+  std::unique_ptr<CFG> OwnCfg;
+  std::unique_ptr<UseDefChains> OwnChains;
+  std::unique_ptr<ValueRange> OwnRanges;
+  UseDefChains *Chains = nullptr;
+  ValueRange *Ranges = nullptr;
   EliminationStats Stats;
 
   const Instruction *CurrentExt = nullptr;
   unsigned CurrentBits = 32;
-  VisitSet UseVisited;   ///< AnalyzeUSE traversal marks.
-  VisitSet ArrayVisited; ///< AnalyzeARRAY per-access marks.
+  VisitPool Pool;             ///< Fresh-set pool for the recursive queries.
+  EpochIndexSet UseVisited;   ///< AnalyzeUSE marks, keyed by operand slot.
+  EpochIndexSet ArrayVisited; ///< AnalyzeARRAY marks, keyed by inst number.
 
   /// Remark attribution for the extension under analysis: the innermost
   /// use that first answered "requires the extension" (for retained
@@ -173,7 +224,7 @@ bool Eliminator::entryUpperZero(Reg R) const {
 }
 
 bool Eliminator::useExtended(const Instruction *User, unsigned OpIndex,
-                             unsigned Bits, VisitSet &Visited) {
+                             unsigned Bits, EpochIndexSet &Visited) {
   const auto &Defs = Chains->defsOf(User, OpIndex);
   if (Defs.empty())
     return false; // No chain info: be conservative.
@@ -190,7 +241,8 @@ bool Eliminator::useExtended(const Instruction *User, unsigned OpIndex,
 }
 
 bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
-                             VisitSet &Visited, bool AllowUpperZeroRule) {
+                             EpochIndexSet &Visited,
+                             bool AllowUpperZeroRule) {
   if (QueryDepth > MaxQueryDepth)
     return false; // Cross-world cycle: give up conservatively.
   DepthGuard Guard(QueryDepth);
@@ -198,7 +250,7 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
   // Coinductive cycle treatment, like the paper's DEF flag: a revisit
   // assumes the fact, which is sound because every propagating step
   // preserves extendedness around the cycle.
-  if (!Visited.insert(VisitKey{Def, Bits}).second)
+  if (Visited.testAndSet(extKey(Def, Bits)))
     return true;
 
   // Never let the extension under analysis justify itself: look through
@@ -223,8 +275,8 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
 
   // A zero-upper register holding a non-negative int32 is sign-extended.
   if (Bits == 32 && AllowUpperZeroRule && R.fitsInt32() && R.Lo >= 0) {
-    VisitSet UZVisited;
-    if (defUpperZero(Def, UZVisited))
+    ScopedVisit UZ(Pool);
+    if (defUpperZero(Def, UZ.Set))
       return true;
   }
 
@@ -286,8 +338,8 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
         continue;
       if (Bits < 64 && OpRange.Hi >= (int64_t(1) << (Bits - 1)))
         continue;
-      VisitSet UZVisited;
-      if (useUpperZero(Def, Index, UZVisited))
+      ScopedVisit UZ(Pool);
+      if (useUpperZero(Def, Index, UZ.Set))
         return true;
     }
     break;
@@ -322,7 +374,7 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
 }
 
 bool Eliminator::useUpperZero(const Instruction *User, unsigned OpIndex,
-                              VisitSet &Visited) {
+                              EpochIndexSet &Visited) {
   const auto &Defs = Chains->defsOf(User, OpIndex);
   if (Defs.empty())
     return false;
@@ -338,12 +390,15 @@ bool Eliminator::useUpperZero(const Instruction *User, unsigned OpIndex,
   return true;
 }
 
-bool Eliminator::defUpperZero(const Instruction *Def, VisitSet &Visited) {
+bool Eliminator::defUpperZero(const Instruction *Def,
+                              EpochIndexSet &Visited) {
   if (QueryDepth > MaxQueryDepth)
     return false; // Cross-world cycle: give up conservatively.
   DepthGuard Guard(QueryDepth);
 
-  if (!Visited.insert(VisitKey{Def, 0}).second)
+  assert(Def->num() != Instruction::Unnumbered &&
+         "definition outside the analysis snapshot");
+  if (Visited.testAndSet(Def->num()))
     return true; // Coinductive, as in defExtended.
 
   if (Def == CurrentExt)
@@ -377,15 +432,16 @@ bool Eliminator::defUpperZero(const Instruction *Def, VisitSet &Visited) {
       return false;
     }
   case Opcode::And: {
-    // Zero AND anything is zero: one zero-upper operand suffices.
+    // Zero AND anything is zero: one zero-upper operand suffices. Each
+    // operand probe is speculative: marks it makes are rolled back when
+    // the probe fails, as with the reference copy-on-branch sets.
     if (!Def->isW32())
       return false;
     for (unsigned Index = 0; Index < 2; ++Index) {
-      VisitSet Sub = Visited;
-      if (useUpperZero(Def, Index, Sub)) {
-        Visited = std::move(Sub);
+      size_t Mark = Visited.watermark();
+      if (useUpperZero(Def, Index, Visited))
         return true;
-      }
+      Visited.rollback(Mark);
     }
     return false;
   }
@@ -402,16 +458,18 @@ bool Eliminator::defUpperZero(const Instruction *Def, VisitSet &Visited) {
 
   // A sign-extended non-negative value has a zero upper half.
   if (R.fitsInt32() && R.Lo >= 0) {
-    VisitSet ExtVisited;
-    if (defExtended(Def, 32, ExtVisited, /*AllowUpperZeroRule=*/false))
+    ScopedVisit Ext(Pool);
+    if (defExtended(Def, 32, Ext.Set, /*AllowUpperZeroRule=*/false))
       return true;
   }
   return false;
 }
 
 bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
-                                uint32_t MaxLen, VisitSet &Visited) {
-  if (!Visited.insert(VisitKey{Def, 1}).second)
+                                uint32_t MaxLen, EpochIndexSet &Visited) {
+  assert(Def->num() != Instruction::Unnumbered &&
+         "definition outside the analysis snapshot");
+  if (Visited.testAndSet(Def->num()))
     return true; // Coinductive over copy/extend cycles.
 
   // The Theorem 2/4 lower bound: (maxlen-1) - 0x7fffffff. With the Java
@@ -428,12 +486,12 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
                  entryUpperZero(Def->operand(0));
         continue;
       }
-      VisitSet Sub = Visited;
-      AllOK &= subscriptDefOK(SrcDef, Def->operand(0), MaxLen, Sub);
-      if (AllOK)
-        Visited = std::move(Sub);
-      else
+      size_t Mark = Visited.watermark();
+      AllOK &= subscriptDefOK(SrcDef, Def->operand(0), MaxLen, Visited);
+      if (!AllOK) {
+        Visited.rollback(Mark);
         break;
+      }
     }
     return AllOK;
   }
@@ -441,16 +499,16 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
   // Already sign-extended subscript: LS(e) from the bounds check makes the
   // full register equal the checked index.
   {
-    VisitSet ExtVisited;
-    if (defExtended(Def, 32, ExtVisited)) {
+    ScopedVisit Ext(Pool);
+    if (defExtended(Def, 32, Ext.Set)) {
       ++Stats.SubscriptExtended;
       return true;
     }
   }
   // Theorem 1: upper 32 bits zero.
   {
-    VisitSet UZVisited;
-    if (defUpperZero(Def, UZVisited)) {
+    ScopedVisit UZ(Pool);
+    if (defUpperZero(Def, UZ.Set)) {
       ++Stats.SubscriptTheorem1;
       return true;
     }
@@ -462,9 +520,16 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
       return false;
     // Theorems 2 and 4: i + j with both parts sign-extended and one part
     // in [(maxlen-1)-0x7fffffff, 0x7fffffff].
-    VisitSet E0, E1;
-    if (!useExtended(Def, 0, 32, E0) || !useExtended(Def, 1, 32, E1))
-      return false;
+    {
+      ScopedVisit E0(Pool);
+      if (!useExtended(Def, 0, 32, E0.Set))
+        return false;
+    }
+    {
+      ScopedVisit E1(Pool);
+      if (!useExtended(Def, 1, 32, E1.Set))
+        return false;
+    }
     ValueInterval R0 = use32Range(Def, 0);
     ValueInterval R1 = use32Range(Def, 1);
     if (R0.Lo >= LoBound || R1.Lo >= LoBound) {
@@ -483,17 +548,24 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
     ValueInterval R1 = use32Range(Def, 1);
     // Theorem 3: i - j with the upper 32 bits of i zero and 0 <= j.
     if (R1.Lo >= 0) {
-      VisitSet UZVisited;
-      if (useUpperZero(Def, 0, UZVisited)) {
+      ScopedVisit UZ(Pool);
+      if (useUpperZero(Def, 0, UZ.Set)) {
         ++Stats.ArrayUsesProven;
         ++Stats.SubscriptTheorem3;
         return true;
       }
     }
     // Theorems 2/4 applied to i + (-j): -j >= LoBound <=> j <= -LoBound.
-    VisitSet E0, E1;
-    if (!useExtended(Def, 0, 32, E0) || !useExtended(Def, 1, 32, E1))
-      return false;
+    {
+      ScopedVisit E0(Pool);
+      if (!useExtended(Def, 0, 32, E0.Set))
+        return false;
+    }
+    {
+      ScopedVisit E1(Pool);
+      if (!useExtended(Def, 1, 32, E1.Set))
+        return false;
+    }
     ValueInterval R0 = use32Range(Def, 0);
     bool NegJBounded = R1.Hi <= -LoBound && R1.Lo > INT32_MIN;
     if (R0.Lo >= LoBound || NegJBounded) {
@@ -528,7 +600,9 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
 bool Eliminator::analyzeArray(Instruction *Access) {
   // Paper flag semantics: an access already traversed reports "no new
   // requirement".
-  if (!ArrayVisited.insert(VisitKey{Access, 0}).second)
+  assert(Access->num() != Instruction::Unnumbered &&
+         "access outside the analysis snapshot");
+  if (ArrayVisited.testAndSet(Access->num()))
     return false;
 
   assert((Access->opcode() == Opcode::ArrayLoad ||
@@ -549,8 +623,8 @@ bool Eliminator::analyzeArray(Instruction *Access) {
                entryUpperZero(Access->operand(1));
       continue;
     }
-    VisitSet Visited;
-    AllOK &= subscriptDefOK(Def, Access->operand(1), MaxLen, Visited);
+    ScopedVisit Visited(Pool);
+    AllOK &= subscriptDefOK(Def, Access->operand(1), MaxLen, Visited.Set);
     if (!AllOK)
       break;
   }
@@ -559,7 +633,10 @@ bool Eliminator::analyzeArray(Instruction *Access) {
 
 bool Eliminator::analyzeUse(Instruction *User, unsigned OpIndex,
                             bool AnalyzeArray) {
-  if (!UseVisited.insert(VisitKey{User, OpIndex}).second)
+  unsigned Slot = Chains->slotOf(User, OpIndex);
+  if (Slot == ~0u)
+    reportFatalError("analyzeUse: operand outside the chain snapshot");
+  if (UseVisited.testAndSet(Slot))
     return false;
 
   // Case 1: the instruction never reads the bits the extension fixes.
@@ -617,8 +694,8 @@ bool Eliminator::analyzeExtend(Instruction *Ext) {
 
   // Second chance (the paper's UD-chain loop over AnalyzeDEF): the source
   // may already be extended.
-  VisitSet Visited;
-  if (useExtended(Ext, 0, CurrentBits, Visited)) {
+  ScopedVisit Visited(Pool);
+  if (useExtended(Ext, 0, CurrentBits, Visited.Set)) {
     ++Stats.EliminatedViaDefs;
     CurrentExt = nullptr;
     return false;

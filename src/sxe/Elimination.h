@@ -53,6 +53,13 @@ class RemarkCollector;
 /// Configuration of the elimination phase.
 struct EliminationOptions {
   const TargetInfo *Target = nullptr;
+  /// When set, the CFG, UD/DU chains, and value ranges come from this
+  /// shared cache instead of private builds; its configuration (target,
+  /// array-length limit, guard toggle) must match these options. The
+  /// phase mutates the cached chains incrementally as it eliminates; each
+  /// splice accompanies an IR mutation, so the snapshot epoch-invalidates
+  /// before any later consumer reads it.
+  class AnalysisCache *Cache = nullptr;
   bool EnableArrayTheorems = false;
   uint32_t MaxArrayLen = 0x7FFFFFFF;
   /// Ablation toggle: the inductive add/sub/mul rule in the live

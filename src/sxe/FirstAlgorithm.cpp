@@ -2,7 +2,7 @@
 
 #include "sxe/FirstAlgorithm.h"
 
-#include "analysis/CFG.h"
+#include "analysis/AnalysisCache.h"
 #include "sxe/ExtensionFacts.h"
 
 #include <unordered_map>
@@ -43,8 +43,14 @@ void applyTransfer(const Function &F, const TargetInfo &Target,
 
 } // namespace
 
-unsigned sxe::runFirstAlgorithm(Function &F, const TargetInfo &Target) {
-  CFG Cfg(F);
+unsigned sxe::runFirstAlgorithm(Function &F, const TargetInfo &Target,
+                                AnalysisCache *Cache) {
+  std::unique_ptr<AnalysisCache> Own;
+  if (!Cache) {
+    Own = std::make_unique<AnalysisCache>(F);
+    Cache = Own.get();
+  }
+  const CFG &Cfg = Cache->cfg();
   const auto &RPO = Cfg.reversePostOrder();
   size_t Words = (F.numRegs() + 63) / 64;
 

@@ -27,9 +27,12 @@
 
 namespace sxe {
 
+class AnalysisCache;
+
 /// Runs the backward-dataflow elimination over \p F. Returns the number of
-/// extensions removed.
-unsigned runFirstAlgorithm(Function &F, const TargetInfo &Target);
+/// extensions removed. \p Cache, when given, supplies the CFG.
+unsigned runFirstAlgorithm(Function &F, const TargetInfo &Target,
+                           AnalysisCache *Cache = nullptr);
 
 } // namespace sxe
 

@@ -2,10 +2,7 @@
 
 #include "sxe/Insertion.h"
 
-#include "analysis/CFG.h"
-#include "analysis/Dominators.h"
-#include "analysis/LoopInfo.h"
-#include "analysis/UseDefChains.h"
+#include "analysis/AnalysisCache.h"
 #include "sxe/ExtensionFacts.h"
 
 #include <memory>
@@ -16,11 +13,11 @@ using namespace sxe;
 
 namespace {
 
-std::unique_ptr<Instruction> makeExtend(unsigned Bits, Reg R) {
+Instruction *makeExtend(Function &F, unsigned Bits, Reg R) {
   Opcode Op = Bits == 8    ? Opcode::Sext8
               : Bits == 16 ? Opcode::Sext16
                            : Opcode::Sext32;
-  auto Ext = std::make_unique<Instruction>(Op);
+  Instruction *Ext = F.newInstruction(Op);
   Ext->setDest(R);
   Ext->addOperand(R);
   return Ext;
@@ -100,7 +97,7 @@ unsigned sxe::runSimpleInsertion(Function &F, const TargetInfo &Target,
     if (obviouslyExtended(F, Target, *Use->parent(), Use, R, Bits))
       continue;
     Instruction *Ext =
-        Use->parent()->insertBefore(Use, makeExtend(Bits, R));
+        Use->parent()->insertBefore(Use, makeExtend(F, Bits, R));
     if (Inserted)
       Inserted->push_back(Ext);
     ++Count;
@@ -109,13 +106,20 @@ unsigned sxe::runSimpleInsertion(Function &F, const TargetInfo &Target,
 }
 
 unsigned sxe::runPDEInsertion(Function &F, const TargetInfo &Target,
-                              std::vector<Instruction *> *Inserted) {
+                              std::vector<Instruction *> *Inserted,
+                              AnalysisCache *Cache) {
   // Sinking variant: only place an extension before a requiring use when
   // every reaching definition of the register is itself an extension of
   // that register — i.e. the extension is fully available and the insert
-  // merely moves it forward without lengthening any path.
-  CFG Cfg(F);
-  UseDefChains Chains(F, Cfg);
+  // merely moves it forward without lengthening any path. All chain
+  // queries happen in the planning loop, before any insertion mutates the
+  // function, so a cached snapshot is safe to use.
+  std::unique_ptr<AnalysisCache> Own;
+  if (!Cache) {
+    Own = std::make_unique<AnalysisCache>(F);
+    Cache = Own.get();
+  }
+  const UseDefChains &Chains = Cache->chains();
 
   std::vector<std::pair<Instruction *, Reg>> Planned;
   for (const auto &[Use, R] : collectRequiringUses(F, Target)) {
@@ -150,7 +154,7 @@ unsigned sxe::runPDEInsertion(Function &F, const TargetInfo &Target,
   unsigned Count = 0;
   for (const auto &[Use, R] : Planned) {
     Instruction *Ext = Use->parent()->insertBefore(
-        Use, makeExtend(canonicalRegBits(F, R), R));
+        Use, makeExtend(F, canonicalRegBits(F, R), R));
     if (Inserted)
       Inserted->push_back(Ext);
     ++Count;
@@ -176,12 +180,12 @@ unsigned sxe::insertDummyExtends(Function &F) {
       Accesses.push_back(&I);
     }
     for (Instruction *Access : Accesses) {
-      auto Dummy = std::make_unique<Instruction>(Opcode::JustExtended);
+      Instruction *Dummy = F.newInstruction(Opcode::JustExtended);
       Reg Index = Access->operand(1);
       Dummy->setDest(Index);
       Dummy->addOperand(Index);
       Dummy->setIntValue(0); // Length bound unknown here (0 = configured max).
-      BB->insertAfter(Access, std::move(Dummy));
+      BB->insertAfter(Access, Dummy);
       ++Inserted;
     }
   }

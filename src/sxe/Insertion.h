@@ -44,9 +44,11 @@ unsigned runSimpleInsertion(Function &F, const TargetInfo &Target,
                             const class LoopInfo *Loops = nullptr);
 
 /// Runs the PDE-variant insertion over \p F. Returns the number of
-/// extensions inserted (appended to \p Inserted when non-null).
+/// extensions inserted (appended to \p Inserted when non-null). \p Cache,
+/// when given, supplies the CFG and UD/DU chains for the planning phase.
 unsigned runPDEInsertion(Function &F, const TargetInfo &Target,
-                         std::vector<Instruction *> *Inserted = nullptr);
+                         std::vector<Instruction *> *Inserted = nullptr,
+                         class AnalysisCache *Cache = nullptr);
 
 /// Inserts dummy just_extended markers after array accesses. Returns the
 /// number of dummies inserted.

@@ -65,9 +65,14 @@ std::vector<Instruction *> sxe::extensionsByFrequency(
   return Result;
 }
 
-std::vector<Instruction *> sxe::extensionsInReverseDFS(Function &F) {
-  CFG Cfg(F);
-  const auto &DFO = Cfg.depthFirstOrder();
+std::vector<Instruction *>
+sxe::extensionsInReverseDFS(Function &F, const CFG *PrecomputedCfg) {
+  std::unique_ptr<CFG> OwnCfg;
+  if (!PrecomputedCfg) {
+    OwnCfg = std::make_unique<CFG>(F);
+    PrecomputedCfg = OwnCfg.get();
+  }
+  const auto &DFO = PrecomputedCfg->depthFirstOrder();
 
   std::vector<Instruction *> Result;
   for (auto It = DFO.rbegin(); It != DFO.rend(); ++It) {

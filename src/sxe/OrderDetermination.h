@@ -50,8 +50,11 @@ extensionsByFrequency(Function &F, const ProfileInfo *Profile,
 
 /// Extension instructions of \p F in reverse depth-first search order of
 /// their blocks (latest blocks first, backwards within each block) — the
-/// order used when order determination is disabled.
-std::vector<Instruction *> extensionsInReverseDFS(Function &F);
+/// order used when order determination is disabled. \p PrecomputedCfg,
+/// when given, must describe the current shape of \p F.
+std::vector<Instruction *>
+extensionsInReverseDFS(Function &F,
+                       const class CFG *PrecomputedCfg = nullptr);
 
 } // namespace sxe
 

@@ -247,4 +247,117 @@ TEST(InstructionTest, MorphToCopyKeepsIdentity) {
   ASSERT_TRUE(moduleVerifies(*M));
 }
 
+/// Two-block fixture for the numbering/epoch tests.
+std::unique_ptr<Module> makeTwoBlockFunction() {
+  auto M = std::make_unique<Module>("m");
+  Function *F = M->createFunction("f", Type::I32);
+  Reg N = F->addParam(Type::I32, "n");
+  IRBuilder B(F);
+  BasicBlock *Entry = B.startBlock("entry");
+  BasicBlock *Exit = F->createBlock("exit");
+  Reg T = B.add32(N, B.constI32(1), "t");
+  B.jmp(Exit);
+  B.setBlock(Exit);
+  B.ret(T);
+  (void)Entry;
+  return M;
+}
+
+TEST(NumberingTest, AssignsDenseLayoutOrder) {
+  auto M = makeTwoBlockFunction();
+  Function &F = *M->functions().front();
+
+  const Function::Numbering &Numbers = F.numberInstructions();
+  EXPECT_EQ(Numbers.NumBlocks, 2u);
+  EXPECT_EQ(Numbers.NumInsts, F.countInstructions());
+
+  uint32_t ExpectBlock = 0, ExpectInst = 0;
+  for (const auto &BB : F.blocks()) {
+    EXPECT_EQ(BB->num(), ExpectBlock++);
+    for (const Instruction &I : *BB)
+      EXPECT_EQ(I.num(), ExpectInst++);
+  }
+  EXPECT_EQ(ExpectInst, Numbers.NumInsts);
+}
+
+TEST(NumberingTest, CachedUntilMutationThenReassigned) {
+  auto M = makeTwoBlockFunction();
+  Function &F = *M->functions().front();
+
+  F.numberInstructions();
+  uint64_t Epoch = F.irEpoch();
+  F.numberInstructions(); // Cached: no epoch movement, same numbers.
+  EXPECT_EQ(F.irEpoch(), Epoch);
+
+  // A new instruction reads Unnumbered until the next numbering.
+  BasicBlock *Entry = F.entryBlock();
+  Reg Tmp = F.newReg(Type::I32, "tmp");
+  Instruction *Nop = F.newInstruction(Opcode::Copy);
+  Nop->setDest(Tmp);
+  Nop->addOperand(Tmp);
+  Entry->insertBefore(&*Entry->begin(), Nop);
+  EXPECT_EQ(Nop->num(), Instruction::Unnumbered);
+  EXPECT_GT(F.irEpoch(), Epoch);
+
+  const Function::Numbering &After = F.numberInstructions();
+  EXPECT_EQ(Nop->num(), 0u) << "layout order: new head instruction is 0";
+  EXPECT_EQ(After.NumInsts, F.countInstructions());
+}
+
+TEST(EpochTest, InstructionMutationsLeaveCfgEpochAlone) {
+  auto M = makeTwoBlockFunction();
+  Function &F = *M->functions().front();
+  uint64_t Ir = F.irEpoch(), Cfg = F.cfgEpoch();
+
+  BasicBlock *Entry = F.entryBlock();
+  Instruction *First = &*Entry->begin();
+  Reg Tmp = F.newReg(Type::I32, "tmp");
+  Instruction *Nop = F.newInstruction(Opcode::Copy);
+  Nop->setDest(Tmp);
+  Nop->addOperand(Tmp);
+  Entry->insertBefore(First, Nop);
+  EXPECT_GT(F.irEpoch(), Ir);
+  EXPECT_EQ(F.cfgEpoch(), Cfg) << "insert must not look like a CFG change";
+
+  Ir = F.irEpoch();
+  Entry->erase(Nop);
+  EXPECT_GT(F.irEpoch(), Ir);
+  EXPECT_EQ(F.cfgEpoch(), Cfg);
+}
+
+TEST(EpochTest, BlockMutationsBumpBothEpochs) {
+  auto M = makeTwoBlockFunction();
+  Function &F = *M->functions().front();
+  uint64_t Ir = F.irEpoch(), Cfg = F.cfgEpoch();
+
+  BasicBlock *BB = F.createBlock("extra");
+  EXPECT_GT(F.irEpoch(), Ir);
+  EXPECT_GT(F.cfgEpoch(), Cfg);
+
+  Ir = F.irEpoch();
+  Cfg = F.cfgEpoch();
+  F.eraseBlock(BB);
+  EXPECT_GT(F.irEpoch(), Ir);
+  EXPECT_GT(F.cfgEpoch(), Cfg);
+}
+
+TEST(ArenaIRTest, InstructionsLiveInTheFunctionArena) {
+  auto M = makeTwoBlockFunction();
+  Function &F = *M->functions().front();
+  EXPECT_GT(F.arena().bytesAllocated(), 0u);
+
+  // Ids are insertion-assigned and survive unrelated erasures.
+  BasicBlock *Entry = F.entryBlock();
+  Instruction *First = &*Entry->begin();
+  uint32_t FirstId = First->id();
+  Reg Tmp = F.newReg(Type::I32, "tmp");
+  Instruction *Nop = F.newInstruction(Opcode::Copy);
+  Nop->setDest(Tmp);
+  Nop->addOperand(Tmp);
+  Entry->insertBefore(First, Nop);
+  Entry->erase(Nop);
+  EXPECT_EQ(First->id(), FirstId);
+  ASSERT_TRUE(moduleVerifies(*M));
+}
+
 } // namespace

@@ -1,5 +1,7 @@
 //===- tests/support_test.cpp - Support library tests -------------------------------===//
 
+#include "support/Arena.h"
+#include "support/EpochIndexSet.h"
 #include "support/Format.h"
 #include "support/Json.h"
 #include "support/RNG.h"
@@ -225,6 +227,94 @@ TEST(JsonTest, ParserRejectsMalformedInput) {
     std::string Error;
     EXPECT_FALSE(parseJson(Text, V, Error)) << "accepted: " << Text;
   }
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndCounted) {
+  Arena A;
+  void *P8 = A.allocate(3, 8);
+  void *P16 = A.allocate(24, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P16) % 16, 0u);
+  EXPECT_EQ(A.bytesAllocated(), 27u);
+  EXPECT_GE(A.bytesReserved(), A.bytesAllocated());
+}
+
+TEST(ArenaTest, ResetReusesTheFirstSlab) {
+  Arena A;
+  void *First = A.allocate(64, 8);
+  // Force slab growth so reset has something to rewind across.
+  for (int I = 0; I < 1000; ++I)
+    A.allocate(256, 8);
+  size_t Slabs = A.numSlabs();
+  EXPECT_GT(Slabs, 1u);
+
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.numSlabs(), Slabs) << "reset must keep reserved memory";
+  void *Again = A.allocate(64, 8);
+  EXPECT_EQ(Again, First) << "reset must rewind to the first slab";
+}
+
+TEST(ArenaTest, CreatePlacesObjects) {
+  struct Pair {
+    int A;
+    int B;
+  };
+  Arena A;
+  Pair *P = A.create<Pair>(Pair{3, 4});
+  EXPECT_EQ(P->A, 3);
+  EXPECT_EQ(P->B, 4);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % alignof(Pair), 0u);
+}
+
+TEST(EpochIndexSetTest, TestAndSetMatchesInsertIdiom) {
+  EpochIndexSet S;
+  S.reserve(16);
+  EXPECT_FALSE(S.testAndSet(3));
+  EXPECT_TRUE(S.testAndSet(3));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(EpochIndexSetTest, ClearEmptiesWithoutTouchingMarks) {
+  EpochIndexSet S;
+  S.reserve(8);
+  S.testAndSet(1);
+  S.testAndSet(7);
+  S.clear();
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(1));
+  EXPECT_FALSE(S.testAndSet(7)) << "cleared keys must insert fresh";
+}
+
+TEST(EpochIndexSetTest, AutoGrowsPastReserve) {
+  EpochIndexSet S;
+  S.reserve(4);
+  EXPECT_FALSE(S.testAndSet(100));
+  EXPECT_TRUE(S.contains(100));
+}
+
+TEST(EpochIndexSetTest, RollbackDiscardsSpeculativeInserts) {
+  EpochIndexSet S;
+  S.reserve(32);
+  S.testAndSet(1);
+  S.testAndSet(2);
+  size_t W = S.watermark();
+  S.testAndSet(10);
+  S.testAndSet(11);
+  EXPECT_EQ(S.size(), 4u);
+  S.rollback(W);
+  EXPECT_EQ(S.size(), 2u);
+  EXPECT_TRUE(S.contains(1));
+  EXPECT_TRUE(S.contains(2));
+  EXPECT_FALSE(S.contains(10));
+  EXPECT_FALSE(S.contains(11));
+  // Rolled-back keys can be re-inserted and re-rolled-back repeatedly
+  // (the And-node speculation pattern).
+  EXPECT_FALSE(S.testAndSet(10));
+  S.rollback(W);
+  EXPECT_FALSE(S.contains(10));
 }
 
 } // namespace
