@@ -21,6 +21,16 @@ Function *Module::findFunction(const std::string &FuncName) {
   return nullptr;
 }
 
+void Module::eraseFunction(Function *F) {
+  for (auto It = Functions.begin(); It != Functions.end(); ++It) {
+    if (It->get() == F) {
+      Functions.erase(It);
+      return;
+    }
+  }
+  reportFatalError("eraseFunction: function not in this module");
+}
+
 const Function *Module::findFunction(const std::string &FuncName) const {
   for (const auto &F : Functions)
     if (F->name() == FuncName)

@@ -38,6 +38,11 @@ public:
   Function *findFunction(const std::string &FuncName);
   const Function *findFunction(const std::string &FuncName) const;
 
+  /// Destroys \p F and removes it from the module. The caller must have
+  /// removed every call site referencing it (the test-case reducer drops
+  /// helpers this way once their last call is gone).
+  void eraseFunction(Function *F);
+
   const std::vector<std::unique_ptr<Function>> &functions() const {
     return Functions;
   }

@@ -3,10 +3,23 @@
 #include "parser/Lexer.h"
 
 #include <cctype>
+#include <cstdio>
 
 using namespace sxe;
 
 namespace {
+
+/// Renders \p C for a diagnostic: the character itself when printable, a
+/// "\xNN" escape otherwise (fuzz input routinely lands control bytes and
+/// high-bit bytes here; echoing them raw corrupts the error message).
+std::string printableChar(char C) {
+  unsigned char U = static_cast<unsigned char>(C);
+  if (std::isprint(U))
+    return std::string(1, C);
+  char Buffer[8];
+  std::snprintf(Buffer, sizeof(Buffer), "\\x%02X", U);
+  return Buffer;
+}
 
 bool isIdentStart(char C) {
   return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
@@ -58,7 +71,7 @@ bool sxe::tokenize(const std::string &Source, std::vector<Token> &Tokens,
         ++Pos;
       if (Pos == Start) {
         Error = "line " + std::to_string(Line) + ": empty name after '" +
-                std::string(1, C) + "'";
+                printableChar(C) + "'";
         return false;
       }
       push(Kind, Source.substr(Start, Pos - Start));
@@ -139,7 +152,7 @@ bool sxe::tokenize(const std::string &Source, std::vector<Token> &Tokens,
       break;
     }
     Error = "line " + std::to_string(Line) + ": unexpected character '" +
-            std::string(1, C) + "'";
+            printableChar(C) + "'";
     return false;
   }
   push(TokenKind::End, "");

@@ -4,6 +4,10 @@
 
 #include "parser/Lexer.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <unordered_map>
@@ -11,6 +15,28 @@
 using namespace sxe;
 
 namespace {
+
+/// Renders token text for a diagnostic: escapes non-printable bytes and
+/// truncates pathologically long tokens. Fuzz input routinely lands
+/// control bytes inside string tokens; echoing them raw corrupts the
+/// error message.
+std::string quoted(const std::string &Text) {
+  const size_t MaxShown = 32;
+  std::string Out;
+  for (size_t Index = 0; Index < Text.size() && Index < MaxShown; ++Index) {
+    unsigned char U = static_cast<unsigned char>(Text[Index]);
+    if (std::isprint(U)) {
+      Out += Text[Index];
+    } else {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\x%02X", U);
+      Out += Buffer;
+    }
+  }
+  if (Text.size() > MaxShown)
+    Out += "...";
+  return Out;
+}
 
 std::optional<Type> typeByName(const std::string &Name) {
   if (Name == "void")
@@ -72,7 +98,15 @@ public:
 
 private:
   const Token &peek() const { return Tokens[Pos]; }
-  Token next() { return Tokens[Pos++]; }
+  Token next() {
+    // Never advance past the End sentinel: truncated input leaves callers
+    // peeking End forever and failing with a diagnostic, not reading past
+    // the token array.
+    Token T = Tokens[Pos];
+    if (T.Kind != TokenKind::End)
+      ++Pos;
+    return T;
+  }
   bool atEnd() const { return peek().Kind == TokenKind::End; }
 
   [[nodiscard]] bool fail(const std::string &Message) {
@@ -84,14 +118,15 @@ private:
   bool expect(TokenKind Kind, const char *What) {
     if (peek().Kind != Kind)
       return fail(std::string("expected ") + What + ", found '" +
-                  peek().Text + "'");
+                  quoted(peek().Text) + "'");
     next();
     return true;
   }
 
   bool expectIdent(const std::string &Word) {
     if (peek().Kind != TokenKind::Identifier || peek().Text != Word)
-      return fail("expected '" + Word + "', found '" + peek().Text + "'");
+      return fail("expected '" + Word + "', found '" + quoted(peek().Text) +
+                  "'");
     next();
     return true;
   }
@@ -101,7 +136,7 @@ private:
       return fail("expected a type name");
     auto Parsed = typeByName(peek().Text);
     if (!Parsed)
-      return fail("unknown type '" + peek().Text + "'");
+      return fail("unknown type '" + quoted(peek().Text) + "'");
     Ty = *Parsed;
     next();
     return true;
@@ -287,7 +322,7 @@ bool Parser::parseInstruction(Function &F) {
 
   auto Op = opcodeByMnemonic(Base);
   if (!Op)
-    return fail("unknown mnemonic '" + Base + "'");
+    return fail("unknown mnemonic '" + quoted(Base) + "'");
 
   auto Inst = std::make_unique<Instruction>(*Op);
   Inst->setDest(Dest);
@@ -325,13 +360,34 @@ bool Parser::parseInstruction(Function &F) {
   case Opcode::ConstInt: {
     if (peek().Kind != TokenKind::Number)
       return fail("expected an integer literal");
-    Inst->setIntValue(std::strtoll(next().Text.c_str(), nullptr, 0));
+    const std::string &Text = peek().Text;
+    errno = 0;
+    char *End = nullptr;
+    long long Value = std::strtoll(Text.c_str(), &End, 0);
+    if (End != Text.c_str() + Text.size() || End == Text.c_str())
+      return fail("malformed integer literal '" + quoted(Text) + "'");
+    if (errno == ERANGE)
+      return fail("integer literal out of range '" + quoted(Text) + "'");
+    Inst->setIntValue(Value);
+    next();
     break;
   }
   case Opcode::ConstF64: {
     if (peek().Kind != TokenKind::Number)
       return fail("expected a float literal");
-    Inst->setFloatValue(std::strtod(next().Text.c_str(), nullptr));
+    const std::string &Text = peek().Text;
+    errno = 0;
+    char *End = nullptr;
+    double Value = std::strtod(Text.c_str(), &End);
+    if (End != Text.c_str() + Text.size() || End == Text.c_str())
+      return fail("malformed float literal '" + quoted(Text) + "'");
+    // ERANGE overflow saturates to +-HUGE_VAL; reject it. ERANGE underflow
+    // (subnormals rounding toward zero) keeps the nearest representable
+    // value and is accepted.
+    if (errno == ERANGE && (Value == HUGE_VAL || Value == -HUGE_VAL))
+      return fail("float literal out of range '" + quoted(Text) + "'");
+    Inst->setFloatValue(Value);
+    next();
     break;
   }
   case Opcode::Cmp:

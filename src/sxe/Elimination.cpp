@@ -212,8 +212,14 @@ bool Eliminator::entryExtended(Reg R, unsigned Bits) const {
     return Bits >= 32; // [0, 65535] needs 17 signed bits.
   case Type::I32:
     return Bits >= 32;
+  case Type::F64:
+  case Type::ArrayRef:
+    return true; // Non-integer classes never carry extension state.
   default:
-    return true; // Full-width or non-integer parameter.
+    // An I64 parameter arrives holding an arbitrary 64-bit value: the ABI
+    // extends sub-register integer arguments only. Narrowings of it are
+    // real operations (same trap as the full-width load/call results).
+    return false;
   }
 }
 

@@ -151,8 +151,28 @@ bool sxe::defKnownExtendedStructural(const Function &F, const Instruction &I,
     return Value >= Lo && Value <= Hi;
   };
 
-  if (I.hasDest() && canonicalRegBits(F, I.dest()) == 0)
-    return true; // Never needs extension at all.
+  if (I.hasDest()) {
+    switch (F.regType(I.dest())) {
+    case Type::U16:
+      // Canonically zero-extended [0, 65535]: sign-bit-free from 17 bits.
+      return ExtBits > 16;
+    case Type::F64:
+    case Type::ArrayRef:
+      return true; // Non-integer classes never carry extension state.
+    case Type::I64:
+      // A full-width register holds an arbitrary 64-bit value, so whether
+      // it is ExtBits-extended depends on the producing operation, not the
+      // type: sext32 of an i64 register is the explicit narrowing idiom
+      // and is a real operation whenever the value exceeds 32 bits.
+      // Differential testing caught the old "full-width is always
+      // extended" shortcut deleting such narrowings. Fall through to the
+      // per-opcode facts (the range and upper-zero rules in the
+      // eliminator still prove the value-dependent cases).
+      break;
+    default:
+      break; // Sub-register signed types: per-opcode facts below.
+    }
+  }
 
   switch (I.opcode()) {
   case Opcode::Sext8:
@@ -196,8 +216,14 @@ bool sxe::defKnownExtendedStructural(const Function &F, const Instruction &I,
     case Type::I32:
       RetBits = 32;
       break;
+    case Type::F64:
+    case Type::ArrayRef:
+      return true; // Non-integer classes never carry extension state.
     default:
-      return true; // Full-width / non-integer: nothing to extend.
+      // An I64-returning call hands back an arbitrary 64-bit value; it is
+      // not ExtBits-extended for any sub-register width (same trap as the
+      // full-width-destination shortcut above).
+      return false;
     }
     return ExtBits >= RetBits;
   }
@@ -216,8 +242,15 @@ bool sxe::defKnownExtendedStructural(const Function &F, const Instruction &I,
       return ExtBits >= 32; // Zero-extended [0, 65535].
     case Type::I32:
       return Target.loadSignExtends(Type::I32) && ExtBits >= 32;
+    case Type::F64:
+      return true; // Non-integer: never carries extension state.
     default:
-      return true; // I64/F64 loads: full-width.
+      // An I64 element load yields an arbitrary 64-bit value: a later
+      // sext8/16/32 of it is a real narrowing, never removable on type
+      // grounds alone. Differential testing caught the old "full-width
+      // load is extended at every width" claim deleting such narrowings
+      // when the loaded value overflowed the queried width.
+      return false;
     }
   default:
     return false;

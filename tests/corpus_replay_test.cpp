@@ -134,4 +134,10 @@ TEST_P(CorpusReplay, RemarkCountsMatchPassCounters) {
 INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
                          ::testing::Values("generated_small",
                                            "generated_medium",
-                                           "generated_large"));
+                                           "generated_large",
+                                           // Reducer-minimized miscompile
+                                           // repros; see each file's header
+                                           // for the bug it pinned down.
+                                           "reduced_call_boundary",
+                                           "reduced_loop_carried",
+                                           "reduced_mixed_store"));

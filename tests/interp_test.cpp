@@ -1,7 +1,10 @@
 //===- tests/interp_test.cpp - Machine/Java semantics tests ----------------------===//
 
 #include "interp/Interpreter.h"
+#include "ir/Cloner.h"
 #include "ir/IRBuilder.h"
+#include "sxe/Pipeline.h"
+#include "target/TargetInfo.h"
 
 #include <gtest/gtest.h>
 
@@ -275,6 +278,138 @@ TEST(InterpTest, StepLimitTraps) {
   InterpOptions Options;
   Options.MaxSteps = 1000;
   EXPECT_EQ(runModule(*M, Options).Trap, TrapKind::StepLimit);
+}
+
+/// Runs \p Pristine under the Java oracle, then every pipeline variant on
+/// every target under machine semantics, asserting the trap kind and (for
+/// clean runs) the return value match the oracle exactly. Arithmetic edge
+/// cases must trap or wrap identically no matter what was optimized away.
+void expectTrapParity(const Module &Pristine, TrapKind ExpectedTrap,
+                      uint64_t ExpectedValue) {
+  InterpOptions Java;
+  Java.Semantics = ExecSemantics::Java;
+  ExecResult Oracle = Interpreter(Pristine, Java).run("main");
+  EXPECT_EQ(Oracle.Trap, ExpectedTrap);
+  if (ExpectedTrap == TrapKind::None)
+    EXPECT_EQ(Oracle.ReturnValue, ExpectedValue);
+
+  for (const TargetInfo *Target :
+       {&TargetInfo::ia64(), &TargetInfo::ppc64(), &TargetInfo::generic64()}) {
+    for (Variant V : AllVariants) {
+      auto Clone = cloneModule(Pristine);
+      runPipeline(*Clone, PipelineConfig::forVariant(V, *Target));
+      InterpOptions Machine;
+      Machine.Target = Target;
+      ExecResult Got = Interpreter(*Clone, Machine).run("main");
+      EXPECT_EQ(Got.Trap, Oracle.Trap)
+          << variantName(V) << ", " << Target->name();
+      if (Oracle.Trap == TrapKind::None) {
+        EXPECT_EQ(Got.ReturnValue, Oracle.ReturnValue)
+            << variantName(V) << ", " << Target->name();
+      }
+    }
+  }
+}
+
+/// Builds main with an i32 array holding \p Values; \p Body gets a loader
+/// that fetches element I as a canonical (sign-extended) i32. Values pass
+/// through memory so no pass can fold the edge case away at compile time.
+std::unique_ptr<Module>
+buildArrayProbe(const std::vector<int32_t> &Values,
+                const std::function<void(IRBuilder &, Function *,
+                                         std::function<Reg(unsigned)>)> &Body) {
+  auto M = std::make_unique<Module>("trap_probe");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(static_cast<int32_t>(Values.size()));
+  Reg Arr = B.newArray(Type::I32, Len, "arr");
+  for (size_t Index = 0; Index < Values.size(); ++Index)
+    B.arrayStore(Type::I32, Arr, B.constI32(static_cast<int32_t>(Index)),
+                 B.constI32(Values[Index]));
+  auto Load = [&B, Arr](unsigned Index) {
+    Reg Raw = B.arrayLoad(Type::I32, Arr, B.constI32(Index), "raw");
+    return B.sext(32, Raw, "canon");
+  };
+  Body(B, F, Load);
+  return M;
+}
+
+TEST(InterpTrapParity, IntMinDivMinusOneW32WrapsEverywhere) {
+  auto M = buildArrayProbe({INT32_MIN, -1}, [](IRBuilder &B, Function *F,
+                                               std::function<Reg(unsigned)> L) {
+    Reg Q = B.div32(L(0), L(1), "q");
+    Reg Canon = B.sext(32, Q, "canonq");
+    Reg Wide = F->newReg(Type::I64, "wide");
+    B.copyTo(Wide, Canon);
+    B.ret(Wide);
+  });
+  // Java semantics: Integer.MIN_VALUE / -1 wraps to Integer.MIN_VALUE.
+  expectTrapParity(*M, TrapKind::None,
+                   static_cast<uint64_t>(static_cast<int64_t>(INT32_MIN)));
+}
+
+TEST(InterpTrapParity, IntMinRemMinusOneIsZeroEverywhere) {
+  auto M = buildArrayProbe({INT32_MIN, -1}, [](IRBuilder &B, Function *F,
+                                               std::function<Reg(unsigned)> L) {
+    Reg R = B.rem32(L(0), L(1), "r");
+    Reg Canon = B.sext(32, R, "canonr");
+    Reg Wide = F->newReg(Type::I64, "wide");
+    B.copyTo(Wide, Canon);
+    B.ret(Wide);
+  });
+  expectTrapParity(*M, TrapKind::None, 0);
+}
+
+TEST(InterpTrapParity, DivByZeroTrapsEverywhere) {
+  auto M = buildArrayProbe({7, 0}, [](IRBuilder &B, Function *F,
+                                      std::function<Reg(unsigned)> L) {
+    Reg Q = B.div32(L(0), L(1), "q");
+    Reg Wide = F->newReg(Type::I64, "wide");
+    B.copyTo(Wide, B.sext(32, Q));
+    B.ret(Wide);
+  });
+  expectTrapParity(*M, TrapKind::DivByZero, 0);
+}
+
+TEST(InterpTrapParity, LongMinDivMinusOneW64WrapsEverywhere) {
+  auto M = std::make_unique<Module>("trap_probe");
+  Function *F = M->createFunction("main", Type::I64);
+  IRBuilder B(F);
+  B.startBlock("entry");
+  Reg Len = B.constI32(2);
+  Reg Arr = B.newArray(Type::I64, Len, "wide_arr");
+  B.arrayStore(Type::I64, Arr, B.constI32(0), B.constI64(INT64_MIN));
+  B.arrayStore(Type::I64, Arr, B.constI32(1), B.constI64(-1));
+  Reg A = B.arrayLoad(Type::I64, Arr, B.constI32(0), "a");
+  Reg D = B.arrayLoad(Type::I64, Arr, B.constI32(1), "d");
+  Reg Q = B.binop(Opcode::Div, Width::W64, A, D, "q");
+  B.ret(Q);
+  expectTrapParity(*M, TrapKind::None, static_cast<uint64_t>(INT64_MIN));
+}
+
+TEST(InterpTrapParity, ShiftCountsAtOrAboveWidthMaskEverywhere) {
+  // Java masks 32-bit shift counts to their low 5 bits: x << 32 == x,
+  // x << 33 == x << 1, x >> 35 == x >> 3. The counts travel through
+  // memory so no pass can canonicalize them away.
+  auto M = buildArrayProbe(
+      {1, 32, 33, INT32_MIN, 35},
+      [](IRBuilder &B, Function *F, std::function<Reg(unsigned)> L) {
+        Reg ById32 = B.shl32(L(0), L(1), "by32");   // 1 << 32 == 1
+        Reg ByOne = B.shl32(L(0), L(2), "by33");    // 1 << 33 == 2
+        Reg SarHigh = B.sar32(L(3), L(4), "sar35"); // MIN >> 35 == MIN >> 3
+        Reg Acc = F->newReg(Type::I64, "acc");
+        B.copyTo(Acc, B.sext(32, ById32));
+        Reg W1 = F->newReg(Type::I64, "w1");
+        B.copyTo(W1, B.sext(32, ByOne));
+        B.binopTo(Acc, Opcode::Add, Width::W64, Acc, W1);
+        Reg W2 = F->newReg(Type::I64, "w2");
+        B.copyTo(W2, B.sext(32, SarHigh));
+        B.binopTo(Acc, Opcode::Add, Width::W64, Acc, W2);
+        B.ret(Acc);
+      });
+  int64_t Expected = 1 + 2 + (static_cast<int64_t>(INT32_MIN) >> 3);
+  expectTrapParity(*M, TrapKind::None, static_cast<uint64_t>(Expected));
 }
 
 TEST(InterpTest, ProfileCollection) {

@@ -170,6 +170,70 @@ entry:
   ASSERT_TRUE(R.ok()) << R.Error;
 }
 
+TEST(ParserTest, ReportsOverflowingIntegerLiteral) {
+  ParseResult R = parseModule(R"(
+func @f() -> i64 {
+  reg %x: i64
+entry:
+  %x = const.i64 99999999999999999999
+  ret %x
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("out of range"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ReportsMalformedIntegerLiteral) {
+  ParseResult R = parseModule(R"(
+func @f() -> i32 {
+  reg %x: i32
+entry:
+  %x = const.i32 0x
+  ret %x
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("integer literal"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ReportsOverflowingFloatLiteral) {
+  ParseResult R = parseModule(R"(
+func @f() -> f64 {
+  reg %x: f64
+entry:
+  %x = fconst 1e999
+  ret %x
+}
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("out of range"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ReportsTruncatedInput) {
+  // Cut off mid-function: the parser must diagnose, not walk off the
+  // token array.
+  ParseResult R = parseModule("func @f() -> i32 {\nentry:\n  %x = ");
+  ASSERT_FALSE(R.ok());
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST(ParserTest, ReportsUnterminatedString) {
+  ParseResult R = parseModule("module \"never closed\nfunc @f() -> void {\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unterminated"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, EscapesControlBytesInDiagnostics) {
+  // A control byte in the offending token must be escaped, not echoed.
+  std::string Source = "func @f() -> void {\nentry:\n  ";
+  Source.push_back('\x01');
+  Source += "\n}\n";
+  ParseResult R = parseModule(Source);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error.find('\x01'), std::string::npos);
+  EXPECT_NE(R.Error.find("\\x01"), std::string::npos) << R.Error;
+}
+
 TEST(ParserTest, HexFloatRoundTrip) {
   ParseResult R = parseModule(R"(
 func @f() -> f64 {

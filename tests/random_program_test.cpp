@@ -1,7 +1,9 @@
 //===- tests/random_program_test.cpp - Differential fuzzing -----------------------===//
 //
-// Generates random (but structurally safe) programs and checks, for every
-// pipeline variant:
+// Property test over seeded random modules from fuzz/RandomModuleGenerator
+// (the generator that used to be inlined here, now a library shared with
+// tools/sxe-difftest). For every pipeline variant the four oracle-contract
+// invariants are checked explicitly:
 //   - the post-pipeline module verifies with no dummy extensions left,
 //   - machine-semantics execution matches the Java-semantics oracle
 //     (checksum AND trap kind),
@@ -10,13 +12,13 @@
 //
 //===--------------------------------------------------------------------------------===//
 
+#include "fuzz/DiffTest.h"
+#include "fuzz/RandomModuleGenerator.h"
 #include "interp/Interpreter.h"
 #include "ir/Cloner.h"
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
-#include "support/RNG.h"
 #include "sxe/Pipeline.h"
-#include "workloads/KernelBuilder.h"
 
 #include <gtest/gtest.h>
 
@@ -24,197 +26,10 @@ using namespace sxe;
 
 namespace {
 
-/// Random structured-program generator. All array indices are masked to
-/// the (power-of-two) array length, so programs are trap-free by
-/// construction except for arithmetic edge cases, which must then trap
-/// identically under every variant.
-class ProgramGenerator {
-public:
-  explicit ProgramGenerator(uint64_t Seed) : R(Seed) {}
-
-  std::unique_ptr<Module> generate() {
-    auto M = std::make_unique<Module>("fuzz");
-    Function *F = M->createFunction("main", Type::I64);
-    K = std::make_unique<KernelBuilder>(F);
-    IRBuilder &B = K->ir();
-
-    // Arrays with power-of-two lengths.
-    for (int Index = 0; Index < 2; ++Index) {
-      int32_t Len = 8 << R.nextBelow(4);
-      Reg LenReg = B.constI32(Len);
-      Arrays.push_back(B.newArray(Type::I32, LenReg, "arr"));
-      Masks.push_back(B.constI32(Len - 1));
-      K->fillLCG(Arrays.back(), LenReg,
-                 static_cast<int32_t>(R.next() & 0x7FFFFFFF));
-    }
-    {
-      int32_t Len = 8 << R.nextBelow(3);
-      Reg LenReg = B.constI32(Len);
-      Arrays.push_back(B.newArray(Type::I8, LenReg, "bytes"));
-      Masks.push_back(B.constI32(Len - 1));
-      ByteArrayIndex = Arrays.size() - 1;
-      K->fillLCG(Arrays.back(), LenReg,
-                 static_cast<int32_t>(R.next() & 0x7FFFFFFF), Type::I8);
-    }
-
-    // Integer variable pool.
-    for (int Index = 0; Index < 6; ++Index)
-      Vars.push_back(K->varI32(static_cast<int32_t>(R.next()),
-                               "v" + std::to_string(Index)));
-    Acc = K->varI64(0, "acc");
-
-    emitBlock(3);
-
-    // Final checksum over one array.
-    Reg I = F->newReg(Type::I32, "ci");
-    Reg Zero = B.constI32(0);
-    Reg Eight = B.constI32(8);
-    K->forUp(I, Zero, Eight, [&] {
-      Reg Idx = B.and32(I, Masks[0]);
-      Reg V = B.arrayLoad(Type::I32, Arrays[0], Idx);
-      accumulate(V);
-    });
-    B.ret(Acc);
-    K.reset();
-    Vars.clear();
-    Arrays.clear();
-    Masks.clear();
-    return M;
-  }
-
-private:
-  Reg randVar() { return Vars[R.nextBelow(Vars.size())]; }
-
-  void accumulate(Reg V32) {
-    IRBuilder &B = K->ir();
-    Reg Canon = B.sext(32, V32); // Keep the oracle value canonical.
-    Reg Wide = K->function()->newReg(Type::I64, "w");
-    B.copyTo(Wide, Canon);
-    B.binopTo(Acc, Opcode::Add, Width::W64, Acc, Wide);
-  }
-
-  void emitStatement(unsigned Depth) {
-    IRBuilder &B = K->ir();
-    switch (R.nextBelow(Depth > 0 ? 12 : 9)) {
-    case 0: { // Binary arithmetic.
-      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
-                                   Opcode::And, Opcode::Or,  Opcode::Xor};
-      Opcode Op = Ops[R.nextBelow(6)];
-      B.binopTo(randVar(), Op, Width::W32, randVar(), randVar());
-      break;
-    }
-    case 1: { // Shift by a bounded count.
-      static const Opcode Ops[] = {Opcode::Shl, Opcode::Shr, Opcode::Sar};
-      Reg Count = B.constI32(static_cast<int32_t>(R.nextBelow(31)));
-      B.binopTo(randVar(), Ops[R.nextBelow(3)], Width::W32, randVar(),
-                Count);
-      break;
-    }
-    case 2: { // Division with a non-zero divisor: d = v | 1.
-      Reg One = B.constI32(1);
-      Reg Divisor = B.or32(randVar(), One);
-      B.binopTo(randVar(),
-                R.nextChance(1, 2) ? Opcode::Div : Opcode::Rem, Width::W32,
-                randVar(), Divisor);
-      break;
-    }
-    case 3: { // Array store, masked index.
-      size_t A = R.nextBelow(Arrays.size());
-      Reg Idx = B.and32(randVar(), Masks[A]);
-      Type ElemTy = A == ByteArrayIndex ? Type::I8 : Type::I32;
-      B.arrayStore(ElemTy, Arrays[A], Idx, randVar());
-      break;
-    }
-    case 4: { // Array load (+ canonical cast for bytes).
-      size_t A = R.nextBelow(Arrays.size());
-      Reg Idx = B.and32(randVar(), Masks[A]);
-      if (A == ByteArrayIndex) {
-        Reg Raw = B.arrayLoad(Type::I8, Arrays[A], Idx);
-        Reg V = B.sext(8, Raw);
-        B.copyTo(randVar(), V);
-      } else {
-        B.arrayLoadTo(randVar(), Type::I32, Arrays[A], Idx);
-      }
-      break;
-    }
-    case 5: { // Narrowing cast.
-      Reg V = B.sext(R.nextChance(1, 2) ? 8 : 16, randVar());
-      B.copyTo(randVar(), V);
-      break;
-    }
-    case 6: { // Float round-trip.
-      Reg D = B.i2d(randVar());
-      Reg Scale = B.constF64(1.0 + static_cast<double>(R.nextBelow(8)));
-      Reg Scaled = B.fmul(D, Scale);
-      B.d2iTo(randVar(), Scaled);
-      break;
-    }
-    case 7: // Checksum accumulation.
-      accumulate(randVar());
-      break;
-    case 8: { // Copy shuffle.
-      B.copyTo(randVar(), randVar());
-      break;
-    }
-    case 9: { // If/else on a random comparison.
-      static const CmpPred Preds[] = {CmpPred::SLT, CmpPred::SLE,
-                                      CmpPred::EQ, CmpPred::NE};
-      Reg C = B.cmp32(Preds[R.nextBelow(4)], randVar(), randVar());
-      if (R.nextChance(1, 2))
-        K->ifThen(C, [&] { emitBlock(Depth - 1); });
-      else
-        K->ifThenElse(C, [&] { emitBlock(Depth - 1); },
-                      [&] { emitBlock(Depth - 1); });
-      break;
-    }
-    case 10: { // Bounded counted loop with a fresh counter.
-      Reg Counter = K->function()->newReg(Type::I32, "loop");
-      Reg Zero = B.constI32(0);
-      Reg Trips =
-          B.constI32(static_cast<int32_t>(1 + R.nextBelow(6)));
-      K->forUp(Counter, Zero, Trips, [&] { emitBlock(Depth - 1); });
-      break;
-    }
-    default: { // Count-down loop indexing an array.
-      size_t A = R.nextBelow(Arrays.size());
-      Reg Counter = K->function()->newReg(Type::I32, "down");
-      Reg Zero = B.constI32(0);
-      Reg Trips = B.constI32(static_cast<int32_t>(2 + R.nextBelow(6)));
-      K->forDown(Counter, Trips, Zero, [&] {
-        Reg Idx = B.and32(Counter, Masks[A]);
-        Type ElemTy = A == ByteArrayIndex ? Type::I8 : Type::I32;
-        Reg V = B.arrayLoad(ElemTy, Arrays[A], Idx);
-        if (ElemTy == Type::I8) {
-          Reg S = B.sext(8, V);
-          B.copyTo(randVar(), S);
-        } else {
-          B.copyTo(randVar(), V);
-        }
-      });
-      break;
-    }
-    }
-  }
-
-  void emitBlock(unsigned Depth) {
-    unsigned Statements = 2 + R.nextBelow(5);
-    for (unsigned Index = 0; Index < Statements; ++Index)
-      emitStatement(Depth);
-  }
-
-  sxe::RNG R;
-  std::unique_ptr<KernelBuilder> K;
-  std::vector<Reg> Vars;
-  std::vector<Reg> Arrays;
-  std::vector<Reg> Masks;
-  size_t ByteArrayIndex = 0;
-  Reg Acc = NoReg;
-};
-
 class RandomProgramSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomProgramSweep, AllVariantsMatchJavaOracle) {
-  ProgramGenerator Gen(GetParam());
+  RandomModuleGenerator Gen(GetParam(), GeneratorOptions::medium());
   std::unique_ptr<Module> Pristine = Gen.generate();
 
   std::vector<std::string> Problems;
@@ -233,6 +48,7 @@ TEST_P(RandomProgramSweep, AllVariantsMatchJavaOracle) {
     auto Clone = cloneModule(*Pristine);
     runPipeline(*Clone, PipelineConfig::forVariant(V));
 
+    // Invariant 1: verifier-clean with no dummy extensions left behind.
     VerifierOptions Options;
     Options.AllowDummyExtends = false;
     Problems.clear();
@@ -243,9 +59,11 @@ TEST_P(RandomProgramSweep, AllVariantsMatchJavaOracle) {
     Machine.MaxSteps = 1u << 22;
     ExecResult Got = Interpreter(*Clone, Machine).run("main");
 
+    // Invariant 3: the wild-address miscompile detector never fires.
     EXPECT_NE(Got.Trap, TrapKind::WildAddress)
         << variantName(V) << ": miscompile detected\n"
         << printModule(*Clone);
+    // Invariant 2: trap kind and checksum match the oracle.
     EXPECT_EQ(Got.Trap, Oracle.Trap) << variantName(V);
     if (Oracle.Trap == TrapKind::None) {
       EXPECT_EQ(Got.ReturnValue, Oracle.ReturnValue)
@@ -253,6 +71,8 @@ TEST_P(RandomProgramSweep, AllVariantsMatchJavaOracle) {
           << printModule(*Clone);
     }
 
+    // Invariant 4: the full algorithm never executes more extensions
+    // than the baseline (extension-census no-regression).
     if (V == Variant::Baseline)
       BaselineSext = Got.totalExecutedSext();
     if (V == Variant::All && Oracle.Trap == TrapKind::None) {
@@ -280,5 +100,18 @@ TEST_P(RandomProgramSweep, AllVariantsMatchJavaOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSweep,
                          ::testing::Range<uint64_t>(1, 81));
+
+// The shared harness enforces the same contract: a module that passes the
+// explicit checks above must also pass runDifferentialTest, which is what
+// tools/sxe-difftest scales up to thousands of seeds.
+TEST(RandomProgramSweep, HarnessAgreesWithExplicitChecks) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    RandomModuleGenerator Gen(Seed, GeneratorOptions::medium());
+    std::unique_ptr<Module> Pristine = Gen.generate();
+    DiffResult Result = runDifferentialTest(*Pristine);
+    EXPECT_TRUE(Result.ok())
+        << "seed " << Seed << ": " << Result.Failure->describe();
+  }
+}
 
 } // namespace
