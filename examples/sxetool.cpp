@@ -4,7 +4,7 @@
 // the optimized IR and statistics, and optionally interprets a function.
 //
 // Usage:
-//   sxetool FILE [--variant=N|NAME] [--target=ia64|ppc64|generic64]
+//   sxetool FILE [--variant=N|NAME] [--target=ia64|ppc64|generic64|x86_64]
 //           [--maxlen=HEX] [--run[=FUNC]] [--quiet]
 //           [--stats] [--stats-json=FILE] [--verify-each]
 //           [--dump-after-each=DIR]
@@ -73,7 +73,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: sxetool FILE [--variant=NAME] "
-               "[--target=ia64|ppc64|generic64] "
+               "[--target=ia64|ppc64|generic64|x86_64] "
                "[--maxlen=HEX] [--run[=FUNC]] [--quiet]\n"
                "               [--stats] [--stats-json=FILE|-] "
                "[--verify-each] [--dump-after-each=DIR]\n"
@@ -279,7 +279,9 @@ int runBatch(const std::string &BatchDir, unsigned Jobs,
     std::fprintf(stderr, "  %-28s eliminated=%-5llu %s\n",
                  Result.Name.c_str(),
                  static_cast<unsigned long long>(
-                     Result.Code->Stats.total("sext_eliminated")),
+                     Result.Code->Stats.total("sext_eliminated") +
+                     Result.Code->Stats.total("zext_eliminated") +
+                     Result.Code->Stats.total("trunc_eliminated")),
                  Result.CacheHit ? "[cache hit]" : "");
     if (!OutDir.empty()) {
       fs::path OutPath = fs::path(OutDir) / Files[Index].filename();
@@ -369,6 +371,8 @@ int main(int argc, char **argv) {
       Target = &TargetInfo::ia64();
     } else if (Arg == "--target=generic64") {
       Target = &TargetInfo::generic64();
+    } else if (Arg == "--target=x86_64") {
+      Target = &TargetInfo::x86_64();
     } else if (Arg.rfind("--maxlen=", 0) == 0) {
       MaxLen = static_cast<uint32_t>(
           std::strtoul(Arg.c_str() + 9, nullptr, 0));
@@ -476,11 +480,13 @@ int main(int argc, char **argv) {
   StaticExtensionCounts Counts = countStaticExtensions(*Parsed.M);
   std::fprintf(stderr,
                "variant: %s | target: %s | generated: %u | inserted: %u | "
-               "eliminated: %u | remaining static sxt: %llu\n",
+               "eliminated: %u | remaining static sxt: %llu | remaining "
+               "conversions: %llu\n",
                variantName(V), Target->name().c_str(),
                Stats.ExtensionsGenerated, Stats.ExtensionsInserted,
                Stats.ExtensionsEliminated,
-               static_cast<unsigned long long>(Counts.totalSext()));
+               static_cast<unsigned long long>(Counts.totalSext()),
+               static_cast<unsigned long long>(Counts.totalConversions()));
 
   if (PrintStats)
     std::fprintf(stderr, "%s",
@@ -515,10 +521,12 @@ int main(int argc, char **argv) {
     Interpreter Interp(*Parsed.M, Options);
     ExecResult R = Interp.run(RunFunc);
     std::fprintf(stderr,
-                 "run %s: trap=%s result=%lld dynamic-sxt=%llu cycles=%llu\n",
+                 "run %s: trap=%s result=%lld dynamic-sxt=%llu "
+                 "dynamic-conv=%llu cycles=%llu\n",
                  RunFunc.c_str(), trapKindName(R.Trap),
                  static_cast<long long>(R.ReturnValue),
                  static_cast<unsigned long long>(R.totalExecutedSext()),
+                 static_cast<unsigned long long>(R.totalExecutedConversions()),
                  static_cast<unsigned long long>(R.Cycles));
     return R.Trap == TrapKind::None ? 0 : 2;
   }

@@ -654,8 +654,21 @@ ValueInterval ValueRange::transfer(const Instruction &I) const {
       return R;
     return {-32768, 32767};
   }
+  case Opcode::Zext8: {
+    ValueInterval R = operandRange(I, 0);
+    if (R.Lo >= 0 && R.Hi <= 255)
+      return R;
+    return {0, 255};
+  }
+  case Opcode::Zext16: {
+    ValueInterval R = operandRange(I, 0);
+    if (R.Lo >= 0 && R.Hi <= 65535)
+      return R;
+    return {0, 65535};
+  }
   case Opcode::Sext32:
-  case Opcode::Zext32: {
+  case Opcode::Zext32:
+  case Opcode::Trunc32: {
     // Lower 32 bits unchanged. For a narrow destination the tracked
     // semantics (lower-32 interpretation) are exactly the source's.
     ValueInterval R = wrapToInt32(operandRange(I, 0));

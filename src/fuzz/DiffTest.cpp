@@ -73,7 +73,7 @@ DiffResult sxe::runDifferentialTest(const Module &Pristine,
   std::vector<const TargetInfo *> Targets = Config.Targets;
   if (Targets.empty())
     Targets = {&TargetInfo::ia64(), &TargetInfo::ppc64(),
-               &TargetInfo::generic64()};
+               &TargetInfo::generic64(), &TargetInfo::x86_64()};
   std::vector<Variant> Variants = Config.Variants;
   if (Variants.empty())
     Variants.assign(AllVariants, AllVariants + NumVariants);
@@ -117,15 +117,15 @@ DiffResult sxe::runDifferentialTest(const Module &Pristine,
 
       if (V == Variant::Baseline) {
         HaveBaseline = true;
-        BaselineSext = Got.totalExecutedSext();
+        BaselineSext = Got.totalExecutedConversions();
       }
       if (V == Variant::All && HaveBaseline &&
           Oracle.Trap == TrapKind::None &&
-          Got.totalExecutedSext() > BaselineSext)
+          Got.totalExecutedConversions() > BaselineSext)
         return fail(DiffStatus::ExtensionRegression, V, Target,
                     "baseline executed " + std::to_string(BaselineSext) +
-                        " extensions, all executed " +
-                        std::to_string(Got.totalExecutedSext()));
+                        " conversions, all executed " +
+                        std::to_string(Got.totalExecutedConversions()));
     }
   }
   return Result;

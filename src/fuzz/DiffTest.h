@@ -16,8 +16,9 @@
 ///   1. the post-pipeline module verifies with no dummy extensions left,
 ///   2. trap kind and checksum match the oracle exactly,
 ///   3. the wild-address detector never fires (a detected miscompile),
-///   4. the full algorithm never executes more extensions than the
-///      baseline on the same target (extension-census no-regression).
+///   4. the full algorithm never executes more conversions (sign/zero
+///      extensions and truncations) than the baseline on the same target
+///      (conversion-census no-regression).
 ///
 /// Any violation is reported as a DiffFailure carrying the variant,
 /// target, and a human-readable detail string; the caller (which knows
@@ -65,8 +66,8 @@ struct DiffFailure {
   std::string describe() const;
 };
 
-/// Harness configuration. Empty Targets/Variants mean "all three targets" /
-/// "all twelve variants".
+/// Harness configuration. Empty Targets/Variants mean "all four targets"
+/// (ia64, ppc64, generic64, x86_64) / "all twelve variants".
 struct DiffConfig {
   std::vector<const TargetInfo *> Targets;
   std::vector<Variant> Variants;

@@ -12,6 +12,7 @@ GeneratorOptions GeneratorOptions::small() {
   GeneratorOptions O;
   O.NumI32Arrays = 1;
   O.NumByteArrays = 1;
+  O.NumCharArrays = 1;
   O.NumWideArrays = 1;
   O.NumI32Vars = 4;
   O.NumI64Vars = 1;
@@ -31,6 +32,7 @@ GeneratorOptions GeneratorOptions::large() {
   GeneratorOptions O;
   O.NumI32Arrays = 3;
   O.NumByteArrays = 2;
+  O.NumCharArrays = 2;
   O.NumWideArrays = 2;
   O.NumI32Vars = 8;
   O.NumI64Vars = 3;
@@ -128,6 +130,9 @@ void RandomModuleGenerator::emitStatement(Scope &S, unsigned Depth) {
     Narrow64,   ///< i32 = (int)i64: explicit width crossing down.
     Acc64,      ///< Checksum accumulation of an i64 value.
     CallStmt,   ///< Call a helper function, result into a pool variable.
+    CharCast,   ///< Java (char) cast: zext16 of an i32 value.
+    ByteMask,   ///< v & 0xFF as an explicit zext8 of an i32 value.
+    Trunc64,    ///< i64 = trunc32(i64): unsigned 64->32 narrowing.
     NumKinds
   };
 
@@ -166,6 +171,11 @@ void RandomModuleGenerator::emitStatement(Scope &S, unsigned Depth) {
       return Wide && Options.EnableDivision;
     case CallStmt:
       return Options.EnableCalls && !S.Callable.empty();
+    case CharCast:
+    case ByteMask:
+      return Options.EnableUnsignedOps;
+    case Trunc64:
+      return Wide && Options.EnableUnsignedOps;
     default:
       return false;
     }
@@ -216,6 +226,11 @@ void RandomModuleGenerator::emitStatement(Scope &S, unsigned Depth) {
       Reg Raw = B.arrayLoad(Type::I8, A.Array, Idx);
       Reg V = B.sext(8, Raw);
       B.copyTo(randI32(S), V);
+    } else if (A.Elem == Type::U16) {
+      // Java char loads are zero-extending; same explicit-cast discipline.
+      Reg Raw = B.arrayLoad(Type::U16, A.Array, Idx);
+      Reg V = B.zext16(Raw);
+      B.copyTo(randI32(S), V);
     } else if (A.Elem == Type::I64) {
       if (Wide) {
         B.arrayLoadTo(randI64(S), Type::I64, A.Array, Idx);
@@ -248,9 +263,13 @@ void RandomModuleGenerator::emitStatement(Scope &S, unsigned Depth) {
     B.copyTo(randI32(S), randI32(S));
     break;
   case IfElse: {
+    // Mixed signed/unsigned predicates: an unsigned W32 compare reads the
+    // operands' low words as unsigned, the class of use zext elimination
+    // must reason about.
     static const CmpPred Preds[] = {CmpPred::SLT, CmpPred::SLE, CmpPred::EQ,
-                                    CmpPred::NE};
-    Reg C = B.cmp32(Preds[R.nextBelow(4)], randI32(S), randI32(S));
+                                    CmpPred::NE,  CmpPred::ULT, CmpPred::UGE};
+    unsigned NumPreds = Options.EnableUnsignedOps ? 6 : 4;
+    Reg C = B.cmp32(Preds[R.nextBelow(NumPreds)], randI32(S), randI32(S));
     if (R.nextChance(1, 2))
       S.K->ifThen(C, [&] { emitBlock(S, Depth - 1); });
     else
@@ -277,6 +296,9 @@ void RandomModuleGenerator::emitStatement(Scope &S, unsigned Depth) {
       Reg V = B.arrayLoad(A.Elem, A.Array, Idx);
       if (A.Elem == Type::I8) {
         Reg Canon = B.sext(8, V);
+        B.copyTo(randI32(S), Canon);
+      } else if (A.Elem == Type::U16) {
+        Reg Canon = B.zext16(V);
         B.copyTo(randI32(S), Canon);
       } else if (A.Elem == Type::I64) {
         Reg Canon = B.sext(32, V);
@@ -335,6 +357,26 @@ void RandomModuleGenerator::emitStatement(Scope &S, unsigned Depth) {
   case Acc64:
     accumulate64(S, randI64(S));
     break;
+  case CharCast: {
+    // Java's (char) cast: the canonical value is zero-extended at 16.
+    Reg C = B.zext16(randI32(S));
+    B.copyTo(randI32(S), C);
+    break;
+  }
+  case ByteMask: {
+    // v & 0xFF expressed as zext8 so the eliminator sees the conversion.
+    Reg Z = B.zext8(randI32(S));
+    B.copyTo(randI32(S), Z);
+    break;
+  }
+  case Trunc64: {
+    Reg T = B.trunc32(randI64(S));
+    if (R.nextChance(1, 2))
+      B.copyTo(randI64(S), T);
+    else
+      accumulate64(S, T);
+    break;
+  }
   case CallStmt: {
     Function *Callee = S.Callable[R.nextBelow(S.Callable.size())];
     std::vector<Reg> Args;
@@ -374,6 +416,8 @@ void RandomModuleGenerator::emitChecksum(Scope &S) {
       Reg V = B.arrayLoad(A.Elem, A.Array, Idx);
       if (A.Elem == Type::I8) {
         accumulate32(S, B.sext(8, V));
+      } else if (A.Elem == Type::U16) {
+        accumulate32(S, B.zext16(V));
       } else if (A.Elem == Type::I64) {
         accumulate64(S, V);
       } else {
@@ -463,6 +507,12 @@ void RandomModuleGenerator::buildMain(Module &M) {
     makeArray(Type::I8, Options.LenSpreadLog2 > 1 ? Options.LenSpreadLog2 - 1
                                                   : 1,
               "bytes");
+  if (Options.EnableUnsignedOps)
+    for (unsigned Index = 0; Index < Options.NumCharArrays; ++Index)
+      makeArray(Type::U16, Options.LenSpreadLog2 > 1
+                               ? Options.LenSpreadLog2 - 1
+                               : 1,
+                "chars");
   if (Options.EnableMixedWidthStores)
     for (unsigned Index = 0; Index < Options.NumWideArrays; ++Index)
       makeArray(Type::I64, Options.LenSpreadLog2 > 1

@@ -11,7 +11,9 @@
 /// inlined in tests/random_program_test.cpp and substantially extended:
 /// helper functions with call boundaries, mixed 32/64-bit arithmetic over
 /// an i64 variable pool, wide (i64-element) arrays with cross-width
-/// stores, and controllable size/shape knobs.
+/// stores, unsigned constructs (char arrays with zero-extending loads,
+/// (char)/zext8 casts, trunc32 narrowings, unsigned compares), and
+/// controllable size/shape knobs.
 ///
 /// Generated programs follow two disciplines that make them valid oracle
 /// subjects:
@@ -49,6 +51,7 @@ struct GeneratorOptions {
   // --- Size ---------------------------------------------------------------
   unsigned NumI32Arrays = 2;  ///< int[] pools in main.
   unsigned NumByteArrays = 1; ///< byte[] pools in main (sign-extending loads).
+  unsigned NumCharArrays = 1; ///< char[] pools in main (zero-extending loads).
   unsigned NumWideArrays = 1; ///< long[] pools in main (mixed-width stores).
   unsigned NumI32Vars = 6;    ///< i32 scratch variables.
   unsigned NumI64Vars = 2;    ///< i64 scratch variables.
@@ -66,6 +69,8 @@ struct GeneratorOptions {
   bool EnableFloat = true;    ///< i2d/f*/d2i round trips.
   bool EnableDivision = true; ///< Guarded div/rem statements.
   bool EnableMixedWidthStores = true; ///< i32<->i64 array crossings.
+  bool EnableUnsignedOps = true; ///< (char) casts, zext8 masks, trunc32 of
+                                 ///< i64, and unsigned compare predicates.
 
   /// Preset: tiny modules for quick smoke runs and parser-fuzz seeds.
   static GeneratorOptions small();

@@ -174,6 +174,18 @@ ExecResult Machine::run(const Function &Entry,
     const Instruction &I = *Top.It;
     ++Top.It;
     execute(I);
+    // Machine mode on targets with implicit 32-bit zero extension (x86-64
+    // writes every 32-bit result to a 32-bit register, which the hardware
+    // zero-extends into the full 64-bit register). D2I is a 32-bit-register
+    // write too (cvttsd2si with a 32-bit destination).
+    if (Options.Semantics == ExecSemantics::Machine &&
+        Options.Target->w32ResultsZeroExtend() &&
+        Result.Trap == TrapKind::None && I.hasDest() &&
+        I.opcode() != Opcode::Call && !Stack.empty() &&
+        ((I.info().HasWidth && I.isW32()) || I.opcode() == Opcode::D2I)) {
+      Frame &Top2 = Stack.back();
+      Top2.Regs[I.dest()] &= 0xFFFFFFFF;
+    }
     // Java-semantics mode canonicalizes every definition immediately, the
     // way a bytecode interpreter holds exact int/short/byte values. Call
     // results are canonicalized at the Ret that produces them.
@@ -231,8 +243,16 @@ void Machine::execute(const Instruction &I) {
     // a sign-extended Java-semantics result. Executed on unextended inputs
     // it produces garbage, which differential tests detect.
     if (I.isW32()) {
-      int64_t A = static_cast<int64_t>(Val(0));
-      int64_t B = static_cast<int64_t>(Val(1));
+      int64_t A, B;
+      if (Options.Target->w32ResultsZeroExtend()) {
+        // x86-64 idiv consumes 32-bit registers, so the upper halves of
+        // unextended inputs cannot influence the result.
+        A = Low32(0);
+        B = Low32(1);
+      } else {
+        A = static_cast<int64_t>(Val(0));
+        B = static_cast<int64_t>(Val(1));
+      }
       if (static_cast<int32_t>(B) == 0) {
         trap(TrapKind::DivByZero, "integer divide by zero");
         return;
@@ -317,6 +337,19 @@ void Machine::execute(const Instruction &I) {
     Set(static_cast<uint64_t>(static_cast<int64_t>(Low32(0))));
     return;
   case Opcode::Zext32:
+    ++Result.ExecutedZext32;
+    Set(static_cast<uint64_t>(static_cast<uint32_t>(Val(0))));
+    return;
+  case Opcode::Zext8:
+    ++Result.ExecutedZext8;
+    Set(Val(0) & 0xFF);
+    return;
+  case Opcode::Zext16:
+    ++Result.ExecutedZext16;
+    Set(Val(0) & 0xFFFF);
+    return;
+  case Opcode::Trunc32:
+    ++Result.ExecutedTrunc32;
     Set(static_cast<uint64_t>(static_cast<uint32_t>(Val(0))));
     return;
   case Opcode::JustExtended:

@@ -65,12 +65,23 @@ struct ExecResult {
   uint64_t ExecutedSext8 = 0;
   uint64_t ExecutedSext16 = 0;
   uint64_t ExecutedSext32 = 0;
+  uint64_t ExecutedZext8 = 0;
+  uint64_t ExecutedZext16 = 0;
+  uint64_t ExecutedZext32 = 0;
+  uint64_t ExecutedTrunc32 = 0;
   uint64_t ExecutedDummies = 0; ///< just_extended reached execution (bug).
   uint64_t Cycles = 0;
   std::string TrapMessage;
 
   uint64_t totalExecutedSext() const {
     return ExecutedSext8 + ExecutedSext16 + ExecutedSext32;
+  }
+
+  /// Dynamic count of every explicit conversion — the generalized quantity
+  /// diff-test clause 4 compares against the baseline pipeline.
+  uint64_t totalExecutedConversions() const {
+    return totalExecutedSext() + ExecutedZext8 + ExecutedZext16 +
+           ExecutedZext32 + ExecutedTrunc32;
   }
   bool ok() const { return Trap == TrapKind::None; }
 };

@@ -147,6 +147,55 @@ Instruction *IRBuilder::zext32To(Reg Dst, Reg Src) {
   return emit(Inst);
 }
 
+Instruction *IRBuilder::zextTo(Reg Dst, unsigned Bits, Reg Src) {
+  Opcode Op;
+  switch (Bits) {
+  case 8:
+    Op = Opcode::Zext8;
+    break;
+  case 16:
+    Op = Opcode::Zext16;
+    break;
+  case 32:
+    Op = Opcode::Zext32;
+    break;
+  default:
+    reportFatalError("zextTo requires 8, 16, or 32 bits");
+  }
+  Instruction *Inst = F->newInstruction(Op);
+  Inst->setDest(Dst);
+  Inst->addOperand(Src);
+  return emit(Inst);
+}
+
+Reg IRBuilder::zext8(Reg Src, const std::string &Name) {
+  // zext8 produces a [0,255] value; I32 is its canonical home (no I8
+  // unsigned type exists, and the value is sign- and zero-extended alike).
+  Reg Dst = freshReg(Type::I32, Name);
+  zextTo(Dst, 8, Src);
+  return Dst;
+}
+
+Reg IRBuilder::zext16(Reg Src, const std::string &Name) {
+  // Java's (char) cast: the result is a canonical char value.
+  Reg Dst = freshReg(Type::U16, Name);
+  zextTo(Dst, 16, Src);
+  return Dst;
+}
+
+Reg IRBuilder::trunc32(Reg Src, const std::string &Name) {
+  Reg Dst = freshReg(Type::I64, Name);
+  trunc32To(Dst, Src);
+  return Dst;
+}
+
+Instruction *IRBuilder::trunc32To(Reg Dst, Reg Src) {
+  Instruction *Inst = F->newInstruction(Opcode::Trunc32);
+  Inst->setDest(Dst);
+  Inst->addOperand(Src);
+  return emit(Inst);
+}
+
 Reg IRBuilder::fbinop(Opcode Op, Reg A, Reg B, const std::string &Name) {
   Reg Dst = freshReg(Type::F64, Name);
   fbinopTo(Dst, Op, A, B);

@@ -123,6 +123,15 @@ public:
   Reg zext32(Reg Src, const std::string &Name = "");
   Instruction *zext32To(Reg Dst, Reg Src);
 
+  /// Emits `Dst = zextN(Src)` / `Dst = trunc32(Src)`. zext16 models Java's
+  /// (char) cast; trunc32 a long->int narrowing whose result is consumed
+  /// unsigned.
+  Instruction *zextTo(Reg Dst, unsigned Bits, Reg Src);
+  Reg zext8(Reg Src, const std::string &Name = "");
+  Reg zext16(Reg Src, const std::string &Name = "");
+  Reg trunc32(Reg Src, const std::string &Name = "");
+  Instruction *trunc32To(Reg Dst, Reg Src);
+
   // --- Floating point -------------------------------------------------------
 
   Reg fbinop(Opcode Op, Reg A, Reg B, const std::string &Name = "");

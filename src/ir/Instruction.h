@@ -151,6 +151,13 @@ public:
   /// instructions the optimization eliminates.
   bool isSext() const { return isSextOpcode(Op); }
 
+  /// Returns true for Zext8/Zext16/Zext32/Trunc32.
+  bool isZext() const { return isZextOpcode(Op); }
+
+  /// Returns true for any explicit conversion (sext, zext, or trunc) —
+  /// the full candidate set of the generalized elimination.
+  bool isConversion() const { return isConversionOpcode(Op); }
+
   /// Returns true for the dummy just_extended marker.
   bool isDummyExtend() const { return Op == Opcode::JustExtended; }
 

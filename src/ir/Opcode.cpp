@@ -32,6 +32,9 @@ constexpr OpcodeInfo InfoTable[NumOpcodes] = {
     /* Sext16       */ {"sext16", 1, true, false, false, false, false, false},
     /* Sext32       */ {"sext32", 1, true, false, false, false, false, false},
     /* Zext32       */ {"zext32", 1, true, false, false, false, false, false},
+    /* Zext8        */ {"zext8", 1, true, false, false, false, false, false},
+    /* Zext16       */ {"zext16", 1, true, false, false, false, false, false},
+    /* Trunc32      */ {"trunc32", 1, true, false, false, false, false, false},
     /* JustExtended */
     {"just_extended", 1, true, false, false, false, false, false},
     /* FAdd         */ {"fadd", 2, true, false, false, false, true, false},
@@ -145,16 +148,49 @@ bool sxe::isSextOpcode(Opcode Op) {
   return Op == Opcode::Sext8 || Op == Opcode::Sext16 || Op == Opcode::Sext32;
 }
 
+bool sxe::isZextOpcode(Opcode Op) {
+  return Op == Opcode::Zext8 || Op == Opcode::Zext16 ||
+         Op == Opcode::Zext32 || Op == Opcode::Trunc32;
+}
+
+bool sxe::isConversionOpcode(Opcode Op) {
+  return isSextOpcode(Op) || isZextOpcode(Op);
+}
+
 unsigned sxe::extensionBits(Opcode Op) {
   switch (Op) {
   case Opcode::Sext8:
+  case Opcode::Zext8:
     return 8;
   case Opcode::Sext16:
+  case Opcode::Zext16:
     return 16;
   case Opcode::Sext32:
   case Opcode::Zext32:
+  case Opcode::Trunc32:
     return 32;
   default:
-    sxeUnreachable("extensionBits on non-extension opcode");
+    sxeUnreachable("extensionBits on non-conversion opcode");
+  }
+}
+
+ExtKind sxe::extensionKind(Opcode Op) {
+  if (isSextOpcode(Op))
+    return ExtKind::Sign;
+  if (isZextOpcode(Op))
+    return ExtKind::Zero;
+  sxeUnreachable("extensionKind on non-conversion opcode");
+}
+
+Opcode sxe::conversionOpcode(ExtKind Kind, unsigned Bits) {
+  switch (Bits) {
+  case 8:
+    return Kind == ExtKind::Sign ? Opcode::Sext8 : Opcode::Zext8;
+  case 16:
+    return Kind == ExtKind::Sign ? Opcode::Sext16 : Opcode::Zext16;
+  case 32:
+    return Kind == ExtKind::Sign ? Opcode::Sext32 : Opcode::Zext32;
+  default:
+    sxeUnreachable("conversionOpcode with invalid width");
   }
 }

@@ -45,12 +45,17 @@ enum class Opcode : uint8_t {
   Neg,          ///< dest = -src0
   Not,          ///< dest = ~src0
 
-  // Extensions. SextN replicates bit N-1 of the source into the upper bits
-  // of the 64-bit destination register; Zext32 clears the upper 32 bits.
+  // Conversions. SextN replicates bit N-1 of the source into the upper bits
+  // of the 64-bit destination register; ZextN clears every bit above N-1.
+  // Trunc32 is bit-identical to Zext32 but records truncation intent (a
+  // 64-bit value narrowed to int) and is counted separately by the census.
   Sext8,        ///< dest = signext8to64(src0); the paper's extend() for bytes
   Sext16,       ///< dest = signext16to64(src0)
   Sext32,       ///< dest = signext32to64(src0); the paper's extend()
   Zext32,       ///< dest = zeroext32to64(src0)
+  Zext8,        ///< dest = src0 & 0xFF
+  Zext16,       ///< dest = src0 & 0xFFFF; Java's (char) cast
+  Trunc32,      ///< dest = src0 & 0xFFFFFFFF; 64->32 truncation
   JustExtended, ///< dest = src0; dummy marker: src0 is known sign-extended
 
   // Floating point (Java double).
@@ -135,9 +140,32 @@ CmpPred negateCmpPred(CmpPred Pred);
 /// Returns true for the three sign-extension opcodes (Sext8/16/32).
 bool isSextOpcode(Opcode Op);
 
-/// Returns the number of low bits an extension opcode preserves (8, 16, or
-/// 32 for Sext8/Sext16/Sext32/Zext32).
+/// Returns true for the zero-extension opcodes (Zext8/16/32) and Trunc32,
+/// which all clear every bit above their width.
+bool isZextOpcode(Opcode Op);
+
+/// Returns true for any conversion opcode: sign extensions, zero
+/// extensions, and truncation (everything extensionBits accepts).
+bool isConversionOpcode(Opcode Op);
+
+/// Which bits a conversion writes above its preserved low bits.
+enum class ExtKind : uint8_t {
+  Sign, ///< upper bits replicate the top preserved bit (SextN)
+  Zero, ///< upper bits are cleared (ZextN, Trunc32)
+};
+
+/// Returns the number of low bits a conversion opcode preserves (8, 16, or
+/// 32 for Sext8/16/32, Zext8/16/32, and Trunc32).
 unsigned extensionBits(Opcode Op);
+
+/// Returns the kind of a conversion opcode: Sign for SextN, Zero for ZextN
+/// and Trunc32.
+ExtKind extensionKind(Opcode Op);
+
+/// Returns the canonicalizing conversion opcode for (Kind, Bits), the
+/// inverse of extensionBits/extensionKind. Never returns Trunc32 (Zero@32
+/// maps to Zext32).
+Opcode conversionOpcode(ExtKind Kind, unsigned Bits);
 
 } // namespace sxe
 

@@ -11,6 +11,43 @@ using namespace sxe;
 
 namespace {
 
+/// Returns true when every value a \p Kind-extension at \p Bits can produce
+/// is already canonical for a register of type \p Ty, i.e. the conversion's
+/// result set is contained in the type's canonical value set. A zero
+/// extension fits a wider signed type (the result is non-negative and below
+/// the sign bit), but a sign extension never fits an unsigned type and no
+/// conversion fits a strictly narrower type. Full-width types (I64) hold
+/// anything.
+bool conversionFitsType(ExtKind Kind, unsigned Bits, Type Ty) {
+  ExtKind TyKind;
+  unsigned TyBits;
+  switch (Ty) {
+  case Type::I8:
+    TyKind = ExtKind::Sign;
+    TyBits = 8;
+    break;
+  case Type::I16:
+    TyKind = ExtKind::Sign;
+    TyBits = 16;
+    break;
+  case Type::I32:
+    TyKind = ExtKind::Sign;
+    TyBits = 32;
+    break;
+  case Type::U16:
+    TyKind = ExtKind::Zero;
+    TyBits = 16;
+    break;
+  default:
+    return true; // Full-width register: any 64-bit value is canonical.
+  }
+  if (Kind == TyKind)
+    return TyBits >= Bits;
+  if (Kind == ExtKind::Zero) // Zero@B values are Sign@W for W > B only.
+    return TyKind == ExtKind::Sign && TyBits > Bits;
+  return false; // A sign-extended value can be negative: never Zero@W.
+}
+
 /// Per-function verification state.
 class FunctionVerifier {
 public:
@@ -193,13 +230,24 @@ void FunctionVerifier::checkOperandTypes(const Instruction &I) {
     break;
   case Opcode::Neg:
   case Opcode::Not:
+  case Opcode::JustExtended:
+    requireInt(0);
+    requireIntDest();
+    break;
   case Opcode::Sext8:
   case Opcode::Sext16:
   case Opcode::Sext32:
   case Opcode::Zext32:
-  case Opcode::JustExtended:
+  case Opcode::Zext8:
+  case Opcode::Zext16:
+  case Opcode::Trunc32:
     requireInt(0);
     requireIntDest();
+    if (isIntegerType(F.regType(I.dest())) &&
+        !conversionFitsType(extensionKind(I.opcode()),
+                            extensionBits(I.opcode()), F.regType(I.dest())))
+      complain(&I, "conversion result is not canonical for the destination "
+                   "register type");
     break;
   case Opcode::FAdd:
   case Opcode::FSub:

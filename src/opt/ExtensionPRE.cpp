@@ -30,14 +30,17 @@ bool intersectInto(FactSet &Dst, const FactSet &Src) {
   return Changed;
 }
 
-/// Returns true if \p I is an `r = sextN r` re-canonicalization of its own
-/// register at the register's canonical width.
+/// Returns true if \p I is an `r = convN r` re-canonicalization of its
+/// own register with the register's canonical conversion (sextN for
+/// signed types, zext16 for chars). A conversion of a full-width register
+/// is a real narrowing and never canonicalizing.
 bool isCanonicalizingExtend(const Function &F, const Instruction &I) {
-  if (!I.isSext() || !I.hasDest() || I.numOperands() != 1)
+  if (!I.isConversion() || !I.hasDest() || I.numOperands() != 1)
     return false;
   if (I.dest() != I.operand(0))
     return false;
-  return extensionBits(I.opcode()) == canonicalRegBits(F, I.dest());
+  return canonicalRegBits(F, I.dest()) != 0 &&
+         I.opcode() == canonicalConversionOpcode(F, I.dest());
 }
 
 /// Transfer of one instruction over the "canonically extended" facts.
@@ -46,13 +49,13 @@ void applyTransfer(const Function &F, const TargetInfo &Target,
   if (!I.hasDest())
     return;
   Reg Dest = I.dest();
-  unsigned Bits = canonicalRegBits(F, Dest);
-  if (Bits == 0) {
-    setBit(Facts, Dest); // Never needs extension: trivially canonical.
+  CanonicalExt CE = canonicalRegExt(F, Dest);
+  if (CE.Bits == 0) {
+    setBit(Facts, Dest); // Never needs a conversion: trivially canonical.
     return;
   }
   if (isCanonicalizingExtend(F, I) ||
-      defKnownExtendedStructural(F, I, Target, Bits)) {
+      defKnownExtendedStructural(F, I, Target, CE.Kind, CE.Bits)) {
     setBit(Facts, Dest);
     return;
   }

@@ -57,7 +57,12 @@ std::optional<uint64_t> evalMachine(const Instruction &I, uint64_t A,
     return static_cast<uint64_t>(
         static_cast<int64_t>(static_cast<int32_t>(A)));
   case Opcode::Zext32:
+  case Opcode::Trunc32:
     return static_cast<uint64_t>(static_cast<uint32_t>(A));
+  case Opcode::Zext8:
+    return A & 0xFF;
+  case Opcode::Zext16:
+    return A & 0xFFFF;
   default:
     // Division is left unfolded (traps), as are compares reaching
     // terminators — branch folding is out of scope for this local pass.

@@ -50,7 +50,9 @@ PipelineStats sxe::legacyStats(const PassStats &Stats,
   Legacy.DummiesInserted =
       static_cast<unsigned>(Stats.value("dummy-insertion", "dummy_added"));
   Legacy.ExtensionsEliminated =
-      static_cast<unsigned>(Stats.total("sext_eliminated"));
+      static_cast<unsigned>(Stats.total("sext_eliminated") +
+                            Stats.total("zext_eliminated") +
+                            Stats.total("trunc_eliminated"));
   Legacy.DummiesRemoved =
       static_cast<unsigned>(Stats.value("elimination", "dummy_removed"));
   Legacy.GeneralOptRewrites =

@@ -45,7 +45,7 @@ bool PassManager::run(Module &M, PassContext &Ctx) {
   if (!Options.DumpDir.empty())
     std::filesystem::create_directories(Options.DumpDir);
 
-  uint64_t CensusBefore = countStaticExtensions(M).totalSext();
+  uint64_t CensusBefore = countStaticExtensions(M).totalConversions();
 
   for (size_t Index = 0; Index < Passes.size(); ++Index) {
     Pass &P = *Passes[Index];
@@ -83,12 +83,12 @@ bool PassManager::run(Module &M, PassContext &Ctx) {
         Failure = PassFailure{P.name(), std::move(Problems)};
         return false;
       }
-      uint64_t CensusAfter = countStaticExtensions(M).totalSext();
+      uint64_t CensusAfter = countStaticExtensions(M).totalConversions();
       if (CensusAfter > CensusBefore && !P.mayAddExtensions()) {
         Failed = true;
         Failure = PassFailure{
             P.name(),
-            {"static extension census regressed: " +
+            {"static conversion census regressed: " +
              formatWithCommas(CensusBefore) + " -> " +
              formatWithCommas(CensusAfter) +
              " extensions after a pass not declared to insert any"}};

@@ -187,7 +187,9 @@ public:
     Options.Remarks = Ctx.remarks();
     EliminationStats ES = runElimination(F, Order, Options);
     SXE_PASS_STAT(Ctx, analyzed) += ES.Analyzed;
-    SXE_PASS_STAT(Ctx, sext_eliminated) += ES.Eliminated;
+    SXE_PASS_STAT(Ctx, sext_eliminated) += ES.EliminatedSext;
+    SXE_PASS_STAT(Ctx, zext_eliminated) += ES.EliminatedZext;
+    SXE_PASS_STAT(Ctx, trunc_eliminated) += ES.EliminatedTrunc;
     SXE_PASS_STAT(Ctx, eliminated_via_uses) += ES.EliminatedViaUses;
     SXE_PASS_STAT(Ctx, eliminated_via_defs) += ES.EliminatedViaDefs;
     SXE_PASS_STAT(Ctx, array_uses_proven) += ES.ArrayUsesProven;

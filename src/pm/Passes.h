@@ -18,7 +18,8 @@
 ///   dummy-insertion     dummy_added
 ///   insertion           sext_inserted, pde_variant
 ///   order-determination extensions_ordered, by_frequency
-///   elimination         analyzed, sext_eliminated, eliminated_via_uses,
+///   elimination         analyzed, sext_eliminated, zext_eliminated,
+///                       trunc_eliminated, eliminated_via_uses,
 ///                       eliminated_via_defs, array_uses_proven,
 ///                       dummy_removed, subscript_extended,
 ///                       theorem1_fired .. theorem4_fired

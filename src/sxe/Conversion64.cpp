@@ -10,14 +10,11 @@ using namespace sxe;
 
 namespace {
 
-Instruction *makeExtend(Function &F, unsigned Bits, Reg R) {
-  Opcode Op = Bits == 8    ? Opcode::Sext8
-              : Bits == 16 ? Opcode::Sext16
-                           : Opcode::Sext32;
-  Instruction *Ext = F.newInstruction(Op);
-  Ext->setDest(R);
-  Ext->addOperand(R);
-  return Ext;
+Instruction *makeExtend(Function &F, CanonicalExt Ext, Reg R) {
+  Instruction *Conv = F.newInstruction(conversionOpcode(Ext.Kind, Ext.Bits));
+  Conv->setDest(R);
+  Conv->addOperand(R);
+  return Conv;
 }
 
 unsigned convertAfterDef(Function &F, const TargetInfo &Target) {
@@ -28,15 +25,15 @@ unsigned convertAfterDef(Function &F, const TargetInfo &Target) {
     for (Instruction &I : *BB) {
       if (!I.hasDest())
         continue;
-      unsigned Bits = canonicalRegBits(F, I.dest());
-      if (Bits == 0)
+      CanonicalExt CE = canonicalRegExt(F, I.dest());
+      if (CE.Bits == 0)
         continue;
-      if (defKnownExtendedStructural(F, I, Target, Bits))
+      if (defKnownExtendedStructural(F, I, Target, CE.Kind, CE.Bits))
         continue;
       NeedExtend.push_back(&I);
     }
     for (Instruction *Def : NeedExtend) {
-      BB->insertAfter(Def, makeExtend(F, canonicalRegBits(F, Def->dest()),
+      BB->insertAfter(Def, makeExtend(F, canonicalRegExt(F, Def->dest()),
                                       Def->dest()));
       ++Generated;
     }
@@ -48,7 +45,7 @@ unsigned convertAfterDef(Function &F, const TargetInfo &Target) {
 /// \p Use inside its block, is register \p R obviously canonical?
 bool locallyExtended(const Function &F, const TargetInfo &Target,
                      BasicBlock &BB, const Instruction *Use, Reg R,
-                     unsigned Bits) {
+                     CanonicalExt Ext) {
   // Walk the block backwards from just before Use.
   std::vector<const Instruction *> Before;
   for (const Instruction &I : BB) {
@@ -60,9 +57,10 @@ bool locallyExtended(const Function &F, const TargetInfo &Target,
     const Instruction &I = **It;
     if (!I.hasDest() || I.dest() != R)
       continue;
-    if (I.isSext() && I.operand(0) == R && extensionBits(I.opcode()) == Bits)
-      return true; // A canonicalizing extend with no redefinition since.
-    return defKnownExtendedStructural(F, I, Target, Bits);
+    if (I.isConversion() && I.operand(0) == R &&
+        I.opcode() == conversionOpcode(Ext.Kind, Ext.Bits))
+      return true; // A canonicalizing conversion, no redefinition since.
+    return defKnownExtendedStructural(F, I, Target, Ext.Kind, Ext.Bits);
   }
   return false; // Block entry reached: unknown.
 }
@@ -85,13 +83,13 @@ unsigned convertBeforeUse(Function &F, const TargetInfo &Target) {
         if (Seen)
           continue;
         Done.push_back(R);
-        if (locallyExtended(F, Target, *BB, &I, R, canonicalRegBits(F, R)))
+        if (locallyExtended(F, Target, *BB, &I, R, canonicalRegExt(F, R)))
           continue;
         Insertions.push_back({&I, R});
       }
     }
     for (const auto &[Use, R] : Insertions) {
-      BB->insertBefore(Use, makeExtend(F, canonicalRegBits(F, R), R));
+      BB->insertBefore(Use, makeExtend(F, canonicalRegExt(F, R), R));
       ++Generated;
     }
   }

@@ -115,40 +115,45 @@ private:
   // --- Live extension-state queries (AnalyzeDEF generalized) -------------
 
   /// True if every definition reaching operand \p OpIndex of \p User
-  /// produces a \p Bits-extended value (the current EXT masked out).
+  /// produces a \p Bits-sign-extended value (the current EXT masked out).
   bool useExtended(const Instruction *User, unsigned OpIndex, unsigned Bits,
                    EpochIndexSet &Visited);
 
-  /// True if \p Def produces a \p Bits-extended value.
+  /// True if \p Def produces a \p Bits-sign-extended value.
   /// \p AllowUpperZeroRule breaks the mutual recursion with the
-  /// upper-zero query.
+  /// zero-extendedness query.
   bool defExtended(const Instruction *Def, unsigned Bits,
                    EpochIndexSet &Visited, bool AllowUpperZeroRule = true);
 
   /// True if every definition reaching operand \p OpIndex of \p User
-  /// leaves the register's upper 32 bits zero.
-  bool useUpperZero(const Instruction *User, unsigned OpIndex,
-                    EpochIndexSet &Visited);
+  /// produces a \p Bits-zero-extended value (bits >= Bits all zero; for
+  /// Bits == 32 this is the paper's "upper 32 bits zero").
+  bool useZero(const Instruction *User, unsigned OpIndex, unsigned Bits,
+               EpochIndexSet &Visited);
 
-  /// True if \p Def leaves the register's upper 32 bits zero.
-  bool defUpperZero(const Instruction *Def, EpochIndexSet &Visited);
+  /// True if \p Def produces a \p Bits-zero-extended value.
+  bool defZero(const Instruction *Def, unsigned Bits,
+               EpochIndexSet &Visited);
 
-  /// Distinct extendedness facts per instruction (8-, 16-, 32-bit), giving
-  /// the key stride of the defExtended visited sets.
-  static constexpr unsigned NumExtFacts = 3;
+  /// Distinct extendedness facts per instruction (sign/zero kind at 8,
+  /// 16, and 32 bits), giving the key stride of the visited sets.
+  static constexpr unsigned NumExtFacts = 6;
 
-  /// Visited-set key of "Def produces a Bits-extended value".
-  uint32_t extKey(const Instruction *Def, unsigned Bits) const {
+  /// Visited-set key of "Def produces a Kind-extended-at-Bits value".
+  uint32_t extKey(const Instruction *Def, ExtKind Kind,
+                  unsigned Bits) const {
     assert((Bits == 8 || Bits == 16 || Bits == 32) &&
            "extension width outside the fact universe");
     assert(Def->num() != Instruction::Unnumbered &&
            "definition outside the analysis snapshot");
-    return Def->num() * NumExtFacts + (Bits == 8 ? 0 : Bits == 16 ? 1 : 2);
+    unsigned W = Bits == 8 ? 0 : Bits == 16 ? 1 : 2;
+    return Def->num() * NumExtFacts +
+           (Kind == ExtKind::Zero ? 3 : 0) + W;
   }
 
   /// Extension state of the function-entry definition of \p R.
   bool entryExtended(Reg R, unsigned Bits) const;
-  bool entryUpperZero(Reg R) const;
+  bool entryZero(Reg R, unsigned Bits) const;
 
   ValueInterval use32Range(const Instruction *User, unsigned OpIndex) const {
     ValueInterval R = Ranges->rangeOfUse(User, OpIndex);
@@ -169,6 +174,7 @@ private:
 
   const Instruction *CurrentExt = nullptr;
   unsigned CurrentBits = 32;
+  ExtKind CurrentKind = ExtKind::Sign;
   VisitPool Pool;             ///< Fresh-set pool for the recursive queries.
   EpochIndexSet UseVisited;   ///< AnalyzeUSE marks, keyed by operand slot.
   EpochIndexSet ArrayVisited; ///< AnalyzeARRAY marks, keyed by inst number.
@@ -223,10 +229,20 @@ bool Eliminator::entryExtended(Reg R, unsigned Bits) const {
   }
 }
 
-bool Eliminator::entryUpperZero(Reg R) const {
+bool Eliminator::entryZero(Reg R, unsigned Bits) const {
   if (R >= F.numParams())
-    return true; // Zero.
-  return F.regType(R) == Type::U16; // Chars arrive zero-extended.
+    return true; // Locals start zeroed: zero-extended at every width.
+  switch (F.regType(R)) {
+  case Type::U16:
+    return Bits >= 16; // Chars arrive zero-extended at 16 bits.
+  case Type::F64:
+  case Type::ArrayRef:
+    return true; // Non-integer classes never carry extension state.
+  default:
+    // Signed parameters arrive sign-extended; a negative value has its
+    // upper bits set, so no zero-extendedness is known.
+    return false;
+  }
 }
 
 bool Eliminator::useExtended(const Instruction *User, unsigned OpIndex,
@@ -256,15 +272,16 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
   // Coinductive cycle treatment, like the paper's DEF flag: a revisit
   // assumes the fact, which is sound because every propagating step
   // preserves extendedness around the cycle.
-  if (Visited.testAndSet(extKey(Def, Bits)))
+  if (Visited.testAndSet(extKey(Def, ExtKind::Sign, Bits)))
     return true;
 
-  // Never let the extension under analysis justify itself: look through
+  // Never let the conversion under analysis justify itself: look through
   // to its source.
   if (Def == CurrentExt)
     return useExtended(Def, 0, Bits, Visited);
 
-  if (defKnownExtendedStructural(F, *Def, *Options.Target, Bits))
+  if (defKnownExtendedStructural(F, *Def, *Options.Target, ExtKind::Sign,
+                                 Bits))
     return true;
 
   // Range-assisted facts. Ranges describe the lower-32 signed value, which
@@ -279,10 +296,13 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
       defExtended(Def, 32, Visited, AllowUpperZeroRule))
     return true;
 
-  // A zero-upper register holding a non-negative int32 is sign-extended.
-  if (Bits == 32 && AllowUpperZeroRule && R.fitsInt32() && R.Lo >= 0) {
+  // A Bits-zero-extended register holding a value below 2^(Bits-1) is
+  // also Bits-sign-extended (its sign bit is clear). For Bits == 32 this
+  // is the paper's zero-upper-half rule on non-negative int32 values.
+  if (AllowUpperZeroRule && R.fitsInt32() && R.Lo >= 0 &&
+      (Bits >= 32 || R.Hi < (int64_t(1) << (Bits - 1)))) {
     ScopedVisit UZ(Pool);
-    if (defUpperZero(Def, UZ.Set))
+    if (defZero(Def, Bits, UZ.Set))
       return true;
   }
 
@@ -326,6 +346,12 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
     }
     if (MathLo < INT32_MIN || MathHi > INT32_MAX)
       break;
+    // On a zero-extending target the W32 write clears bits 63:32, so the
+    // register equals the mathematical value only when that value is
+    // non-negative; an in-range negative result (e.g. 0 + -1) sits
+    // zero-extended in the register, which is not sign-extended.
+    if (Options.Target->w32ResultsZeroExtend() && MathLo < 0)
+      break;
     if (useExtended(Def, 0, 32, Visited) &&
         useExtended(Def, 1, 32, Visited))
       return true;
@@ -345,7 +371,7 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
       if (Bits < 64 && OpRange.Hi >= (int64_t(1) << (Bits - 1)))
         continue;
       ScopedVisit UZ(Pool);
-      if (useUpperZero(Def, Index, UZ.Set))
+      if (useZero(Def, Index, 32, UZ.Set))
         return true;
     }
     break;
@@ -368,7 +394,8 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
   }
 
   // AnalyzeDEF Case 2: propagation through copies and W32 bitwise ops.
-  std::vector<unsigned> PropIndices = defPropagatesExtension(F, *Def, Bits);
+  std::vector<unsigned> PropIndices =
+      defPropagatesExtension(F, *Def, *Options.Target, ExtKind::Sign, Bits);
   if (!PropIndices.empty()) {
     for (unsigned Index : PropIndices)
       if (!useExtended(Def, Index, Bits, Visited))
@@ -379,93 +406,90 @@ bool Eliminator::defExtended(const Instruction *Def, unsigned Bits,
   return false;
 }
 
-bool Eliminator::useUpperZero(const Instruction *User, unsigned OpIndex,
-                              EpochIndexSet &Visited) {
+bool Eliminator::useZero(const Instruction *User, unsigned OpIndex,
+                         unsigned Bits, EpochIndexSet &Visited) {
   const auto &Defs = Chains->defsOf(User, OpIndex);
   if (Defs.empty())
     return false;
   for (const Instruction *Def : Defs) {
     if (!Def) {
-      if (!entryUpperZero(User->operand(OpIndex)))
+      if (!entryZero(User->operand(OpIndex), Bits))
         return false;
       continue;
     }
-    if (!defUpperZero(Def, Visited))
+    if (!defZero(Def, Bits, Visited))
       return false;
   }
   return true;
 }
 
-bool Eliminator::defUpperZero(const Instruction *Def,
-                              EpochIndexSet &Visited) {
+bool Eliminator::defZero(const Instruction *Def, unsigned Bits,
+                         EpochIndexSet &Visited) {
   if (QueryDepth > MaxQueryDepth)
     return false; // Cross-world cycle: give up conservatively.
   DepthGuard Guard(QueryDepth);
 
-  assert(Def->num() != Instruction::Unnumbered &&
-         "definition outside the analysis snapshot");
-  if (Visited.testAndSet(Def->num()))
+  if (Visited.testAndSet(extKey(Def, ExtKind::Zero, Bits)))
     return true; // Coinductive, as in defExtended.
 
   if (Def == CurrentExt)
-    return useUpperZero(Def, 0, Visited);
+    return useZero(Def, 0, Bits, Visited);
 
-  const TargetInfo &Target = *Options.Target;
+  if (defKnownExtendedStructural(F, *Def, *Options.Target, ExtKind::Zero,
+                                 Bits))
+    return true;
+
+  // Range-assisted narrowing: a 32-zero-extended value whose (lower-32)
+  // value provably lies in [0, 2^Bits) is also Bits-zero-extended.
   ValueInterval R = Ranges->rangeOfDef(Def);
+  if (Bits < 32 && R.fitsInt32() && R.Lo >= 0 &&
+      R.Hi < (int64_t(1) << Bits) && defZero(Def, 32, Visited))
+    return true;
 
   switch (Def->opcode()) {
-  case Opcode::Zext32:
-  case Opcode::Cmp:
-  case Opcode::FCmp:
-  case Opcode::ArrayLen:
-    return true;
-  case Opcode::JustExtended:
-    return true; // Checked index: non-negative, sign-extended.
-  case Opcode::ConstInt:
-    return Def->intValue() >= 0 && Def->intValue() <= Int32Max;
-  case Opcode::Shr:
-    return Def->isW32(); // Unsigned extract from the low half.
-  case Opcode::ArrayLoad:
-    switch (Def->type()) {
-    case Type::I8:
-    case Type::U16:
-      return true; // Always zero-extending loads.
-    case Type::I16:
-      return !Target.loadSignExtends(Type::I16);
-    case Type::I32:
-      return !Target.loadSignExtends(Type::I32);
-    default:
-      return false;
-    }
   case Opcode::And: {
-    // Zero AND anything is zero: one zero-upper operand suffices. Each
-    // operand probe is speculative: marks it makes are rolled back when
-    // the probe fails, as with the reference copy-on-branch sets.
+    // Zero AND anything is zero: one Bits-zero-extended operand
+    // suffices. Each operand probe is speculative: marks it makes are
+    // rolled back when the probe fails, as with the reference
+    // copy-on-branch sets.
     if (!Def->isW32())
-      return false;
+      break;
     for (unsigned Index = 0; Index < 2; ++Index) {
       size_t Mark = Visited.watermark();
-      if (useUpperZero(Def, Index, Visited))
+      if (useZero(Def, Index, Bits, Visited))
         return true;
       Visited.rollback(Mark);
     }
-    return false;
+    break;
   }
-  case Opcode::Or:
-  case Opcode::Xor:
-    if (!Def->isW32())
-      return false;
-    return useUpperZero(Def, 0, Visited) && useUpperZero(Def, 1, Visited);
-  case Opcode::Copy:
-    return useUpperZero(Def, 0, Visited);
   default:
     break;
   }
 
-  // A sign-extended non-negative value has a zero upper half.
-  if (R.fitsInt32() && R.Lo >= 0) {
+  // AnalyzeDEF Case 2 for the zero kind: propagation through copies,
+  // bitwise operations, and wider conversions.
+  std::vector<unsigned> PropIndices =
+      defPropagatesExtension(F, *Def, *Options.Target, ExtKind::Zero, Bits);
+  if (!PropIndices.empty()) {
+    bool AllOK = true;
+    size_t Mark = Visited.watermark();
+    for (unsigned Index : PropIndices)
+      if (!useZero(Def, Index, Bits, Visited)) {
+        AllOK = false;
+        break;
+      }
+    if (AllOK)
+      return true;
+    Visited.rollback(Mark);
+  }
+
+  // A Bits-sign-extended value below 2^(Bits-1) has all bits >= Bits
+  // clear (for Bits == 32: a sign-extended non-negative value has a zero
+  // upper half).
+  if (R.fitsInt32() && R.Lo >= 0 &&
+      (Bits >= 32 || R.Hi < (int64_t(1) << (Bits - 1)))) {
     ScopedVisit Ext(Pool);
-    if (defExtended(Def, 32, Ext.Set, /*AllowUpperZeroRule=*/false))
+    if (defExtended(Def, Bits, Ext.Set, /*AllowUpperZeroRule=*/false))
       return true;
   }
   return false;
@@ -489,7 +513,7 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
     for (const Instruction *SrcDef : Chains->defsOf(Def, 0)) {
       if (!SrcDef) {
         AllOK &= entryExtended(Def->operand(0), 32) ||
-                 entryUpperZero(Def->operand(0));
+                 entryZero(Def->operand(0), 32);
         continue;
       }
       size_t Mark = Visited.watermark();
@@ -514,7 +538,7 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
   // Theorem 1: upper 32 bits zero.
   {
     ScopedVisit UZ(Pool);
-    if (defUpperZero(Def, UZ.Set)) {
+    if (defZero(Def, 32, UZ.Set)) {
       ++Stats.SubscriptTheorem1;
       return true;
     }
@@ -555,7 +579,7 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
     // Theorem 3: i - j with the upper 32 bits of i zero and 0 <= j.
     if (R1.Lo >= 0) {
       ScopedVisit UZ(Pool);
-      if (useUpperZero(Def, 0, UZ.Set)) {
+      if (useZero(Def, 0, 32, UZ.Set)) {
         ++Stats.ArrayUsesProven;
         ++Stats.SubscriptTheorem3;
         return true;
@@ -590,7 +614,7 @@ bool Eliminator::subscriptDefOK(const Instruction *Def, Reg SubscriptReg,
     for (const Instruction *SrcDef : Chains->defsOf(Def, 0)) {
       if (!SrcDef) {
         if (!entryExtended(Def->operand(0), 32) &&
-            !entryUpperZero(Def->operand(0)))
+            !entryZero(Def->operand(0), 32))
           return false;
         continue;
       }
@@ -626,7 +650,7 @@ bool Eliminator::analyzeArray(Instruction *Access) {
   for (const Instruction *Def : Chains->defsOf(Access, 1)) {
     if (!Def) {
       AllOK &= entryExtended(Access->operand(1), 32) ||
-               entryUpperZero(Access->operand(1));
+               entryZero(Access->operand(1), 32);
       continue;
     }
     ScopedVisit Visited(Pool);
@@ -679,6 +703,7 @@ bool Eliminator::analyzeUse(Instruction *User, unsigned OpIndex,
 bool Eliminator::analyzeExtend(Instruction *Ext) {
   CurrentExt = Ext;
   CurrentBits = extensionBits(Ext->opcode());
+  CurrentKind = extensionKind(Ext->opcode());
   UseVisited.clear();
   ArrayVisited.clear();
   BlockingUse = nullptr;
@@ -699,9 +724,13 @@ bool Eliminator::analyzeExtend(Instruction *Ext) {
   }
 
   // Second chance (the paper's UD-chain loop over AnalyzeDEF): the source
-  // may already be extended.
+  // may already be extended — in the kind this conversion establishes.
   ScopedVisit Visited(Pool);
-  if (useExtended(Ext, 0, CurrentBits, Visited.Set)) {
+  bool SourceCanonical =
+      CurrentKind == ExtKind::Sign
+          ? useExtended(Ext, 0, CurrentBits, Visited.Set)
+          : useZero(Ext, 0, CurrentBits, Visited.Set);
+  if (SourceCanonical) {
     ++Stats.EliminatedViaDefs;
     CurrentExt = nullptr;
     return false;
@@ -749,7 +778,7 @@ static Remark extensionRemark(const Function &F, const Instruction *Ext,
 
 EliminationStats Eliminator::run(const std::vector<Instruction *> &Order) {
   for (Instruction *Ext : Order) {
-    assert(Ext->isSext() && "order list must contain extensions");
+    assert(Ext->isConversion() && "order list must contain conversions");
     ++Stats.Analyzed;
     EliminationStats Before = Stats;
     bool Kept = analyzeExtend(Ext);
@@ -758,6 +787,12 @@ EliminationStats Eliminator::run(const std::vector<Instruction *> &Order) {
                                            BlockingUse, BlockingReason));
     if (Kept)
       continue;
+    if (Ext->opcode() == Opcode::Trunc32)
+      ++Stats.EliminatedTrunc;
+    else if (Ext->isZext())
+      ++Stats.EliminatedZext;
+    else
+      ++Stats.EliminatedSext;
     if (Ext->dest() == Ext->operand(0)) {
       // The common `i = extend(i)` form: deleting it is a no-op move.
       Chains->spliceOutDef(Ext);

@@ -27,11 +27,18 @@
 ///     The bounds check itself guarantees LS(e) (the language throws on a
 ///     negative index, and 32-bit compares make the check extension-free).
 ///
-/// Extension-state questions ("already sign-extended", "upper 32 bits
-/// zero") are answered by live UD-chain traversals against the *current*
-/// IR — with the extension under analysis masked out, so no elimination
-/// ever justifies itself — while value ranges come from the stable
-/// lower-32-bit range analysis (analysis/ValueRange.h).
+/// The same algorithm runs over the whole conversion family: for a zero
+/// extension (zext8/16/32) or truncation (trunc32) the def-side question
+/// becomes "already zero-extended at the conversion's width" instead of
+/// "already sign-extended"; the use side (Cases 1 and 2 and AnalyzeARRAY)
+/// is kind-independent, since both kinds only rewrite bits above the
+/// conversion width.
+///
+/// Extension-state questions ("already sign-extended at W", "already
+/// zero-extended at W") are answered by live UD-chain traversals against
+/// the *current* IR — with the conversion under analysis masked out, so no
+/// elimination ever justifies itself — while value ranges come from the
+/// stable lower-32-bit range analysis (analysis/ValueRange.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,6 +90,9 @@ struct EliminationOptions {
 struct EliminationStats {
   unsigned Analyzed = 0;
   unsigned Eliminated = 0;
+  unsigned EliminatedSext = 0;      ///< Of which sign extensions.
+  unsigned EliminatedZext = 0;      ///< Of which zero extensions.
+  unsigned EliminatedTrunc = 0;     ///< Of which trunc32 narrowings.
   unsigned EliminatedViaUses = 0;   ///< No use needed the extension.
   unsigned EliminatedViaDefs = 0;   ///< Source already extended.
   unsigned ArrayUsesProven = 0;     ///< AnalyzeARRAY successes.

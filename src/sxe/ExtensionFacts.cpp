@@ -1,34 +1,57 @@
-//===- sxe/ExtensionFacts.cpp - Sign-extension semantics per opcode ----------===//
+//===- sxe/ExtensionFacts.cpp - Conversion semantics per opcode --------------===//
 
 #include "sxe/ExtensionFacts.h"
 
 using namespace sxe;
 
-unsigned sxe::canonicalRegBits(const Function &F, Reg R) {
+CanonicalExt sxe::canonicalRegExt(const Function &F, Reg R) {
   switch (F.regType(R)) {
   case Type::I8:
-    return 8;
+    return {ExtKind::Sign, 8};
   case Type::I16:
-    return 16;
+    return {ExtKind::Sign, 16};
   case Type::I32:
-    return 32;
+    return {ExtKind::Sign, 32};
+  case Type::U16:
+    return {ExtKind::Zero, 16}; // Java char: canonically zero-extended.
   default:
-    return 0; // U16, I64, F64, ArrayRef: never needs a sign extension.
+    return {ExtKind::Sign, 0}; // I64, F64, ArrayRef: full-width.
   }
+}
+
+unsigned sxe::canonicalRegBits(const Function &F, Reg R) {
+  return canonicalRegExt(F, R).Bits;
+}
+
+Opcode sxe::canonicalConversionOpcode(const Function &F, Reg R) {
+  CanonicalExt Ext = canonicalRegExt(F, R);
+  return conversionOpcode(Ext.Kind, Ext.Bits);
 }
 
 bool sxe::upperBitsIrrelevant(const Function &F, const Instruction &I,
                               unsigned OpIndex, unsigned ExtBits,
                               const TargetInfo *Target) {
   (void)F;
+  // On a target whose 32-bit instructions read only the low operand
+  // halves and clear bits 63:32 of the destination (x86-64), a W32
+  // operation ends the influence of the upper bits outright: they neither
+  // feed the computation nor survive physically into the destination, so
+  // this is AnalyzeUSE Case 1, not Case 2.
+  if (Target && Target->w32ResultsZeroExtend() && I.info().HasWidth &&
+      I.isW32() && ExtBits >= 32)
+    return true;
+
   switch (I.opcode()) {
-  // The extension instructions read only their low input bits.
+  // The conversion instructions read only their low input bits.
   case Opcode::Sext8:
+  case Opcode::Zext8:
     return ExtBits >= 8;
   case Opcode::Sext16:
+  case Opcode::Zext16:
     return ExtBits >= 16;
   case Opcode::Sext32:
   case Opcode::Zext32:
+  case Opcode::Trunc32:
   case Opcode::JustExtended:
     return ExtBits >= 32;
 
@@ -38,7 +61,8 @@ bool sxe::upperBitsIrrelevant(const Function &F, const Instruction &I,
   // is different: the operand's upper bits flow *physically* into the
   // destination register, which an array effective address may read, so
   // add/sub/mul/and/or/xor/neg/not are AnalyzeUSE Case 2 (pass-through),
-  // not Case 1. For an 8/16-bit extension the fixed bits are data bits of
+  // not Case 1 — except on an implicit-zero-extension target, handled
+  // above. For an 8/16-bit conversion the fixed bits are data bits of
   // all these operations, so nothing is irrelevant.
   case Opcode::Cmp:
     // Without a 32-bit compare instruction the comparison lowers through
@@ -87,9 +111,9 @@ bool sxe::upperBitsIrrelevant(const Function &F, const Instruction &I,
 
 bool sxe::passThroughOperand(const Function &F, const Instruction &I,
                              unsigned OpIndex, unsigned ExtBits) {
-  // Only a 32-bit extension can pass through W32 arithmetic: the low 32
+  // Only a 32-bit conversion can pass through W32 arithmetic: the low 32
   // result bits depend only on the low 32 input bits. For 8/16-bit
-  // extensions the fixed bits are data bits (handled as "required").
+  // conversions the fixed bits are data bits (handled as "required").
   if (ExtBits < 32)
     return false;
 
@@ -119,7 +143,7 @@ bool sxe::requiresExtendedOperand(const Function &F, const Instruction &I,
                                   const TargetInfo &Target) {
   unsigned Bits = canonicalRegBits(F, I.operand(OpIndex));
   if (Bits == 0)
-    return false; // Full-width or canonically zero-extended register.
+    return false; // Full-width register: always canonical.
   if (upperBitsIrrelevant(F, I, OpIndex, Bits, &Target))
     return false;
   if (passThroughOperand(F, I, OpIndex, Bits))
@@ -140,126 +164,210 @@ bool sxe::arrayAnalyzableThrough(const Instruction &I) {
 }
 
 bool sxe::defKnownExtendedStructural(const Function &F, const Instruction &I,
-                                     const TargetInfo &Target,
-                                     unsigned ExtBits) {
-  // Value fits in [-2^(W-1), 2^(W-1)): W-extended for every W >= bits.
-  auto FitsSigned = [&](int64_t Value, unsigned Bits) {
-    if (Bits >= 64)
+                                     const TargetInfo &Target, ExtKind Kind,
+                                     unsigned Bits) {
+  // Value fits in [-2^(W-1), 2^(W-1)): W-sign-extended for every W >= bits.
+  auto FitsSigned = [](int64_t Value, unsigned W) {
+    if (W >= 64)
       return true;
-    int64_t Lo = -(int64_t(1) << (Bits - 1));
-    int64_t Hi = (int64_t(1) << (Bits - 1)) - 1;
+    int64_t Lo = -(int64_t(1) << (W - 1));
+    int64_t Hi = (int64_t(1) << (W - 1)) - 1;
     return Value >= Lo && Value <= Hi;
+  };
+  auto FitsUnsigned = [](int64_t Value, unsigned W) {
+    if (Value < 0)
+      return false;
+    return W >= 63 ||
+           static_cast<uint64_t>(Value) < (uint64_t(1) << W);
   };
 
   if (I.hasDest()) {
     switch (F.regType(I.dest())) {
-    case Type::U16:
-      // Canonically zero-extended [0, 65535]: sign-bit-free from 17 bits.
-      return ExtBits > 16;
     case Type::F64:
     case Type::ArrayRef:
       return true; // Non-integer classes never carry extension state.
-    case Type::I64:
-      // A full-width register holds an arbitrary 64-bit value, so whether
-      // it is ExtBits-extended depends on the producing operation, not the
-      // type: sext32 of an i64 register is the explicit narrowing idiom
-      // and is a real operation whenever the value exceeds 32 bits.
-      // Differential testing caught the old "full-width is always
-      // extended" shortcut deleting such narrowings. Fall through to the
-      // per-opcode facts (the range and upper-zero rules in the
-      // eliminator still prove the value-dependent cases).
-      break;
     default:
-      break; // Sub-register signed types: per-opcode facts below.
+      // Integer destinations — including U16 chars and full-width I64 —
+      // hold whatever the producing operation wrote. Deciding extension
+      // state from the destination *type* is the unsoundness differential
+      // testing keeps re-finding (a U16 register is only [0, 65535] when
+      // its canonical zext16 has already run; an I64 register holds an
+      // arbitrary value). Use the per-opcode facts below.
+      break;
     }
   }
 
+  // Strongest structural facts of this definition, as minimal widths:
+  // SignBits != 0 means the result is sign-extended at every width
+  // >= SignBits; ZeroBits != 0 means zero-extended at every width
+  // >= ZeroBits. A value zero-extended at h is non-negative and below
+  // 2^h, hence also sign-extended at every width *strictly* above h
+  // (0xFF is Zero@8 but not Sign@8) — folded in at the end.
+  unsigned SignBits = 0, ZeroBits = 0;
+  // Whether the target's 32-bit instructions implicitly zero-extend.
+  const bool ZeroExt32 = Target.w32ResultsZeroExtend();
+
   switch (I.opcode()) {
   case Opcode::Sext8:
-    return true; // Result in [-128,127]: extended for all widths.
+    SignBits = 8;
+    break;
   case Opcode::Sext16:
-    return ExtBits >= 16;
+    SignBits = 16;
+    break;
   case Opcode::Sext32:
-    return ExtBits >= 32;
+    SignBits = 32;
+    break;
+  case Opcode::Zext8:
+    ZeroBits = 8;
+    break;
+  case Opcode::Zext16:
+    ZeroBits = 16;
+    break;
+  case Opcode::Zext32:
+  case Opcode::Trunc32:
+    ZeroBits = 32;
+    break;
   case Opcode::JustExtended:
     // Array-access dummy: the index is a non-negative int below 2^31.
-    return ExtBits >= 32;
+    SignBits = 32;
+    ZeroBits = 31;
+    break;
   case Opcode::ConstInt:
-    return FitsSigned(I.intValue(), ExtBits);
+    if (Kind == ExtKind::Sign)
+      return FitsSigned(I.intValue(), Bits);
+    return FitsUnsigned(I.intValue(), Bits);
   case Opcode::Cmp:
   case Opcode::FCmp:
-    return true; // 0 or 1.
+    ZeroBits = 1; // 0 or 1.
+    break;
   case Opcode::D2I:
-    return ExtBits >= 32; // Saturating conversion to int32.
+    // Saturating conversion to int32. On an implicit-zero-extension
+    // target the 32-bit result register is zero-extended, so a negative
+    // result is *not* sign-extended at 32.
+    if (ZeroExt32)
+      ZeroBits = 32;
+    else
+      SignBits = 32;
+    break;
   case Opcode::Div:
   case Opcode::Rem:
-    // The W32 divide sequence produces a sign-extended Java int result.
-    return I.isW32() && ExtBits >= 32;
+    // The W32 divide sequence produces a canonical Java int result —
+    // sign-extended where the machine writes full registers, zero-
+    // extended where 32-bit writes clear the upper half (x86 idiv).
+    if (I.isW32()) {
+      if (ZeroExt32)
+        ZeroBits = 32;
+      else
+        SignBits = 32;
+    }
+    break;
   case Opcode::Sar:
-    // W32 lowers to a signed extract: result is sign-extended int32.
-    return I.isW32() && ExtBits >= 32;
+    // W32 lowers to a signed extract: a sign-extended int32 result —
+    // except on an implicit-zero-extension target (sarl writes a 32-bit
+    // register).
+    if (I.isW32()) {
+      if (ZeroExt32)
+        ZeroBits = 32;
+      else
+        SignBits = 32;
+    }
+    break;
+  case Opcode::Shr:
+    // W32 lowers to an *unsigned* extract from the low 32 bits (IA64
+    // extr.u / x86 shrl): the result is zero-extended on every target.
+    if (I.isW32())
+      ZeroBits = 32;
+    break;
   case Opcode::Call: {
-    // The ABI returns sub-register integers canonically extended.
+    // The ABI returns sub-register integers canonically converted.
     if (!I.callee())
       return false;
-    unsigned RetBits = 0;
     switch (I.callee()->returnType()) {
     case Type::I8:
-      RetBits = 8;
+      SignBits = 8;
       break;
     case Type::I16:
-      RetBits = 16;
+      SignBits = 16;
       break;
     case Type::U16:
-      RetBits = 17; // Zero-extended 16-bit: needs 17 signed bits.
+      ZeroBits = 16; // Char return: zero-extended 16-bit.
       break;
     case Type::I32:
-      RetBits = 32;
+      SignBits = 32;
       break;
     case Type::F64:
     case Type::ArrayRef:
       return true; // Non-integer classes never carry extension state.
     default:
-      // An I64-returning call hands back an arbitrary 64-bit value; it is
-      // not ExtBits-extended for any sub-register width (same trap as the
-      // full-width-destination shortcut above).
+      // An I64-returning call hands back an arbitrary 64-bit value; it
+      // is not extended at any sub-register width (same trap as the
+      // type-based destination shortcut above).
       return false;
     }
-    return ExtBits >= RetBits;
+    break;
   }
   case Opcode::ArrayLen:
-    return ExtBits >= 32; // [0, 2^31): sign-extended non-negative int.
+    ZeroBits = 31; // [0, 2^31): non-negative int.
+    break;
   case Opcode::ArrayLoad:
     switch (I.type()) {
     case Type::I8:
-      // Byte loads zero-extend: value in [0,255], W-extended for W >= 9.
-      return ExtBits >= 16;
+      ZeroBits = 8; // Byte loads zero-extend on every modeled target.
+      break;
     case Type::U16:
-      return ExtBits >= 32; // [0, 65535] needs 17 signed bits.
+      ZeroBits = 16; // Char loads zero-extend.
+      break;
     case Type::I16:
       if (Target.loadSignExtends(Type::I16))
-        return ExtBits >= 16;
-      return ExtBits >= 32; // Zero-extended [0, 65535].
+        SignBits = 16;
+      else
+        ZeroBits = 16;
+      break;
     case Type::I32:
-      return Target.loadSignExtends(Type::I32) && ExtBits >= 32;
+      if (Target.loadSignExtends(Type::I32))
+        SignBits = 32;
+      else
+        ZeroBits = 32; // IA64 ld4 / x86 movl zero-extend.
+      break;
     case Type::F64:
       return true; // Non-integer: never carries extension state.
     default:
       // An I64 element load yields an arbitrary 64-bit value: a later
-      // sext8/16/32 of it is a real narrowing, never removable on type
+      // conversion of it is a real narrowing, never removable on type
       // grounds alone. Differential testing caught the old "full-width
       // load is extended at every width" claim deleting such narrowings
       // when the loaded value overflowed the queried width.
       return false;
     }
+    break;
   default:
-    return false;
+    break;
   }
+
+  // Implicit-zero-extension targets make *every* W32 result Zero@32 (a
+  // 32-bit write clears bits 63:32), independent of the opcode fact.
+  if (ZeroExt32 && I.info().HasWidth && I.isW32() &&
+      (ZeroBits == 0 || ZeroBits > 32))
+    ZeroBits = 32;
+
+  if (Kind == ExtKind::Sign)
+    return (SignBits != 0 && Bits >= SignBits) ||
+           (ZeroBits != 0 && Bits > ZeroBits);
+  return ZeroBits != 0 && Bits >= ZeroBits;
 }
 
 std::vector<unsigned> sxe::defPropagatesExtension(const Function &F,
                                                   const Instruction &I,
-                                                  unsigned ExtBits) {
+                                                  const TargetInfo &Target,
+                                                  ExtKind Kind,
+                                                  unsigned Bits) {
+  // On an implicit-zero-extension target a W32 bitwise operation writes a
+  // zero-extended 32-bit result: sign bits of the operands do *not*
+  // survive into the upper half, so sign-kind propagation is off there
+  // (the structural Zero@32 fact covers the zero kind at width 32).
+  const bool ClearsUpper32 =
+      Target.w32ResultsZeroExtend() && I.info().HasWidth && I.isW32();
+
   switch (I.opcode()) {
   case Opcode::Copy:
     if (isIntegerType(F.regType(I.operand(0))))
@@ -268,31 +376,52 @@ std::vector<unsigned> sxe::defPropagatesExtension(const Function &F,
   case Opcode::And:
   case Opcode::Or:
   case Opcode::Xor:
-    // Bitwise operations on two W-extended values produce a W-extended
-    // value: every bit >= W-1 equals the respective operation of the two
-    // replicated sign bits, itself replicated.
-    if (I.isW32() && ExtBits >= 32)
+    // Sign kind: bitwise operations on two W-sign-extended values produce
+    // a W-sign-extended value — every bit >= W-1 equals the respective
+    // operation of the two replicated sign bits, itself replicated.
+    // Zero kind: bits >= W are zero in both operands, so the result's
+    // are too, at any width and on any target (clearing the upper half
+    // keeps them zero).
+    if (Kind == ExtKind::Zero)
+      return {0, 1};
+    if (I.isW32() && Bits >= 32 && !ClearsUpper32)
       return {0, 1};
     return {};
   case Opcode::Not:
-    if (I.isW32() && ExtBits >= 32)
+    // ~x of a sign-extended value replicates the inverted sign bit; of a
+    // zero-extended value it sets the upper bits, so no zero-kind rule.
+    if (Kind == ExtKind::Sign && I.isW32() && Bits >= 32 && !ClearsUpper32)
       return {0};
     return {};
   case Opcode::Sext8:
   case Opcode::Sext16:
-  case Opcode::Sext32:
-  case Opcode::JustExtended: {
-    // An extension narrower than the queried width guarantees the queried
-    // width only structurally (handled above); a *wider* extension
-    // preserves an already-narrower-extended value, e.g. sext32 of an
-    // 8-extended value is still 8-extended.
-    unsigned Bits = I.opcode() == Opcode::JustExtended
-                        ? 32u
-                        : extensionBits(I.opcode());
-    if (Bits >= ExtBits)
+  case Opcode::Sext32: {
+    // A conversion narrower than the queried width guarantees the queried
+    // width only structurally (handled by defKnownExtendedStructural); a
+    // *wider* sext preserves an already-narrower-extended value, e.g.
+    // sext32 of an 8-extended value is still 8-extended. For the zero
+    // kind the width must be strictly wider: sextV of a Zero@V value can
+    // go negative (bit V-1 set), but a Zero@h value with h < V is below
+    // 2^(V-1) and passes through unchanged.
+    unsigned V = extensionBits(I.opcode());
+    if (Kind == ExtKind::Sign ? V >= Bits : V > Bits)
       return {0};
     return {};
   }
+  case Opcode::Zext8:
+  case Opcode::Zext16:
+  case Opcode::Zext32:
+  case Opcode::Trunc32: {
+    // zextV of a Zero@Bits value with Bits <= V is the identity, so the
+    // zero kind passes through. The sign kind never does: masking a
+    // negative sign-extended value plants ones in bits [Bits, V).
+    unsigned V = extensionBits(I.opcode());
+    if (Kind == ExtKind::Zero && V >= Bits)
+      return {0};
+    return {};
+  }
+  case Opcode::JustExtended:
+    return {0}; // Identity marker: forwards the operand verbatim.
   default:
     return {};
   }

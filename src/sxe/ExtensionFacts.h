@@ -1,4 +1,4 @@
-//===- sxe/ExtensionFacts.h - Sign-extension semantics per opcode -*- C++ -*-===//
+//===- sxe/ExtensionFacts.h - Conversion semantics per opcode ----*- C++ -*-===//
 //
 // Part of the sxe project, a reproduction of "Effective Sign Extension
 // Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
@@ -6,39 +6,47 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The target-dependent semantic facts the paper's analyses dispatch on.
-/// Every sub-register integer register has a *canonical width* W (8, 16, or
-/// 32 bits, from its declared type): the register is canonical when its
-/// full 64-bit value equals sextW of its low W bits. The paper's extend()
-/// re-establishes canonical form; "8-bit and 16-bit sign extensions are
-/// also eliminated based on the same algorithm" (Section 2.3), so the
-/// use-side predicates are parameterized by the width of the extension
-/// under analysis:
+/// The target-dependent semantic facts the paper's analyses dispatch on,
+/// generalized from sign extensions to the full conversion family
+/// (sext/zext/trunc). Every sub-register integer register has a *canonical
+/// conversion* (Kind, W) derived from its declared type: the register is
+/// canonical when its full 64-bit value equals the Kind-extension of its
+/// low W bits. Signed types (I8/I16/I32) are canonically sign-extended;
+/// Java chars (U16) are canonically zero-extended at 16 bits, so their
+/// re-canonicalizing conversion is `zext16` and the same elimination
+/// algorithm applies ("8-bit and 16-bit sign extensions are also
+/// eliminated based on the same algorithm", Section 2.3 — zero extensions
+/// differ only in which extension fact must be proven).
 ///
 ///  - upperBitsIrrelevant (AnalyzeUSE Case 1): the instruction reads at
-///    most the low \p ExtBits bits of the operand, so bits the extension
+///    most the low \p ExtBits bits of the operand, so bits the conversion
 ///    would fix can never affect it (narrow stores, 32-bit compares, W32
-///    arithmetic for 32-bit extensions, the extension instructions).
+///    arithmetic for 32-bit extensions, the conversion instructions
+///    themselves). This predicate is kind-independent: both sext and zext
+///    only rewrite bits >= ExtBits. On a target whose 32-bit instructions
+///    implicitly zero their destination's upper half (x86-64), every W32
+///    operation is Case 1 rather than Case 2 — the operand's upper bits
+///    cannot even escape physically through the destination register.
 ///  - passThroughOperand (AnalyzeUSE Case 2): the low 32 bits of the
 ///    result depend only on the low 32 bits of this operand, so the
 ///    operand's upper bits matter only if the destination's do. Only
-///    meaningful for 32-bit extensions: for an 8/16-bit extension the bits
-///    it fixes are *data* bits of any W32 operation.
-///  - requiresExtendedOperand: the derived "needs a sign extension" test
-///    used by conversion, insertion, and the first algorithm's backward
-///    dataflow: the operand register is sub-register, and the use is
-///    neither Case 1 nor Case 2 for the register's canonical width
-///    (int-to-double conversion, W64 operations, W32 division, calls,
-///    returns, wide stores, newarray lengths, widening copies, and array
-///    indices — the index case is the one AnalyzeARRAY later refines).
+///    meaningful for 32-bit conversions: for an 8/16-bit conversion the
+///    bits it fixes are *data* bits of any W32 operation.
+///  - requiresExtendedOperand: the derived "needs a canonicalizing
+///    conversion" test used by conversion, insertion, and the first
+///    algorithm's backward dataflow: the operand register is sub-register,
+///    and the use is neither Case 1 nor Case 2 for the register's
+///    canonical width (int-to-double conversion, W64 operations, W32
+///    division, calls, returns, wide stores, newarray lengths, widening
+///    copies, and array indices — the index case is the one AnalyzeARRAY
+///    later refines).
 ///  - arrayAnalyzableThrough: whether AnalyzeARRAY's theorems still model
 ///    the effective address after the index value flowed through this
 ///    instruction (W32 add/sub and copies; Section 3 covers i, i+j, i-j).
 ///  - defKnownExtendedStructural (AnalyzeDEF Case 1, chain-free part):
-///    the destination is \p ExtBits-extended regardless of the inputs.
+///    the destination is Kind-extended at \p Bits regardless of inputs.
 ///  - defPropagatesExtension (AnalyzeDEF Case 2): the destination is
-///    extended whenever all listed operands are (copies; W32 bitwise
-///    operations preserve a replicated sign bit).
+///    Kind-extended at \p Bits whenever all listed operands are.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,25 +60,43 @@
 
 namespace sxe {
 
-/// Canonical extension width of register \p R: 8/16/32 for I8/I16/I32, and
-/// 0 for registers that never need a sign extension (U16 chars are
-/// canonically zero-extended; I64/F64/ArrayRef are full-width).
+/// The canonical conversion of one register: the register is in canonical
+/// form when its 64-bit value equals the Kind-extension of its low Bits
+/// bits. Bits == 0 means the register never needs a conversion (I64, F64,
+/// ArrayRef hold full-width values).
+struct CanonicalExt {
+  ExtKind Kind;
+  unsigned Bits;
+};
+
+/// Canonical conversion of register \p R: {Sign, 8/16/32} for I8/I16/I32,
+/// {Zero, 16} for U16 (Java char), and Bits == 0 for full-width registers.
+CanonicalExt canonicalRegExt(const Function &F, Reg R);
+
+/// Canonical width of register \p R (canonicalRegExt().Bits).
 unsigned canonicalRegBits(const Function &F, Reg R);
 
-/// AnalyzeUSE Case 1 for an extension of width \p ExtBits: the bits the
-/// extension fixes (bits >= ExtBits) can never affect \p I's execution.
-/// \p Target may be null (assume 32-bit compares exist, true for IA64 and
-/// PPC64); a target without them turns W32 compares into requiring uses.
+/// The opcode that re-establishes canonical form for register \p R, e.g.
+/// Sext32 for an I32 register, Zext16 for a U16 one. Only valid when
+/// canonicalRegBits(F, R) != 0.
+Opcode canonicalConversionOpcode(const Function &F, Reg R);
+
+/// AnalyzeUSE Case 1 for a conversion of width \p ExtBits: the bits the
+/// conversion fixes (bits >= ExtBits) can never affect \p I's execution.
+/// \p Target may be null (assume 32-bit compares exist and no implicit
+/// W32 zero extension — true for IA64 and PPC64); a target without 32-bit
+/// compares turns W32 compares into requiring uses, and one with implicit
+/// W32 zero extension (x86-64) turns every W32 operation into Case 1.
 bool upperBitsIrrelevant(const Function &F, const Instruction &I,
                          unsigned OpIndex, unsigned ExtBits,
                          const TargetInfo *Target = nullptr);
 
-/// AnalyzeUSE Case 2 for an extension of width \p ExtBits.
+/// AnalyzeUSE Case 2 for a conversion of width \p ExtBits.
 bool passThroughOperand(const Function &F, const Instruction &I,
                         unsigned OpIndex, unsigned ExtBits);
 
 /// Returns true if operand \p OpIndex of \p I must hold a canonically
-/// extended register for \p I to execute correctly on \p Target.
+/// converted register for \p I to execute correctly on \p Target.
 bool requiresExtendedOperand(const Function &F, const Instruction &I,
                              unsigned OpIndex, const TargetInfo &Target);
 
@@ -79,16 +105,21 @@ bool requiresExtendedOperand(const Function &F, const Instruction &I,
 bool arrayAnalyzableThrough(const Instruction &I);
 
 /// AnalyzeDEF Case 1 without chain reasoning: the destination value of
-/// \p I is \p ExtBits-extended regardless of its inputs.
+/// \p I is \p Kind-extended at \p Bits regardless of its inputs. A value
+/// zero-extended at h is also sign-extended at every width strictly above
+/// h (it is non-negative and below 2^h), which this predicate folds in:
+/// e.g. an ArrayLen result is Zero@31, hence both Zero@32 and Sign@32.
 bool defKnownExtendedStructural(const Function &F, const Instruction &I,
-                                const TargetInfo &Target, unsigned ExtBits);
+                                const TargetInfo &Target, ExtKind Kind,
+                                unsigned Bits);
 
-/// AnalyzeDEF Case 2: if non-empty, the destination of \p I is \p ExtBits-
-/// extended whenever all returned operand indices hold values that are
-/// \p ExtBits-extended.
+/// AnalyzeDEF Case 2: if non-empty, the destination of \p I is \p Kind-
+/// extended at \p Bits whenever all returned operand indices hold values
+/// that are \p Kind-extended at \p Bits.
 std::vector<unsigned> defPropagatesExtension(const Function &F,
                                              const Instruction &I,
-                                             unsigned ExtBits);
+                                             const TargetInfo &Target,
+                                             ExtKind Kind, unsigned Bits);
 
 } // namespace sxe
 

@@ -34,8 +34,19 @@ bool unionInto(DemandSet &Dst, const DemandSet &Src) {
 /// then demand every operand that must be canonically extended.
 void applyTransfer(const Function &F, const TargetInfo &Target,
                    const Instruction &I, DemandSet &Demand) {
+  bool DestDemanded = I.hasDest() && testBit(Demand, I.dest());
   if (I.hasDest())
     clearBit(Demand, I.dest());
+  // A copy forwards the register bits verbatim, so a demand on the
+  // destination's canonical form becomes a demand on the source (the
+  // self-copy `r = copy r` would otherwise erase the demand and let the
+  // sweep delete a conversion a requiring use below still needs).
+  // Arithmetic redefinitions really do kill demand: gen-def plants the
+  // recanonicalizing conversion after them, and that conversion is the
+  // instruction the demand keeps alive.
+  if (DestDemanded && I.opcode() == Opcode::Copy &&
+      isSubRegisterIntType(F.regType(I.dest())))
+    setBit(Demand, I.operand(0));
   for (unsigned Index = 0; Index < I.numOperands(); ++Index)
     if (requiresExtendedOperand(F, I, Index, Target))
       setBit(Demand, I.operand(Index));
@@ -81,9 +92,12 @@ unsigned sxe::runFirstAlgorithm(Function &F, const TargetInfo &Target,
     }
   }
 
-  // Removal: an `r = sextN r` whose register is not demanded right after
-  // it is unnecessary. Removing such an extension adds no demand upstream
-  // (its out-demand was empty), so a single simultaneous sweep is exact.
+  // Removal: an `r = convN r` re-establishing r's canonical form whose
+  // register is not demanded right after it is unnecessary. Removing such
+  // a conversion adds no demand upstream (its out-demand was empty), so a
+  // single simultaneous sweep is exact. A conversion of a full-width
+  // register (e.g. trunc32 of an i64) is a real narrowing, never a
+  // re-canonicalization, and stays out of scope here.
   unsigned Removed = 0;
   for (BasicBlock *BB : RPO) {
     DemandSet Demand = DemandOut[BB];
@@ -94,9 +108,10 @@ unsigned sxe::runFirstAlgorithm(Function &F, const TargetInfo &Target,
     std::vector<Instruction *> ToErase;
     for (auto RIt = Reversed.rbegin(); RIt != Reversed.rend(); ++RIt) {
       Instruction *I = *RIt;
-      if (I->isSext() && I->numOperands() == 1 &&
+      if (I->isConversion() && I->numOperands() == 1 &&
           I->dest() == I->operand(0) &&
-          extensionBits(I->opcode()) == canonicalRegBits(F, I->dest()) &&
+          canonicalRegBits(F, I->dest()) != 0 &&
+          I->opcode() == canonicalConversionOpcode(F, I->dest()) &&
           !testBit(Demand, I->dest())) {
         ToErase.push_back(I);
         // Transfer still applies: the extend kills and demands nothing.

@@ -13,22 +13,19 @@ using namespace sxe;
 
 namespace {
 
-Instruction *makeExtend(Function &F, unsigned Bits, Reg R) {
-  Opcode Op = Bits == 8    ? Opcode::Sext8
-              : Bits == 16 ? Opcode::Sext16
-                           : Opcode::Sext32;
-  Instruction *Ext = F.newInstruction(Op);
-  Ext->setDest(R);
-  Ext->addOperand(R);
-  return Ext;
+Instruction *makeExtend(Function &F, CanonicalExt Ext, Reg R) {
+  Instruction *Conv = F.newInstruction(conversionOpcode(Ext.Kind, Ext.Bits));
+  Conv->setDest(R);
+  Conv->addOperand(R);
+  return Conv;
 }
 
-/// "Obviously sign-extended": the nearest in-block definition of \p R
-/// before \p Use is a canonicalizing extend or a structurally extended
-/// definition.
+/// "Obviously extended": the nearest in-block definition of \p R before
+/// \p Use is a canonicalizing conversion of the right kind or a
+/// structurally extended definition.
 bool obviouslyExtended(const Function &F, const TargetInfo &Target,
                        BasicBlock &BB, const Instruction *Use, Reg R,
-                       unsigned Bits) {
+                       CanonicalExt Ext) {
   const Instruction *LastDef = nullptr;
   for (const Instruction &I : BB) {
     if (&I == Use)
@@ -38,12 +35,18 @@ bool obviouslyExtended(const Function &F, const TargetInfo &Target,
   }
   if (!LastDef)
     return false;
-  if (LastDef->isSext() && LastDef->operand(0) == R &&
-      extensionBits(LastDef->opcode()) >= Bits)
+  // A same-kind conversion of at least the canonical width re-established
+  // canonical form (a sign extension does not make a char canonical, nor
+  // a zero extension an int).
+  if (LastDef->isConversion() && LastDef->operand(0) == R &&
+      extensionKind(LastDef->opcode()) == Ext.Kind &&
+      extensionBits(LastDef->opcode()) >= Ext.Bits)
     return true;
-  if (LastDef->isDummyExtend() && Bits <= 32)
-    return LastDef->operand(0) == R && Bits == 32;
-  return defKnownExtendedStructural(F, *LastDef, Target, Bits);
+  if (LastDef->isDummyExtend())
+    return LastDef->operand(0) == R && Ext.Kind == ExtKind::Sign &&
+           Ext.Bits == 32;
+  return defKnownExtendedStructural(F, *LastDef, Target, Ext.Kind,
+                                    Ext.Bits);
 }
 
 /// Collects (use, register) pairs for every requiring operand.
@@ -93,11 +96,11 @@ unsigned sxe::runSimpleInsertion(Function &F, const TargetInfo &Target,
 
   unsigned Count = 0;
   for (const auto &[Use, R] : collectRequiringUses(F, Target)) {
-    unsigned Bits = canonicalRegBits(F, R);
-    if (obviouslyExtended(F, Target, *Use->parent(), Use, R, Bits))
+    CanonicalExt CE = canonicalRegExt(F, R);
+    if (obviouslyExtended(F, Target, *Use->parent(), Use, R, CE))
       continue;
     Instruction *Ext =
-        Use->parent()->insertBefore(Use, makeExtend(F, Bits, R));
+        Use->parent()->insertBefore(Use, makeExtend(F, CE, R));
     if (Inserted)
       Inserted->push_back(Ext);
     ++Count;
@@ -123,8 +126,8 @@ unsigned sxe::runPDEInsertion(Function &F, const TargetInfo &Target,
 
   std::vector<std::pair<Instruction *, Reg>> Planned;
   for (const auto &[Use, R] : collectRequiringUses(F, Target)) {
-    unsigned Bits = canonicalRegBits(F, R);
-    if (obviouslyExtended(F, Target, *Use->parent(), Use, R, Bits))
+    CanonicalExt CE = canonicalRegExt(F, R);
+    if (obviouslyExtended(F, Target, *Use->parent(), Use, R, CE))
       continue;
     // Find the operand index again to query the chains (first match is
     // fine: same register, same reaching definitions).
@@ -142,8 +145,9 @@ unsigned sxe::runPDEInsertion(Function &F, const TargetInfo &Target,
       continue;
     bool AllExtends = true;
     for (const Instruction *Def : Defs) {
-      if (!Def || !Def->isSext() || Def->dest() != R ||
-          extensionBits(Def->opcode()) < Bits) {
+      if (!Def || !Def->isConversion() || Def->dest() != R ||
+          extensionKind(Def->opcode()) != CE.Kind ||
+          extensionBits(Def->opcode()) < CE.Bits) {
         AllExtends = false;
         break;
       }
@@ -154,7 +158,7 @@ unsigned sxe::runPDEInsertion(Function &F, const TargetInfo &Target,
   unsigned Count = 0;
   for (const auto &[Use, R] : Planned) {
     Instruction *Ext = Use->parent()->insertBefore(
-        Use, makeExtend(F, canonicalRegBits(F, R), R));
+        Use, makeExtend(F, canonicalRegExt(F, R), R));
     if (Inserted)
       Inserted->push_back(Ext);
     ++Count;

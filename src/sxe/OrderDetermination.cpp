@@ -42,7 +42,7 @@ std::vector<Instruction *> sxe::extensionsByFrequency(
   for (BasicBlock *BB : Cfg.reversePostOrder()) {
     double BlockFreq = Freq.frequency(BB);
     for (Instruction &I : *BB) {
-      if (!I.isSext())
+      if (!I.isConversion())
         continue;
       bool IsInserted = Inserted && Inserted->count(&I) != 0;
       Entries.push_back(Entry{&I, BlockFreq, IsInserted, Sequence++});
@@ -78,7 +78,7 @@ sxe::extensionsInReverseDFS(Function &F, const CFG *PrecomputedCfg) {
   for (auto It = DFO.rbegin(); It != DFO.rend(); ++It) {
     std::vector<Instruction *> Extensions;
     for (Instruction &I : **It)
-      if (I.isSext())
+      if (I.isConversion())
         Extensions.push_back(&I);
     Result.insert(Result.end(), Extensions.rbegin(), Extensions.rend());
   }

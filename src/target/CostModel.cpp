@@ -34,6 +34,9 @@ unsigned sxe::instructionCycleCost(const Instruction &I,
   case Opcode::Sext16:
   case Opcode::Sext32:
   case Opcode::Zext32:
+  case Opcode::Zext8:
+  case Opcode::Zext16:
+  case Opcode::Trunc32:
   case Opcode::Cmp:
   case Opcode::FCmp:
     return C.Alu;

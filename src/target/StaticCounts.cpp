@@ -22,8 +22,17 @@ StaticExtensionCounts sxe::countStaticExtensions(const Function &F) {
       case Opcode::Sext32:
         ++Counts.Sext32;
         break;
+      case Opcode::Zext8:
+        ++Counts.Zext8;
+        break;
+      case Opcode::Zext16:
+        ++Counts.Zext16;
+        break;
       case Opcode::Zext32:
         ++Counts.Zext32;
+        break;
+      case Opcode::Trunc32:
+        ++Counts.Trunc32;
         break;
       case Opcode::JustExtended:
         ++Counts.Dummies;

@@ -30,17 +30,29 @@ struct StaticExtensionCounts {
   uint64_t Sext8 = 0;   ///< Explicit sext8 instructions.
   uint64_t Sext16 = 0;  ///< Explicit sext16 instructions.
   uint64_t Sext32 = 0;  ///< Explicit sext32 — the paper's extend().
+  uint64_t Zext8 = 0;   ///< Explicit zext8 instructions.
+  uint64_t Zext16 = 0;  ///< Explicit zext16 instructions.
   uint64_t Zext32 = 0;  ///< Explicit zext32 instructions.
+  uint64_t Trunc32 = 0; ///< Explicit trunc32 instructions.
   uint64_t Dummies = 0; ///< just_extended markers still in the IR.
 
   /// Total explicit sign extensions — the paper's instrumented quantity.
   uint64_t totalSext() const { return Sext8 + Sext16 + Sext32; }
 
+  /// Total explicit conversions of any kind — the generalized census the
+  /// verify-each no-regression check and diff-test clause 4 compare.
+  uint64_t totalConversions() const {
+    return totalSext() + Zext8 + Zext16 + Zext32 + Trunc32;
+  }
+
   StaticExtensionCounts &operator+=(const StaticExtensionCounts &Other) {
     Sext8 += Other.Sext8;
     Sext16 += Other.Sext16;
     Sext32 += Other.Sext32;
+    Zext8 += Other.Zext8;
+    Zext16 += Other.Zext16;
     Zext32 += Other.Zext32;
+    Trunc32 += Other.Trunc32;
     Dummies += Other.Dummies;
     return *this;
   }

@@ -18,6 +18,7 @@ const TargetInfo &TargetInfo::ia64() {
       /*SignExtendingLoad16=*/false, // ld2 zero-extends.
       /*SignExtendingLoad32=*/false, // ld4 zero-extends; sxt4 is explicit.
       /*Has32BitCompare=*/true,      // cmp4.
+      /*W32ResultsZeroExtend=*/false,
       AddressingMode{/*FusedScaleAdd=*/true, /*AddressCycles=*/1}, // shladd.
       CycleCosts{/*Alu=*/1, /*Mul=*/7, /*Div=*/36, /*Load=*/2, /*Store=*/1,
                  /*FpAlu=*/4, /*FpDiv=*/30, /*Conv=*/4, /*Branch=*/1,
@@ -31,6 +32,7 @@ const TargetInfo &TargetInfo::ppc64() {
       /*SignExtendingLoad16=*/true, // lha.
       /*SignExtendingLoad32=*/true, // lwa.
       /*Has32BitCompare=*/true,     // cmpw.
+      /*W32ResultsZeroExtend=*/false,
       AddressingMode{/*FusedScaleAdd=*/false,
                      /*AddressCycles=*/2}, // sldi + add.
       CycleCosts{/*Alu=*/1, /*Mul=*/7, /*Div=*/34, /*Load=*/2, /*Store=*/1,
@@ -45,8 +47,24 @@ const TargetInfo &TargetInfo::generic64() {
       /*SignExtendingLoad16=*/false,
       /*SignExtendingLoad32=*/false,
       /*Has32BitCompare=*/false, // Section 3's hypothetical machine.
+      /*W32ResultsZeroExtend=*/false,
       AddressingMode{/*FusedScaleAdd=*/false, /*AddressCycles=*/2},
       CycleCosts{/*Alu=*/1, /*Mul=*/7, /*Div=*/34, /*Load=*/2, /*Store=*/1,
+                 /*FpAlu=*/4, /*FpDiv=*/30, /*Conv=*/4, /*Branch=*/1,
+                 /*Call=*/2, /*Alloc=*/20});
+  return T;
+}
+
+const TargetInfo &TargetInfo::x86_64() {
+  static const TargetInfo T(
+      "x86_64",
+      /*SignExtendingLoad16=*/false, // movzx.
+      /*SignExtendingLoad32=*/false, // movl zero-extends; movsxd is explicit.
+      /*Has32BitCompare=*/true,      // cmpl.
+      /*W32ResultsZeroExtend=*/true, // 32-bit writes clear bits 63:32.
+      AddressingMode{/*FusedScaleAdd=*/true,
+                     /*AddressCycles=*/1}, // base + index*scale operand.
+      CycleCosts{/*Alu=*/1, /*Mul=*/3, /*Div=*/26, /*Load=*/2, /*Store=*/1,
                  /*FpAlu=*/4, /*FpDiv=*/30, /*Conv=*/4, /*Branch=*/1,
                  /*Call=*/2, /*Alloc=*/20});
   return T;

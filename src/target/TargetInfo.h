@@ -84,7 +84,15 @@ public:
   /// demand canonical operands (DESIGN.md item 12).
   static const TargetInfo &generic64();
 
-  /// Printable target name ("ia64", "ppc64", "generic64").
+  /// An x86-64-like machine: every 32-bit operation writes a 32-bit
+  /// register, which the hardware implicitly zero-extends into the full
+  /// 64-bit register (the "Tips for making the most of 64-bit
+  /// architectures" model). Narrow loads zero-extend (movzx / movl), the
+  /// ISA has 32-bit compares, and scaled-index addressing fuses the scale
+  /// into the memory operand.
+  static const TargetInfo &x86_64();
+
+  /// Printable target name ("ia64", "ppc64", "generic64", "x86_64").
   const std::string &name() const { return Name; }
 
   /// Width of a pointer/register in bits; 64 for every modeled target.
@@ -111,6 +119,14 @@ public:
   /// halves and need no extended operands.
   bool has32BitCompare() const { return Has32BitCompare; }
 
+  /// Returns true when every 32-bit integer operation implicitly
+  /// zero-extends its result into the full 64-bit register (x86-64: a
+  /// write to a 32-bit register clears bits 63:32). On such a target every
+  /// W32 result is structurally zero-extended at 32 bits and W32
+  /// operations read only the low operand halves, so zext32/trunc32
+  /// placed after them are always redundant.
+  bool w32ResultsZeroExtend() const { return W32ResultsZeroExtend; }
+
   /// How array effective addresses are formed.
   const AddressingMode &addressing() const { return Addressing; }
 
@@ -120,10 +136,12 @@ public:
 private:
   TargetInfo(std::string Name, bool SignExtendingLoad16,
              bool SignExtendingLoad32, bool Has32BitCompare,
-             AddressingMode Addressing, CycleCosts Costs)
+             bool W32ResultsZeroExtend, AddressingMode Addressing,
+             CycleCosts Costs)
       : Name(std::move(Name)), SignExtendingLoad16(SignExtendingLoad16),
         SignExtendingLoad32(SignExtendingLoad32),
-        Has32BitCompare(Has32BitCompare), Addressing(Addressing),
+        Has32BitCompare(Has32BitCompare),
+        W32ResultsZeroExtend(W32ResultsZeroExtend), Addressing(Addressing),
         Costs(Costs) {}
 
   TargetInfo(const TargetInfo &) = delete;
@@ -134,6 +152,7 @@ private:
   bool SignExtendingLoad16;
   bool SignExtendingLoad32;
   bool Has32BitCompare;
+  bool W32ResultsZeroExtend;
   AddressingMode Addressing;
   CycleCosts Costs;
 };

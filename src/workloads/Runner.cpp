@@ -53,7 +53,7 @@ WorkloadReport sxe::runWorkload(const Workload &W,
                        "': post-pipeline verification failed: " +
                        Problems.front());
 
-    Row.StaticSext = countStaticExtensions(*Clone).totalSext();
+    Row.StaticSext = countStaticExtensions(*Clone).totalConversions();
 
     InterpOptions MachineOptions;
     MachineOptions.Target = Options.Target;
@@ -67,7 +67,7 @@ WorkloadReport sxe::runWorkload(const Workload &W,
     Row.ChecksumOK =
         R.Trap == TrapKind::None && R.ReturnValue == Report.OracleChecksum;
     Row.DynamicSext32 = R.ExecutedSext32;
-    Row.DynamicSextAll = R.totalExecutedSext();
+    Row.DynamicSextAll = R.totalExecutedConversions();
     Row.Cycles = R.Cycles;
     Row.Instructions = R.ExecutedInstructions;
     Report.Rows.push_back(Row);

@@ -47,11 +47,11 @@ struct RunnerOptions {
 /// Measurements for one (workload, variant) cell.
 struct VariantRow {
   Variant V = Variant::Baseline;
-  uint64_t DynamicSext32 = 0; ///< Tables 1/2 cell.
-  uint64_t DynamicSextAll = 0;
+  uint64_t DynamicSext32 = 0; ///< Tables 1/2 cell (32-bit sign extensions).
+  uint64_t DynamicSextAll = 0; ///< All executed conversions (sext/zext/trunc).
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
-  uint64_t StaticSext = 0;
+  uint64_t StaticSext = 0; ///< Static conversion census after the pipeline.
   uint64_t Checksum = 0;
   bool ChecksumOK = false;
   TrapKind Trap = TrapKind::None;

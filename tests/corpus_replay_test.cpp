@@ -7,10 +7,12 @@
 //   - the post-pipeline module verifies with no dummy extensions left,
 //   - machine-semantics execution matches the Java-semantics oracle
 //     (checksum AND trap kind), with no wild addresses,
-//   - the full algorithm never executes more extensions than baseline,
+//   - the full algorithm never executes more conversions (sign/zero
+//     extensions and truncations) than baseline,
 //   - the optimization-remarks stream is consistent with the pass
-//     counters: eliminated remarks sum to sext_eliminated, and the
-//     per-remark theorem attribution sums to theorem1..4_fired.
+//     counters: eliminated remarks sum to sext_eliminated +
+//     zext_eliminated + trunc_eliminated, and the per-remark theorem
+//     attribution sums to theorem1..4_fired.
 //
 // Unlike the fuzzer, these programs never change, so a failure here
 // bisects cleanly to the offending pipeline commit.
@@ -87,18 +89,18 @@ TEST_P(CorpusReplay, AllVariantsMatchJavaOracle) {
     }
 
     if (V == Variant::Baseline)
-      BaselineSext = Got.totalExecutedSext();
+      BaselineSext = Got.totalExecutedConversions();
     if (V == Variant::All && Oracle.Trap == TrapKind::None) {
-      EXPECT_LE(Got.totalExecutedSext(), BaselineSext);
+      EXPECT_LE(Got.totalExecutedConversions(), BaselineSext);
     }
   }
 }
 
-// The remarks stream is a per-extension decomposition of the aggregate
+// The remarks stream is a per-conversion decomposition of the aggregate
 // pass counters, so the sums must agree exactly for every corpus module:
-// eliminated remarks reproduce sext_eliminated, eliminated+retained
-// cover every analyzed extension, and the theorem attribution fields
-// reproduce theorem1..4_fired.
+// eliminated remarks reproduce sext_eliminated + zext_eliminated +
+// trunc_eliminated, eliminated+retained cover every analyzed conversion,
+// and the theorem attribution fields reproduce theorem1..4_fired.
 TEST_P(CorpusReplay, RemarkCountsMatchPassCounters) {
   std::unique_ptr<Module> M = loadCorpusFile(GetParam());
   ASSERT_NE(M, nullptr);
@@ -123,7 +125,9 @@ TEST_P(CorpusReplay, RemarkCountsMatchPassCounters) {
     T4 += R.Theorem4;
   }
   const PassStats &Stats = Result.Stats;
-  EXPECT_EQ(Eliminated, Stats.value("elimination", "sext_eliminated"));
+  EXPECT_EQ(Eliminated, Stats.value("elimination", "sext_eliminated") +
+                            Stats.value("elimination", "zext_eliminated") +
+                            Stats.value("elimination", "trunc_eliminated"));
   EXPECT_EQ(Eliminated + Retained, Stats.value("elimination", "analyzed"));
   EXPECT_EQ(T1, Stats.value("elimination", "theorem1_fired"));
   EXPECT_EQ(T2, Stats.value("elimination", "theorem2_fired"));
@@ -140,4 +144,7 @@ INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
                                            // for the bug it pinned down.
                                            "reduced_call_boundary",
                                            "reduced_loop_carried",
-                                           "reduced_mixed_store"));
+                                           "reduced_mixed_store",
+                                           "reduced_char_compare",
+                                           "reduced_w32_inductive_sext",
+                                           "reduced_copy_demand"));

@@ -33,9 +33,15 @@ TEST(FactsTest, CanonicalRegBits) {
   FactsFixture Fx;
   EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.IntP), 32u);
   EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.ByteP), 8u);
-  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.CharP), 0u); // Chars: zero-extended.
+  EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.CharP), 16u); // Chars: zero @ 16.
   EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.LongP), 0u);
   EXPECT_EQ(canonicalRegBits(*Fx.F, Fx.DblP), 0u);
+
+  EXPECT_EQ(canonicalRegExt(*Fx.F, Fx.IntP).Kind, ExtKind::Sign);
+  EXPECT_EQ(canonicalRegExt(*Fx.F, Fx.CharP).Kind, ExtKind::Zero);
+  EXPECT_EQ(canonicalConversionOpcode(*Fx.F, Fx.IntP), Opcode::Sext32);
+  EXPECT_EQ(canonicalConversionOpcode(*Fx.F, Fx.ByteP), Opcode::Sext8);
+  EXPECT_EQ(canonicalConversionOpcode(*Fx.F, Fx.CharP), Opcode::Zext16);
 }
 
 TEST(FactsTest, RequiringUses) {
@@ -63,9 +69,10 @@ TEST(FactsTest, RequiringUses) {
   B.arrayLoad(Type::I32, Fx.ArrP, Fx.IntP);
   EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 1, Fx.T)); // Index.
 
-  // Char registers never require a sign extension.
+  // Char registers are sub-register too: a full-register use needs their
+  // canonical zero extension.
   B.i2d(Fx.CharP);
-  EXPECT_FALSE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
+  EXPECT_TRUE(requiresExtendedOperand(*Fx.F, Fx.last(), 0, Fx.T));
 }
 
 TEST(FactsTest, NonRequiringUses) {
@@ -144,27 +151,27 @@ TEST(FactsTest, StructurallyExtendedDefs) {
   auto &B = Fx.B;
 
   B.sext(8, Fx.IntP);
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32));
 
   B.sext(32, Fx.IntP);
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8));
 
   B.constI32(100);
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8));
   B.constI32(200); // Needs 9 signed bits.
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 16));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 16));
 
   B.cmp32(CmpPred::EQ, Fx.IntP, Fx.IntQ);
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8));
 
   B.sar32(Fx.IntP, Fx.IntQ);
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32));
 
   B.add32(Fx.IntP, Fx.IntQ);
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32));
 }
 
 TEST(FactsTest, LoadExtensionDependsOnTarget) {
@@ -173,21 +180,21 @@ TEST(FactsTest, LoadExtensionDependsOnTarget) {
   const TargetInfo &PPC = TargetInfo::ppc64();
 
   B.arrayLoad(Type::I32, Fx.ArrP, Fx.IntP);
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, 32));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, ExtKind::Sign, 32));
 
   B.arrayLoad(Type::I16, Fx.ArrP, Fx.IntP);
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 16));
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, 16));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 16));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, ExtKind::Sign, 16));
   // Even a zero-extending short load is 32-extended ([0, 65535]).
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 32));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32));
 
   B.arrayLoad(Type::I8, Fx.ArrP, Fx.IntP);
   // Byte loads zero-extend on both targets: [0,255] is 16-extended but
   // not 8-extended.
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 8));
-  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, 16));
-  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, 8));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8));
+  EXPECT_TRUE(defKnownExtendedStructural(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 16));
+  EXPECT_FALSE(defKnownExtendedStructural(*Fx.F, Fx.last(), PPC, ExtKind::Sign, 8));
 }
 
 TEST(FactsTest, PropagationIndices) {
@@ -195,20 +202,20 @@ TEST(FactsTest, PropagationIndices) {
   auto &B = Fx.B;
 
   B.copy(Fx.IntP);
-  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), 32),
+  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32),
             std::vector<unsigned>{0});
 
   B.and32(Fx.IntP, Fx.IntQ);
-  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), 32),
+  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32),
             (std::vector<unsigned>{0, 1}));
-  EXPECT_TRUE(defPropagatesExtension(*Fx.F, Fx.last(), 8).empty());
+  EXPECT_TRUE(defPropagatesExtension(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8).empty());
 
   B.add32(Fx.IntP, Fx.IntQ);
-  EXPECT_TRUE(defPropagatesExtension(*Fx.F, Fx.last(), 32).empty());
+  EXPECT_TRUE(defPropagatesExtension(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 32).empty());
 
   // A wider extension preserves an already-narrower-extended value.
   B.sext(32, Fx.IntP);
-  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), 8),
+  EXPECT_EQ(defPropagatesExtension(*Fx.F, Fx.last(), Fx.T, ExtKind::Sign, 8),
             std::vector<unsigned>{0});
 }
 

@@ -1,7 +1,7 @@
 //===- tests/golden_file_test.cpp - Golden stats + snapshot documents -----------===//
 //
 // Runs the full pipeline over the two checked-in example programs for all
-// three targets and compares three artifacts per run against goldens in
+// four targets and compares three artifacts per run against goldens in
 // tests/golden/:
 //
 //   <input>-<target>.stats.json     — the sxe.pass-stats.v1 report with
@@ -117,6 +117,9 @@ TEST(GoldenFileTest, Figure3PPC64) {
 TEST(GoldenFileTest, Figure3Generic64) {
   runGoldenCase({"figure3", &TargetInfo::generic64()});
 }
+TEST(GoldenFileTest, Figure3X8664) {
+  runGoldenCase({"figure3", &TargetInfo::x86_64()});
+}
 TEST(GoldenFileTest, CountdownIA64) {
   runGoldenCase({"countdown", &TargetInfo::ia64()});
 }
@@ -125,4 +128,7 @@ TEST(GoldenFileTest, CountdownPPC64) {
 }
 TEST(GoldenFileTest, CountdownGeneric64) {
   runGoldenCase({"countdown", &TargetInfo::generic64()});
+}
+TEST(GoldenFileTest, CountdownX8664) {
+  runGoldenCase({"countdown", &TargetInfo::x86_64()});
 }

@@ -41,6 +41,7 @@ func @f(%a: arrayref, %p: i32, %d: f64) -> f64 {
   reg %y: i64
   reg %z: f64
   reg %c: i32
+  reg %ch: u16
   reg %len: i32
   reg %arr: arrayref
 entry:
@@ -51,7 +52,10 @@ entry:
   %x = sub.w32 %x, %p
   %x = shr.w32 %x, %p
   %x = sext8 %x
-  %x = zext32 %x
+  %x = zext8 %x
+  %ch = zext16 %x
+  %y = zext32 %x
+  %y = trunc32 %y
   %z = fadd %z, %d
   %z = i2d %x
   %x = d2i %z

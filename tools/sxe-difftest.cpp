@@ -37,6 +37,7 @@ struct ToolOptions {
   uint64_t StartSeed = 1;
   bool SingleSeed = false;
   std::string Size = "medium";
+  std::string Unsigned = "on";
   std::vector<const TargetInfo *> Targets;
   uint64_t MaxSteps = 1u << 22;
   bool Reduce = false;
@@ -55,7 +56,10 @@ void printUsage() {
       "  --start-seed=N     first seed (default 1)\n"
       "  --seed=N           test exactly one seed\n"
       "  --size=S           module shape: small | medium | large\n"
-      "  --targets=A,B      subset of ia64,ppc64,generic64 (default all)\n"
+      "  --targets=A,B      subset of ia64,ppc64,generic64,x86_64 "
+      "(default all)\n"
+      "  --unsigned=MODE    unsigned/char constructs: off | on | heavy "
+      "(default on)\n"
       "  --max-steps=N      interpreter step budget per run\n"
       "  --reduce           minimize failing modules with the greedy reducer\n"
       "  --out=DIR          directory for minimized .sxir (default '.')\n"
@@ -84,6 +88,8 @@ const TargetInfo *targetByName(const std::string &Name) {
     return &TargetInfo::ppc64();
   if (Name == "generic64")
     return &TargetInfo::generic64();
+  if (Name == "x86_64")
+    return &TargetInfo::x86_64();
   return nullptr;
 }
 
@@ -104,6 +110,13 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       if (Options.Size != "small" && Options.Size != "medium" &&
           Options.Size != "large") {
         std::fprintf(stderr, "sxe-difftest: unknown --size '%s'\n", Value);
+        return false;
+      }
+    } else if (consumeFlag(Arg, "--unsigned", &Value)) {
+      Options.Unsigned = Value;
+      if (Options.Unsigned != "off" && Options.Unsigned != "on" &&
+          Options.Unsigned != "heavy") {
+        std::fprintf(stderr, "sxe-difftest: unknown --unsigned '%s'\n", Value);
         return false;
       }
     } else if (consumeFlag(Arg, "--targets", &Value)) {
@@ -150,12 +163,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
   return true;
 }
 
-GeneratorOptions shapeForSize(const std::string &Size) {
-  if (Size == "small")
-    return GeneratorOptions::small();
-  if (Size == "large")
-    return GeneratorOptions::large();
-  return GeneratorOptions::medium();
+GeneratorOptions shapeForSize(const std::string &Size,
+                              const std::string &Unsigned) {
+  GeneratorOptions Shape = Size == "small"   ? GeneratorOptions::small()
+                           : Size == "large" ? GeneratorOptions::large()
+                                             : GeneratorOptions::medium();
+  if (Unsigned == "off") {
+    Shape.EnableUnsignedOps = false;
+    Shape.NumCharArrays = 0;
+  } else if (Unsigned == "heavy") {
+    Shape.NumCharArrays = Shape.NumCharArrays ? Shape.NumCharArrays * 2 : 2;
+  }
+  return Shape;
 }
 
 /// The hidden miscompile: delete the first retained sign extension in main
@@ -179,6 +198,8 @@ void injectBug(Module &M, Variant V, const TargetInfo &Target) {
 std::string reproLine(uint64_t Seed, const ToolOptions &Options) {
   std::string Line = "sxe-difftest --seed=" + std::to_string(Seed) +
                      " --size=" + Options.Size;
+  if (Options.Unsigned != "on")
+    Line += " --unsigned=" + Options.Unsigned;
   if (Options.InjectBug)
     Line += " --inject-bug";
   return Line;
@@ -222,7 +243,7 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Options))
     return 2;
 
-  GeneratorOptions Shape = shapeForSize(Options.Size);
+  GeneratorOptions Shape = shapeForSize(Options.Size, Options.Unsigned);
   DiffConfig Config;
   Config.Targets = Options.Targets;
   Config.MaxSteps = Options.MaxSteps;
