@@ -23,16 +23,23 @@
 #include "jit/CompileService.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "serve/Client.h"
+#include "serve/Daemon.h"
 #include "support/Json.h"
 #include "support/Timer.h"
 #include "workloads/Workload.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace sxe;
 using namespace sxe::bench;
@@ -116,9 +123,228 @@ sweepCorpus(CompileService &Service, const std::vector<CorpusModule> &Corpus,
   return Out;
 }
 
+/// Sorted-percentile helper for the daemon latency curve.
+uint64_t percentileNanos(std::vector<uint64_t> &Sorted, unsigned Percent) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = (Sorted.size() * Percent) / 100;
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+/// One warm-cache sweep through the daemon at \p Clients concurrent
+/// connections, \p TotalRequests requests in all.
+struct DaemonRun {
+  unsigned Clients = 0;
+  uint64_t Requests = 0;
+  uint64_t WallNanos = 0;
+  double RequestsPerSec = 0.0;
+  uint64_t P50Nanos = 0;
+  uint64_t P90Nanos = 0;
+  uint64_t P99Nanos = 0;
+  unsigned Failures = 0;
+};
+
+DaemonRun sweepDaemon(const std::string &SocketPath,
+                      const std::vector<CorpusModule> &Corpus,
+                      unsigned Clients, uint64_t TotalRequests) {
+  DaemonRun Out;
+  Out.Clients = Clients;
+  Out.Requests = TotalRequests;
+  std::vector<std::vector<uint64_t>> Latencies(Clients);
+  std::vector<unsigned> Failures(Clients, 0);
+  Timer Elapsed;
+  Elapsed.start();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      ServeClient Client;
+      std::string Error;
+      if (!Client.connectTo(SocketPath, Error, /*RetryMillis=*/2000)) {
+        ++Failures[C];
+        return;
+      }
+      for (uint64_t I = C; I < TotalRequests; I += Clients) {
+        const CorpusModule &M = Corpus[I % Corpus.size()];
+        ServeRequest Request;
+        Request.Name = M.Name;
+        Request.Source = M.Source;
+        Request.WantIR = false; // Warm-loop throughput: stats-only replies.
+        auto Begin = std::chrono::steady_clock::now();
+        ServeReply Reply;
+        if (!Client.compile(Request, Reply, Error) || !Reply.Ok) {
+          ++Failures[C];
+          continue;
+        }
+        auto End = std::chrono::steady_clock::now();
+        Latencies[C].push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(End - Begin)
+                .count()));
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Elapsed.stop();
+  Out.WallNanos = Elapsed.elapsedNanos();
+  Out.RequestsPerSec =
+      Out.WallNanos ? static_cast<double>(TotalRequests) * 1e9 /
+                          static_cast<double>(Out.WallNanos)
+                    : 0.0;
+  std::vector<uint64_t> All;
+  for (const auto &PerClient : Latencies)
+    All.insert(All.end(), PerClient.begin(), PerClient.end());
+  std::sort(All.begin(), All.end());
+  Out.P50Nanos = percentileNanos(All, 50);
+  Out.P90Nanos = percentileNanos(All, 90);
+  Out.P99Nanos = percentileNanos(All, 99);
+  for (unsigned F : Failures)
+    Out.Failures += F;
+  return Out;
+}
+
+/// `--daemon`: starts an in-process ServeDaemon on a temp socket with a
+/// temp persistent-cache dir, warms the corpus through one connection,
+/// then measures warm-cache request throughput and the latency curve at
+/// 1/2/4/8 concurrent client connections — ~10^5 requests in all at full
+/// scale. Reports `runs` keyed by `jobs` (client count) so bench_compare
+/// gates wall time, p50, and p99 against BENCH_baseline_serve.json.
+int runDaemonBench(const BenchContext &Ctx) {
+  std::vector<CorpusModule> Corpus = buildCorpus(/*Replicas=*/2);
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() /
+      ("sxe-serve-bench-" + std::to_string(::getpid()));
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  std::string SocketPath = (Dir / "serve.sock").string();
+
+  ServeDaemonOptions Options;
+  Options.SocketPath = SocketPath;
+  Options.Jobs = 8;
+  Options.Admission.MaxQueueDepth = 4096;
+  Options.MemoryCache.MaxEntries = 4096;
+  Options.CacheDir = (Dir / "cache").string();
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "daemon bench: %s\n", Error.c_str());
+    return 1;
+  }
+
+  // Warm every corpus module through one connection so the measured
+  // sweeps run entirely against the hot cache tiers.
+  {
+    ServeClient Client;
+    if (!Client.connectTo(SocketPath, Error, /*RetryMillis=*/2000)) {
+      std::fprintf(stderr, "daemon bench: %s\n", Error.c_str());
+      return 1;
+    }
+    for (const CorpusModule &M : Corpus) {
+      ServeRequest Request;
+      Request.Name = M.Name;
+      Request.Source = M.Source;
+      ServeReply Reply;
+      if (!Client.compile(Request, Reply, Error) || !Reply.Ok) {
+        std::fprintf(stderr, "daemon bench: warm %s failed: %s\n",
+                     M.Name.c_str(),
+                     Reply.Error.empty() ? Error.c_str()
+                                         : Reply.Error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // 4 x 25000 = 10^5 warm requests at full scale; a few hundred in smoke.
+  const unsigned ClientCounts[] = {1, 2, 4, 8};
+  uint64_t PerLevel = Ctx.Smoke ? 400 : 25000 * Ctx.scale();
+  std::vector<DaemonRun> Runs;
+  std::printf("\nserve daemon warm-cache throughput (%zu corpus modules, "
+              "%llu requests/level)\n",
+              Corpus.size(), static_cast<unsigned long long>(PerLevel));
+  std::printf("%-8s %14s %12s %10s %10s %10s\n", "clients", "requests/s",
+              "wall ms", "p50 us", "p90 us", "p99 us");
+  for (unsigned Clients : ClientCounts) {
+    DaemonRun Run = sweepDaemon(SocketPath, Corpus, Clients, PerLevel);
+    std::printf("%-8u %14.1f %12.1f %10.1f %10.1f %10.1f\n", Run.Clients,
+                Run.RequestsPerSec, Run.WallNanos / 1e6, Run.P50Nanos / 1e3,
+                Run.P90Nanos / 1e3, Run.P99Nanos / 1e3);
+    Runs.push_back(Run);
+  }
+
+  CompileServiceStats Stats = Daemon.service().stats();
+  CodeCacheStats CacheStats = Daemon.memoryCache().stats();
+  double HitRate =
+      (CacheStats.Hits + CacheStats.Misses)
+          ? 100.0 * static_cast<double>(CacheStats.Hits) /
+                static_cast<double>(CacheStats.Hits + CacheStats.Misses)
+          : 0.0;
+  std::printf("cache: %.2f%% memory hits, %llu compiles, %llu persistent "
+              "insertions\n",
+              HitRate, static_cast<unsigned long long>(Stats.Compiled),
+              static_cast<unsigned long long>(
+                  Daemon.persistent() ? Daemon.persistent()->stats().Insertions
+                                      : 0));
+  Daemon.stop();
+
+  unsigned Failures = 0;
+  for (const DaemonRun &Run : Runs)
+    Failures += Run.Failures;
+
+  if (!Ctx.JsonPath.empty()) {
+    JsonWriter J;
+    beginBenchReport(J, Ctx);
+    J.keyValue("corpus_modules", static_cast<uint64_t>(Corpus.size()));
+    J.keyValue("requests_per_level", PerLevel);
+    J.key("runs");
+    J.beginArray();
+    for (const DaemonRun &Run : Runs) {
+      J.beginObject();
+      J.keyValue("jobs", static_cast<uint64_t>(Run.Clients));
+      J.keyValue("requests", Run.Requests);
+      J.keyValue("wall_ns", Run.WallNanos);
+      J.keyValue("requests_per_sec", Run.RequestsPerSec);
+      J.keyValue("p50_ns", Run.P50Nanos);
+      J.keyValue("p90_ns", Run.P90Nanos);
+      J.keyValue("p99_ns", Run.P99Nanos);
+      J.keyValue("failures", static_cast<uint64_t>(Run.Failures));
+      J.endObject();
+    }
+    J.endArray();
+    J.keyValue("memory_hit_rate_percent", HitRate);
+    finishBenchReport(J, Ctx);
+  }
+
+  std::filesystem::remove_all(Dir, EC);
+  if (Failures) {
+    std::fprintf(stderr, "daemon bench: %u failed requests\n", Failures);
+    return 1;
+  }
+  return HitRate >= 90.0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // `--daemon` switches to the serve-daemon benchmark; the remaining
+  // arguments keep BenchUtil's meaning (--smoke, --json=FILE).
+  bool DaemonMode = false;
+  std::vector<char *> Filtered;
+  Filtered.push_back(argv[0]);
+  for (int Index = 1; Index < argc; ++Index) {
+    if (std::string(argv[Index]) == "--daemon")
+      DaemonMode = true;
+    else
+      Filtered.push_back(argv[Index]);
+  }
+  if (DaemonMode) {
+    BenchContext Ctx =
+        parseBenchArgs("serve_daemon", static_cast<int>(Filtered.size()),
+                       Filtered.data());
+    return runDaemonBench(Ctx);
+  }
+
   BenchContext Ctx = parseBenchArgs("compile_service", argc, argv);
   unsigned Replicas = Ctx.Smoke ? 2 : 2 + 2 * Ctx.scale();
 

@@ -17,8 +17,17 @@ CompileService::CompileService(CompileServiceOptions Opts)
         &Reg->counter("sxe_compiles_total", "Pipeline runs completed");
     Metrics.CacheHits = &Reg->counter("sxe_cache_hits_total",
                                       "Requests served from the code cache");
+    Metrics.PersistentHits =
+        &Reg->counter("sxe_persistent_hits_total",
+                      "Requests served from the persistent on-disk cache");
     Metrics.Failures = &Reg->counter("sxe_compile_failures_total",
                                      "Parse or verify-each failures");
+    Metrics.Rejects = &Reg->counter(
+        "sxe_rejects_total",
+        "Requests refused without compiling (shutdown or load shedding)");
+    Metrics.DeadlineMisses = &Reg->counter(
+        "sxe_deadline_misses_total",
+        "Requests whose deadline expired before a worker reached them");
     Metrics.QueueDepth =
         &Reg->gauge("sxe_queue_depth", "Compile requests currently queued");
     Metrics.CompileLatency = &Reg->histogram(
@@ -50,6 +59,8 @@ void CompileService::workerLoop(unsigned WorkerIndex) {
             static_cast<double>(PopNanos - Job->EnqueueNanos) * 1e-9);
     }
     CompileResult Result = compileOne(Job->Request);
+    if (Job->EnqueueNanos && PopNanos > Job->EnqueueNanos)
+      Result.QueueWaitNanos = PopNanos - Job->EnqueueNanos;
     finish(*Job, std::move(Result));
   }
 }
@@ -66,6 +77,18 @@ void CompileService::finish(QueuedCompile &Job, CompileResult Result) {
 CompileResult CompileService::compileOne(CompileRequest &Request) {
   CompileResult Result;
   Result.Name = Request.Name;
+
+  // Deadline backstop: queue wait already ate the whole budget, so even
+  // a cache hit could not be delivered in time. Shed the work.
+  if (Request.DeadlineNanos && wallNowNanos() > Request.DeadlineNanos) {
+    Result.DeadlineMiss = true;
+    Result.Error = "deadline expired before compilation started";
+    if (Metrics.DeadlineMisses)
+      Metrics.DeadlineMisses->inc();
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Counters.DeadlineMisses;
+    return Result;
+  }
 
   Timer Cost;
   Cost.start();
@@ -110,6 +133,33 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
     }
   }
 
+  // Tier 2: the persistent on-disk store. A hit is promoted into the
+  // in-memory cache so the next probe for this key stays off disk.
+  if (Options.Persistent) {
+    uint64_t ProbeStart = wallNowNanos();
+    std::shared_ptr<const CompiledCode> Hit = Options.Persistent->lookup(Key);
+    if (Options.Trace)
+      Options.Trace->addSpan("pcache-probe", "service", ProbeStart,
+                             wallNowNanos(),
+                             {{"module", Request.Name},
+                              {"hit", Hit ? "true" : "false"}});
+    if (Hit) {
+      if (Options.Cache)
+        Options.Cache->insert(Key, Hit);
+      Cost.stop();
+      Result.Ok = true;
+      Result.PersistentHit = true;
+      Result.Code = std::move(Hit);
+      Result.WallNanos = Cost.elapsedNanos();
+      Result.CpuNanos = Cost.elapsedCpuNanos();
+      if (Metrics.PersistentHits)
+        Metrics.PersistentHits->inc();
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Counters.PersistentHits;
+      return Result;
+    }
+  }
+
   PassManagerOptions PMOpts = Options.PM;
   if (Options.Trace)
     PMOpts.Trace = Options.Trace;
@@ -150,6 +200,8 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
 
   if (Options.Cache)
     Options.Cache->insert(Key, Code);
+  if (Options.Persistent)
+    Options.Persistent->insert(Key, *Code);
 
   Result.Ok = true;
   Result.Code = std::move(Code);
@@ -191,13 +243,23 @@ std::future<CompileResult> CompileService::enqueue(CompileRequest Request) {
       Metrics.QueueDepth->set(static_cast<int64_t>(Queue.size()));
   } else {
     // The queue is closed (shutdown raced this enqueue): refuse politely
-    // instead of leaving the future forever unready.
+    // instead of leaving the future forever unready — and account for
+    // it, so shed work is visible in stats and sxe_rejects_total.
+    countRejected();
     CompileResult Refused;
     Refused.Name = Job->Request.Name;
+    Refused.Rejected = true;
     Refused.Error = "compile service is shut down";
     finish(*Job, std::move(Refused));
   }
   return Future;
+}
+
+void CompileService::countRejected() {
+  if (Metrics.Rejects)
+    Metrics.Rejects->inc();
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ++Counters.Rejected;
 }
 
 void CompileService::drain() {
@@ -226,7 +288,10 @@ CompileServiceStats CompileService::stats() const {
     Copy.Submitted = Counters.Submitted;
     Copy.Compiled = Counters.Compiled;
     Copy.CacheHits = Counters.CacheHits;
+    Copy.PersistentHits = Counters.PersistentHits;
     Copy.Failed = Counters.Failed;
+    Copy.Rejected = Counters.Rejected;
+    Copy.DeadlineMisses = Counters.DeadlineMisses;
     Copy.Aggregate.merge(Counters.Aggregate);
   }
   // Surface the service and cache counters in the pass-stats vocabulary
@@ -234,7 +299,12 @@ CompileServiceStats CompileService::stats() const {
   Copy.Aggregate.counter("compile-service", "submitted") = Copy.Submitted;
   Copy.Aggregate.counter("compile-service", "compiled") = Copy.Compiled;
   Copy.Aggregate.counter("compile-service", "cache_hits") = Copy.CacheHits;
+  Copy.Aggregate.counter("compile-service", "persistent_hits") =
+      Copy.PersistentHits;
   Copy.Aggregate.counter("compile-service", "failed") = Copy.Failed;
+  Copy.Aggregate.counter("compile-service", "rejected") = Copy.Rejected;
+  Copy.Aggregate.counter("compile-service", "deadline_misses") =
+      Copy.DeadlineMisses;
   if (Options.Cache) {
     CodeCacheStats CacheStats = Options.Cache->stats();
     Copy.Aggregate.counter("code-cache", "hits") = CacheStats.Hits;
@@ -243,6 +313,19 @@ CompileServiceStats CompileService::stats() const {
         CacheStats.Insertions;
     Copy.Aggregate.counter("code-cache", "evictions") = CacheStats.Evictions;
     Copy.Aggregate.counter("code-cache", "entries") = CacheStats.Entries;
+  }
+  if (Options.Persistent) {
+    PersistentCacheStats PStats = Options.Persistent->stats();
+    Copy.Aggregate.counter("persistent-cache", "hits") = PStats.Hits;
+    Copy.Aggregate.counter("persistent-cache", "misses") = PStats.Misses;
+    Copy.Aggregate.counter("persistent-cache", "insertions") =
+        PStats.Insertions;
+    Copy.Aggregate.counter("persistent-cache", "evictions") =
+        PStats.Evictions;
+    Copy.Aggregate.counter("persistent-cache", "corrupt_dropped") =
+        PStats.CorruptDropped;
+    Copy.Aggregate.counter("persistent-cache", "entries") = PStats.Entries;
+    Copy.Aggregate.counter("persistent-cache", "bytes") = PStats.Bytes;
   }
   return Copy;
 }

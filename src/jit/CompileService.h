@@ -34,6 +34,7 @@
 #include "jit/CodeCache.h"
 #include "jit/CompileQueue.h"
 #include "jit/CompileTask.h"
+#include "jit/PersistentCache.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pm/PassManager.h"
@@ -54,6 +55,11 @@ struct CompileServiceOptions {
   /// Optional shared artifact cache (not owned; must outlive the
   /// service). Null disables caching.
   CodeCache *Cache = nullptr;
+  /// Optional persistent on-disk tier under the in-memory cache (not
+  /// owned; must outlive the service). Probed after an in-memory miss; a
+  /// hit is promoted into Cache, a fresh compile is written through to
+  /// both tiers. Null disables the tier.
+  PersistentCache *Persistent = nullptr;
   /// Instrumentation options threaded into every pipeline run. Snapshot
   /// capture/dump directories are shared across workers; leave them off
   /// for concurrent batches.
@@ -76,8 +82,14 @@ struct CompileServiceOptions {
 struct CompileServiceStats {
   uint64_t Submitted = 0;
   uint64_t Compiled = 0;  ///< Pipeline actually ran.
-  uint64_t CacheHits = 0; ///< Served from the code cache.
+  uint64_t CacheHits = 0; ///< Served from the in-memory code cache.
+  uint64_t PersistentHits = 0; ///< Served from the on-disk tier.
   uint64_t Failed = 0;    ///< Parse or verify-each failures.
+  /// Requests refused without compiling: enqueue after shutdown(), plus
+  /// serve-layer load shedding reported through countRejected().
+  uint64_t Rejected = 0;
+  /// Requests whose deadline had passed before a worker reached them.
+  uint64_t DeadlineMisses = 0;
   /// Sum of per-run PassStats across every compiled request.
   PassStats Aggregate;
 };
@@ -108,8 +120,17 @@ public:
   /// Copy of the service counters and the merged per-pass aggregate.
   CompileServiceStats stats() const;
 
+  /// Accounts one refused request (Rejected counter + sxe_rejects_total).
+  /// The serve layer's admission control calls this for every load-shed
+  /// rejection so shutdown refusals and overload refusals share one
+  /// ledger; enqueue-after-shutdown calls it internally.
+  void countRejected();
+
   /// The cache handed in at construction (may be null).
   CodeCache *cache() const { return Options.Cache; }
+
+  /// The persistent tier handed in at construction (may be null).
+  PersistentCache *persistent() const { return Options.Persistent; }
 
   unsigned jobs() const { return Options.Jobs; }
 
@@ -124,7 +145,10 @@ private:
   struct MetricHandles {
     Counter *Compiles = nullptr;
     Counter *CacheHits = nullptr;
+    Counter *PersistentHits = nullptr;
     Counter *Failures = nullptr;
+    Counter *Rejects = nullptr;
+    Counter *DeadlineMisses = nullptr;
     Gauge *QueueDepth = nullptr;
     Histogram *CompileLatency = nullptr;
     Histogram *QueueWait = nullptr;

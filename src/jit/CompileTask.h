@@ -48,6 +48,12 @@ struct CompileRequest {
   /// Queue priority: higher compiles first. Ties serve in submission
   /// order, so equal-hotness batches stay FIFO-deterministic.
   double Hotness = 0.0;
+  /// Absolute wall-clock deadline (wallNowNanos() epoch); 0 = none.
+  /// A request whose deadline has already passed when a worker picks it
+  /// up fails with DeadlineMiss instead of compiling — the backstop of
+  /// the serve-layer admission control: work that can no longer be
+  /// delivered in time is shed, not burned.
+  uint64_t DeadlineNanos = 0;
 };
 
 /// The cacheable artifact of one successful compilation: everything a
@@ -72,15 +78,28 @@ struct CompileResult {
   std::string Name;
   bool Ok = false;
   std::string Error; ///< Parse/verify/pipeline failure description.
-  /// True when the artifact came from the code cache without running the
-  /// pipeline.
+  /// True when the artifact came from the in-memory code cache without
+  /// running the pipeline.
   bool CacheHit = false;
+  /// True when the artifact was loaded from the persistent on-disk tier
+  /// (jit/PersistentCache.h) after an in-memory miss.
+  bool PersistentHit = false;
+  /// True when the request's DeadlineNanos had passed before serving
+  /// started; no compile ran.
+  bool DeadlineMiss = false;
+  /// True when the request was refused without compiling (enqueue after
+  /// shutdown, or serve-layer load shedding).
+  bool Rejected = false;
   /// The artifact (shared with the cache); null when !Ok.
   std::shared_ptr<const CompiledCode> Code;
   /// Worker-side cost of serving the request (cache probe + compile).
   uint64_t WallNanos = 0;
   /// Thread-CPU cost on the serving worker.
   uint64_t CpuNanos = 0;
+  /// Time the request spent queued before a worker picked it up (0 in
+  /// inline mode). The serve layer feeds these into its queue-wait p99
+  /// window for admission control.
+  uint64_t QueueWaitNanos = 0;
 };
 
 } // namespace sxe

@@ -99,3 +99,68 @@ std::string sxe::remarksToJsonl(const std::vector<Remark> &Remarks) {
     Out += remarkToJsonLine(R);
   return Out;
 }
+
+static bool decisionByName(const std::string &Name, RemarkDecision &Out) {
+  static const RemarkDecision All[] = {
+      RemarkDecision::Generated, RemarkDecision::Inserted,
+      RemarkDecision::Moved, RemarkDecision::Eliminated,
+      RemarkDecision::Retained};
+  for (RemarkDecision D : All)
+    if (Name == remarkDecisionName(D)) {
+      Out = D;
+      return true;
+    }
+  return false;
+}
+
+static bool analysisByName(const std::string &Name, RemarkAnalysis &Out) {
+  static const RemarkAnalysis All[] = {RemarkAnalysis::None,
+                                       RemarkAnalysis::Use,
+                                       RemarkAnalysis::Def};
+  for (RemarkAnalysis A : All)
+    if (Name == remarkAnalysisName(A)) {
+      Out = A;
+      return true;
+    }
+  return false;
+}
+
+bool sxe::remarkFromJsonLine(const std::string &Line, Remark &Out,
+                             std::string &Error) {
+  JsonValue V;
+  if (!parseJson(Line, V, Error))
+    return false;
+  if (!V.isObject()) {
+    Error = "remark line is not a JSON object";
+    return false;
+  }
+  Out = Remark();
+  auto num = [&V](const char *Name, uint64_t Default) -> uint64_t {
+    const JsonValue *F = V.find(Name);
+    return F && F->isNumber() ? static_cast<uint64_t>(F->numberValue())
+                              : Default;
+  };
+  Out.Pass = V.stringField("pass");
+  Out.Function = V.stringField("function");
+  Out.InstId = static_cast<uint32_t>(num("inst", kRemarkNoInst));
+  Out.Op = V.stringField("op");
+  if (!decisionByName(V.stringField("decision"), Out.Decision)) {
+    Error = "unknown remark decision '" + V.stringField("decision") + "'";
+    return false;
+  }
+  if (!analysisByName(V.stringField("analysis"), Out.Analysis)) {
+    Error = "unknown remark analysis '" + V.stringField("analysis") + "'";
+    return false;
+  }
+  Out.Count = num("count", 1);
+  Out.Reason = V.stringField("reason");
+  Out.BlockingInst = static_cast<uint32_t>(num("blocking_inst", kRemarkNoInst));
+  Out.BlockingOp = V.stringField("blocking_op");
+  Out.SubscriptExtended = num("subscript_extended", 0);
+  Out.Theorem1 = num("theorem1", 0);
+  Out.Theorem2 = num("theorem2", 0);
+  Out.Theorem3 = num("theorem3", 0);
+  Out.Theorem4 = num("theorem4", 0);
+  Out.ArrayUsesProven = num("array_uses_proven", 0);
+  return true;
+}

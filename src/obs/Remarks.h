@@ -114,6 +114,15 @@ std::string remarkToJsonLine(const Remark &R);
 /// Renders a whole stream: header line plus one line per remark.
 std::string remarksToJsonl(const std::vector<Remark> &Remarks);
 
+/// Parses one remark record line (the inverse of remarkToJsonLine).
+/// Omitted fields take their defaults, unknown members are ignored, and
+/// an unknown decision/analysis name is an error. Returns false and
+/// describes the problem in \p Error on malformed input. Used by the
+/// persistent code cache to replay an artifact's remark stream across
+/// process restarts (jit/PersistentCache.h).
+bool remarkFromJsonLine(const std::string &Line, Remark &Out,
+                        std::string &Error);
+
 } // namespace sxe
 
 #endif // SXE_OBS_REMARKS_H

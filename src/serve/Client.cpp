@@ -1,0 +1,123 @@
+//===- serve/Client.cpp - Compile-serving client library ------------------===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "support/Json.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sxe {
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+static int connectOnce(const std::string &SocketPath, std::string &Error) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "invalid socket path '" + SocketPath + "'";
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = std::string("connect ") + SocketPath + ": " +
+            std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool ServeClient::connectTo(const std::string &SocketPath, std::string &Error,
+                            unsigned RetryMillis) {
+  close();
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(RetryMillis);
+  while (true) {
+    Fd = connectOnce(SocketPath, Error);
+    if (Fd >= 0)
+      return true;
+    if (RetryMillis == 0 || std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool ServeClient::roundTrip(FrameType Send, const std::string &Payload,
+                            FrameType Expect, std::string &ReplyPayload,
+                            std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Send, Payload, Error))
+    return false;
+  FrameType Got;
+  if (!readFrame(Fd, Got, ReplyPayload, Error))
+    return false;
+  if (Got != Expect) {
+    Error = "unexpected reply frame type " +
+            std::to_string(static_cast<unsigned>(Got));
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::compile(const ServeRequest &Request, ServeReply &Reply,
+                          std::string &Error) {
+  std::string Payload;
+  if (!roundTrip(FrameType::Compile, encodeServeRequest(Request),
+                 FrameType::CompileReply, Payload, Error))
+    return false;
+  return decodeServeReply(Payload, Reply, Error);
+}
+
+bool ServeClient::ping(std::string &Error) {
+  std::string Payload;
+  return roundTrip(FrameType::Ping, "", FrameType::Pong, Payload, Error);
+}
+
+bool ServeClient::fetchMetrics(std::string &PrometheusText,
+                               std::string &Error) {
+  std::string Payload;
+  if (!roundTrip(FrameType::MetricsQuery, "", FrameType::MetricsReply,
+                 Payload, Error))
+    return false;
+  JsonValue Doc;
+  if (!parseJson(Payload, Doc, Error))
+    return false;
+  PrometheusText = Doc.stringField("prometheus");
+  return true;
+}
+
+bool ServeClient::requestShutdown(std::string &Error) {
+  std::string Payload;
+  return roundTrip(FrameType::Shutdown, "", FrameType::ShutdownAck, Payload,
+                   Error);
+}
+
+} // namespace sxe

@@ -1,0 +1,71 @@
+//===- serve/Client.h - Compile-serving client library -----------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the serve protocol: connects to a ServeDaemon's
+/// unix socket and speaks one frame round trip per call. One ServeClient
+/// owns one connection; calls are synchronous request/reply, so a client
+/// instance must not be shared across threads (open one per thread — the
+/// daemon handles each connection independently).
+///
+/// connectTo() optionally retries until a budget expires, which is how
+/// tools wait for a daemon that is still binding its socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_SERVE_CLIENT_H
+#define SXE_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace sxe {
+
+class ServeClient {
+public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient &) = delete;
+  ServeClient &operator=(const ServeClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. When \p RetryMillis is
+  /// nonzero, failed attempts are retried every 20 ms until the budget
+  /// expires (waiting out a daemon that is still starting).
+  bool connectTo(const std::string &SocketPath, std::string &Error,
+                 unsigned RetryMillis = 0);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+  /// One compile round trip. True when a CompileReply frame came back —
+  /// inspect \p Reply.Ok / \p Reply.ErrorKind for the request's own
+  /// outcome. False + \p Error on transport or framing failure.
+  bool compile(const ServeRequest &Request, ServeReply &Reply,
+               std::string &Error);
+
+  /// Liveness probe (Ping/Pong).
+  bool ping(std::string &Error);
+
+  /// Fetches the daemon's Prometheus metrics exposition.
+  bool fetchMetrics(std::string &PrometheusText, std::string &Error);
+
+  /// Asks the daemon for a graceful drain; returns once acknowledged.
+  bool requestShutdown(std::string &Error);
+
+private:
+  bool roundTrip(FrameType Send, const std::string &Payload,
+                 FrameType Expect, std::string &ReplyPayload,
+                 std::string &Error);
+
+  int Fd = -1;
+};
+
+} // namespace sxe
+
+#endif // SXE_SERVE_CLIENT_H

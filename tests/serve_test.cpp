@@ -1,0 +1,621 @@
+//===- tests/serve_test.cpp - Compile-serving subsystem -------------------------===//
+//
+// Locks the serve/ subsystem's contracts:
+//
+//   - framing: header/payload round trips over a socketpair; bad magic,
+//     unknown type, oversize length, and truncation fail cleanly;
+//   - payload codecs: ServeRequest/ServeReply round-trip including error
+//     kinds, tiers, stats, and remark streams;
+//   - admission control: depth bound and queue-wait-p99-vs-budget gate,
+//     typed OverloadError causes, sliding-window bookkeeping;
+//   - the daemon: ping, compile replies byte-identical to the inline
+//     reference service, typed parse/protocol errors, deadline expiry
+//     under a saturated queue, load-shed rejection sharing the service's
+//     Rejected ledger, graceful drain (every accepted request answered,
+//     socket unlinked), and restart-with-warm-persistent-cache.
+//
+//===-----------------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "jit/CompileService.h"
+#include "serve/Admission.h"
+#include "serve/Client.h"
+#include "serve/Daemon.h"
+#include "tests/TestHelpers.h"
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace sxe;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh temp directory per test (socket + cache files), removed on
+/// destruction.
+struct TempDir {
+  fs::path Path;
+  explicit TempDir(const char *Tag) {
+    static int Counter = 0;
+    Path = fs::temp_directory_path() /
+           ("sxe-serve-test-" + std::to_string(::getpid()) + "-" + Tag +
+            "-" + std::to_string(Counter++));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+  std::string sock() const { return (Path / "serve.sock").string(); }
+};
+
+/// `.sxir` source with \p Funcs kernels of \p Chain dependent add+load
+/// pairs each — big enough to keep a worker busy for a measurable while.
+std::string makeHeavySource(unsigned Funcs, unsigned Chain,
+                            int32_t Salt = 0) {
+  Module M("heavy");
+  for (unsigned F = 0; F < Funcs; ++F) {
+    Function *Fn = M.createFunction("kernel" + std::to_string(F), Type::I32);
+    Reg A = Fn->addParam(Type::ArrayRef, "a");
+    Reg I = Fn->addParam(Type::I32, "i");
+    IRBuilder B(Fn);
+    B.startBlock("entry");
+    Reg T = B.add32(I, B.constI32(Salt + 1), "t0");
+    Reg V = T;
+    for (unsigned C = 0; C < Chain; ++C) {
+      V = B.arrayLoad(Type::I32, A, T, "v" + std::to_string(C));
+      T = B.add32(V, B.constI32(static_cast<int32_t>(C) + Salt),
+                  "t" + std::to_string(C + 1));
+    }
+    B.ret(V);
+  }
+  return printModule(M);
+}
+
+std::string smallSource(int32_t Bias = 1) {
+  return makeHeavySource(/*Funcs=*/1, /*Chain=*/1, /*Salt=*/Bias);
+}
+
+/// Inline (jobs=0) reference compile of \p Source under the default
+/// serve configuration (variant all, ia64).
+std::string referenceIR(const std::string &Source) {
+  CompileServiceOptions Options;
+  Options.Jobs = 0;
+  Options.CollectRemarks = true;
+  CompileService Service(Options);
+  CompileRequest Request;
+  Request.Name = "ref";
+  Request.Source = Source;
+  Request.Config = PipelineConfig::forVariant(Variant::All);
+  CompileResult Result = Service.enqueue(std::move(Request)).get();
+  EXPECT_TRUE(Result.Ok) << Result.Error;
+  return Result.Code ? Result.Code->IRText : std::string();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, FrameRoundTripsOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  std::string Error;
+  std::string Payload = "{\"schema\":\"sxe.serve.v1\"}";
+  ASSERT_TRUE(writeFrame(Fds[0], FrameType::Compile, Payload, Error))
+      << Error;
+  FrameType Type;
+  std::string Loaded;
+  ASSERT_TRUE(readFrame(Fds[1], Type, Loaded, Error)) << Error;
+  EXPECT_EQ(FrameType::Compile, Type);
+  EXPECT_EQ(Payload, Loaded);
+
+  // Empty payloads (Ping) work too.
+  ASSERT_TRUE(writeFrame(Fds[0], FrameType::Ping, "", Error)) << Error;
+  ASSERT_TRUE(readFrame(Fds[1], Type, Loaded, Error)) << Error;
+  EXPECT_EQ(FrameType::Ping, Type);
+  EXPECT_TRUE(Loaded.empty());
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(ServeProtocol, RejectsBadMagicUnknownTypeAndOversize) {
+  int Fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  std::string Error;
+  FrameType Type;
+  std::string Payload;
+
+  // Bad magic.
+  const char BadMagic[12] = {'N', 'O', 'P', 'E', 1, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(12, ::write(Fds[0], BadMagic, 12));
+  EXPECT_FALSE(readFrame(Fds[1], Type, Payload, Error));
+  EXPECT_NE(std::string::npos, Error.find("magic"));
+
+  // Unknown frame type.
+  const char BadType[12] = {'S', 'X', 'E', 'F', 99, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(12, ::write(Fds[0], BadType, 12));
+  EXPECT_FALSE(readFrame(Fds[1], Type, Payload, Error));
+  EXPECT_NE(std::string::npos, Error.find("unknown frame type"));
+
+  // Length over the 64 MiB guard: must fail without allocating/reading.
+  char Oversize[12] = {'S', 'X', 'E', 'F', 1, 0, 0, 0, 0, 0, 0, 0};
+  Oversize[8] = Oversize[9] = Oversize[10] = Oversize[11] =
+      static_cast<char>(0xFF);
+  ASSERT_EQ(12, ::write(Fds[0], Oversize, 12));
+  EXPECT_FALSE(readFrame(Fds[1], Type, Payload, Error));
+  EXPECT_NE(std::string::npos, Error.find("64 MiB"));
+
+  // Truncated frame: header promises bytes, peer closes early.
+  const char Truncated[12] = {'S', 'X', 'E', 'F', 3, 0, 0, 0, 10, 0, 0, 0};
+  ASSERT_EQ(12, ::write(Fds[0], Truncated, 12));
+  ::close(Fds[0]);
+  EXPECT_FALSE(readFrame(Fds[1], Type, Payload, Error));
+  EXPECT_EQ("truncated frame", Error);
+  ::close(Fds[1]);
+}
+
+TEST(ServeProtocol, CleanEofIsDistinguishable) {
+  int Fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  ::close(Fds[0]);
+  FrameType Type;
+  std::string Payload, Error;
+  EXPECT_FALSE(readFrame(Fds[1], Type, Payload, Error));
+  EXPECT_EQ("eof", Error);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Payload codecs
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, RequestRoundTrips) {
+  ServeRequest Request;
+  Request.Name = "mod.sxir";
+  Request.Source = "func @f() -> i32 { ... }";
+  Request.Target = "ppc64";
+  Request.Variant = "array";
+  Request.Hotness = 42.5;
+  Request.DeadlineMillis = 250;
+  Request.CollectRemarks = true;
+  Request.WantIR = false;
+
+  ServeRequest Loaded;
+  std::string Error;
+  ASSERT_TRUE(decodeServeRequest(encodeServeRequest(Request), Loaded, Error))
+      << Error;
+  EXPECT_EQ(Request.Name, Loaded.Name);
+  EXPECT_EQ(Request.Source, Loaded.Source);
+  EXPECT_EQ(Request.Target, Loaded.Target);
+  EXPECT_EQ(Request.Variant, Loaded.Variant);
+  EXPECT_EQ(Request.Hotness, Loaded.Hotness);
+  EXPECT_EQ(Request.DeadlineMillis, Loaded.DeadlineMillis);
+  EXPECT_EQ(Request.CollectRemarks, Loaded.CollectRemarks);
+  EXPECT_EQ(Request.WantIR, Loaded.WantIR);
+
+  // Defaults materialize for omitted fields.
+  ASSERT_TRUE(decodeServeRequest(
+      "{\"schema\":\"sxe.serve.v1\",\"source\":\"x\"}", Loaded, Error))
+      << Error;
+  EXPECT_EQ("ia64", Loaded.Target);
+  EXPECT_EQ("all", Loaded.Variant);
+  EXPECT_TRUE(Loaded.WantIR);
+  EXPECT_EQ(0u, Loaded.DeadlineMillis);
+
+  // Missing source is a hard error; so is a wrong schema.
+  EXPECT_FALSE(
+      decodeServeRequest("{\"schema\":\"sxe.serve.v1\"}", Loaded, Error));
+  EXPECT_FALSE(decodeServeRequest("{\"schema\":\"other\",\"source\":\"x\"}",
+                                  Loaded, Error));
+}
+
+TEST(ServeProtocol, ReplyRoundTripsOkAndError) {
+  ServeReply Reply;
+  Reply.Ok = true;
+  Reply.Tier = ServeTier::Persistent;
+  Reply.IRText = "func @f() -> i32 {}";
+  Reply.InputIRHash = 0xdeadbeefcafe1234ull;
+  StatEntry Entry;
+  Entry.Pass = "elim-uddu";
+  Entry.Name = "sext_eliminated";
+  Entry.Value = 7;
+  Reply.Stats.push_back(Entry);
+  Entry.Name = "pde_variant";
+  Entry.Value = 1;
+  Entry.IsFlag = true;
+  Reply.Stats.push_back(Entry);
+  Reply.RemarksJsonl = "{\"schema\":\"sxe.remarks.v1\"}\n";
+  Reply.QueueWaitNanos = 1234;
+  Reply.WallNanos = 56789;
+
+  ServeReply Loaded;
+  std::string Error;
+  ASSERT_TRUE(decodeServeReply(encodeServeReply(Reply), Loaded, Error))
+      << Error;
+  EXPECT_TRUE(Loaded.Ok);
+  EXPECT_EQ(ServeTier::Persistent, Loaded.Tier);
+  EXPECT_EQ(Reply.IRText, Loaded.IRText);
+  EXPECT_EQ(Reply.InputIRHash, Loaded.InputIRHash);
+  ASSERT_EQ(2u, Loaded.Stats.size());
+  EXPECT_EQ("sext_eliminated", Loaded.Stats[0].Name);
+  EXPECT_EQ(7u, Loaded.Stats[0].Value);
+  EXPECT_FALSE(Loaded.Stats[0].IsFlag);
+  EXPECT_TRUE(Loaded.Stats[1].IsFlag);
+  EXPECT_EQ(Reply.RemarksJsonl, Loaded.RemarksJsonl);
+  EXPECT_EQ(1234u, Loaded.QueueWaitNanos);
+  EXPECT_EQ(56789u, Loaded.WallNanos);
+
+  ServeReply ErrorReply;
+  ErrorReply.Ok = false;
+  ErrorReply.ErrorKind = ServeErrorKind::Overload;
+  ErrorReply.Error = "queue full";
+  ASSERT_TRUE(
+      decodeServeReply(encodeServeReply(ErrorReply), Loaded, Error))
+      << Error;
+  EXPECT_FALSE(Loaded.Ok);
+  EXPECT_EQ(ServeErrorKind::Overload, Loaded.ErrorKind);
+  EXPECT_EQ("queue full", Loaded.Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control
+//===----------------------------------------------------------------------===//
+
+TEST(Admission, BoundsInFlightDepth) {
+  AdmissionOptions Options;
+  Options.MaxQueueDepth = 2;
+  AdmissionController Admission(Options);
+  OverloadError Err;
+  EXPECT_TRUE(Admission.tryAdmit(0, Err));
+  EXPECT_TRUE(Admission.tryAdmit(0, Err));
+  EXPECT_EQ(2u, Admission.depth());
+  EXPECT_FALSE(Admission.tryAdmit(0, Err));
+  EXPECT_EQ(OverloadError::Cause::QueueFull, Err.TheCause);
+  EXPECT_EQ(2u, Err.QueueDepth);
+  EXPECT_FALSE(Err.message().empty());
+
+  Admission.onComplete(/*QueueWaitNanos=*/1000);
+  EXPECT_EQ(1u, Admission.depth());
+  EXPECT_TRUE(Admission.tryAdmit(0, Err));
+
+  AdmissionStats Stats = Admission.stats();
+  EXPECT_EQ(3u, Stats.Admitted);
+  EXPECT_EQ(1u, Stats.RejectedQueueFull);
+  EXPECT_EQ(0u, Stats.RejectedDeadline);
+}
+
+TEST(Admission, ShedsWhenQueueWaitP99ExceedsBudget) {
+  AdmissionOptions Options;
+  Options.MaxQueueDepth = 100;
+  Options.WindowSize = 100;
+  AdmissionController Admission(Options);
+  OverloadError Err;
+
+  // Feed 100 queue-wait samples of 10ms.
+  for (int I = 0; I < 100; ++I) {
+    ASSERT_TRUE(Admission.tryAdmit(0, Err));
+    Admission.onComplete(10'000'000);
+  }
+  EXPECT_EQ(10'000'000u, Admission.queueWaitP99Nanos());
+
+  // A 5ms budget is infeasible, a 20ms budget is fine, no budget skips
+  // the gate.
+  EXPECT_FALSE(Admission.tryAdmit(5'000'000, Err));
+  EXPECT_EQ(OverloadError::Cause::DeadlineBudget, Err.TheCause);
+  EXPECT_EQ(10'000'000u, Err.QueueWaitP99Nanos);
+  EXPECT_EQ(5'000'000u, Err.DeadlineBudgetNanos);
+  EXPECT_TRUE(Admission.tryAdmit(20'000'000, Err));
+  EXPECT_TRUE(Admission.tryAdmit(0, Err));
+  EXPECT_EQ(1u, Admission.stats().RejectedDeadline);
+}
+
+TEST(Admission, DefaultDeadlineAppliesToUnboundedRequests) {
+  AdmissionOptions Options;
+  Options.DefaultDeadlineNanos = 5'000'000;
+  Options.WindowSize = 4;
+  AdmissionController Admission(Options);
+  OverloadError Err;
+  for (int I = 0; I < 4; ++I) {
+    ASSERT_TRUE(Admission.tryAdmit(20'000'000, Err));
+    Admission.onComplete(10'000'000);
+  }
+  // No explicit budget -> the 5ms default gates against the 10ms p99.
+  EXPECT_FALSE(Admission.tryAdmit(0, Err));
+  EXPECT_EQ(OverloadError::Cause::DeadlineBudget, Err.TheCause);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemon, PingCompileAndTypedErrors) {
+  TempDir Dir("basic");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 2;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+  EXPECT_TRUE(Client.ping(Error)) << Error;
+
+  // A compile reply is byte-identical to the inline reference service.
+  std::string Source = smallSource();
+  ServeRequest Request;
+  Request.Name = "small";
+  Request.Source = Source;
+  Request.CollectRemarks = true;
+  ServeReply Reply;
+  ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+  ASSERT_TRUE(Reply.Ok) << Reply.Error;
+  EXPECT_EQ(ServeTier::Compiled, Reply.Tier);
+  EXPECT_EQ(referenceIR(Source), Reply.IRText);
+  EXPECT_NE(0u, Reply.InputIRHash);
+  EXPECT_FALSE(Reply.Stats.empty());
+  EXPECT_FALSE(Reply.RemarksJsonl.empty());
+
+  // Same module again: served from the memory tier, same bytes.
+  ServeReply Again;
+  ASSERT_TRUE(Client.compile(Request, Again, Error)) << Error;
+  ASSERT_TRUE(Again.Ok);
+  EXPECT_EQ(ServeTier::Memory, Again.Tier);
+  EXPECT_EQ(Reply.IRText, Again.IRText);
+  EXPECT_EQ(Reply.RemarksJsonl, Again.RemarksJsonl);
+
+  // Unparseable IR -> typed parse error.
+  ServeRequest Broken = Request;
+  Broken.Source = "this is not sxir";
+  ASSERT_TRUE(Client.compile(Broken, Reply, Error)) << Error;
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_EQ(ServeErrorKind::Parse, Reply.ErrorKind);
+
+  // Unknown target / variant -> typed protocol error.
+  ServeRequest BadTarget = Request;
+  BadTarget.Target = "vax";
+  ASSERT_TRUE(Client.compile(BadTarget, Reply, Error)) << Error;
+  EXPECT_FALSE(Reply.Ok);
+  EXPECT_EQ(ServeErrorKind::Protocol, Reply.ErrorKind);
+
+  // Metrics round trip carries the serve counters.
+  std::string Prom;
+  ASSERT_TRUE(Client.fetchMetrics(Prom, Error)) << Error;
+  EXPECT_NE(std::string::npos, Prom.find("sxe_serve_requests_total"));
+  EXPECT_NE(std::string::npos, Prom.find("sxe_rejects_total"));
+
+  Daemon.stop();
+  EXPECT_FALSE(fs::exists(Dir.sock()));
+}
+
+TEST(ServeDaemon, DeadlineExpiryUnderSaturatedQueue) {
+  TempDir Dir("deadline");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 1; // One worker: the heavy jobs serialize.
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  // Saturate the single worker with heavy, hot compiles from one thread.
+  std::thread Background([&] {
+    ServeClient Heavy;
+    std::string BgError;
+    if (!Heavy.connectTo(Dir.sock(), BgError, 2000))
+      return;
+    for (int I = 0; I < 4; ++I) {
+      ServeRequest Request;
+      Request.Name = "heavy" + std::to_string(I);
+      Request.Source = makeHeavySource(24, 8, /*Salt=*/I);
+      Request.Hotness = 1000.0; // Serve before the doomed request.
+      Request.WantIR = false;
+      ServeReply Reply;
+      Heavy.compile(Request, Reply, BgError);
+    }
+  });
+
+  // A 1ms-deadline request behind the heavy queue: either shed at
+  // admission (budget infeasible) or expired in queue — both are typed
+  // deadline-side errors; at least one request must hit `deadline` given
+  // cold compiles take far longer than 1ms.
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+  unsigned DeadlineErrors = 0;
+  for (int I = 0; I < 8; ++I) {
+    ServeRequest Request;
+    Request.Name = "doomed" + std::to_string(I);
+    // Unique heavy source: never a cache hit, must actually compile.
+    Request.Source = makeHeavySource(24, 8, /*Salt=*/100 + I);
+    Request.Hotness = 0.0; // Behind every heavy job.
+    Request.DeadlineMillis = 1;
+    Request.WantIR = false;
+    ServeReply Reply;
+    ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+    if (!Reply.Ok) {
+      EXPECT_TRUE(Reply.ErrorKind == ServeErrorKind::Deadline ||
+                  Reply.ErrorKind == ServeErrorKind::Overload)
+          << serveErrorKindName(Reply.ErrorKind) << ": " << Reply.Error;
+      if (Reply.ErrorKind == ServeErrorKind::Deadline)
+        ++DeadlineErrors;
+    }
+  }
+  Background.join();
+  EXPECT_GE(DeadlineErrors, 1u);
+  EXPECT_GE(Daemon.service().stats().DeadlineMisses, 1u);
+  Daemon.stop();
+}
+
+TEST(ServeDaemon, LoadShedsAtQueueDepthAndSharesRejectedLedger) {
+  TempDir Dir("shed");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 1;
+  Options.Admission.MaxQueueDepth = 1; // Shed on any concurrency.
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  // Four concurrent clients, each a burst of moderately heavy compiles:
+  // with depth 1, concurrent submissions must shed.
+  std::atomic<unsigned> Overloads{0}, Oks{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T) {
+    Threads.emplace_back([&, T] {
+      ServeClient Client;
+      std::string ThreadError;
+      if (!Client.connectTo(Dir.sock(), ThreadError, 2000))
+        return;
+      for (int I = 0; I < 8; ++I) {
+        ServeRequest Request;
+        Request.Name = "burst";
+        Request.Source = makeHeavySource(8, 4, /*Salt=*/T * 100 + I);
+        Request.WantIR = false;
+        ServeReply Reply;
+        if (!Client.compile(Request, Reply, ThreadError))
+          return;
+        if (Reply.Ok)
+          ++Oks;
+        else if (Reply.ErrorKind == ServeErrorKind::Overload)
+          ++Overloads;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_GE(Overloads.load(), 1u);
+  EXPECT_GE(Oks.load(), 1u);
+  // Load-shed rejections land in the service's shared Rejected ledger
+  // (satellite: one ledger for shutdown refusals and overload refusals).
+  EXPECT_EQ(Overloads.load(), Daemon.service().stats().Rejected);
+  EXPECT_EQ(Overloads.load(),
+            Daemon.admission().stats().RejectedQueueFull);
+  Daemon.stop();
+}
+
+TEST(ServeDaemon, GracefulDrainAnswersEveryAcceptedRequest) {
+  TempDir Dir("drain");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 1;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  // A heavy compile in flight while the daemon drains.
+  std::atomic<bool> GotReply{false};
+  std::atomic<bool> ReplyWasTyped{false};
+  std::thread InFlight([&] {
+    ServeClient Client;
+    std::string ThreadError;
+    if (!Client.connectTo(Dir.sock(), ThreadError, 2000))
+      return;
+    ServeRequest Request;
+    Request.Name = "inflight";
+    Request.Source = makeHeavySource(24, 8);
+    Request.WantIR = false;
+    ServeReply Reply;
+    if (Client.compile(Request, Reply, ThreadError)) {
+      GotReply = true;
+      // Either it was admitted before the stop flag (Ok) or refused with
+      // the typed shutdown error — never a dropped connection.
+      ReplyWasTyped =
+          Reply.Ok || Reply.ErrorKind == ServeErrorKind::Shutdown;
+    }
+  });
+  // Give the in-flight request a moment to be admitted, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Daemon.requestStop();
+  Daemon.stop();
+  InFlight.join();
+
+  EXPECT_TRUE(GotReply.load());
+  EXPECT_TRUE(ReplyWasTyped.load());
+  EXPECT_FALSE(fs::exists(Dir.sock()));
+
+  // A draining daemon rejects fresh connections (socket unlinked).
+  ServeClient Late;
+  EXPECT_FALSE(Late.connectTo(Dir.sock(), Error));
+}
+
+TEST(ServeDaemon, ShutdownFrameDrainsViaRun) {
+  TempDir Dir("shutdownframe");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 1;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+  std::thread Runner([&] { Daemon.run(); });
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+  ASSERT_TRUE(Client.requestShutdown(Error)) << Error;
+  Runner.join(); // run() returns only after the drain completes.
+  EXPECT_TRUE(Daemon.stopRequested());
+  EXPECT_FALSE(fs::exists(Dir.sock()));
+}
+
+TEST(ServeDaemon, RestartServesFromWarmPersistentCache) {
+  TempDir Dir("restart");
+  std::string CacheDir = (Dir.Path / "cache").string();
+  std::string Source = smallSource(/*Bias=*/7);
+  std::string FirstIR;
+
+  {
+    ServeDaemonOptions Options;
+    Options.SocketPath = Dir.sock();
+    Options.Jobs = 2;
+    Options.CacheDir = CacheDir;
+    ServeDaemon Daemon(Options);
+    std::string Error;
+    ASSERT_TRUE(Daemon.start(Error)) << Error;
+    ServeClient Client;
+    ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+    ServeRequest Request;
+    Request.Name = "warm";
+    Request.Source = Source;
+    Request.CollectRemarks = true;
+    ServeReply Reply;
+    ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+    ASSERT_TRUE(Reply.Ok) << Reply.Error;
+    EXPECT_EQ(ServeTier::Compiled, Reply.Tier);
+    FirstIR = Reply.IRText;
+    Daemon.stop(); // Flushes the persistent index.
+  }
+
+  // Second daemon, same cache dir: the artifact comes off disk without a
+  // compile, byte-identical, with the remark stream replayed.
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 2;
+  Options.CacheDir = CacheDir;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+  ServeRequest Request;
+  Request.Name = "warm";
+  Request.Source = Source;
+  Request.CollectRemarks = true;
+  ServeReply Reply;
+  ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+  ASSERT_TRUE(Reply.Ok) << Reply.Error;
+  EXPECT_EQ(ServeTier::Persistent, Reply.Tier);
+  EXPECT_EQ(FirstIR, Reply.IRText);
+  EXPECT_FALSE(Reply.RemarksJsonl.empty());
+  EXPECT_EQ(0u, Daemon.service().stats().Compiled);
+  EXPECT_EQ(1u, Daemon.service().stats().PersistentHits);
+  Daemon.stop();
+}

@@ -36,6 +36,9 @@ struct WorkloadTimes {
   double TotalNs = 0;
   double ChainNs = 0;
   double SxeNs = 0;
+  /// Request-latency percentiles (serve-daemon reports only; 0 = absent).
+  double P50Ns = 0;
+  double P99Ns = 0;
 };
 
 /// One parsed report: workload name -> times, in file order.
@@ -86,6 +89,10 @@ bool loadReport(const char *Path, Report &Out, std::string &Error) {
       WorkloadTimes T;
       if (const JsonValue *F = R.find("wall_ns"))
         T.TotalNs = F->numberValue();
+      if (const JsonValue *F = R.find("p50_ns"))
+        T.P50Ns = F->numberValue();
+      if (const JsonValue *F = R.find("p99_ns"))
+        T.P99Ns = F->numberValue();
       Out.Order.push_back(Name);
       Out.Times[Name] = T;
     }
@@ -164,9 +171,13 @@ int main(int Argc, char **Argv) {
     BaseSum.TotalNs += B.TotalNs;
     BaseSum.ChainNs += B.ChainNs;
     BaseSum.SxeNs += B.SxeNs;
+    BaseSum.P50Ns += B.P50Ns;
+    BaseSum.P99Ns += B.P99Ns;
     CurSum.TotalNs += C.TotalNs;
     CurSum.ChainNs += C.ChainNs;
     CurSum.SxeNs += C.SxeNs;
+    CurSum.P50Ns += C.P50Ns;
+    CurSum.P99Ns += C.P99Ns;
     ++Common;
   }
   for (const std::string &Name : Current.Order)
@@ -185,6 +196,10 @@ int main(int Argc, char **Argv) {
       {"total middle-end", BaseSum.TotalNs, CurSum.TotalNs},
       {"chain creation", BaseSum.ChainNs, CurSum.ChainNs},
       {"sxe optimization", BaseSum.SxeNs, CurSum.SxeNs},
+      // Serve-daemon request-latency percentiles (summed across client
+      // levels); present only in serve reports, skipped elsewhere.
+      {"latency p50", BaseSum.P50Ns, CurSum.P50Ns},
+      {"latency p99", BaseSum.P99Ns, CurSum.P99Ns},
   };
 
   int Status = 0;
