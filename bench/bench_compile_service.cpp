@@ -10,6 +10,10 @@
 //   3. determinism: every parallel run's output is compared against the
 //      serial (jobs=0) reference compile, byte for byte.
 //
+// `--daemon` switches to the serve-daemon warm-cache benchmark and
+// `--overhead[-gate=PCT]` to an A/B measurement of what request-scoped
+// tracing + the event log cost the warm serve path (CI gates at 5%).
+//
 // Emits `sxe.bench-report.v1` JSON like the table/figure benches
 // (`--smoke` writes BENCH_compile_service.json for CI). Thread scaling
 // requires hardware parallelism: on a single-core host the 8-worker run
@@ -32,6 +36,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -324,19 +329,187 @@ int runDaemonBench(const BenchContext &Ctx) {
   return HitRate >= 90.0 ? 0 : 1;
 }
 
+/// `--overhead`: measures what request-scoped tracing + the event log
+/// cost the warm serve path. Two daemons on separate sockets — one with
+/// observability on (the default), one with --no-trace semantics — serve
+/// the same warm corpus in alternating rounds; each config keeps its best
+/// round (max requests/s damps scheduler noise). The traced daemon's
+/// trace/events/metrics artifacts are written next to the JSON report so
+/// CI can feed them to sxe-obs and sxetool --validate-obs. With
+/// \p GatePercent > 0 the bench fails when the throughput delta exceeds
+/// the gate (CI pins 5%).
+int runOverheadBench(const BenchContext &Ctx, double GatePercent) {
+  std::vector<CorpusModule> Corpus = buildCorpus(/*Replicas=*/2);
+
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() /
+      ("sxe-obs-bench-" + std::to_string(::getpid()));
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+
+  std::string Stem = Ctx.JsonPath;
+  if (Stem.size() > 5 && Stem.rfind(".json") == Stem.size() - 5)
+    Stem.resize(Stem.size() - 5);
+
+  auto makeDaemon = [&](bool Tracing) {
+    ServeDaemonOptions Options;
+    Options.SocketPath =
+        (Dir / (Tracing ? "traced.sock" : "plain.sock")).string();
+    Options.Jobs = 4;
+    Options.Admission.MaxQueueDepth = 4096;
+    Options.MemoryCache.MaxEntries = 4096;
+    Options.Tracing = Tracing;
+    if (Tracing && !Stem.empty()) {
+      Options.TraceFile = Stem + ".trace.json";
+      Options.EventsFile = Stem + ".events.jsonl";
+    }
+    return Options;
+  };
+
+  ServeDaemon Traced(makeDaemon(true));
+  ServeDaemon Plain(makeDaemon(false));
+  std::string Error;
+  if (!Traced.start(Error) || !Plain.start(Error)) {
+    std::fprintf(stderr, "overhead bench: %s\n", Error.c_str());
+    return 1;
+  }
+
+  auto warm = [&](ServeDaemon &Daemon) {
+    ServeClient Client;
+    if (!Client.connectTo(Daemon.socketPath(), Error, /*RetryMillis=*/2000))
+      return false;
+    for (const CorpusModule &M : Corpus) {
+      ServeRequest Request;
+      Request.Name = M.Name;
+      Request.Source = M.Source;
+      ServeReply Reply;
+      if (!Client.compile(Request, Reply, Error) || !Reply.Ok)
+        return false;
+    }
+    return true;
+  };
+  if (!warm(Traced) || !warm(Plain)) {
+    std::fprintf(stderr, "overhead bench: warmup failed: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+
+  // Alternate configs per round so drift (thermal, noisy neighbours)
+  // hits both sides equally; keep each side's best round.
+  const unsigned Clients = 4;
+  const unsigned Rounds = Ctx.Smoke ? 3 : 5;
+  uint64_t PerRound = Ctx.Smoke ? 1200 : 20000 * Ctx.scale();
+  DaemonRun BestOn, BestOff;
+  unsigned Failures = 0;
+  std::printf("\ntracing overhead (%zu corpus modules, %u clients, "
+              "%u rounds x %llu requests)\n",
+              Corpus.size(), Clients, Rounds,
+              static_cast<unsigned long long>(PerRound));
+  std::printf("%-8s %-8s %14s %12s %10s\n", "round", "tracing", "requests/s",
+              "wall ms", "p99 us");
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    for (bool Tracing : {true, false}) {
+      ServeDaemon &Daemon = Tracing ? Traced : Plain;
+      DaemonRun Run =
+          sweepDaemon(Daemon.socketPath(), Corpus, Clients, PerRound);
+      Failures += Run.Failures;
+      DaemonRun &Best = Tracing ? BestOn : BestOff;
+      if (Run.RequestsPerSec > Best.RequestsPerSec)
+        Best = Run;
+      std::printf("%-8u %-8s %14.1f %12.1f %10.1f\n", Round,
+                  Tracing ? "on" : "off", Run.RequestsPerSec,
+                  Run.WallNanos / 1e6, Run.P99Nanos / 1e3);
+    }
+  }
+
+  double OverheadPercent =
+      BestOff.RequestsPerSec > 0.0
+          ? 100.0 * (BestOff.RequestsPerSec - BestOn.RequestsPerSec) /
+                BestOff.RequestsPerSec
+          : 0.0;
+  std::printf("best on=%.1f req/s, best off=%.1f req/s, overhead=%.2f%%",
+              BestOn.RequestsPerSec, BestOff.RequestsPerSec,
+              OverheadPercent);
+  if (GatePercent > 0.0)
+    std::printf(" (gate %.1f%%)", GatePercent);
+  std::printf("\n");
+
+  Traced.stop(); // Writes the trace/events artifacts next to the report.
+  Plain.stop();
+  if (!Stem.empty() &&
+      !writeTextFile(Stem + ".metrics.json",
+                     Traced.metricsRegistry().toJson()))
+    std::fprintf(stderr, "overhead bench: cannot write %s.metrics.json\n",
+                 Stem.c_str());
+
+  if (!Ctx.JsonPath.empty()) {
+    JsonWriter J;
+    beginBenchReport(J, Ctx);
+    J.keyValue("corpus_modules", static_cast<uint64_t>(Corpus.size()));
+    J.keyValue("clients", static_cast<uint64_t>(Clients));
+    J.keyValue("rounds", static_cast<uint64_t>(Rounds));
+    J.keyValue("requests_per_round", PerRound);
+    J.key("tracing_on");
+    J.beginObject();
+    J.keyValue("requests_per_sec", BestOn.RequestsPerSec);
+    J.keyValue("p50_ns", BestOn.P50Nanos);
+    J.keyValue("p99_ns", BestOn.P99Nanos);
+    J.endObject();
+    J.key("tracing_off");
+    J.beginObject();
+    J.keyValue("requests_per_sec", BestOff.RequestsPerSec);
+    J.keyValue("p50_ns", BestOff.P50Nanos);
+    J.keyValue("p99_ns", BestOff.P99Nanos);
+    J.endObject();
+    J.keyValue("overhead_percent", OverheadPercent);
+    J.keyValue("gate_percent", GatePercent);
+    J.keyValue("failures", static_cast<uint64_t>(Failures));
+    finishBenchReport(J, Ctx);
+  }
+
+  std::filesystem::remove_all(Dir, EC);
+  if (Failures) {
+    std::fprintf(stderr, "overhead bench: %u failed requests\n", Failures);
+    return 1;
+  }
+  if (GatePercent > 0.0 && OverheadPercent > GatePercent) {
+    std::fprintf(stderr,
+                 "overhead bench: tracing costs %.2f%% throughput, gate is "
+                 "%.1f%%\n",
+                 OverheadPercent, GatePercent);
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  // `--daemon` switches to the serve-daemon benchmark; the remaining
-  // arguments keep BenchUtil's meaning (--smoke, --json=FILE).
+  // `--daemon` switches to the serve-daemon benchmark and `--overhead` to
+  // the tracing-cost A/B measurement; the remaining arguments keep
+  // BenchUtil's meaning (--smoke, --json=FILE).
   bool DaemonMode = false;
+  bool OverheadMode = false;
+  double OverheadGate = 0.0;
   std::vector<char *> Filtered;
   Filtered.push_back(argv[0]);
   for (int Index = 1; Index < argc; ++Index) {
-    if (std::string(argv[Index]) == "--daemon")
+    std::string Arg = argv[Index];
+    if (Arg == "--daemon")
       DaemonMode = true;
-    else
+    else if (Arg == "--overhead")
+      OverheadMode = true;
+    else if (Arg.rfind("--overhead-gate=", 0) == 0) {
+      OverheadMode = true;
+      OverheadGate = std::atof(Arg.c_str() + 16);
+    } else
       Filtered.push_back(argv[Index]);
+  }
+  if (OverheadMode) {
+    BenchContext Ctx =
+        parseBenchArgs("serve_tracing_overhead",
+                       static_cast<int>(Filtered.size()), Filtered.data());
+    return runOverheadBench(Ctx, OverheadGate);
   }
   if (DaemonMode) {
     BenchContext Ctx =

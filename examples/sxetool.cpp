@@ -44,6 +44,8 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "jit/CompileService.h"
+#include "obs/EventLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Remarks.h"
 #include "obs/Trace.h"
@@ -133,10 +135,10 @@ bool writeObsArtifacts(const ObsFiles &Obs, const TraceCollector *Trace,
 
 /// `--validate-obs=FILE`: checks an emitted artifact against its schema
 /// tag. Trace documents must carry otherData.schema == sxe.trace.v1 and a
-/// traceEvents array; remark streams must parse line-by-line with the
-/// sxe.remarks.v1 header; metrics JSON must carry schema ==
-/// sxe.metrics.v1; a Prometheus dump must expose at least one sxe_
-/// series. Returns the process exit code.
+/// traceEvents array; JSONL streams must parse line-by-line with a
+/// sxe.remarks.v1, sxe.events.v1 or sxe.flight.v1 header; metrics JSON
+/// must carry schema == sxe.metrics.v1; a Prometheus dump must expose at
+/// least one sxe_ series. Returns the process exit code.
 int validateObsFile(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
@@ -182,8 +184,9 @@ int validateObsFile(const std::string &Path) {
     // A one-remark stream parses as a whole document too; fall through.
   }
 
-  // JSONL remark stream: header line {"schema": "sxe.remarks.v1"},
-  // every following line one record.
+  // JSONL stream: header line {"schema": "sxe.remarks.v1" | "sxe.events.v1"
+  // | "sxe.flight.v1"}, every following line one record.
+  std::string StreamKind;
   size_t Line = 0, Pos = 0;
   while (Pos < Text.size()) {
     size_t End = Text.find('\n', Pos);
@@ -195,14 +198,25 @@ int validateObsFile(const std::string &Path) {
     if (!Record.empty()) {
       if (!parseJson(Record, V, Error))
         return Fail("line " + std::to_string(Line) + ": " + Error);
-      if (Line == 1 && V.stringField("schema") != kRemarksSchema)
-        return Fail("header schema is not " + std::string(kRemarksSchema));
+      if (Line == 1) {
+        std::string Schema = V.stringField("schema");
+        if (Schema == kRemarksSchema)
+          StreamKind = "remark stream";
+        else if (Schema == kEventsSchema)
+          StreamKind = "event log";
+        else if (Schema == kFlightSchema)
+          StreamKind = "flight-recorder dump";
+        else
+          return Fail("header schema '" + Schema +
+                      "' is not a known JSONL stream (" + kRemarksSchema +
+                      ", " + kEventsSchema + " or " + kFlightSchema + ")");
+      }
     }
     Pos = End + 1;
   }
   if (Line == 0)
     return Fail("empty file");
-  return Pass("remark stream");
+  return Pass(StreamKind.c_str());
 }
 
 /// Compiles every `.sxir` under \p BatchDir through a CompileService with

@@ -3,12 +3,38 @@
 #include "jit/CompileService.h"
 
 #include "ir/IRPrinter.h"
+#include "obs/TraceContext.h"
 #include "parser/Parser.h"
 #include "pm/InstrumentedPipeline.h"
 #include "support/IRHash.h"
 #include "support/Timer.h"
 
 using namespace sxe;
+
+/// Span/event argument list for one request: module name plus the trace
+/// ids when the request is traced, so offline tools can join worker
+/// spans back to the originating request.
+static std::vector<std::pair<std::string, std::string>>
+traceArgs(const CompileRequest &Request,
+          std::initializer_list<std::pair<std::string, std::string>> Extra =
+              {}) {
+  std::vector<std::pair<std::string, std::string>> Args;
+  Args.emplace_back("module", Request.Name);
+  if (Request.TraceId)
+    Args.emplace_back("trace_id", traceIdHex(Request.TraceId));
+  if (Request.RequestId)
+    Args.emplace_back("request_id", std::to_string(Request.RequestId));
+  for (const auto &Pair : Extra)
+    Args.push_back(Pair);
+  return Args;
+}
+
+static TraceContext requestContext(const CompileRequest &Request) {
+  TraceContext Ctx;
+  Ctx.TraceId = Request.TraceId;
+  Ctx.RequestId = Request.RequestId;
+  return Ctx;
+}
 
 CompileService::CompileService(CompileServiceOptions Opts)
     : Options(std::move(Opts)) {
@@ -53,10 +79,11 @@ void CompileService::workerLoop(unsigned WorkerIndex) {
     if (Job->EnqueueNanos && PopNanos > Job->EnqueueNanos) {
       if (Options.Trace)
         Options.Trace->addSpan("queue-wait", "service", Job->EnqueueNanos,
-                               PopNanos, {{"module", Job->Request.Name}});
+                               PopNanos, traceArgs(Job->Request));
       if (Metrics.QueueWait)
         Metrics.QueueWait->observe(
-            static_cast<double>(PopNanos - Job->EnqueueNanos) * 1e-9);
+            static_cast<double>(PopNanos - Job->EnqueueNanos) * 1e-9,
+            Job->Request.TraceId);
     }
     CompileResult Result = compileOne(Job->Request);
     if (Job->EnqueueNanos && PopNanos > Job->EnqueueNanos)
@@ -85,6 +112,9 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
     Result.Error = "deadline expired before compilation started";
     if (Metrics.DeadlineMisses)
       Metrics.DeadlineMisses->inc();
+    if (Options.Events)
+      Options.Events->log(ObsEventKind::DeadlineExpire,
+                          requestContext(Request), Request.Name);
     std::lock_guard<std::mutex> Lock(StatsMu);
     ++Counters.DeadlineMisses;
     return Result;
@@ -116,8 +146,8 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
     if (Options.Trace)
       Options.Trace->addSpan("cache-probe", "service", ProbeStart,
                              wallNowNanos(),
-                             {{"module", Request.Name},
-                              {"hit", Hit ? "true" : "false"}});
+                             traceArgs(Request,
+                                       {{"hit", Hit ? "true" : "false"}}));
     if (Hit) {
       Cost.stop();
       Result.Ok = true;
@@ -127,6 +157,10 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
       Result.CpuNanos = Cost.elapsedCpuNanos();
       if (Metrics.CacheHits)
         Metrics.CacheHits->inc();
+      if (Options.Events)
+        Options.Events->log(ObsEventKind::CacheTier, requestContext(Request),
+                            Request.Name, {{"tier", "memory"}},
+                            /*Aux=*/1);
       std::lock_guard<std::mutex> Lock(StatsMu);
       ++Counters.CacheHits;
       return Result;
@@ -141,8 +175,8 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
     if (Options.Trace)
       Options.Trace->addSpan("pcache-probe", "service", ProbeStart,
                              wallNowNanos(),
-                             {{"module", Request.Name},
-                              {"hit", Hit ? "true" : "false"}});
+                             traceArgs(Request,
+                                       {{"hit", Hit ? "true" : "false"}}));
     if (Hit) {
       if (Options.Cache)
         Options.Cache->insert(Key, Hit);
@@ -154,6 +188,10 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
       Result.CpuNanos = Cost.elapsedCpuNanos();
       if (Metrics.PersistentHits)
         Metrics.PersistentHits->inc();
+      if (Options.Events)
+        Options.Events->log(ObsEventKind::CacheTier, requestContext(Request),
+                            Request.Name, {{"tier", "persistent"}},
+                            /*Aux=*/2);
       std::lock_guard<std::mutex> Lock(StatsMu);
       ++Counters.PersistentHits;
       return Result;
@@ -172,10 +210,11 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
   uint64_t CompileEnd = wallNowNanos();
   if (Options.Trace)
     Options.Trace->addSpan("compile", "service", CompileStart, CompileEnd,
-                           {{"module", Request.Name}});
+                           traceArgs(Request));
   if (Metrics.CompileLatency)
     Metrics.CompileLatency->observe(
-        static_cast<double>(CompileEnd - CompileStart) * 1e-9);
+        static_cast<double>(CompileEnd - CompileStart) * 1e-9,
+        Request.TraceId);
   Cost.stop();
   Result.WallNanos = Cost.elapsedNanos();
   Result.CpuNanos = Cost.elapsedCpuNanos();
@@ -207,6 +246,9 @@ CompileResult CompileService::compileOne(CompileRequest &Request) {
   Result.Code = std::move(Code);
   if (Metrics.Compiles)
     Metrics.Compiles->inc();
+  if (Options.Events)
+    Options.Events->log(ObsEventKind::CacheTier, requestContext(Request),
+                        Request.Name, {{"tier", "compiled"}}, /*Aux=*/0);
 
   // Per-thread stats merged on completion (pm/PassStats.h).
   std::lock_guard<std::mutex> Lock(StatsMu);

@@ -35,6 +35,7 @@
 #include "jit/CompileQueue.h"
 #include "jit/CompileTask.h"
 #include "jit/PersistentCache.h"
+#include "obs/EventLog.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "pm/PassManager.h"
@@ -72,7 +73,13 @@ struct CompileServiceOptions {
   /// Optional metrics registry (not owned). The service feeds
   /// sxe_compiles_total, sxe_cache_hits_total, sxe_compile_failures_total,
   /// sxe_queue_depth, sxe_compile_latency_seconds, sxe_queue_wait_seconds.
+  /// Traced requests additionally stamp their trace id as the latency
+  /// histograms' bucket exemplars.
   MetricsRegistry *Metrics = nullptr;
+  /// Optional structured event log (not owned; thread-safe). The service
+  /// emits deadline_expire and cache_tier lifecycle events carrying each
+  /// request's TraceContext.
+  EventLog *Events = nullptr;
   /// Collect structured optimization remarks during each pipeline run and
   /// store them in the CompiledCode artifact (cache hits replay them).
   bool CollectRemarks = false;

@@ -54,6 +54,13 @@ struct CompileRequest {
   /// the serve-layer admission control: work that can no longer be
   /// delivered in time is shed, not burned.
   uint64_t DeadlineNanos = 0;
+  /// Distributed trace id of the originating request (0 = untraced).
+  /// Stamped onto every span and lifecycle event this job produces, and
+  /// recorded as the latency-histogram exemplar.
+  uint64_t TraceId = 0;
+  /// Daemon-assigned request sequence number (0 = not from the serve
+  /// path).
+  uint64_t RequestId = 0;
 };
 
 /// The cacheable artifact of one successful compilation: everything a

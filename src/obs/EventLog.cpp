@@ -1,0 +1,61 @@
+//===- obs/EventLog.cpp - Structured request-lifecycle event log --------------===//
+
+#include "obs/EventLog.h"
+
+#include "support/Json.h"
+#include "support/Timer.h"
+
+using namespace sxe;
+
+void EventLog::log(ObsEventKind Kind, TraceContext Ctx,
+                   const std::string &Name,
+                   std::vector<std::pair<std::string, std::string>> Fields,
+                   uint8_t Aux) {
+  ObsEvent Event;
+  Event.Nanos = wallNowNanos();
+  Event.Kind = Kind;
+  Event.Ctx = Ctx;
+  Event.Name = Name;
+  Event.Fields = std::move(Fields);
+  if (Mirror)
+    Mirror->record(Kind, Event.Nanos, Ctx.TraceId, Ctx.RequestId,
+                   Name.c_str(), Aux);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(Event));
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+std::vector<ObsEvent> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+std::string EventLog::toJsonl() const {
+  std::vector<ObsEvent> Copy = snapshot();
+  std::string Out = "{\"schema\": \"";
+  Out += kEventsSchema;
+  Out += "\"}\n";
+  for (const ObsEvent &Event : Copy) {
+    // One single-line record per event; JsonWriter pretty-prints, so the
+    // line is assembled from quoted pieces directly (same approach as the
+    // remark stream).
+    std::string Line = "{\"ts_ns\": " + std::to_string(Event.Nanos) +
+                       ", \"event\": " +
+                       JsonWriter::quote(obsEventKindName(Event.Kind));
+    if (Event.Ctx.TraceId)
+      Line += ", \"trace_id\": \"" + traceIdHex(Event.Ctx.TraceId) + "\"";
+    if (Event.Ctx.RequestId)
+      Line += ", \"request_id\": " + std::to_string(Event.Ctx.RequestId);
+    if (!Event.Name.empty())
+      Line += ", \"name\": " + JsonWriter::quote(Event.Name);
+    for (const auto &[Key, Value] : Event.Fields)
+      Line += ", " + JsonWriter::quote(Key) + ": " + JsonWriter::quote(Value);
+    Line += "}\n";
+    Out += Line;
+  }
+  return Out;
+}

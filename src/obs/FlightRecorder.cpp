@@ -1,0 +1,222 @@
+//===- obs/FlightRecorder.cpp - Crash-safe in-memory event ring ---------------===//
+
+#include "obs/FlightRecorder.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace sxe;
+
+const char *sxe::obsEventKindName(ObsEventKind Kind) {
+  switch (Kind) {
+  case ObsEventKind::DaemonStart:
+    return "daemon_start";
+  case ObsEventKind::Admit:
+    return "admit";
+  case ObsEventKind::Shed:
+    return "shed";
+  case ObsEventKind::DeadlineExpire:
+    return "deadline_expire";
+  case ObsEventKind::CacheTier:
+    return "cache_tier";
+  case ObsEventKind::Reply:
+    return "reply";
+  case ObsEventKind::Drain:
+    return "drain";
+  case ObsEventKind::Dump:
+    return "dump";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t Capacity)
+    : Cap(Capacity < 8 ? 8 : Capacity), Ring(new FlightRecord[Cap]) {}
+
+void FlightRecorder::record(ObsEventKind Kind, uint64_t Nanos,
+                            uint64_t TraceId, uint64_t RequestId,
+                            const char *Name, uint8_t Aux) noexcept {
+  uint64_t Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  FlightRecord &Slot = Ring[Seq % Cap];
+  // Invalidate while rewriting so a concurrent dump skips (or at worst
+  // reads a sanitized, still-parseable torn record instead of garbage).
+  Slot.Seq.store(0, std::memory_order_relaxed);
+  Slot.Nanos = Nanos;
+  Slot.TraceId = TraceId;
+  Slot.RequestId = RequestId;
+  Slot.Kind = static_cast<uint8_t>(Kind);
+  Slot.Aux = Aux;
+  size_t N = 0;
+  if (Name)
+    for (; N + 1 < sizeof(Slot.Name) && Name[N]; ++N) {
+      char C = Name[N];
+      // JSON-safe at record time: printable ASCII, no quote/backslash.
+      Slot.Name[N] = (C < 0x20 || C > 0x7e || C == '"' || C == '\\') ? '?'
+                                                                     : C;
+    }
+  Slot.Name[N] = '\0';
+  Slot.Seq.store(Seq + 1, std::memory_order_release);
+}
+
+namespace {
+
+/// Minimal async-signal-safe formatter: appends into a fixed buffer,
+/// silently truncating (the buffer is sized for the worst-case record).
+struct SafeLine {
+  char Buf[256];
+  size_t Len = 0;
+
+  void put(char C) {
+    if (Len < sizeof(Buf))
+      Buf[Len++] = C;
+  }
+  void text(const char *S) {
+    while (*S)
+      put(*S++);
+  }
+  void dec(uint64_t V) {
+    char Tmp[20];
+    size_t N = 0;
+    do {
+      Tmp[N++] = static_cast<char>('0' + V % 10);
+      V /= 10;
+    } while (V);
+    while (N)
+      put(Tmp[--N]);
+  }
+  void hex16(uint64_t V) {
+    static const char Digits[] = "0123456789abcdef";
+    for (int Shift = 60; Shift >= 0; Shift -= 4)
+      put(Digits[(V >> Shift) & 0xF]);
+  }
+};
+
+bool writeAllFd(int Fd, const char *Data, size_t Len) noexcept {
+  size_t Done = 0;
+  while (Done < Len) {
+    ssize_t N = ::write(Fd, Data + Done, Len - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool FlightRecorder::dumpTo(int Fd) const noexcept {
+  {
+    SafeLine Header;
+    Header.text("{\"schema\": \"");
+    Header.text(kFlightSchema);
+    Header.text("\", \"capacity\": ");
+    Header.dec(Cap);
+    Header.text(", \"recorded\": ");
+    Header.dec(NextSeq.load(std::memory_order_relaxed));
+    Header.text("}\n");
+    if (!writeAllFd(Fd, Header.Buf, Header.Len))
+      return false;
+  }
+  for (size_t Index = 0; Index < Cap; ++Index) {
+    const FlightRecord &Slot = Ring[Index];
+    uint64_t Committed = Slot.Seq.load(std::memory_order_acquire);
+    if (!Committed)
+      continue; // Never written, or mid-rewrite right now.
+    SafeLine Line;
+    Line.text("{\"seq\": ");
+    Line.dec(Committed - 1);
+    Line.text(", \"ts_ns\": ");
+    Line.dec(Slot.Nanos);
+    Line.text(", \"event\": \"");
+    Line.text(obsEventKindName(static_cast<ObsEventKind>(Slot.Kind)));
+    Line.text("\"");
+    if (Slot.TraceId) {
+      Line.text(", \"trace_id\": \"");
+      Line.hex16(Slot.TraceId);
+      Line.text("\"");
+    }
+    if (Slot.RequestId) {
+      Line.text(", \"request_id\": ");
+      Line.dec(Slot.RequestId);
+    }
+    if (Slot.Aux) {
+      Line.text(", \"aux\": ");
+      Line.dec(Slot.Aux);
+    }
+    if (Slot.Name[0]) {
+      Line.text(", \"name\": \"");
+      Line.text(Slot.Name);
+      Line.text("\"");
+    }
+    Line.text("}\n");
+    if (!writeAllFd(Fd, Line.Buf, Line.Len))
+      return false;
+  }
+  return true;
+}
+
+std::string FlightRecorder::dumpToString() const {
+  // A pipe could deadlock a single-threaded reader once the dump exceeds
+  // the pipe buffer; an unlinked temp file has no such ceiling and shares
+  // the exact dumpTo(fd) code path the signal handler uses.
+  char Template[] = "/tmp/sxe-flight-XXXXXX";
+  int Fd = ::mkstemp(Template);
+  if (Fd < 0)
+    return {};
+  ::unlink(Template);
+  std::string Out;
+  if (dumpTo(Fd)) {
+    ::lseek(Fd, 0, SEEK_SET);
+    char Buffer[4096];
+    ssize_t N;
+    while ((N = ::read(Fd, Buffer, sizeof(Buffer))) > 0)
+      Out.append(Buffer, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Fatal-signal dump installation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+FlightRecorder *volatile ActiveRecorder = nullptr;
+char ActiveDumpPath[512] = {};
+const int FatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+void onFatalSignal(int Signal) {
+  FlightRecorder *Recorder = ActiveRecorder;
+  if (Recorder && ActiveDumpPath[0]) {
+    int Fd = ::open(ActiveDumpPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      Recorder->dumpTo(Fd);
+      ::close(Fd);
+    }
+  }
+  // Die with the original signal: default disposition, re-raise.
+  ::signal(Signal, SIG_DFL);
+  ::raise(Signal);
+}
+
+} // namespace
+
+void sxe::installFlightDumpOnFatalSignals(FlightRecorder *Recorder,
+                                          const std::string &Path) {
+  ActiveRecorder = Recorder;
+  size_t N = Path.size() < sizeof(ActiveDumpPath) - 1
+                 ? Path.size()
+                 : sizeof(ActiveDumpPath) - 1;
+  std::memcpy(ActiveDumpPath, Path.data(), N);
+  ActiveDumpPath[N] = '\0';
+  for (int Signal : FatalSignals)
+    ::signal(Signal, onFatalSignal);
+}

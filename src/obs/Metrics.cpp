@@ -2,6 +2,7 @@
 
 #include "obs/Metrics.h"
 
+#include "obs/TraceContext.h"
 #include "support/Json.h"
 
 #include <cassert>
@@ -11,19 +12,24 @@ using namespace sxe;
 
 Histogram::Histogram(std::vector<double> UpperBounds)
     : Bounds(std::move(UpperBounds)),
-      Counts(new std::atomic<uint64_t>[Bounds.size() + 1]) {
-  for (size_t Index = 0; Index <= Bounds.size(); ++Index)
+      Counts(new std::atomic<uint64_t>[Bounds.size() + 1]),
+      Exemplars(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+  for (size_t Index = 0; Index <= Bounds.size(); ++Index) {
     Counts[Index].store(0, std::memory_order_relaxed);
+    Exemplars[Index].store(0, std::memory_order_relaxed);
+  }
   for (size_t Index = 1; Index < Bounds.size(); ++Index)
     assert(Bounds[Index - 1] < Bounds[Index] &&
            "histogram bounds must ascend");
 }
 
-void Histogram::observe(double Value) {
+void Histogram::observe(double Value, uint64_t ExemplarTraceId) {
   size_t Index = 0;
   while (Index < Bounds.size() && Value > Bounds[Index])
     ++Index;
   Counts[Index].fetch_add(1, std::memory_order_relaxed);
+  if (ExemplarTraceId)
+    Exemplars[Index].store(ExemplarTraceId, std::memory_order_relaxed);
   Total.fetch_add(1, std::memory_order_relaxed);
   double Nano = Value * 1e9;
   SumNano.fetch_add(Nano > 0 ? static_cast<uint64_t>(Nano) : 0,
@@ -80,6 +86,15 @@ Histogram &MetricsRegistry::histogram(const std::string &Name,
               .TheHistogram;
 }
 
+void MetricsRegistry::setInfo(
+    const std::string &Name,
+    std::vector<std::pair<std::string, std::string>> Labels,
+    const std::string &Help) {
+  Instrument &I = instrument(InstrumentKind::Info, Name, Help, {});
+  std::lock_guard<std::mutex> Lock(Mu);
+  I.Labels = std::move(Labels);
+}
+
 void MetricsRegistry::merge(const MetricsRegistry &Other) {
   // Snapshot Other under its lock, then feed this registry through the
   // public registration path (which takes our lock); never hold both.
@@ -91,8 +106,10 @@ void MetricsRegistry::merge(const MetricsRegistry &Other) {
     int64_t GaugeValue = 0;
     std::vector<double> Bounds;
     std::vector<uint64_t> BucketCounts;
+    std::vector<uint64_t> BucketExemplars;
     uint64_t HistTotal = 0;
     uint64_t HistSumNano = 0;
+    std::vector<std::pair<std::string, std::string>> Labels;
   };
   std::vector<Snapshot> Snapshots;
   {
@@ -111,11 +128,16 @@ void MetricsRegistry::merge(const MetricsRegistry &Other) {
         break;
       case InstrumentKind::Histogram:
         S.Bounds = I.TheHistogram->bounds();
-        for (size_t Index = 0; Index <= S.Bounds.size(); ++Index)
+        for (size_t Index = 0; Index <= S.Bounds.size(); ++Index) {
           S.BucketCounts.push_back(I.TheHistogram->bucketCount(Index));
+          S.BucketExemplars.push_back(I.TheHistogram->exemplarTraceId(Index));
+        }
         S.HistTotal = I.TheHistogram->count();
         S.HistSumNano =
             I.TheHistogram->SumNano.load(std::memory_order_relaxed);
+        break;
+      case InstrumentKind::Info:
+        S.Labels = I.Labels;
         break;
       }
       Snapshots.push_back(std::move(S));
@@ -137,13 +159,20 @@ void MetricsRegistry::merge(const MetricsRegistry &Other) {
       Histogram &H = histogram(S.Name, S.Help, S.Bounds);
       if (H.bounds() != S.Bounds)
         break; // Mismatched layout: refuse rather than misfile counts.
-      for (size_t Index = 0; Index < S.BucketCounts.size(); ++Index)
+      for (size_t Index = 0; Index < S.BucketCounts.size(); ++Index) {
         H.Counts[Index].fetch_add(S.BucketCounts[Index],
                                   std::memory_order_relaxed);
+        if (S.BucketExemplars[Index])
+          H.Exemplars[Index].store(S.BucketExemplars[Index],
+                                   std::memory_order_relaxed);
+      }
       H.Total.fetch_add(S.HistTotal, std::memory_order_relaxed);
       H.SumNano.fetch_add(S.HistSumNano, std::memory_order_relaxed);
       break;
     }
+    case InstrumentKind::Info:
+      setInfo(S.Name, S.Labels, S.Help);
+      break;
     }
   }
 }
@@ -199,12 +228,29 @@ std::string MetricsRegistry::toJson() const {
       J.beginObject();
       J.keyValue("le", H.bounds()[Index]);
       J.keyValue("count", H.bucketCount(Index));
+      if (uint64_t Exemplar = H.exemplarTraceId(Index))
+        J.keyValue("exemplar_trace_id", traceIdHex(Exemplar));
       J.endObject();
     }
     J.endArray();
     J.keyValue("inf_count", H.bucketCount(H.bounds().size()));
+    if (uint64_t Exemplar = H.exemplarTraceId(H.bounds().size()))
+      J.keyValue("inf_exemplar_trace_id", traceIdHex(Exemplar));
     J.keyValue("sum", H.sum());
     J.keyValue("count", H.count());
+    J.endObject();
+  }
+  J.endObject();
+
+  J.key("info");
+  J.beginObject();
+  for (const Instrument &I : Instruments) {
+    if (I.Kind != InstrumentKind::Info)
+      continue;
+    J.key(I.Name);
+    J.beginObject();
+    for (const auto &[Key, Value] : I.Labels)
+      J.keyValue(Key, Value);
     J.endObject();
   }
   J.endObject();
@@ -244,7 +290,63 @@ std::string MetricsRegistry::toPrometheus() const {
       Out += I.Name + "_count " + std::to_string(H.count()) + "\n";
       break;
     }
+    case InstrumentKind::Info: {
+      // Constant identity series: `name{k="v",...} 1` (conventionally
+      // typed as a gauge).
+      Out += "# TYPE " + I.Name + " gauge\n";
+      Out += I.Name + "{";
+      bool First = true;
+      for (const auto &[Key, Value] : I.Labels) {
+        if (!First)
+          Out += ",";
+        First = false;
+        Out += Key + "=\"" + Value + "\"";
+      }
+      Out += "} 1\n";
+      break;
+    }
     }
   }
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Build identity
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_VERSION
+#define SXE_VERSION "0.0.0"
+#endif
+#ifndef SXE_GIT_SHA
+#define SXE_GIT_SHA "unknown"
+#endif
+
+const char *sxe::buildVersion() { return SXE_VERSION; }
+
+const char *sxe::buildGitSha() { return SXE_GIT_SHA; }
+
+const char *sxe::buildTargetLabel() {
+#if defined(__linux__) && defined(__x86_64__)
+  return "linux-x86_64";
+#elif defined(__linux__) && defined(__aarch64__)
+  return "linux-aarch64";
+#elif defined(__APPLE__) && defined(__aarch64__)
+  return "darwin-aarch64";
+#elif defined(__APPLE__)
+  return "darwin";
+#elif defined(__linux__)
+  return "linux";
+#else
+  return "unknown";
+#endif
+}
+
+Gauge &sxe::registerBuildInfoMetrics(MetricsRegistry &Registry) {
+  Registry.setInfo("sxe_build_info",
+                   {{"version", buildVersion()},
+                    {"git_sha", buildGitSha()},
+                    {"target", buildTargetLabel()}},
+                   "Build identity of the running daemon");
+  return Registry.gauge("sxe_uptime_seconds",
+                        "Seconds since the daemon started");
 }

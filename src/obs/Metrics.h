@@ -68,6 +68,13 @@ private:
 /// Fixed-bucket histogram. Bucket \p i counts observations in
 /// (bound[i-1], bound[i]]; one extra bucket counts everything above the
 /// last bound (+Inf in the Prometheus exposition).
+///
+/// Each bucket can additionally carry a latency *exemplar*: the trace id
+/// of one request that actually landed in it (last writer wins, one
+/// relaxed store — no extra synchronization on the hot path). Exemplars
+/// turn a histogram from "p99 got worse" into "here is a request to go
+/// look at": the JSON export carries them, and tools/sxe-obs joins them
+/// back to the trace and event artifacts.
 class Histogram {
 public:
   explicit Histogram(std::vector<double> UpperBounds);
@@ -75,14 +82,20 @@ public:
   Histogram(const Histogram &) = delete;
   Histogram &operator=(const Histogram &) = delete;
 
-  /// Records one observation. Lock-free, allocation-free.
-  void observe(double Value);
+  /// Records one observation. Lock-free, allocation-free. A non-zero
+  /// \p ExemplarTraceId is remembered as the bucket's exemplar.
+  void observe(double Value, uint64_t ExemplarTraceId = 0);
 
   const std::vector<double> &bounds() const { return Bounds; }
   /// Count in bucket \p Index (Index == bounds().size() is the overflow
   /// bucket).
   uint64_t bucketCount(size_t Index) const {
     return Counts[Index].load(std::memory_order_relaxed);
+  }
+  /// The bucket's most recent exemplar trace id (0 when none was ever
+  /// observed with one).
+  uint64_t exemplarTraceId(size_t Index) const {
+    return Exemplars[Index].load(std::memory_order_relaxed);
   }
   uint64_t count() const { return Total.load(std::memory_order_relaxed); }
   double sum() const;
@@ -91,6 +104,7 @@ private:
   friend class MetricsRegistry;
   std::vector<double> Bounds;
   std::unique_ptr<std::atomic<uint64_t>[]> Counts;
+  std::unique_ptr<std::atomic<uint64_t>[]> Exemplars;
   std::atomic<uint64_t> Total{0};
   /// Sum in nanounits (fixed point, 1e-9 of the observed unit) so the
   /// accumulation is a single atomic add instead of a CAS loop on a
@@ -122,6 +136,15 @@ public:
                        const std::string &Help = "",
                        std::vector<double> UpperBounds = {});
 
+  /// Registers (or replaces the labels of) an *info* metric: a constant
+  /// `1`-valued series whose identity lives in its labels — the
+  /// Prometheus `foo_info{key="value"} 1` convention used for
+  /// `sxe_build_info`. Rendered in the JSON export under "info" as an
+  /// object of the label pairs.
+  void setInfo(const std::string &Name,
+               std::vector<std::pair<std::string, std::string>> Labels,
+               const std::string &Help = "");
+
   /// Adds \p Other's instruments into this registry (registering any this
   /// instance has not seen). Counters and histograms add; gauges take the
   /// max; histogram bucket bounds must match (mismatched histograms are
@@ -137,7 +160,7 @@ public:
   std::string toPrometheus() const;
 
 private:
-  enum class InstrumentKind : uint8_t { Counter, Gauge, Histogram };
+  enum class InstrumentKind : uint8_t { Counter, Gauge, Histogram, Info };
 
   struct Instrument {
     InstrumentKind Kind;
@@ -146,6 +169,8 @@ private:
     Counter TheCounter;
     Gauge TheGauge;
     std::unique_ptr<Histogram> TheHistogram;
+    /// Info-kind label pairs (constant identity series).
+    std::vector<std::pair<std::string, std::string>> Labels;
   };
 
   Instrument &instrument(InstrumentKind Kind, const std::string &Name,
@@ -156,6 +181,20 @@ private:
   /// Deque: handles must stay valid across registrations.
   std::deque<Instrument> Instruments;
 };
+
+/// Version string baked in at configure time (CMake project version).
+const char *buildVersion();
+/// Short git revision baked in at configure time ("unknown" outside a
+/// checkout).
+const char *buildGitSha();
+/// Host platform label ("linux-x86_64", ...).
+const char *buildTargetLabel();
+
+/// Registers the identity metrics every scraped daemon should expose:
+/// the `sxe_build_info{version=...,git_sha=...,target=...} 1` info
+/// series and the `sxe_uptime_seconds` gauge (returned so the owner can
+/// keep it current at export points).
+Gauge &registerBuildInfoMetrics(MetricsRegistry &Registry);
 
 } // namespace sxe
 

@@ -1,0 +1,57 @@
+//===- obs/TraceContext.cpp - Request-scoped trace identity -------------------===//
+
+#include "obs/TraceContext.h"
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+using namespace sxe;
+
+/// splitmix64 finalizer: full-avalanche mixing so ids minted from nearby
+/// (time, counter) pairs share no visible structure.
+static uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t sxe::mintTraceId() {
+  static std::atomic<uint64_t> Counter{0};
+  uint64_t Seq = Counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Id = mix64(wallNowNanos() ^ (Seq << 32) ^
+                      (static_cast<uint64_t>(::getpid()) << 16) ^ Seq);
+  // Zero is the "absent" sentinel; remap the one-in-2^64 collision.
+  return Id ? Id : 1;
+}
+
+std::string sxe::traceIdHex(uint64_t TraceId) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(TraceId));
+  return Buf;
+}
+
+bool sxe::parseTraceIdHex(const std::string &Text, uint64_t &Out) {
+  if (Text.empty() || Text.size() > 16)
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    uint64_t Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<uint64_t>(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = static_cast<uint64_t>(C - 'A') + 10;
+    else
+      return false;
+    Value = (Value << 4) | Digit;
+  }
+  Out = Value;
+  return true;
+}

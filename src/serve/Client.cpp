@@ -8,6 +8,7 @@
 #include "serve/Client.h"
 
 #include "support/Json.h"
+#include "support/Timer.h"
 
 #include <cerrno>
 #include <chrono>
@@ -89,11 +90,34 @@ bool ServeClient::roundTrip(FrameType Send, const std::string &Payload,
 
 bool ServeClient::compile(const ServeRequest &Request, ServeReply &Reply,
                           std::string &Error) {
+  // Mint the trace identity client-side so the daemon's spans and events
+  // for this request join back to the client's record of it.
+  ServeRequest Traced = Request;
+  if (!Traced.TraceId)
+    Traced.TraceId = mintTraceId();
+  if (!Traced.ClientRequestId)
+    Traced.ClientRequestId = NextClientRequestId++;
+
+  uint64_t Start = wallNowNanos();
   std::string Payload;
-  if (!roundTrip(FrameType::Compile, encodeServeRequest(Request),
+  if (!roundTrip(FrameType::Compile, encodeServeRequest(Traced),
                  FrameType::CompileReply, Payload, Error))
     return false;
-  return decodeServeReply(Payload, Reply, Error);
+  if (!decodeServeReply(Payload, Reply, Error))
+    return false;
+  if (Trace) {
+    std::vector<std::pair<std::string, std::string>> Args;
+    Args.emplace_back("trace_id", traceIdHex(Traced.TraceId));
+    if (Reply.RequestId)
+      Args.emplace_back("request_id", std::to_string(Reply.RequestId));
+    if (!Traced.Name.empty())
+      Args.emplace_back("module", Traced.Name);
+    Args.emplace_back("status",
+                      Reply.Ok ? "ok" : serveErrorKindName(Reply.ErrorKind));
+    Trace->addSpan("request", "client", Start, wallNowNanos(),
+                   std::move(Args));
+  }
+  return true;
 }
 
 bool ServeClient::ping(std::string &Error) {
@@ -117,6 +141,12 @@ bool ServeClient::fetchMetrics(std::string &PrometheusText,
 bool ServeClient::requestShutdown(std::string &Error) {
   std::string Payload;
   return roundTrip(FrameType::Shutdown, "", FrameType::ShutdownAck, Payload,
+                   Error);
+}
+
+bool ServeClient::fetchFlightDump(std::string &DumpJsonl,
+                                  std::string &Error) {
+  return roundTrip(FrameType::Dump, "", FrameType::DumpReply, DumpJsonl,
                    Error);
 }
 

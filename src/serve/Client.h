@@ -20,8 +20,11 @@
 #ifndef SXE_SERVE_CLIENT_H
 #define SXE_SERVE_CLIENT_H
 
+#include "obs/Trace.h"
+#include "obs/TraceContext.h"
 #include "serve/Protocol.h"
 
+#include <cstdint>
 #include <string>
 
 namespace sxe {
@@ -43,9 +46,20 @@ public:
   bool connected() const { return Fd >= 0; }
   void close();
 
+  /// Optional trace collector (not owned): every compile() records a
+  /// client-side "request" span carrying the trace id, so the client's
+  /// view of the round trip lands on its own track next to the daemon's
+  /// worker spans in a stitched timeline.
+  void setTrace(TraceCollector *Collector) { Trace = Collector; }
+
   /// One compile round trip. True when a CompileReply frame came back —
   /// inspect \p Reply.Ok / \p Reply.ErrorKind for the request's own
   /// outcome. False + \p Error on transport or framing failure.
+  ///
+  /// Trace identity: when \p Request.TraceId is 0 the client mints one
+  /// before sending, so the daemon's spans, events, and exemplars for
+  /// this request are joinable with the client's record of it. The id
+  /// actually used is reported back in \p Reply.TraceId either way.
   bool compile(const ServeRequest &Request, ServeReply &Reply,
                std::string &Error);
 
@@ -58,12 +72,20 @@ public:
   /// Asks the daemon for a graceful drain; returns once acknowledged.
   bool requestShutdown(std::string &Error);
 
+  /// Fetches the daemon's flight-recorder dump (sxe.flight.v1 JSONL) via
+  /// a Dump frame.
+  bool fetchFlightDump(std::string &DumpJsonl, std::string &Error);
+
 private:
   bool roundTrip(FrameType Send, const std::string &Payload,
                  FrameType Expect, std::string &ReplyPayload,
                  std::string &Error);
 
   int Fd = -1;
+  TraceCollector *Trace = nullptr;
+  /// Client-side request sequence, stamped as ClientRequestId when the
+  /// caller left it 0.
+  uint64_t NextClientRequestId = 1;
 };
 
 } // namespace sxe

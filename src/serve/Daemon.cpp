@@ -24,6 +24,7 @@ namespace sxe {
 
 ServeDaemon::ServeDaemon(ServeDaemonOptions Opts)
     : Options(std::move(Opts)), Cache(Options.MemoryCache),
+      Flight(Options.FlightCapacity), Events(&Flight),
       Admission(Options.Admission) {
   if (Options.Jobs == 0)
     Options.Jobs = 1;
@@ -39,6 +40,10 @@ ServeDaemon::ServeDaemon(ServeDaemonOptions Opts)
   SvcOpts.Persistent = Persistent.get();
   SvcOpts.Metrics = &Metrics;
   SvcOpts.CollectRemarks = Options.CollectRemarks;
+  if (Options.Tracing) {
+    SvcOpts.Trace = &Trace;
+    SvcOpts.Events = &Events;
+  }
   Service = std::make_unique<CompileService>(SvcOpts);
 
   ConnectionsMetric =
@@ -49,6 +54,7 @@ ServeDaemon::ServeDaemon(ServeDaemonOptions Opts)
                        "Compile requests received by the serve daemon");
   InflightMetric = &Metrics.gauge(
       "sxe_serve_inflight", "Admitted compile requests currently in flight");
+  UptimeMetric = &registerBuildInfoMetrics(Metrics);
 }
 
 ServeDaemon::~ServeDaemon() { stop(); }
@@ -93,7 +99,23 @@ bool ServeDaemon::start(std::string &Error) {
   }
   AcceptThread = std::thread(&ServeDaemon::acceptLoop, this);
   Started = true;
+  StartNanos = wallNowNanos();
+  if (Options.Tracing)
+    Events.log(ObsEventKind::DaemonStart, {}, Options.SocketPath,
+               {{"jobs", std::to_string(Options.Jobs)},
+                {"version", buildVersion()},
+                {"git_sha", buildGitSha()}});
+  else
+    Flight.record(ObsEventKind::DaemonStart, wallNowNanos(), 0, 0,
+                  Options.SocketPath.c_str());
   return true;
+}
+
+void ServeDaemon::refreshUptime() {
+  if (!StartNanos)
+    return;
+  UptimeMetric->set(
+      static_cast<int64_t>((wallNowNanos() - StartNanos) / 1000000000ull));
 }
 
 void ServeDaemon::acceptLoop() {
@@ -110,7 +132,8 @@ void ServeDaemon::acceptLoop() {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       continue;
-    ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+    uint64_t ConnId =
+        ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed) + 1;
     ConnectionsMetric->inc();
     std::lock_guard<std::mutex> Lock(ConnMu);
     if (stopRequested()) {
@@ -118,7 +141,7 @@ void ServeDaemon::acceptLoop() {
       break;
     }
     ConnFds.push_back(Fd);
-    Handlers.emplace_back(&ServeDaemon::handleConnection, this, Fd);
+    Handlers.emplace_back(&ServeDaemon::handleConnection, this, Fd, ConnId);
   }
 }
 
@@ -130,8 +153,9 @@ ServeReply ServeDaemon::errorReply(ServeErrorKind Kind, std::string Message) {
   return Reply;
 }
 
-ServeReply ServeDaemon::serveCompile(ServeRequest Request) {
+ServeReply ServeDaemon::serveCompile(ServeRequest Request, TraceContext Ctx) {
   RequestsMetric->inc();
+  std::string DisplayName = Request.Name.empty() ? "<request>" : Request.Name;
   const TargetInfo *Target = serveTargetByName(Request.Target);
   if (!Target)
     return errorReply(ServeErrorKind::Protocol,
@@ -147,15 +171,31 @@ ServeReply ServeDaemon::serveCompile(ServeRequest Request) {
     // Load-shed rejections share the service's Rejected ledger and
     // sxe_rejects_total with enqueue-after-shutdown refusals.
     Service->countRejected();
+    if (Options.Tracing)
+      Events.log(ObsEventKind::Shed, Ctx, DisplayName,
+                 {{"cause", Overload.message()},
+                  {"queue_depth", std::to_string(Overload.QueueDepth)}});
     return errorReply(ServeErrorKind::Overload, Overload.message());
   }
   InflightMetric->set(static_cast<int64_t>(Admission.depth()));
+  if (Options.Tracing) {
+    std::vector<std::pair<std::string, std::string>> Fields;
+    if (Request.DeadlineMillis)
+      Fields.emplace_back("deadline_ms",
+                          std::to_string(Request.DeadlineMillis));
+    if (Request.ClientRequestId)
+      Fields.emplace_back("client_request_id",
+                          std::to_string(Request.ClientRequestId));
+    Events.log(ObsEventKind::Admit, Ctx, DisplayName, std::move(Fields));
+  }
 
   CompileRequest Compile;
-  Compile.Name = Request.Name.empty() ? "<request>" : Request.Name;
+  Compile.Name = DisplayName;
   Compile.Source = std::move(Request.Source);
   Compile.Config = PipelineConfig::forVariant(V, *Target);
   Compile.Hotness = Request.Hotness;
+  Compile.TraceId = Ctx.TraceId;
+  Compile.RequestId = Ctx.RequestId;
   uint64_t EffectiveBudget =
       BudgetNanos ? BudgetNanos : Admission.options().DefaultDeadlineNanos;
   if (EffectiveBudget)
@@ -201,7 +241,9 @@ ServeReply ServeDaemon::serveCompile(ServeRequest Request) {
   return Reply;
 }
 
-void ServeDaemon::handleConnection(int Fd) {
+void ServeDaemon::handleConnection(int Fd, uint64_t ConnId) {
+  if (Options.Tracing)
+    Trace.nameThread("conn-" + std::to_string(ConnId));
   while (true) {
     FrameType Type;
     std::string Payload;
@@ -216,6 +258,7 @@ void ServeDaemon::handleConnection(int Fd) {
       WroteReply = writeFrame(Fd, FrameType::Pong, "", WriteError);
       break;
     case FrameType::MetricsQuery: {
+      refreshUptime();
       JsonWriter J;
       J.beginObject();
       J.keyValue("schema", kServeSchema);
@@ -225,21 +268,70 @@ void ServeDaemon::handleConnection(int Fd) {
                               WriteError);
       break;
     }
+    case FrameType::Dump: {
+      // On-demand flight-recorder dump: the same sxe.flight.v1 JSONL a
+      // fatal signal would write, delivered over the wire.
+      if (Options.Tracing)
+        Events.log(ObsEventKind::Dump, {}, "conn-" + std::to_string(ConnId));
+      else
+        Flight.record(ObsEventKind::Dump, wallNowNanos(), 0, 0, "dump");
+      WroteReply = writeFrame(Fd, FrameType::DumpReply,
+                              Flight.dumpToString(), WriteError);
+      break;
+    }
     case FrameType::Shutdown:
       WroteReply = writeFrame(Fd, FrameType::ShutdownAck, "", WriteError);
       requestStop();
       break;
     case FrameType::Compile: {
       ServeReply Reply;
+      TraceContext Ctx;
+      uint64_t ServeStart = wallNowNanos();
+      std::string SpanName = "<request>";
       if (stopRequested()) {
         Reply = errorReply(ServeErrorKind::Shutdown, "daemon is draining");
       } else {
         ServeRequest Request;
         std::string DecodeError;
-        if (!decodeServeRequest(Payload, Request, DecodeError))
+        if (!decodeServeRequest(Payload, Request, DecodeError)) {
           Reply = errorReply(ServeErrorKind::Protocol, DecodeError);
-        else
-          Reply = serveCompile(std::move(Request));
+        } else {
+          // The client's trace id when it sent one; minted here for
+          // legacy id-less clients so every request stays joinable. The
+          // request id is always daemon-assigned (dense, 1-based).
+          Ctx.TraceId = Request.TraceId ? Request.TraceId : mintTraceId();
+          Ctx.RequestId =
+              NextRequestId.fetch_add(1, std::memory_order_relaxed);
+          if (!Request.Name.empty())
+            SpanName = Request.Name;
+          Reply = serveCompile(std::move(Request), Ctx);
+        }
+      }
+      Reply.TraceId = Ctx.TraceId;
+      Reply.RequestId = Ctx.RequestId;
+      if (Options.Tracing) {
+        std::vector<std::pair<std::string, std::string>> Args;
+        if (Ctx.TraceId)
+          Args.emplace_back("trace_id", traceIdHex(Ctx.TraceId));
+        if (Ctx.RequestId)
+          Args.emplace_back("request_id", std::to_string(Ctx.RequestId));
+        Args.emplace_back("status", Reply.Ok
+                                        ? "ok"
+                                        : serveErrorKindName(Reply.ErrorKind));
+        if (Reply.Ok)
+          Args.emplace_back("tier", serveTierName(Reply.Tier));
+        Trace.addSpan("serve-request", "serve", ServeStart, wallNowNanos(),
+                      Args);
+        std::vector<std::pair<std::string, std::string>> Fields;
+        Fields.emplace_back("status", Reply.Ok
+                                          ? "ok"
+                                          : serveErrorKindName(
+                                                Reply.ErrorKind));
+        if (Reply.Ok)
+          Fields.emplace_back("tier", serveTierName(Reply.Tier));
+        Events.log(ObsEventKind::Reply, Ctx, SpanName, std::move(Fields),
+                   /*Aux=*/Reply.Ok ? 0 : static_cast<uint8_t>(
+                                              Reply.ErrorKind));
       }
       WroteReply = writeFrame(Fd, FrameType::CompileReply,
                               encodeServeReply(Reply), WriteError);
@@ -296,6 +388,21 @@ void ServeDaemon::stop() {
     ListenFd = -1;
     ::unlink(Options.SocketPath.c_str());
   }
+  if (Options.Tracing)
+    Events.log(ObsEventKind::Drain, {}, Options.SocketPath,
+               {{"requests",
+                 std::to_string(
+                     NextRequestId.load(std::memory_order_relaxed) - 1)}});
+  else
+    Flight.record(ObsEventKind::Drain, wallNowNanos(), 0, 0,
+                  Options.SocketPath.c_str());
+  refreshUptime();
+  // Observability artifacts outlive the process on purpose: they are the
+  // post-run inputs of tools/sxe-obs.
+  if (!Options.TraceFile.empty())
+    writeTextFile(Options.TraceFile, Trace.toJson());
+  if (!Options.EventsFile.empty())
+    writeTextFile(Options.EventsFile, Events.toJsonl());
   Stopped = true;
 }
 

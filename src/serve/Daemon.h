@@ -41,7 +41,11 @@
 #include "jit/CodeCache.h"
 #include "jit/CompileService.h"
 #include "jit/PersistentCache.h"
+#include "obs/EventLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "obs/TraceContext.h"
 #include "serve/Admission.h"
 #include "serve/Protocol.h"
 
@@ -72,6 +76,18 @@ struct ServeDaemonOptions {
   /// Collect optimization remarks on every compile so replies (and cache
   /// hits) can replay them when the client asks.
   bool CollectRemarks = true;
+  /// Request-scoped tracing and the structured event log. Off, the
+  /// daemon emits no spans or events (the flight recorder stays armed —
+  /// it is the post-mortem channel and costs one wait-free ring write
+  /// per lifecycle event).
+  bool Tracing = true;
+  /// Slots in the crash-safe flight-recorder ring.
+  size_t FlightCapacity = 2048;
+  /// When non-empty, stop() writes the stitched sxe.trace.v1 document
+  /// here.
+  std::string TraceFile;
+  /// When non-empty, stop() writes the sxe.events.v1 JSONL stream here.
+  std::string EventsFile;
 };
 
 /// The compile-serving daemon. Construct, start(), then run() (or poll
@@ -113,6 +129,9 @@ public:
   CodeCache &memoryCache() { return Cache; }
   PersistentCache *persistent() { return Persistent.get(); }
   AdmissionController &admission() { return Admission; }
+  TraceCollector &traceCollector() { return Trace; }
+  EventLog &eventLog() { return Events; }
+  FlightRecorder &flightRecorder() { return Flight; }
 
   /// Total connections accepted since start().
   uint64_t connectionsAccepted() const {
@@ -121,22 +140,34 @@ public:
 
 private:
   void acceptLoop();
-  void handleConnection(int Fd);
+  void handleConnection(int Fd, uint64_t ConnId);
   /// Serves one decoded compile request end to end (admission -> service
-  /// -> reply); never throws.
-  ServeReply serveCompile(ServeRequest Request);
+  /// -> reply); never throws. \p Ctx is the request's resolved trace
+  /// identity (minted by the daemon when the client sent none).
+  ServeReply serveCompile(ServeRequest Request, TraceContext Ctx);
   static ServeReply errorReply(ServeErrorKind Kind, std::string Message);
+  /// Seconds since start(), pushed into sxe_uptime_seconds at export
+  /// points.
+  void refreshUptime();
 
   ServeDaemonOptions Options;
   MetricsRegistry Metrics;
   CodeCache Cache;
   std::unique_ptr<PersistentCache> Persistent;
+  /// Flight ring outlives the log that mirrors into it.
+  FlightRecorder Flight;
+  EventLog Events;
+  TraceCollector Trace;
   std::unique_ptr<CompileService> Service;
   AdmissionController Admission;
 
   Counter *ConnectionsMetric = nullptr;
   Counter *RequestsMetric = nullptr;
   Gauge *InflightMetric = nullptr;
+  Gauge *UptimeMetric = nullptr;
+  uint64_t StartNanos = 0;
+  /// Daemon-assigned dense request ids (1-based).
+  std::atomic<uint64_t> NextRequestId{1};
 
   int ListenFd = -1;
   std::thread AcceptThread;

@@ -84,7 +84,7 @@ bool serveTierByName(const std::string &Name, ServeTier &Out) {
 
 static bool validFrameType(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(FrameType::Compile) &&
-         Raw <= static_cast<uint8_t>(FrameType::ShutdownAck);
+         Raw <= static_cast<uint8_t>(FrameType::DumpReply);
 }
 
 static bool writeAll(int Fd, const char *Data, size_t Len,
@@ -181,6 +181,22 @@ bool readFrame(int Fd, FrameType &Type, std::string &Payload,
 // Payload encoding
 //===----------------------------------------------------------------------===//
 
+static std::string hex16(uint64_t Value) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+/// Optional trace id: absent or malformed decodes as 0 so pre-trace
+/// peers interoperate.
+static uint64_t traceIdField(const JsonValue &Doc, const char *Name) {
+  const JsonValue *Field = Doc.find(Name);
+  if (!Field || !Field->isString())
+    return 0;
+  return std::strtoull(Field->stringValue().c_str(), nullptr, 16);
+}
+
 std::string encodeServeRequest(const ServeRequest &Request) {
   JsonWriter J;
   J.beginObject();
@@ -197,6 +213,10 @@ std::string encodeServeRequest(const ServeRequest &Request) {
     J.keyValue("collect_remarks", true);
   if (!Request.WantIR)
     J.keyValue("want_ir", false);
+  if (Request.TraceId)
+    J.keyValue("trace_id", hex16(Request.TraceId));
+  if (Request.ClientRequestId)
+    J.keyValue("client_request_id", Request.ClientRequestId);
   J.endObject();
   return J.str();
 }
@@ -256,14 +276,9 @@ bool decodeServeRequest(const std::string &Payload, ServeRequest &Out,
   Out.DeadlineMillis = numberField(Doc, "deadline_ms");
   Out.CollectRemarks = boolField(Doc, "collect_remarks", false);
   Out.WantIR = boolField(Doc, "want_ir", true);
+  Out.TraceId = traceIdField(Doc, "trace_id");
+  Out.ClientRequestId = numberField(Doc, "client_request_id");
   return true;
-}
-
-static std::string hex16(uint64_t Value) {
-  char Buf[17];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(Value));
-  return Buf;
 }
 
 std::string encodeServeReply(const ServeReply &Reply) {
@@ -301,6 +316,10 @@ std::string encodeServeReply(const ServeReply &Reply) {
     J.keyValue("queue_wait_ns", Reply.QueueWaitNanos);
   if (Reply.WallNanos)
     J.keyValue("wall_ns", Reply.WallNanos);
+  if (Reply.TraceId)
+    J.keyValue("trace_id", hex16(Reply.TraceId));
+  if (Reply.RequestId)
+    J.keyValue("request_id", Reply.RequestId);
   J.endObject();
   return J.str();
 }
@@ -346,6 +365,8 @@ bool decodeServeReply(const std::string &Payload, ServeReply &Out,
   }
   Out.QueueWaitNanos = numberField(Doc, "queue_wait_ns");
   Out.WallNanos = numberField(Doc, "wall_ns");
+  Out.TraceId = traceIdField(Doc, "trace_id");
+  Out.RequestId = numberField(Doc, "request_id");
   return true;
 }
 

@@ -59,6 +59,10 @@ enum class FrameType : uint8_t {
   MetricsReply = 6,
   Shutdown = 7,
   ShutdownAck = 8,
+  /// Asks the daemon to dump its flight recorder (payload ignored);
+  /// DumpReply carries the sxe.flight.v1 JSONL document verbatim.
+  Dump = 9,
+  DumpReply = 10,
 };
 
 /// Typed failure taxonomy of a compile reply.
@@ -98,6 +102,13 @@ struct ServeRequest {
   /// False suppresses the optimized IR text in the reply (stats-only
   /// probes and benchmark loops keep frames small).
   bool WantIR = true;
+  /// Client-minted distributed trace id (0 = untraced / legacy client;
+  /// the daemon mints one so every request is still joinable). Carried
+  /// on the wire as 16 lowercase hex digits under "trace_id".
+  uint64_t TraceId = 0;
+  /// Client-side request sequence number, echoed in events for
+  /// debugging multi-request clients (0 = unset).
+  uint64_t ClientRequestId = 0;
 };
 
 /// One compile reply.
@@ -114,6 +125,13 @@ struct ServeReply {
   std::string RemarksJsonl;
   uint64_t QueueWaitNanos = 0;
   uint64_t WallNanos = 0;
+  /// The trace id this request ran under (the client's, or the one the
+  /// daemon minted for a legacy id-less request). 0 only from pre-trace
+  /// daemons.
+  uint64_t TraceId = 0;
+  /// Daemon-assigned dense request sequence number (0 from pre-trace
+  /// daemons or for requests refused before admission bookkeeping).
+  uint64_t RequestId = 0;
 };
 
 //===----------------------------------------------------------------------===//

@@ -16,24 +16,44 @@
 //     byte-identical to the serial (jobs=0) reference, including on
 //     cache hits (remarks live in the cached artifact);
 //   - the Prometheus exposition carries the compile-latency histogram
-//     with cumulative buckets, +Inf, _sum, and _count.
+//     with cumulative buckets, +Inf, _sum, and _count;
+//   - trace identity: minted ids are non-zero/distinct and the 16-digit
+//     hex wire form round-trips;
+//   - the structured event log exports schema-tagged, parseable
+//     sxe.events.v1 JSONL and mirrors every append into the flight
+//     recorder;
+//   - the flight recorder: the ring wraps keeping exactly the most recent
+//     capacity() records, hostile names are sanitized at record time, and
+//     a real SIGSEGV (forked child) leaves a parseable sxe.flight.v1 dump
+//     while the child still dies with the original signal;
+//   - histogram latency exemplars surface in the JSON export only, and
+//     registerBuildInfoMetrics exposes sxe_build_info / sxe_uptime_seconds
+//     in both export formats.
 //
 //===-----------------------------------------------------------------------------===//
 
 #include "jit/CompileService.h"
+#include "obs/EventLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "parser/Parser.h"
 #include "obs/Remarks.h"
 #include "obs/Trace.h"
+#include "obs/TraceContext.h"
 #include "pm/InstrumentedPipeline.h"
 #include "support/Json.h"
 #include "support/Timer.h"
 
+#include <csignal>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 #include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace sxe;
 
@@ -360,6 +380,235 @@ TEST(Remarks, EliminationRemarksMatchStatsCounters) {
   EXPECT_EQ(T2, Stats.value("elimination", "theorem2_fired"));
   EXPECT_EQ(T3, Stats.value("elimination", "theorem3_fired"));
   EXPECT_EQ(T4, Stats.value("elimination", "theorem4_fired"));
+}
+
+// --- Trace identity -----------------------------------------------------------
+
+TEST(TraceContext, MintedIdsAreNonZeroAndDistinct) {
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t Id = mintTraceId();
+    EXPECT_NE(Id, 0u);
+    Seen.insert(Id);
+  }
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(TraceContext, HexFormRoundTrips) {
+  uint64_t Id = 0x00c0ffee12345678ull;
+  std::string Hex = traceIdHex(Id);
+  EXPECT_EQ(Hex.size(), 16u);
+  EXPECT_EQ(Hex, "00c0ffee12345678");
+  uint64_t Back = 0;
+  ASSERT_TRUE(parseTraceIdHex(Hex, Back));
+  EXPECT_EQ(Back, Id);
+  // Short forms parse; garbage does not and leaves Out untouched.
+  ASSERT_TRUE(parseTraceIdHex("ff", Back));
+  EXPECT_EQ(Back, 0xffu);
+  uint64_t Untouched = 42;
+  EXPECT_FALSE(parseTraceIdHex("", Untouched));
+  EXPECT_FALSE(parseTraceIdHex("12g4", Untouched));
+  EXPECT_EQ(Untouched, 42u);
+}
+
+// --- Event log ----------------------------------------------------------------
+
+TEST(EventLog, JsonlExportIsSchemaTaggedAndParseable) {
+  EventLog Log;
+  TraceContext Ctx;
+  Ctx.TraceId = 0xabcdef0011223344ull;
+  Ctx.RequestId = 7;
+  Log.log(ObsEventKind::Admit, Ctx, "loop.sxir", {{"deadline_ms", "250"}});
+  Log.log(ObsEventKind::CacheTier, Ctx, "loop.sxir", {{"tier", "memory"}},
+          /*Aux=*/1);
+  ASSERT_EQ(Log.size(), 2u);
+
+  std::string Jsonl = Log.toJsonl();
+  std::vector<std::string> Lines;
+  std::istringstream In(Jsonl);
+  for (std::string Line; std::getline(In, Line);)
+    if (!Line.empty())
+      Lines.push_back(Line);
+  ASSERT_EQ(Lines.size(), 3u); // Header + two records.
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Lines[0], Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("schema"), kEventsSchema);
+  ASSERT_TRUE(parseJson(Lines[1], Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("event"), "admit");
+  EXPECT_EQ(Doc.stringField("trace_id"), "abcdef0011223344");
+  EXPECT_EQ(Doc.stringField("name"), "loop.sxir");
+  EXPECT_EQ(Doc.stringField("deadline_ms"), "250");
+  ASSERT_TRUE(parseJson(Lines[2], Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("event"), "cache_tier");
+  EXPECT_EQ(Doc.stringField("tier"), "memory");
+}
+
+TEST(EventLog, MirrorsEveryAppendIntoFlightRecorder) {
+  FlightRecorder Flight(8);
+  EventLog Log(&Flight);
+  TraceContext Ctx;
+  Ctx.TraceId = mintTraceId();
+  Ctx.RequestId = 1;
+  Log.log(ObsEventKind::Admit, Ctx, "m.sxir");
+  Log.log(ObsEventKind::Reply, Ctx, "m.sxir", {}, /*Aux=*/0);
+  EXPECT_EQ(Flight.recorded(), 2u);
+  std::string Dump = Flight.dumpToString();
+  EXPECT_NE(Dump.find("\"admit\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"reply\""), std::string::npos);
+  EXPECT_NE(Dump.find(traceIdHex(Ctx.TraceId)), std::string::npos);
+}
+
+// --- Flight recorder ----------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsKeepingTheMostRecentRecords) {
+  FlightRecorder Flight(8);
+  EXPECT_EQ(Flight.capacity(), 8u);
+  for (uint64_t I = 0; I < 20; ++I)
+    Flight.record(ObsEventKind::Admit, /*Nanos=*/I, /*TraceId=*/I + 1,
+                  /*RequestId=*/I, ("m" + std::to_string(I)).c_str());
+  EXPECT_EQ(Flight.recorded(), 20u);
+
+  std::string Dump = Flight.dumpToString();
+  std::vector<std::string> Lines;
+  std::istringstream In(Dump);
+  for (std::string Line; std::getline(In, Line);)
+    if (!Line.empty())
+      Lines.push_back(Line);
+  ASSERT_EQ(Lines.size(), 9u); // Header + one line per live slot.
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Lines[0], Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("schema"), kFlightSchema);
+
+  // The 8 surviving records are exactly the most recent ones (seq 12..19).
+  std::set<uint64_t> Seqs;
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    ASSERT_TRUE(parseJson(Lines[I], Doc, Error)) << Lines[I];
+    const JsonValue *Seq = Doc.find("seq");
+    ASSERT_NE(Seq, nullptr);
+    Seqs.insert(static_cast<uint64_t>(Seq->numberValue()));
+  }
+  ASSERT_EQ(Seqs.size(), 8u);
+  EXPECT_EQ(*Seqs.begin(), 12u);
+  EXPECT_EQ(*Seqs.rbegin(), 19u);
+}
+
+TEST(FlightRecorder, HostileNamesAreSanitizedAtRecordTime) {
+  FlightRecorder Flight(8);
+  Flight.record(ObsEventKind::Admit, 1, 1, 1, "evil\"name\\with\nctrl");
+  std::string Dump = Flight.dumpToString();
+  std::istringstream In(Dump);
+  JsonValue Doc;
+  std::string Error;
+  for (std::string Line; std::getline(In, Line);) {
+    if (!Line.empty()) {
+      ASSERT_TRUE(parseJson(Line, Doc, Error)) << Line << ": " << Error;
+    }
+  }
+}
+
+TEST(FlightRecorder, FatalSignalHandlerWritesParseableDump) {
+  std::string Path = testing::TempDir() + "sxe_flight_sigsegv.jsonl";
+  ::unlink(Path.c_str());
+
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    // Child: arm the handler, record traffic, then crash for real.
+    FlightRecorder Flight(16);
+    installFlightDumpOnFatalSignals(&Flight, Path);
+    TraceContext Ctx;
+    Ctx.TraceId = 0x1122334455667788ull;
+    Ctx.RequestId = 3;
+    Flight.record(ObsEventKind::DaemonStart, 1, 0, 0, "sock");
+    Flight.record(ObsEventKind::Admit, 2, Ctx.TraceId, Ctx.RequestId,
+                  "crash.sxir");
+    ::raise(SIGSEGV);
+    ::_exit(0); // Unreachable; the handler re-raises with SIG_DFL.
+  }
+
+  int WaitStatus = 0;
+  ASSERT_EQ(::waitpid(Child, &WaitStatus, 0), Child);
+  // The handler re-raises, so the child still dies with the signal.
+  ASSERT_TRUE(WIFSIGNALED(WaitStatus));
+  EXPECT_EQ(WTERMSIG(WaitStatus), SIGSEGV);
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(static_cast<bool>(In)) << Path;
+  std::vector<std::string> Lines;
+  for (std::string Line; std::getline(In, Line);)
+    if (!Line.empty())
+      Lines.push_back(Line);
+  ASSERT_EQ(Lines.size(), 3u); // Header + two records.
+
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Lines[0], Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("schema"), kFlightSchema);
+  ASSERT_TRUE(parseJson(Lines[2], Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("event"), "admit");
+  EXPECT_EQ(Doc.stringField("trace_id"), "1122334455667788");
+  EXPECT_EQ(Doc.stringField("name"), "crash.sxir");
+  ::unlink(Path.c_str());
+}
+
+// --- Exemplars and build identity ---------------------------------------------
+
+TEST(Metrics, HistogramExemplarsAppearInJsonButNotPrometheus) {
+  MetricsRegistry Reg;
+  Histogram &H =
+      Reg.histogram("sxe_compile_latency_seconds", "latency", {0.001, 0.01});
+  uint64_t Id = 0xfeedface01020304ull;
+  H.observe(0.0005, Id);   // Bucket 0 exemplar.
+  H.observe(0.005);        // No exemplar for bucket 1.
+  H.observe(99.0, Id + 1); // Overflow-bucket exemplar.
+  EXPECT_EQ(H.exemplarTraceId(0), Id);
+  EXPECT_EQ(H.exemplarTraceId(1), 0u);
+  EXPECT_EQ(H.exemplarTraceId(2), Id + 1);
+
+  std::string Json = Reg.toJson();
+  EXPECT_NE(Json.find("\"exemplar_trace_id\": \"feedface01020304\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"inf_exemplar_trace_id\": \"feedface01020305\""),
+            std::string::npos);
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Json, Doc, Error)) << Error;
+
+  // The text exposition stays plain Prometheus: no exemplars.
+  std::string Prom = Reg.toPrometheus();
+  EXPECT_EQ(Prom.find("feedface"), std::string::npos);
+  EXPECT_NE(Prom.find("sxe_compile_latency_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(Metrics, BuildInfoAndUptimeExportInBothFormats) {
+  MetricsRegistry Reg;
+  Gauge &Uptime = registerBuildInfoMetrics(Reg);
+  Uptime.set(42);
+
+  ASSERT_NE(buildVersion(), nullptr);
+  ASSERT_NE(buildGitSha(), nullptr);
+  ASSERT_NE(buildTargetLabel(), nullptr);
+  EXPECT_GT(std::string(buildVersion()).size(), 0u);
+
+  std::string Prom = Reg.toPrometheus();
+  std::string InfoSeries = std::string("sxe_build_info{version=\"") +
+                           buildVersion() + "\",git_sha=\"" + buildGitSha() +
+                           "\",target=\"" + buildTargetLabel() + "\"} 1";
+  EXPECT_NE(Prom.find(InfoSeries), std::string::npos) << Prom;
+  EXPECT_NE(Prom.find("sxe_uptime_seconds 42"), std::string::npos);
+
+  std::string Json = Reg.toJson();
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Json, Doc, Error)) << Error;
+  EXPECT_EQ(Doc.stringField("schema"), kMetricsSchema);
+  EXPECT_NE(Json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(Json.find("\"sxe_build_info\""), std::string::npos);
 }
 
 } // namespace

@@ -12,25 +12,38 @@
 //     reference service, typed parse/protocol errors, deadline expiry
 //     under a saturated queue, load-shed rejection sharing the service's
 //     Rejected ledger, graceful drain (every accepted request answered,
-//     socket unlinked), and restart-with-warm-persistent-cache.
+//     socket unlinked), and restart-with-warm-persistent-cache;
+//   - request-scoped tracing: trace/request ids round-trip the wire (and
+//     legacy id-less payloads decode to absent), the daemon echoes a
+//     client-minted id and mints one for legacy clients, lifecycle events
+//     land in the structured log under the request's ids, the Dump frame
+//     returns a parseable sxe.flight.v1 recording, and the per-request
+//     span set is identical at 1 and 4 workers (stitching determinism).
 //
 //===-----------------------------------------------------------------------------===//
 
 #include "ir/IRBuilder.h"
 #include "ir/IRPrinter.h"
 #include "jit/CompileService.h"
+#include "obs/TraceContext.h"
 #include "serve/Admission.h"
 #include "serve/Client.h"
 #include "serve/Daemon.h"
+#include "support/Json.h"
 #include "tests/TestHelpers.h"
 
 #include <atomic>
+#include <cstring>
 #include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 using namespace sxe;
@@ -618,4 +631,264 @@ TEST(ServeDaemon, RestartServesFromWarmPersistentCache) {
   EXPECT_EQ(0u, Daemon.service().stats().Compiled);
   EXPECT_EQ(1u, Daemon.service().stats().PersistentHits);
   Daemon.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Request-scoped tracing and the flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocol, TraceIdsRoundTripAndLegacyPayloadsDecodeToZero) {
+  ServeRequest Request;
+  Request.Name = "mod.sxir";
+  Request.Source = "x";
+  Request.TraceId = 0x00c0ffee00000001ull;
+  Request.ClientRequestId = 9;
+  ServeRequest LoadedRequest;
+  std::string Error;
+  ASSERT_TRUE(decodeServeRequest(encodeServeRequest(Request), LoadedRequest,
+                                 Error))
+      << Error;
+  EXPECT_EQ(Request.TraceId, LoadedRequest.TraceId);
+  EXPECT_EQ(9u, LoadedRequest.ClientRequestId);
+
+  ServeReply Reply;
+  Reply.Ok = true;
+  Reply.TraceId = 0xabcdef0102030405ull;
+  Reply.RequestId = 17;
+  ServeReply LoadedReply;
+  ASSERT_TRUE(decodeServeReply(encodeServeReply(Reply), LoadedReply, Error))
+      << Error;
+  EXPECT_EQ(Reply.TraceId, LoadedReply.TraceId);
+  EXPECT_EQ(17u, LoadedReply.RequestId);
+
+  // Old-client compat: payloads that predate tracing carry no id fields
+  // and must decode to zero (= absent), not fail.
+  ASSERT_TRUE(decodeServeRequest(
+      "{\"schema\":\"sxe.serve.v1\",\"source\":\"x\"}", LoadedRequest,
+      Error))
+      << Error;
+  EXPECT_EQ(0u, LoadedRequest.TraceId);
+  EXPECT_EQ(0u, LoadedRequest.ClientRequestId);
+
+  // A malformed trace id degrades to absent rather than poisoning the
+  // request.
+  ASSERT_TRUE(decodeServeRequest("{\"schema\":\"sxe.serve.v1\",\"source\":"
+                                 "\"x\",\"trace_id\":\"not-hex\"}",
+                                 LoadedRequest, Error))
+      << Error;
+  EXPECT_EQ(0u, LoadedRequest.TraceId);
+
+  // Zero ids are omitted on the wire and come back as zero.
+  ServeReply PlainReply;
+  PlainReply.Ok = true;
+  std::string Encoded = encodeServeReply(PlainReply);
+  EXPECT_EQ(std::string::npos, Encoded.find("trace_id"));
+  ASSERT_TRUE(decodeServeReply(Encoded, LoadedReply, Error)) << Error;
+  EXPECT_EQ(0u, LoadedReply.TraceId);
+  EXPECT_EQ(0u, LoadedReply.RequestId);
+}
+
+TEST(ServeDaemon, EchoesTraceIdentityAndLogsLifecycleEvents) {
+  TempDir Dir("trace");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 2;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  ServeClient Client;
+  TraceCollector ClientTrace;
+  Client.setTrace(&ClientTrace);
+  ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+
+  // A client-minted trace id comes back verbatim; the daemon assigns the
+  // dense request id.
+  ServeRequest Request;
+  Request.Name = "traced.sxir";
+  Request.Source = smallSource(/*Bias=*/21);
+  Request.TraceId = 0x5eed5eed5eed5eedull;
+  ServeReply Reply;
+  ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+  ASSERT_TRUE(Reply.Ok) << Reply.Error;
+  EXPECT_EQ(Request.TraceId, Reply.TraceId);
+  EXPECT_EQ(1u, Reply.RequestId);
+
+  // The client library mints when the caller did not.
+  ServeRequest Minted;
+  Minted.Name = "minted.sxir";
+  Minted.Source = smallSource(/*Bias=*/22);
+  ServeReply Second;
+  ASSERT_TRUE(Client.compile(Minted, Second, Error)) << Error;
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_NE(0u, Second.TraceId);
+  EXPECT_EQ(2u, Second.RequestId);
+
+  // The structured event log recorded the lifecycle under the same ids.
+  unsigned Admits = 0, Tiers = 0, Replies = 0;
+  for (const ObsEvent &Event : Daemon.eventLog().snapshot()) {
+    if (Event.Ctx.TraceId != Request.TraceId)
+      continue;
+    if (Event.Kind == ObsEventKind::Admit)
+      ++Admits;
+    if (Event.Kind == ObsEventKind::CacheTier)
+      ++Tiers;
+    if (Event.Kind == ObsEventKind::Reply)
+      ++Replies;
+  }
+  EXPECT_EQ(1u, Admits);
+  EXPECT_EQ(1u, Tiers);
+  EXPECT_EQ(1u, Replies);
+
+  // Both trace timelines carry the id as a span argument — the join key
+  // tools/sxe-obs stitches by.
+  std::string Hex = traceIdHex(Request.TraceId);
+  EXPECT_NE(std::string::npos, Daemon.traceCollector().toJson().find(Hex));
+  EXPECT_NE(std::string::npos, ClientTrace.toJson().find(Hex));
+  Daemon.stop();
+}
+
+TEST(ServeDaemon, MintsTraceIdsForLegacyClients) {
+  TempDir Dir("legacy");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 1;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  // Speak the wire protocol directly, as a pre-tracing client would: no
+  // trace_id field in the request at all.
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::string Sock = Dir.sock();
+  ASSERT_LT(Sock.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Sock.c_str(), Sock.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(0, ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr)));
+
+  ServeRequest Request;
+  Request.Name = "legacy.sxir";
+  Request.Source = smallSource(/*Bias=*/31);
+  ASSERT_EQ(0u, Request.TraceId);
+  ASSERT_TRUE(writeFrame(Fd, FrameType::Compile,
+                         encodeServeRequest(Request), Error))
+      << Error;
+  FrameType Type;
+  std::string Payload;
+  ASSERT_TRUE(readFrame(Fd, Type, Payload, Error)) << Error;
+  ASSERT_EQ(FrameType::CompileReply, Type);
+  ServeReply Reply;
+  ASSERT_TRUE(decodeServeReply(Payload, Reply, Error)) << Error;
+  ASSERT_TRUE(Reply.Ok) << Reply.Error;
+  // The daemon minted an id so even this request is joinable.
+  EXPECT_NE(0u, Reply.TraceId);
+  EXPECT_EQ(1u, Reply.RequestId);
+  ::close(Fd);
+  Daemon.stop();
+}
+
+TEST(ServeDaemon, DumpFrameReturnsParseableFlightRecording) {
+  TempDir Dir("dump");
+  ServeDaemonOptions Options;
+  Options.SocketPath = Dir.sock();
+  Options.Jobs = 1;
+  ServeDaemon Daemon(Options);
+  std::string Error;
+  ASSERT_TRUE(Daemon.start(Error)) << Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+  ServeRequest Request;
+  Request.Name = "dumped.sxir";
+  Request.Source = smallSource(/*Bias=*/41);
+  ServeReply Reply;
+  ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+  ASSERT_TRUE(Reply.Ok) << Reply.Error;
+
+  std::string Dump;
+  ASSERT_TRUE(Client.fetchFlightDump(Dump, Error)) << Error;
+  std::vector<std::string> Lines;
+  std::istringstream In(Dump);
+  for (std::string Line; std::getline(In, Line);) {
+    if (!Line.empty())
+      Lines.push_back(Line);
+  }
+  ASSERT_GE(Lines.size(), 2u);
+  JsonValue Doc;
+  for (const std::string &Line : Lines) {
+    ASSERT_TRUE(parseJson(Line, Doc, Error)) << Line << ": " << Error;
+  }
+  ASSERT_TRUE(parseJson(Lines[0], Doc, Error)) << Error;
+  EXPECT_EQ(kFlightSchema, Doc.stringField("schema"));
+  EXPECT_NE(std::string::npos, Dump.find("\"admit\""));
+  EXPECT_NE(std::string::npos, Dump.find(traceIdHex(Reply.TraceId)));
+  Daemon.stop();
+}
+
+namespace {
+
+/// Span names in \p TraceJson whose args carry \p TraceIdHex — the same
+/// join tools/sxe-obs performs.
+std::set<std::string> spanNamesForTrace(const std::string &TraceJson,
+                                        const std::string &TraceIdHex) {
+  JsonValue Doc;
+  std::string Error;
+  EXPECT_TRUE(parseJson(TraceJson, Doc, Error)) << Error;
+  std::set<std::string> Names;
+  const JsonValue *Events = Doc.find("traceEvents");
+  if (!Events)
+    return Names;
+  for (const JsonValue &Event : Events->array()) {
+    if (Event.stringField("ph") != "X")
+      continue;
+    const JsonValue *Args = Event.find("args");
+    if (Args && Args->stringField("trace_id") == TraceIdHex)
+      Names.insert(Event.stringField("name"));
+  }
+  return Names;
+}
+
+} // namespace
+
+TEST(ServeDaemon, SpanSetPerRequestIsDeterministicAcrossWorkerCounts) {
+  // The same three cold modules served by a 1-worker and a 4-worker
+  // daemon must produce the same stitched span-name set per request —
+  // scheduling may reorder spans across tracks, never add or drop them.
+  const int Biases[] = {51, 52, 53};
+  std::map<unsigned, std::map<int, std::set<std::string>>> SpansByJobs;
+  for (unsigned Jobs : {1u, 4u}) {
+    TempDir Dir(Jobs == 1 ? "stitch1" : "stitch4");
+    ServeDaemonOptions Options;
+    Options.SocketPath = Dir.sock();
+    Options.Jobs = Jobs;
+    ServeDaemon Daemon(Options);
+    std::string Error;
+    ASSERT_TRUE(Daemon.start(Error)) << Error;
+    ServeClient Client;
+    ASSERT_TRUE(Client.connectTo(Dir.sock(), Error, 2000)) << Error;
+    for (int Bias : Biases) {
+      ServeRequest Request;
+      Request.Name = "stitch" + std::to_string(Bias);
+      Request.Source = smallSource(Bias);
+      ServeReply Reply;
+      ASSERT_TRUE(Client.compile(Request, Reply, Error)) << Error;
+      ASSERT_TRUE(Reply.Ok) << Reply.Error;
+      SpansByJobs[Jobs][Bias] = spanNamesForTrace(
+          Daemon.traceCollector().toJson(), traceIdHex(Reply.TraceId));
+    }
+    Daemon.stop();
+  }
+  for (int Bias : Biases) {
+    const std::set<std::string> &Serial = SpansByJobs[1][Bias];
+    EXPECT_EQ(Serial, SpansByJobs[4][Bias]) << "bias " << Bias;
+    // Every cold request tells the whole story: enqueue, probe, compile,
+    // serve.
+    for (const char *Name :
+         {"queue-wait", "cache-probe", "compile", "serve-request"})
+      EXPECT_TRUE(Serial.count(Name)) << Name << " missing, bias " << Bias;
+  }
 }

@@ -9,12 +9,17 @@
 //   sxe-client --socket=PATH --batch=DIR          compile every .sxir in DIR
 //   sxe-client --socket=PATH --ping [--wait-ms=N] liveness probe (retrying)
 //   sxe-client --socket=PATH --metrics[=FILE]     dump Prometheus metrics
+//   sxe-client --socket=PATH --dump[=FILE]        fetch the flight recorder
 //   sxe-client --socket=PATH --shutdown           ask for a graceful drain
 //
 // Compile options: --target=NAME --variant=NAME --deadline-ms=N
 // --remarks --out=DIR (write optimized IR next to the reply)
 // --require-persistent-hit (exit 1 unless every compile was served from
-// the on-disk tier — the CI warm-restart assertion).
+// the on-disk tier — the CI warm-restart assertion)
+// --json (one machine-readable JSON line per request: file, status,
+// tier, trace/request ids, queue-wait and wall latency)
+// --trace=FILE (write the client-side sxe.trace.v1 spans, one "request"
+// span per compile, joinable with the daemon's trace by trace id).
 //
 // Exit status: 0 when every request succeeded, 1 on any typed compile
 // error or unmet --require-persistent-hit, 2 on usage/transport errors.
@@ -44,8 +49,10 @@ void usage() {
       "usage: sxe-client --socket=PATH [FILE.sxir... | --batch=DIR]\n"
       "                  [--target=NAME] [--variant=NAME] [--deadline-ms=N]\n"
       "                  [--remarks] [--out=DIR] [--require-persistent-hit]\n"
+      "                  [--json] [--trace=FILE]\n"
       "       sxe-client --socket=PATH --ping [--wait-ms=N]\n"
       "       sxe-client --socket=PATH --metrics[=FILE]\n"
+      "       sxe-client --socket=PATH --dump[=FILE]\n"
       "       sxe-client --socket=PATH --shutdown\n");
 }
 
@@ -76,6 +83,10 @@ int main(int argc, char **argv) {
   bool WantRemarks = false;
   std::string OutDir;
   bool RequirePersistentHit = false;
+  bool JsonOutput = false;
+  std::string TraceFile;
+  bool Dump = false;
+  std::string DumpFile;
 
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
@@ -106,6 +117,16 @@ int main(int argc, char **argv) {
       OutDir = Arg.substr(6);
     else if (Arg == "--require-persistent-hit")
       RequirePersistentHit = true;
+    else if (Arg == "--json")
+      JsonOutput = true;
+    else if (Arg.rfind("--trace=", 0) == 0)
+      TraceFile = Arg.substr(8);
+    else if (Arg == "--dump")
+      Dump = true;
+    else if (Arg.rfind("--dump=", 0) == 0) {
+      Dump = true;
+      DumpFile = Arg.substr(7);
+    }
     else if (!Arg.empty() && Arg[0] != '-')
       Files.push_back(Arg);
     else {
@@ -120,10 +141,15 @@ int main(int argc, char **argv) {
   }
 
   ServeClient Client;
+  TraceCollector ClientTrace;
   std::string Error;
   if (!Client.connectTo(SocketPath, Error, WaitMillis)) {
     std::fprintf(stderr, "sxe-client: %s\n", Error.c_str());
     return 2;
+  }
+  if (!TraceFile.empty()) {
+    ClientTrace.nameThread("sxe-client");
+    Client.setTrace(&ClientTrace);
   }
 
   if (Ping) {
@@ -169,17 +195,45 @@ int main(int argc, char **argv) {
                    File.c_str(), Error.c_str());
       return 2;
     }
+    if (JsonOutput) {
+      // One machine-readable record per request, errors included, so a
+      // harness can correlate each result with the daemon's artifacts by
+      // trace id without scraping human-formatted text.
+      std::string Line = "{\"file\": " + JsonWriter::quote(Request.Name) +
+                         ", \"status\": " +
+                         JsonWriter::quote(Reply.Ok ? "ok"
+                                                    : serveErrorKindName(
+                                                          Reply.ErrorKind));
+      if (Reply.Ok)
+        Line += ", \"tier\": " + JsonWriter::quote(serveTierName(Reply.Tier));
+      else
+        Line += ", \"error\": " + JsonWriter::quote(Reply.Error);
+      if (Reply.TraceId)
+        Line += ", \"trace_id\": \"" + traceIdHex(Reply.TraceId) + "\"";
+      if (Reply.RequestId)
+        Line += ", \"request_id\": " + std::to_string(Reply.RequestId);
+      char Latency[96];
+      std::snprintf(Latency, sizeof(Latency),
+                    ", \"queue_wait_ms\": %.3f, \"wall_ms\": %.3f}",
+                    Reply.QueueWaitNanos / 1e6, Reply.WallNanos / 1e6);
+      Line += Latency;
+      std::printf("%s\n", Line.c_str());
+    }
     if (!Reply.Ok) {
-      std::fprintf(stderr, "sxe-client: %s: %s error: %s\n", File.c_str(),
-                   serveErrorKindName(Reply.ErrorKind), Reply.Error.c_str());
+      if (!JsonOutput)
+        std::fprintf(stderr, "sxe-client: %s: %s error: %s\n", File.c_str(),
+                     serveErrorKindName(Reply.ErrorKind),
+                     Reply.Error.c_str());
       Status = 1;
       continue;
     }
-    std::printf("%-24s %-10s ir_hash=%016llx queue_wait=%.3fms "
-                "wall=%.3fms\n",
-                Request.Name.c_str(), serveTierName(Reply.Tier),
-                static_cast<unsigned long long>(Reply.InputIRHash),
-                Reply.QueueWaitNanos / 1e6, Reply.WallNanos / 1e6);
+    if (!JsonOutput)
+      std::printf("%-24s %-10s ir_hash=%016llx queue_wait=%.3fms "
+                  "wall=%.3fms trace=%s\n",
+                  Request.Name.c_str(), serveTierName(Reply.Tier),
+                  static_cast<unsigned long long>(Reply.InputIRHash),
+                  Reply.QueueWaitNanos / 1e6, Reply.WallNanos / 1e6,
+                  Reply.TraceId ? traceIdHex(Reply.TraceId).c_str() : "-");
     if (RequirePersistentHit && Reply.Tier != ServeTier::Persistent) {
       std::fprintf(stderr,
                    "sxe-client: %s: served from '%s', expected the "
@@ -214,6 +268,25 @@ int main(int argc, char **argv) {
                    MetricsFile.c_str());
       return 2;
     }
+  }
+
+  if (Dump) {
+    std::string DumpJsonl;
+    if (!Client.fetchFlightDump(DumpJsonl, Error)) {
+      std::fprintf(stderr, "sxe-client: dump failed: %s\n", Error.c_str());
+      return 2;
+    }
+    if (DumpFile.empty() || DumpFile == "-") {
+      std::fputs(DumpJsonl.c_str(), stdout);
+    } else if (!writeTextFile(DumpFile, DumpJsonl)) {
+      std::fprintf(stderr, "sxe-client: cannot write %s\n", DumpFile.c_str());
+      return 2;
+    }
+  }
+
+  if (!TraceFile.empty() && !writeTextFile(TraceFile, ClientTrace.toJson())) {
+    std::fprintf(stderr, "sxe-client: cannot write %s\n", TraceFile.c_str());
+    return 2;
   }
 
   if (Shutdown) {

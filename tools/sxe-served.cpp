@@ -7,7 +7,9 @@
 //
 //   sxe-served --socket=PATH [--jobs=N] [--cache-dir=DIR] [--cache-bytes=N]
 //              [--max-queue=N] [--default-deadline-ms=N]
-//              [--metrics-file=FILE]
+//              [--metrics-file=FILE] [--trace-file=FILE]
+//              [--events-file=FILE] [--flight-dump=FILE]
+//              [--flight-capacity=N] [--no-trace]
 //
 // Binds a unix-domain socket, serves framed compile requests (see
 // serve/Protocol.h) until SIGTERM/SIGINT or a client Shutdown frame, then
@@ -19,6 +21,13 @@
 // `--cache-dir` enables the persistent on-disk code cache; a restarted
 // daemon pointed at the same directory serves warm artifacts without
 // recompiling (`sxe-client --require-persistent-hit` asserts this).
+//
+// Observability: request-scoped tracing and the structured event log are
+// on by default (--no-trace disables both). --trace-file/--events-file
+// write the stitched sxe.trace.v1 / sxe.events.v1 artifacts at drain.
+// The crash-safe flight recorder is always armed: on SIGSEGV and friends
+// the last --flight-capacity lifecycle events are dumped (sxe.flight.v1
+// JSONL) to --flight-dump, defaulting to `<socket>.flight.jsonl`.
 //
 //===----------------------------------------------------------------------------===//
 
@@ -48,7 +57,11 @@ void usage() {
       stderr,
       "usage: sxe-served --socket=PATH [--jobs=N] [--cache-dir=DIR]\n"
       "                  [--cache-bytes=N] [--max-queue=N]\n"
-      "                  [--default-deadline-ms=N] [--metrics-file=FILE]\n");
+      "                  [--default-deadline-ms=N] [--metrics-file=FILE]\n"
+      "                  [--metrics-json=FILE]\n"
+      "                  [--trace-file=FILE] [--events-file=FILE]\n"
+      "                  [--flight-dump=FILE] [--flight-capacity=N]\n"
+      "                  [--no-trace]\n");
 }
 
 } // namespace
@@ -56,6 +69,8 @@ void usage() {
 int main(int argc, char **argv) {
   ServeDaemonOptions Options;
   std::string MetricsFile;
+  std::string MetricsJsonFile;
+  std::string FlightDumpPath;
 
   for (int Index = 1; Index < argc; ++Index) {
     std::string Arg = argv[Index];
@@ -75,6 +90,19 @@ int main(int argc, char **argv) {
           std::strtoull(Arg.c_str() + 22, nullptr, 10) * 1000000ull;
     } else if (Arg.rfind("--metrics-file=", 0) == 0) {
       MetricsFile = Arg.substr(15);
+    } else if (Arg.rfind("--metrics-json=", 0) == 0) {
+      MetricsJsonFile = Arg.substr(15);
+    } else if (Arg.rfind("--trace-file=", 0) == 0) {
+      Options.TraceFile = Arg.substr(13);
+    } else if (Arg.rfind("--events-file=", 0) == 0) {
+      Options.EventsFile = Arg.substr(14);
+    } else if (Arg.rfind("--flight-dump=", 0) == 0) {
+      FlightDumpPath = Arg.substr(14);
+    } else if (Arg.rfind("--flight-capacity=", 0) == 0) {
+      Options.FlightCapacity =
+          static_cast<size_t>(std::strtoull(Arg.c_str() + 18, nullptr, 10));
+    } else if (Arg == "--no-trace") {
+      Options.Tracing = false;
     } else {
       std::fprintf(stderr, "sxe-served: unknown option '%s'\n", Arg.c_str());
       usage();
@@ -85,6 +113,8 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+  if (FlightDumpPath.empty())
+    FlightDumpPath = Options.SocketPath + ".flight.jsonl";
 
   ServeDaemon Daemon(Options);
   ActiveDaemon = &Daemon;
@@ -92,6 +122,9 @@ int main(int argc, char **argv) {
   std::signal(SIGINT, onStopSignal);
   // A client vanishing mid-reply must not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
+  // Crash path: dump the flight-recorder ring before dying with the
+  // original signal.
+  installFlightDumpOnFatalSignals(&Daemon.flightRecorder(), FlightDumpPath);
 
   std::string Error;
   if (!Daemon.start(Error)) {
@@ -128,6 +161,16 @@ int main(int argc, char **argv) {
       return 1;
     }
     std::fprintf(stderr, "sxe-served: wrote %s\n", MetricsFile.c_str());
+  }
+  if (!MetricsJsonFile.empty()) {
+    // The JSON export is the one that carries histogram exemplars
+    // (sxe-obs --metrics joins them back to requests).
+    if (!writeTextFile(MetricsJsonFile, Daemon.metricsRegistry().toJson())) {
+      std::fprintf(stderr, "sxe-served: cannot write %s\n",
+                   MetricsJsonFile.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "sxe-served: wrote %s\n", MetricsJsonFile.c_str());
   }
   ActiveDaemon = nullptr;
   return 0;
