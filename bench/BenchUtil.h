@@ -45,6 +45,7 @@ inline unsigned envScale() {
 struct BenchContext {
   std::string Name;
   bool Smoke = false;
+  bool Native = false;  ///< `--native`: execute through the x86-64 backend.
   std::string JsonPath; ///< Empty = no JSON report.
 
   unsigned scale() const { return Smoke ? 1 : envScale(); }
@@ -58,11 +59,13 @@ inline BenchContext parseBenchArgs(const char *Name, int argc, char **argv) {
     std::string Arg = argv[Index];
     if (Arg == "--smoke")
       Ctx.Smoke = true;
+    else if (Arg == "--native")
+      Ctx.Native = true;
     else if (Arg.rfind("--json=", 0) == 0)
       Ctx.JsonPath = Arg.substr(7);
     else
       std::fprintf(stderr,
-                   "%s: unknown option '%s' (supported: --smoke, "
+                   "%s: unknown option '%s' (supported: --smoke, --native, "
                    "--json=FILE)\n",
                    Name, Arg.c_str());
   }
@@ -120,6 +123,15 @@ inline void emitVariantRowJson(JsonWriter &J, const VariantRow &Row) {
   J.keyValue("chain_creation_ns", Row.Pipeline.ChainCreationNanos);
   J.keyValue("total_ns", Row.Pipeline.TotalNanos);
   J.endObject();
+  J.keyValue("interp_wall_ns", Row.InterpWallNanos);
+  if (Row.NativeExecuted) {
+    J.key("native");
+    J.beginObject();
+    J.keyValue("wall_ns", Row.NativeWallNanos);
+    J.keyValue("compile_ns", Row.NativeCompileNanos);
+    J.keyValue("checksum_ok", Row.NativeChecksumOK);
+    J.endObject();
+  }
   J.endObject();
 }
 
@@ -144,18 +156,34 @@ inline void emitSuiteResultsJson(JsonWriter &J,
   J.endArray();
 }
 
+/// Runs every workload of \p Suite under all variants with \p Options.
+inline std::vector<WorkloadReport>
+runSuite(const std::vector<Workload> &Suite, const RunnerOptions &Options) {
+  std::vector<WorkloadReport> Reports;
+  for (const Workload &W : Suite) {
+    std::fprintf(stderr, "  compiling + running %-14s (%zu variants)...\n",
+                 W.Name, Options.Variants.size());
+    Reports.push_back(runWorkload(W, Options));
+  }
+  return Reports;
+}
+
 /// Runs every workload of \p Suite under all variants at \p Scale.
 inline std::vector<WorkloadReport>
 runSuite(const std::vector<Workload> &Suite, unsigned Scale) {
   RunnerOptions Options;
   Options.Params.Scale = Scale;
-  std::vector<WorkloadReport> Reports;
-  for (const Workload &W : Suite) {
-    std::fprintf(stderr, "  compiling + running %-14s (12 variants)...\n",
-                 W.Name);
-    Reports.push_back(runWorkload(W, Options));
-  }
-  return Reports;
+  return runSuite(Suite, Options);
+}
+
+/// Runner options for a `--native` sweep: x86-64 target model so the
+/// interpreter's machine semantics match the code the backend emits.
+inline RunnerOptions nativeRunnerOptions(unsigned Scale) {
+  RunnerOptions Options;
+  Options.Target = &TargetInfo::x86_64();
+  Options.Native = true;
+  Options.Params.Scale = Scale;
+  return Options;
 }
 
 inline std::vector<WorkloadReport>
@@ -249,6 +277,50 @@ inline void printSpeedupTable(const char *Title,
     }
     std::printf("\n");
   }
+}
+
+/// Renders the Figure 13/14 chart from hardware wall clock: percentage
+/// improvement of each variant's native run over the baseline variant's
+/// native run, plus the native-over-interpreter speedup of the full
+/// pipeline (the "execution speed is hardware-real" row).
+inline void printHardwareSpeedupTable(const char *Title,
+                                      const std::vector<WorkloadReport> &Reports) {
+  static const Variant Shown[] = {Variant::FirstAlgorithm, Variant::BasicUdDu,
+                                  Variant::Array, Variant::All};
+  std::printf("\n%s (measured %% improvement over baseline, native x86-64)\n",
+              Title);
+  std::printf("%s", padRight("variant", 28).c_str());
+  for (const WorkloadReport &Report : Reports)
+    std::printf(" %s", padLeft(Report.Name, 12).c_str());
+  std::printf("\n");
+  for (Variant V : Shown) {
+    std::printf("%s", padRight(variantName(V), 28).c_str());
+    for (const WorkloadReport &Report : Reports) {
+      const VariantRow *Baseline = Report.row(Variant::Baseline);
+      const VariantRow *Row = Report.row(V);
+      double Improvement =
+          (Row->NativeExecuted && Baseline->NativeExecuted &&
+           Row->NativeWallNanos > 0)
+              ? (static_cast<double>(Baseline->NativeWallNanos) /
+                     static_cast<double>(Row->NativeWallNanos) -
+                 1.0) *
+                    100.0
+              : 0.0;
+      std::printf(" %s", padLeft(formatFixed(Improvement, 2), 12).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%s", padRight("native-vs-interp (all)", 28).c_str());
+  for (const WorkloadReport &Report : Reports) {
+    const VariantRow *Row = Report.row(Variant::All);
+    double Speedup = (Row->NativeExecuted && Row->NativeWallNanos > 0)
+                         ? static_cast<double>(Row->InterpWallNanos) /
+                               static_cast<double>(Row->NativeWallNanos)
+                         : 0.0;
+    std::printf(" %s",
+                padLeft(formatFixed(Speedup, 2) + "x", 12).c_str());
+  }
+  std::printf("\n");
 }
 
 } // namespace bench

@@ -1,0 +1,61 @@
+//===- codegen/CodeBuffer.cpp - W^X executable code buffer -------------------===//
+
+#include "codegen/CodeBuffer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SXE_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define SXE_HAVE_MMAP 0
+#endif
+
+using namespace sxe;
+
+bool CodeBuffer::hostSupported() { return SXE_HAVE_MMAP != 0; }
+
+#if SXE_HAVE_MMAP
+
+namespace {
+size_t roundToPages(size_t Bytes) {
+  size_t Page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  if (Page == 0)
+    Page = 4096;
+  return (Bytes + Page - 1) / Page * Page;
+}
+} // namespace
+
+bool CodeBuffer::allocate(size_t Bytes) {
+  if (Data || Bytes == 0)
+    return false;
+  size_t Mapped = roundToPages(Bytes);
+  void *P = mmap(nullptr, Mapped, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Data = static_cast<uint8_t *>(P);
+  Size = Mapped;
+  return true;
+}
+
+bool CodeBuffer::makeExecutable() {
+  if (!Data || Executable)
+    return false;
+  if (mprotect(Data, Size, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  Executable = true;
+  return true;
+}
+
+CodeBuffer::~CodeBuffer() {
+  if (Data)
+    munmap(Data, Size);
+}
+
+#else
+
+bool CodeBuffer::allocate(size_t) { return false; }
+bool CodeBuffer::makeExecutable() { return false; }
+CodeBuffer::~CodeBuffer() = default;
+
+#endif

@@ -1,0 +1,61 @@
+//===- codegen/CodeBuffer.h - W^X executable code buffer ---------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An mmap'd buffer for emitted machine code with a strict W^X lifecycle:
+/// the pages are writable (and never executable) while the emitter fills
+/// them, then flipped to read+execute — after which they can never be made
+/// writable again through this object. One buffer holds one compiled
+/// module; it is unmapped when the NativeModule that owns it dies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_CODEGEN_CODEBUFFER_H
+#define SXE_CODEGEN_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sxe {
+
+/// One executable code allocation.
+class CodeBuffer {
+public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// True when this platform can mmap anonymous read/write/execute-capable
+  /// pages at all (POSIX hosts).
+  static bool hostSupported();
+
+  /// Maps \p Bytes of writable, non-executable memory (rounded up to whole
+  /// pages). Returns false on failure or if already allocated.
+  bool allocate(size_t Bytes);
+
+  /// Flips the mapping to read+execute. The buffer must be allocated and
+  /// not yet executable. Returns false when mprotect refuses (e.g. a
+  /// noexec/SELinux-restricted environment — callers fall back to the
+  /// cycle model).
+  bool makeExecutable();
+
+  uint8_t *data() { return Data; }
+  const uint8_t *data() const { return Data; }
+  size_t size() const { return Size; }
+  bool executable() const { return Executable; }
+
+private:
+  uint8_t *Data = nullptr;
+  size_t Size = 0;
+  bool Executable = false;
+};
+
+} // namespace sxe
+
+#endif // SXE_CODEGEN_CODEBUFFER_H

@@ -1,0 +1,127 @@
+//===- codegen/CycleModel.cpp - Machine-IR cycle estimate --------------------===//
+
+#include "codegen/CycleModel.h"
+
+#include "analysis/BlockFrequency.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "support/Error.h"
+
+using namespace sxe;
+
+uint64_t sxe::machineInstCycleCost(const MInst &I, const TargetInfo &Target) {
+  const CycleCosts &C = Target.costs();
+  switch (I.Op) {
+  case MOp::MovImm:
+  case MOp::MovRR:
+  case MOp::Mov32:
+  case MOp::Add:
+  case MOp::Sub:
+  case MOp::And:
+  case MOp::Or:
+  case MOp::Xor:
+  case MOp::Shl:
+  case MOp::Shr:
+  case MOp::Sar:
+  case MOp::Neg:
+  case MOp::Not:
+  case MOp::Movsx8:
+  case MOp::Movsx16:
+  case MOp::Movsx32:
+  case MOp::Movzx8:
+  case MOp::Movzx16:
+  case MOp::CmpSet:
+    return C.Alu;
+  case MOp::IMul:
+    return C.Mul;
+  case MOp::FAdd:
+  case MOp::FSub:
+  case MOp::FMul:
+  case MOp::FNeg:
+    return C.FpAlu;
+  case MOp::FDiv:
+    return C.FpDiv;
+  case MOp::CvtSi2Sd:
+    return C.Conv;
+  case MOp::LoadParam:
+  case MOp::SpillLoad:
+    return C.Load;
+  case MOp::SpillStore:
+    return C.Store;
+  case MOp::CallFn:
+    return C.Call;
+  case MOp::CallHelper:
+    // Charge the helper's dominant operation plus the call overhead the
+    // out-of-line sequence pays.
+    switch (I.Helper) {
+    case MHelper::NewArray:
+      return C.Call + C.Alloc;
+    case MHelper::ArrayLen:
+    case MHelper::ArrayLoad:
+      return C.Call + C.Load;
+    case MHelper::ArrayStore:
+      return C.Call + C.Store;
+    case MHelper::Div32:
+    case MHelper::Rem32:
+    case MHelper::Div64:
+    case MHelper::Rem64:
+      return C.Call + C.Div;
+    case MHelper::D2I:
+      return C.Call + C.Conv;
+    case MHelper::FCmp:
+      return C.Call + C.FpAlu;
+    case MHelper::Trap:
+      return C.Branch;
+    case MHelper::None:
+      break;
+    }
+    sxeUnreachable("helper call without a helper");
+  case MOp::TestJnz:
+  case MOp::JmpB:
+  case MOp::RetR:
+    return C.Branch;
+  }
+  sxeUnreachable("invalid machine opcode");
+}
+
+CycleEstimate sxe::estimateFunctionCycles(const MFunction &MF,
+                                          const TargetInfo &Target) {
+  // BlockFrequency runs on the source IR function; the analyses mutate
+  // nothing but demand mutable access for instruction numbering.
+  Function &F = const_cast<Function &>(*MF.source());
+  CFG Cfg(F);
+  Dominators Doms(Cfg);
+  LoopInfo Loops(Cfg, Doms);
+  BlockFrequency Freq(Cfg, Loops);
+
+  CycleEstimate E;
+  for (const auto &B : MF.Blocks) {
+    double W = B->Source ? Freq.frequency(B->Source) : 1.0;
+    for (const MInst &I : B->Insts) {
+      uint64_t Cost = machineInstCycleCost(I, Target);
+      E.Cycles += W * Cost;
+      ++E.Insts;
+      if (I.Op == MOp::SpillLoad || I.Op == MOp::SpillStore)
+        E.SpillCycles += W * Cost;
+      if (I.Op == MOp::Movsx8 || I.Op == MOp::Movsx16 ||
+          I.Op == MOp::Movsx32 || I.Op == MOp::Movzx8 ||
+          I.Op == MOp::Movzx16 || I.Op == MOp::Mov32)
+        E.ConvCycles += W * Cost;
+    }
+  }
+  return E;
+}
+
+CycleEstimate sxe::estimateModuleCycles(const MModule &MM,
+                                        const TargetInfo &Target) {
+  CycleEstimate Total;
+  for (const auto &MF : MM.Functions) {
+    CycleEstimate E = estimateFunctionCycles(*MF, Target);
+    Total.Cycles += E.Cycles;
+    Total.SpillCycles += E.SpillCycles;
+    Total.ConvCycles += E.ConvCycles;
+    Total.Insts += E.Insts;
+  }
+  return Total;
+}

@@ -1,0 +1,54 @@
+//===- codegen/CycleModel.h - Machine-IR cycle estimate ----------*- C++ -*-===//
+//
+// Part of the sxe project, a reproduction of "Effective Sign Extension
+// Elimination" (Kawahito, Komatsu, Nakatani; PLDI 2002).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A frequency-weighted cycle estimate over allocated machine IR — the
+/// fallback "hardware" on hosts that cannot execute the emitted x86-64
+/// (and a deterministic cross-check on hosts that can). Each machine
+/// instruction is charged from the target's CycleCosts table, then
+/// weighted by the static BlockFrequency of the IR block it lowered
+/// from, so a movsx inside a loop costs proportionally more than one on
+/// a cold path — the same weighting the middle-end's cost model uses,
+/// now applied to the instructions that actually survived lowering,
+/// register allocation, and spill insertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SXE_CODEGEN_CYCLEMODEL_H
+#define SXE_CODEGEN_CYCLEMODEL_H
+
+#include "codegen/MachineIR.h"
+#include "target/TargetInfo.h"
+
+#include <cstdint>
+
+namespace sxe {
+
+/// Breakdown of one function's estimate.
+struct CycleEstimate {
+  double Cycles = 0;       ///< Frequency-weighted total.
+  double SpillCycles = 0;  ///< Portion spent in SpillLoad/SpillStore.
+  double ConvCycles = 0;   ///< Portion spent in movsx/movzx/movl.
+  uint64_t Insts = 0;      ///< Unweighted machine instruction count.
+};
+
+/// Unweighted cycle cost of one machine instruction under \p Target.
+uint64_t machineInstCycleCost(const MInst &I, const TargetInfo &Target);
+
+/// Estimates \p MF's per-invocation cycles, weighting each block by the
+/// static frequency of its source IR block (blocks with no source — there
+/// are none today — weigh 1.0).
+CycleEstimate estimateFunctionCycles(const MFunction &MF,
+                                     const TargetInfo &Target);
+
+/// Sums estimateFunctionCycles over every function of \p MM.
+CycleEstimate estimateModuleCycles(const MModule &MM,
+                                   const TargetInfo &Target);
+
+} // namespace sxe
+
+#endif // SXE_CODEGEN_CYCLEMODEL_H

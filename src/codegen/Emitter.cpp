@@ -1,0 +1,364 @@
+//===- codegen/Emitter.cpp - Machine IR to x86-64 bytes ----------------------===//
+
+#include "codegen/Emitter.h"
+
+#include "codegen/X86Encoder.h"
+#include "interp/Interpreter.h"
+#include "support/Error.h"
+
+#include <map>
+
+using namespace sxe;
+
+uint64_t HelperTable::address(MHelper H) const {
+  switch (H) {
+  case MHelper::None:
+    break;
+  case MHelper::NewArray:
+    return NewArray;
+  case MHelper::ArrayLen:
+    return ArrayLen;
+  case MHelper::ArrayLoad:
+    return ArrayLoad;
+  case MHelper::ArrayStore:
+    return ArrayStore;
+  case MHelper::Div32:
+    return Div32;
+  case MHelper::Rem32:
+    return Rem32;
+  case MHelper::Div64:
+    return Div64;
+  case MHelper::Rem64:
+    return Rem64;
+  case MHelper::D2I:
+    return D2I;
+  case MHelper::FCmp:
+    return FCmp;
+  case MHelper::Trap:
+    return Trap;
+  }
+  sxeUnreachable("no helper address for MHelper::None");
+}
+
+namespace {
+
+constexpr int32_t ArgsPtrDisp = -48;
+constexpr int32_t SavedRegsBytes = 40;
+
+int32_t slotDisp(uint32_t Slot) {
+  return -56 - 8 * static_cast<int32_t>(Slot);
+}
+
+class FunctionEmitter {
+public:
+  FunctionEmitter(const MFunction &MF, const HelperTable &Helpers)
+      : MF(MF), Helpers(Helpers) {}
+
+  std::vector<uint8_t> emit();
+
+private:
+  void emitPrologue();
+  void emitEpilogue();
+  void emitInst(const MInst &I, const MBlock &B);
+  void emitStagedArgs(const std::vector<uint32_t> &Uses);
+  void emitCallResult(uint32_t Def);
+  /// Records a pending jump to \p Target's block head.
+  void branchTo(size_t Fixup, const MBlock *Target) {
+    BlockFixups.push_back({Fixup, Target->id()});
+  }
+  /// Jcc into the out-of-line stub that raises \p Kind.
+  void trapIf(X86Cond Cond, TrapKind Kind) {
+    TrapFixups[Kind].push_back(A.jccRel32(Cond));
+  }
+
+  const MFunction &MF;
+  const HelperTable &Helpers;
+  X86Assembler A;
+  int32_t FrameBytes = 0;
+  std::vector<size_t> BlockOffsets;
+  std::vector<std::pair<size_t, uint32_t>> BlockFixups;
+  std::map<TrapKind, std::vector<size_t>> TrapFixups;
+};
+
+void FunctionEmitter::emitPrologue() {
+  A.pushR(RBP);
+  A.movRR64(RBP, RSP);
+  A.pushR(RBX);
+  A.pushR(R12);
+  A.pushR(R13);
+  A.pushR(R14);
+  A.pushR(R15);
+
+  // 8 bytes for the args pointer, the spill area, the outgoing-argument
+  // area; padded so RSP stays 16-byte aligned at every call instruction.
+  int32_t Base = 8 + 8 * static_cast<int32_t>(MF.NumSpillSlots) +
+                 8 * static_cast<int32_t>(MF.MaxCallArgs);
+  FrameBytes = Base % 16 == 8 ? Base : Base + 8;
+  A.subRspImm32(FrameBytes);
+
+  A.movRR64(R15, RDI);
+  A.movMR64(RBP, ArgsPtrDisp, RSI);
+
+  // Call-depth budget: ++ctx->Depth; if (Depth > MaxDepth) -> overflow.
+  A.incM32(R15, NativeCtxLayout::DepthOffset);
+  A.movRM32(RAX, R15, NativeCtxLayout::MaxDepthOffset);
+  A.cmpM32R(R15, NativeCtxLayout::DepthOffset, RAX);
+  trapIf(X86Cond::G, TrapKind::StackOverflow);
+}
+
+void FunctionEmitter::emitEpilogue() {
+  A.decM32(R15, NativeCtxLayout::DepthOffset);
+  A.leaRM(RSP, RBP, -SavedRegsBytes);
+  A.popR(R15);
+  A.popR(R14);
+  A.popR(R13);
+  A.popR(R12);
+  A.popR(RBX);
+  A.popR(RBP);
+  A.ret();
+}
+
+/// Writes every argument, one at a time, into the outgoing area at
+/// [rsp+8j]. Going through memory sidesteps the parallel-move problem:
+/// no ABI register is written while another argument still lives in it.
+void FunctionEmitter::emitStagedArgs(const std::vector<uint32_t> &Uses) {
+  for (size_t J = 0; J < Uses.size(); ++J) {
+    uint32_t U = Uses[J];
+    int32_t OutDisp = 8 * static_cast<int32_t>(J);
+    if (isSlotRef(U)) {
+      A.movRM64(RAX, RBP, slotDisp(slotOfRef(U)));
+      A.movMR64(RSP, OutDisp, RAX);
+    } else {
+      A.movMR64(RSP, OutDisp, U);
+    }
+  }
+}
+
+void FunctionEmitter::emitCallResult(uint32_t Def) {
+  if (Def == MNoReg)
+    return;
+  if (isSlotRef(Def))
+    A.movMR64(RBP, slotDisp(slotOfRef(Def)), RAX);
+  else if (Def != RAX)
+    A.movRR64(Def, RAX);
+}
+
+void FunctionEmitter::emitInst(const MInst &I, const MBlock &B) {
+  bool W64 = I.W == Width::W64;
+  switch (I.Op) {
+  case MOp::MovImm:
+    A.movImm64(I.Def, static_cast<uint64_t>(I.Imm));
+    return;
+  case MOp::MovRR:
+    if (I.Def != I.Uses[0])
+      A.movRR64(I.Def, I.Uses[0]);
+    return;
+  case MOp::Mov32:
+    // Always emitted: `mov eax, eax` still clears the upper half.
+    A.movRR32(I.Def, I.Uses[0]);
+    return;
+
+  case MOp::Add:
+    A.addRR(W64, I.Def, I.Uses[1]);
+    return;
+  case MOp::Sub:
+    A.subRR(W64, I.Def, I.Uses[1]);
+    return;
+  case MOp::IMul:
+    A.imulRR(W64, I.Def, I.Uses[1]);
+    return;
+  case MOp::And:
+    A.andRR(W64, I.Def, I.Uses[1]);
+    return;
+  case MOp::Or:
+    A.orRR(W64, I.Def, I.Uses[1]);
+    return;
+  case MOp::Xor:
+    A.xorRR(W64, I.Def, I.Uses[1]);
+    return;
+  case MOp::Shl:
+    A.movRR64(RCX, I.Uses[1]);
+    A.shlCl(W64, I.Def);
+    return;
+  case MOp::Shr:
+    A.movRR64(RCX, I.Uses[1]);
+    A.shrCl(W64, I.Def);
+    return;
+  case MOp::Sar:
+    A.movRR64(RCX, I.Uses[1]);
+    A.sarCl(W64, I.Def);
+    return;
+  case MOp::Neg:
+    A.negR(W64, I.Def);
+    return;
+  case MOp::Not:
+    A.notR(W64, I.Def);
+    return;
+
+  case MOp::Movsx8:
+    A.movsx8(I.Def, I.Uses[0]);
+    return;
+  case MOp::Movsx16:
+    A.movsx16(I.Def, I.Uses[0]);
+    return;
+  case MOp::Movsx32:
+    A.movsxd(I.Def, I.Uses[0]);
+    return;
+  case MOp::Movzx8:
+    A.movzx8(I.Def, I.Uses[0]);
+    return;
+  case MOp::Movzx16:
+    A.movzx16(I.Def, I.Uses[0]);
+    return;
+
+  case MOp::CmpSet:
+    A.cmpRR(W64, I.Uses[0], I.Uses[1]);
+    A.setccCl(condForPred(I.Pred));
+    A.movzxCl32(I.Def);
+    return;
+
+  case MOp::FAdd:
+  case MOp::FSub:
+  case MOp::FMul:
+  case MOp::FDiv:
+    A.movqXmmR(0, I.Uses[0]);
+    A.movqXmmR(1, I.Uses[1]);
+    if (I.Op == MOp::FAdd)
+      A.addsd01();
+    else if (I.Op == MOp::FSub)
+      A.subsd01();
+    else if (I.Op == MOp::FMul)
+      A.mulsd01();
+    else
+      A.divsd01();
+    A.movqRXmm(I.Def, 0);
+    return;
+  case MOp::FNeg:
+    A.movqXmmR(0, I.Uses[0]);
+    A.movImm64(RCX, 0x8000000000000000ULL);
+    A.movqXmmR(1, RCX);
+    A.xorpd01();
+    A.movqRXmm(I.Def, 0);
+    return;
+  case MOp::CvtSi2Sd:
+    A.cvtsi2sd0(I.Uses[0]);
+    A.movqRXmm(I.Def, 0);
+    return;
+
+  case MOp::LoadParam:
+    A.movRM64(RAX, RBP, ArgsPtrDisp);
+    A.movRM64(I.Def, RAX, 8 * static_cast<int32_t>(I.Imm));
+    return;
+
+  case MOp::CallFn: {
+    emitStagedArgs(I.Uses);
+    A.movRR64(RDI, R15);
+    A.leaRM(RSI, RSP, 0);
+    A.movRM64(RAX, R15, NativeCtxLayout::FnTableOffset);
+    A.movRM64(RAX, RAX, 8 * static_cast<int32_t>(I.Callee));
+    A.callR(RAX);
+    emitCallResult(I.Def);
+    return;
+  }
+  case MOp::CallHelper: {
+    emitStagedArgs(I.Uses);
+    static const uint32_t AbiRegs[] = {RSI, RDX, RCX, R8};
+    unsigned NumArgs = static_cast<unsigned>(I.Uses.size());
+    if (NumArgs > 4)
+      reportFatalError("codegen: helper call with more than four arguments");
+    A.movRR64(RDI, R15);
+    for (unsigned Index = 0; Index < NumArgs; ++Index)
+      A.movRM64(AbiRegs[Index], RSP, 8 * static_cast<int32_t>(Index));
+    // NewArray/ArrayLoad/ArrayStore/FCmp/Trap carry a payload (element
+    // type, predicate, or trap kind) as the trailing argument.
+    bool HasPayload = I.Helper == MHelper::NewArray ||
+                      I.Helper == MHelper::ArrayLoad ||
+                      I.Helper == MHelper::ArrayStore ||
+                      I.Helper == MHelper::FCmp || I.Helper == MHelper::Trap;
+    if (HasPayload)
+      A.movImm64(AbiRegs[NumArgs], static_cast<uint64_t>(I.Imm));
+    A.movImm64(RAX, Helpers.address(I.Helper));
+    A.callR(RAX);
+    if (I.Helper == MHelper::Trap) {
+      A.ud2(); // rt_trap longjmps and never returns.
+      return;
+    }
+    emitCallResult(I.Def);
+    return;
+  }
+
+  case MOp::TestJnz: {
+    A.testRR64(I.Uses[0], I.Uses[0]);
+    branchTo(A.jccRel32(X86Cond::NE), I.Succs[0]);
+    if (I.Succs[1]->id() != B.id() + 1)
+      branchTo(A.jmpRel32(), I.Succs[1]);
+    return;
+  }
+  case MOp::JmpB:
+    if (I.Succs[0]->id() != B.id() + 1)
+      branchTo(A.jmpRel32(), I.Succs[0]);
+    return;
+  case MOp::RetR:
+    if (!I.Uses.empty()) {
+      if (I.Uses[0] != RAX)
+        A.movRR64(RAX, I.Uses[0]);
+    } else {
+      A.xorRR(false, RAX, RAX);
+    }
+    emitEpilogue();
+    return;
+
+  case MOp::SpillStore:
+    A.movMR64(RBP, slotDisp(static_cast<uint32_t>(I.Imm)), I.Uses[0]);
+    return;
+  case MOp::SpillLoad:
+    A.movRM64(I.Def, RBP, slotDisp(static_cast<uint32_t>(I.Imm)));
+    return;
+  }
+  sxeUnreachable("invalid MOp enumerator in emitter");
+}
+
+std::vector<uint8_t> FunctionEmitter::emit() {
+  emitPrologue();
+
+  for (const auto &BP : MF.Blocks) {
+    BlockOffsets.push_back(A.size());
+    if (BP->FuelCost > 0) {
+      A.subM64Imm32(R15, NativeCtxLayout::FuelOffset,
+                    static_cast<int32_t>(BP->FuelCost));
+      trapIf(X86Cond::S, TrapKind::StepLimit);
+    }
+    for (const MInst &I : BP->Insts)
+      emitInst(I, *BP);
+  }
+
+  // Out-of-line trap stubs: raise the kind and never come back (rt_trap
+  // longjmps to the trampoline's setjmp).
+  for (auto &Entry : TrapFixups) {
+    size_t StubOffset = A.size();
+    for (size_t Fixup : Entry.second)
+      A.patchRel32(Fixup, StubOffset);
+    A.movRR64(RDI, R15);
+    A.movImm64(RSI, static_cast<uint64_t>(Entry.first));
+    A.movImm64(RAX, Helpers.Trap);
+    A.callR(RAX);
+    A.ud2();
+  }
+
+  for (const auto &Fixup : BlockFixups)
+    A.patchRel32(Fixup.first, BlockOffsets[Fixup.second]);
+
+  return A.code();
+}
+
+} // namespace
+
+EmittedModule sxe::emitModule(const MModule &MM, const HelperTable &Helpers) {
+  EmittedModule EM;
+  for (const auto &MF : MM.Functions) {
+    EM.FunctionOffsets.push_back(EM.Code.size());
+    std::vector<uint8_t> Bytes = FunctionEmitter(*MF, Helpers).emit();
+    EM.Code.insert(EM.Code.end(), Bytes.begin(), Bytes.end());
+  }
+  return EM;
+}

@@ -1,0 +1,479 @@
+//===- codegen/NativeEngine.cpp - Native x86-64 execution engine -------------===//
+//
+// The runtime half of the baseline backend: the NativeCtx struct the
+// emitted code addresses by fixed offsets, the C runtime helpers that
+// reproduce the interpreter's trap-visible semantics (Machine mode on the
+// x86_64 target) bit for bit, and the compile/run pipeline.
+//
+// Traps unwind by longjmp: every helper that detects a trap condition
+// records the kind and message in the per-run runtime state and jumps
+// straight back to NativeModule::run, abandoning the native frames. The
+// native frames own no resources (the heap lives in NativeRuntime), so
+// the non-local exit is safe.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/NativeEngine.h"
+
+#include "codegen/CodeBuffer.h"
+#include "codegen/Emitter.h"
+#include "codegen/LiveIntervals.h"
+#include "codegen/MachineVerifier.h"
+#include "ir/Verifier.h"
+#include "obs/Metrics.h"
+#include "pm/PassStats.h"
+#include "support/Error.h"
+#include "support/Timer.h"
+
+#include <cmath>
+#include <csetjmp>
+#include <cstddef>
+#include <cstring>
+
+using namespace sxe;
+
+namespace {
+
+/// One heap-allocated array (same representation as the interpreter's:
+/// one 64-bit slot per element regardless of element type).
+struct NativeArray {
+  Type ElemTy;
+  std::vector<uint64_t> Data;
+};
+
+struct NativeRuntime;
+
+/// The struct emitted code addresses through R15. Field offsets are part
+/// of the code's ABI; the static_asserts below pin them to
+/// NativeCtxLayout, which the emitter compiled against.
+struct NativeCtx {
+  int64_t Fuel;       ///< Remaining step budget; goes negative on exhaust.
+  int32_t Depth;      ///< Current call depth.
+  int32_t MaxDepth;   ///< Depth limit (exceeded => StackOverflow).
+  void **FnTable;     ///< Entry pointer per module function index.
+  NativeRuntime *RT;  ///< The C++ runtime state behind the helpers.
+};
+
+static_assert(offsetof(NativeCtx, Fuel) == NativeCtxLayout::FuelOffset,
+              "emitted code disagrees with NativeCtx layout");
+static_assert(offsetof(NativeCtx, Depth) == NativeCtxLayout::DepthOffset,
+              "emitted code disagrees with NativeCtx layout");
+static_assert(offsetof(NativeCtx, MaxDepth) == NativeCtxLayout::MaxDepthOffset,
+              "emitted code disagrees with NativeCtx layout");
+static_assert(offsetof(NativeCtx, FnTable) == NativeCtxLayout::FnTableOffset,
+              "emitted code disagrees with NativeCtx layout");
+
+/// Per-run state the helpers mutate; reset for every NativeModule::run.
+struct NativeRuntime {
+  const NativeOptions *Opts = nullptr;
+  std::vector<NativeArray> Heap;
+  uint64_t HeapElements = 0;
+  TrapKind Trap = TrapKind::None;
+  std::string TrapMessage;
+  std::jmp_buf Unwind;
+};
+
+double bitsAsDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+
+[[noreturn]] void raiseTrap(NativeCtx *Ctx, TrapKind Kind,
+                            const char *Message) {
+  Ctx->RT->Trap = Kind;
+  Ctx->RT->TrapMessage = Message;
+  std::longjmp(Ctx->RT->Unwind, 1);
+}
+
+// --- Runtime helpers --------------------------------------------------------
+//
+// Signatures follow the emitter's helper calling convention: ctx first,
+// then the IR operands in order, then the payload immediate (element
+// type / predicate / trap kind) when the helper has one. Each body is a
+// transliteration of the corresponding Interpreter.cpp case, including
+// the post-execute W32 masking the x86_64 target model applies (division
+// and d2i return zero-extended 32-bit results).
+
+uint64_t rtNewArray(NativeCtx *Ctx, uint64_t Len, uint64_t ElemTy) {
+  NativeRuntime &RT = *Ctx->RT;
+  int32_t LenLow = static_cast<int32_t>(Len);
+  if (LenLow < 0)
+    raiseTrap(Ctx, TrapKind::NegativeArraySize, "negative array size");
+  int64_t LenFull = static_cast<int64_t>(Len);
+  if (RT.Opts->CheckWildAddresses && LenFull != LenLow)
+    raiseTrap(Ctx, TrapKind::WildAddress,
+              "newarray length register not sign-extended");
+  uint64_t N = static_cast<uint64_t>(LenLow);
+  if (N > RT.Opts->MaxArrayLen)
+    raiseTrap(Ctx, TrapKind::AllocationLimit,
+              "array exceeds the configured limit");
+  if (RT.HeapElements + N > RT.Opts->MaxHeapElements)
+    reportFatalError("native heap limit exceeded (workload bug)");
+  RT.HeapElements += N;
+  RT.Heap.push_back(
+      NativeArray{static_cast<Type>(ElemTy), std::vector<uint64_t>(N, 0)});
+  return RT.Heap.size(); // Handle: index + 1; 0 is the null reference.
+}
+
+uint64_t rtArrayLen(NativeCtx *Ctx, uint64_t Handle) {
+  NativeRuntime &RT = *Ctx->RT;
+  if (Handle == 0 || Handle > RT.Heap.size())
+    raiseTrap(Ctx, TrapKind::NullArray, "arraylen of null");
+  return RT.Heap[Handle - 1].Data.size();
+}
+
+/// Shared access checks; returns the element index on success.
+uint32_t checkAccess(NativeCtx *Ctx, uint64_t Handle, uint64_t Index,
+                     NativeArray *&Array) {
+  NativeRuntime &RT = *Ctx->RT;
+  if (Handle == 0 || Handle > RT.Heap.size())
+    raiseTrap(Ctx, TrapKind::NullArray, "array access through null");
+  Array = &RT.Heap[Handle - 1];
+  uint32_t IndexLow = static_cast<uint32_t>(Index);
+  if (IndexLow >= Array->Data.size())
+    raiseTrap(Ctx, TrapKind::BoundsCheck, "array index out of bounds");
+  int64_t IndexFull = static_cast<int64_t>(Index);
+  if (RT.Opts->CheckWildAddresses &&
+      IndexFull != static_cast<int64_t>(IndexLow))
+    raiseTrap(Ctx, TrapKind::WildAddress,
+              "effective address disagrees with bounds-checked index");
+  return IndexLow;
+}
+
+uint64_t rtArrayLoad(NativeCtx *Ctx, uint64_t Handle, uint64_t Index,
+                     uint64_t ElemTy) {
+  NativeArray *Array = nullptr;
+  uint32_t At = checkAccess(Ctx, Handle, Index, Array);
+  uint64_t Raw = Array->Data[At];
+  // x86-64 load widening: byte and word loads zero-extend (movzx is the
+  // natural form), dword loads zero-extend implicitly — exactly the
+  // x86_64 TargetInfo model (loadSignExtends is false for I16/I32).
+  switch (static_cast<Type>(ElemTy)) {
+  case Type::I8:
+    return Raw & 0xFF;
+  case Type::I16:
+  case Type::U16:
+    return Raw & 0xFFFF;
+  case Type::I32:
+    return Raw & 0xFFFFFFFF;
+  default:
+    return Raw;
+  }
+}
+
+uint64_t rtArrayStore(NativeCtx *Ctx, uint64_t Handle, uint64_t Index,
+                      uint64_t Value, uint64_t ElemTy) {
+  NativeArray *Array = nullptr;
+  uint32_t At = checkAccess(Ctx, Handle, Index, Array);
+  switch (static_cast<Type>(ElemTy)) {
+  case Type::I8:
+    Value &= 0xFF;
+    break;
+  case Type::I16:
+  case Type::U16:
+    Value &= 0xFFFF;
+    break;
+  case Type::I32:
+    Value &= 0xFFFFFFFF;
+    break;
+  default:
+    break;
+  }
+  Array->Data[At] = Value;
+  return 0;
+}
+
+/// W32 division, Java semantics on x86-64: idiv consumes the low 32 bits
+/// only, so unextended upper halves cannot influence the result; the
+/// 64-bit quotient of int32 operands never overflows, and the final
+/// int32 cast wraps INT_MIN/-1 like the hardware sequence does. The
+/// result is zero-extended (a 32-bit register write).
+uint64_t div32Common(NativeCtx *Ctx, uint64_t A64, uint64_t B64, bool IsDiv) {
+  int64_t A = static_cast<int32_t>(A64);
+  int64_t B = static_cast<int32_t>(B64);
+  if (static_cast<int32_t>(B) == 0)
+    raiseTrap(Ctx, TrapKind::DivByZero, "integer divide by zero");
+  int64_t Quotient = A / B;
+  int64_t Value = IsDiv ? Quotient : A - Quotient * B;
+  return static_cast<uint32_t>(static_cast<int32_t>(Value));
+}
+
+uint64_t rtDiv32(NativeCtx *Ctx, uint64_t A, uint64_t B) {
+  return div32Common(Ctx, A, B, true);
+}
+
+uint64_t rtRem32(NativeCtx *Ctx, uint64_t A, uint64_t B) {
+  return div32Common(Ctx, A, B, false);
+}
+
+uint64_t div64Common(NativeCtx *Ctx, uint64_t A64, uint64_t B64, bool IsDiv) {
+  int64_t A = static_cast<int64_t>(A64);
+  int64_t B = static_cast<int64_t>(B64);
+  if (B == 0)
+    raiseTrap(Ctx, TrapKind::DivByZero, "integer divide by zero");
+  if (A == INT64_MIN && B == -1) // Java wraps; C leaves this undefined.
+    return IsDiv ? static_cast<uint64_t>(INT64_MIN) : 0;
+  return static_cast<uint64_t>(IsDiv ? A / B : A % B);
+}
+
+uint64_t rtDiv64(NativeCtx *Ctx, uint64_t A, uint64_t B) {
+  return div64Common(Ctx, A, B, true);
+}
+
+uint64_t rtRem64(NativeCtx *Ctx, uint64_t A, uint64_t B) {
+  return div64Common(Ctx, A, B, false);
+}
+
+/// Saturating double-to-int32 (Java d2i), returned zero-extended — the
+/// cvttsd2si destination is a 32-bit register write.
+uint64_t rtD2I(NativeCtx *, uint64_t Bits) {
+  double D = bitsAsDouble(Bits);
+  int32_t Value;
+  if (std::isnan(D))
+    Value = 0;
+  else if (D >= 2147483647.0)
+    Value = INT32_MAX;
+  else if (D <= -2147483648.0)
+    Value = INT32_MIN;
+  else
+    Value = static_cast<int32_t>(D);
+  return static_cast<uint32_t>(Value);
+}
+
+uint64_t rtFCmp(NativeCtx *, uint64_t ABits, uint64_t BBits, uint64_t Pred) {
+  double A = bitsAsDouble(ABits), B = bitsAsDouble(BBits);
+  bool Truth;
+  if (std::isnan(A) || std::isnan(B))
+    Truth = static_cast<CmpPred>(Pred) == CmpPred::NE; // Unordered: only !=.
+  else
+    switch (static_cast<CmpPred>(Pred)) {
+    case CmpPred::EQ:
+      Truth = A == B;
+      break;
+    case CmpPred::NE:
+      Truth = A != B;
+      break;
+    case CmpPred::SLT:
+    case CmpPred::ULT:
+      Truth = A < B;
+      break;
+    case CmpPred::SLE:
+    case CmpPred::ULE:
+      Truth = A <= B;
+      break;
+    case CmpPred::SGT:
+    case CmpPred::UGT:
+      Truth = A > B;
+      break;
+    case CmpPred::SGE:
+    case CmpPred::UGE:
+      Truth = A >= B;
+      break;
+    default:
+      Truth = false;
+    }
+  return Truth ? 1 : 0;
+}
+
+[[noreturn]] void rtTrap(NativeCtx *Ctx, uint64_t Kind) {
+  switch (static_cast<TrapKind>(Kind)) {
+  case TrapKind::ExplicitTrap:
+    raiseTrap(Ctx, TrapKind::ExplicitTrap, "trap instruction executed");
+  case TrapKind::StackOverflow:
+    raiseTrap(Ctx, TrapKind::StackOverflow, "call depth limit exceeded");
+  case TrapKind::StepLimit:
+    raiseTrap(Ctx, TrapKind::StepLimit, "instruction budget exhausted");
+  default:
+    raiseTrap(Ctx, static_cast<TrapKind>(Kind), "native trap");
+  }
+}
+
+uint64_t helperAddr(uint64_t (*Fn)(NativeCtx *, uint64_t)) {
+  return reinterpret_cast<uint64_t>(Fn);
+}
+uint64_t helperAddr(uint64_t (*Fn)(NativeCtx *, uint64_t, uint64_t)) {
+  return reinterpret_cast<uint64_t>(Fn);
+}
+uint64_t helperAddr(uint64_t (*Fn)(NativeCtx *, uint64_t, uint64_t,
+                                   uint64_t)) {
+  return reinterpret_cast<uint64_t>(Fn);
+}
+uint64_t helperAddr(uint64_t (*Fn)(NativeCtx *, uint64_t, uint64_t, uint64_t,
+                                   uint64_t)) {
+  return reinterpret_cast<uint64_t>(Fn);
+}
+uint64_t helperAddr(void (*Fn)(NativeCtx *, uint64_t)) {
+  return reinterpret_cast<uint64_t>(Fn);
+}
+
+HelperTable makeHelperTable() {
+  HelperTable T;
+  T.NewArray = helperAddr(rtNewArray);
+  T.ArrayLen = helperAddr(rtArrayLen);
+  T.ArrayLoad = helperAddr(rtArrayLoad);
+  T.ArrayStore = helperAddr(rtArrayStore);
+  T.Div32 = helperAddr(rtDiv32);
+  T.Rem32 = helperAddr(rtRem32);
+  T.Div64 = helperAddr(rtDiv64);
+  T.Rem64 = helperAddr(rtRem64);
+  T.D2I = helperAddr(rtD2I);
+  T.FCmp = helperAddr(rtFCmp);
+  T.Trap = helperAddr(rtTrap);
+  return T;
+}
+
+using EntryFn = uint64_t (*)(NativeCtx *, const uint64_t *);
+
+} // namespace
+
+struct NativeModule::Impl {
+  NativeOptions Opts;
+  std::unique_ptr<MModule> MIR;
+  CodeBuffer Code;
+  std::vector<void *> FnTable; ///< Entry pointer per function index.
+  NativeCompileInfo Info;
+};
+
+NativeModule::NativeModule() : P(new Impl) {}
+NativeModule::~NativeModule() = default;
+
+bool NativeModule::hostSupported() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return CodeBuffer::hostSupported();
+#else
+  return false;
+#endif
+}
+
+const NativeCompileInfo &NativeModule::info() const { return P->Info; }
+const MModule &NativeModule::machineModule() const { return *P->MIR; }
+
+std::unique_ptr<NativeModule>
+NativeModule::compile(const Module &M, const NativeOptions &Opts,
+                      std::string *Error) {
+  auto Fail = [&](const std::string &Why) -> std::unique_ptr<NativeModule> {
+    if (Error)
+      *Error = Why;
+    return nullptr;
+  };
+  if (!hostSupported())
+    return Fail("native execution requires an x86-64 POSIX host");
+
+  verifyModuleOrDie(M);
+
+  uint64_t Start = wallNowNanos();
+  std::unique_ptr<NativeModule> NM(new NativeModule);
+  NM->P->Opts = Opts;
+
+  NM->P->MIR = lowerModule(M, &NM->P->Info.Lowering);
+  MModule &MIR = *NM->P->MIR;
+
+  for (auto &MF : MIR.Functions) {
+    RegAllocResult RA = allocateRegisters(*MF, Opts.RegAlloc);
+    NM->P->Info.SpillSlots += RA.NumSpillSlots;
+    NM->P->Info.SpilledIntervals += RA.NumSpilledIntervals;
+    NM->P->Info.SpillLoads += RA.NumSpillLoads;
+    NM->P->Info.SpillStores += RA.NumSpillStores;
+    std::string Problem = verifyMachineFunction(*MF, &RA.Intervals);
+    if (!Problem.empty())
+      reportFatalError("machine verifier: " + MF->name() + ": " + Problem);
+  }
+
+  EmittedModule EM = emitModule(MIR, makeHelperTable());
+  NM->P->Info.CodeBytes = EM.Code.size();
+
+  if (!NM->P->Code.allocate(EM.Code.size()))
+    return Fail("cannot map a code buffer");
+  std::memcpy(NM->P->Code.data(), EM.Code.data(), EM.Code.size());
+  if (!NM->P->Code.makeExecutable())
+    return Fail("cannot make the code buffer executable (W^X-restricted "
+                "environment)");
+
+  NM->P->FnTable.resize(MIR.Functions.size());
+  for (size_t Index = 0; Index < MIR.Functions.size(); ++Index)
+    NM->P->FnTable[Index] = NM->P->Code.data() + EM.FunctionOffsets[Index];
+
+  NM->P->Info.CompileNanos = wallNowNanos() - Start;
+
+  if (Opts.Metrics) {
+    Opts.Metrics->counter("sxe_native_compiles_total",
+                          "Modules compiled to native x86-64 code")
+        .inc();
+    Opts.Metrics
+        ->counter("sxe_native_code_bytes_total",
+                  "Bytes of executable x86-64 code emitted")
+        .inc(NM->P->Info.CodeBytes);
+    Opts.Metrics
+        ->counter("sxe_regalloc_spilled_intervals_total",
+                  "Live intervals the linear-scan allocator spilled")
+        .inc(NM->P->Info.SpilledIntervals);
+    Opts.Metrics
+        ->counter("sxe_regalloc_spill_slots_total",
+                  "Frame spill slots allocated across compiles")
+        .inc(NM->P->Info.SpillSlots);
+  }
+  if (Opts.Stats) {
+    Opts.Stats->counter("codegen", "machine_insts") +=
+        NM->P->Info.Lowering.MachineInsts;
+    Opts.Stats->counter("codegen", "helper_calls") +=
+        NM->P->Info.Lowering.HelperCalls;
+    Opts.Stats->counter("codegen", "conversions_emitted") +=
+        NM->P->Info.Lowering.Conversions;
+    Opts.Stats->counter("codegen", "spilled_intervals") +=
+        NM->P->Info.SpilledIntervals;
+    Opts.Stats->counter("codegen", "spill_loads") +=
+        NM->P->Info.SpillLoads;
+    Opts.Stats->counter("codegen", "spill_stores") +=
+        NM->P->Info.SpillStores;
+    Opts.Stats->counter("codegen", "code_bytes") += NM->P->Info.CodeBytes;
+  }
+  return NM;
+}
+
+ExecResult NativeModule::run(const std::string &FuncName,
+                             const std::vector<uint64_t> &Args) {
+  MFunction *MF = P->MIR->find(FuncName);
+  if (!MF)
+    reportFatalError("native run of unknown function '" + FuncName + "'");
+  if (Args.size() != MF->NumParams)
+    reportFatalError("native run of '" + FuncName +
+                     "': argument count mismatch");
+
+  NativeRuntime RT;
+  RT.Opts = &P->Opts;
+
+  int64_t Fuel = P->Opts.MaxSteps > static_cast<uint64_t>(INT64_MAX)
+                     ? INT64_MAX
+                     : static_cast<int64_t>(P->Opts.MaxSteps);
+  NativeCtx Ctx;
+  Ctx.Fuel = Fuel;
+  Ctx.Depth = 0;
+  Ctx.MaxDepth = static_cast<int32_t>(P->Opts.MaxCallDepth);
+  Ctx.FnTable = P->FnTable.data();
+  Ctx.RT = &RT;
+
+  ExecResult Result;
+  uint64_t Ret = 0;
+  if (setjmp(RT.Unwind) == 0) {
+    EntryFn Entry =
+        reinterpret_cast<EntryFn>(P->FnTable[MF->index()]);
+    Ret = Entry(&Ctx, Args.data());
+  }
+  Result.Trap = RT.Trap;
+  Result.TrapMessage = RT.TrapMessage;
+  if (Result.Trap == TrapKind::None)
+    Result.ReturnValue = Ret;
+  // Fuel is charged per block head for the block's whole IR cost, so this
+  // matches the interpreter's instruction count on complete blocks and
+  // slightly overcounts a block a trap cut short.
+  Result.ExecutedInstructions =
+      static_cast<uint64_t>(Fuel - (Ctx.Fuel < 0 ? 0 : Ctx.Fuel));
+
+  if (P->Opts.Metrics)
+    P->Opts.Metrics
+        ->counter("sxe_native_executions_total",
+                  "Function executions completed by native code")
+        .inc();
+  return Result;
+}

@@ -2,6 +2,7 @@
 
 #include "fuzz/DiffTest.h"
 
+#include "codegen/NativeEngine.h"
 #include "ir/Cloner.h"
 #include "ir/Verifier.h"
 
@@ -23,6 +24,8 @@ const char *sxe::diffStatusName(DiffStatus Status) {
     return "wild address";
   case DiffStatus::ExtensionRegression:
     return "extension-census regression";
+  case DiffStatus::NativeMismatch:
+    return "native-execution mismatch";
   }
   return "unknown";
 }
@@ -114,6 +117,36 @@ DiffResult sxe::runDifferentialTest(const Module &Pristine,
         return fail(DiffStatus::ChecksumMismatch, V, Target,
                     "oracle " + std::to_string(Oracle.ReturnValue) +
                         ", optimized " + std::to_string(Got.ReturnValue));
+
+      // Clause 5 (when enabled): the emitted x86-64 code must agree with
+      // the machine-semantics interpreter it was compiled to match. The
+      // optimized run cannot be step-limited here (that would have been a
+      // trap mismatch above), but the native engine's block-granular fuel
+      // can exhaust slightly early, so a native StepLimit is skipped.
+      if (Config.NativeEngine && Target == &TargetInfo::x86_64() &&
+          NativeModule::hostSupported()) {
+        NativeOptions NOpts;
+        NOpts.MaxSteps = Config.MaxSteps;
+        NOpts.MaxArrayLen = Config.MaxArrayLen;
+        std::string Error;
+        if (auto NM = NativeModule::compile(*Clone, NOpts, &Error)) {
+          ExecResult Native = NM->run(Config.EntryFunction);
+          ++Result.NativeRuns;
+          if (Native.Trap != TrapKind::StepLimit) {
+            if (Native.Trap != Got.Trap)
+              return fail(DiffStatus::NativeMismatch, V, Target,
+                          std::string("interpreter ") +
+                              trapKindName(Got.Trap) + ", native " +
+                              trapKindName(Native.Trap));
+            if (Got.Trap == TrapKind::None &&
+                Native.ReturnValue != Got.ReturnValue)
+              return fail(DiffStatus::NativeMismatch, V, Target,
+                          "interpreter " + std::to_string(Got.ReturnValue) +
+                              ", native " +
+                              std::to_string(Native.ReturnValue));
+          }
+        }
+      }
 
       if (V == Variant::Baseline) {
         HaveBaseline = true;

@@ -50,6 +50,8 @@ enum class DiffStatus : uint8_t {
   ChecksumMismatch,    ///< Optimized return value differs from the oracle.
   WildAddress,         ///< The wild-address miscompile detector fired.
   ExtensionRegression, ///< "all" executed more extensions than baseline.
+  NativeMismatch,      ///< Native x86-64 execution disagrees with the
+                       ///< machine-semantics interpreter.
 };
 
 /// Returns a printable name for \p Status.
@@ -74,6 +76,12 @@ struct DiffConfig {
   uint64_t MaxSteps = 1u << 22;
   uint32_t MaxArrayLen = 0x7FFFFFFF;
   std::string EntryFunction = "main";
+  /// Also execute every x86_64-target pipeline result through the native
+  /// code generator (codegen/NativeEngine.h) and require trap/checksum
+  /// parity with the machine-semantics interpreter. Silently inert on
+  /// hosts that cannot execute emitted x86-64 code; native runs that hit
+  /// the (block-granular) fuel limit are skipped rather than compared.
+  bool NativeEngine = false;
   /// Test-only hook, applied to the optimized clone after the pipeline and
   /// before verification/execution. sxe-difftest's hidden --inject-bug
   /// flag uses it to prove the harness catches (and the reducer shrinks)
@@ -88,6 +96,7 @@ struct DiffResult {
   TrapKind OracleTrap = TrapKind::None;
   uint64_t OracleChecksum = 0;
   unsigned PipelinesRun = 0;
+  unsigned NativeRuns = 0; ///< Native executions compared (NativeEngine).
 
   bool ok() const { return !Failure.has_value(); }
 };

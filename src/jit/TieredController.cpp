@@ -2,7 +2,9 @@
 
 #include "jit/TieredController.h"
 
+#include "codegen/NativeEngine.h"
 #include "ir/Cloner.h"
+#include "parser/Parser.h"
 
 using namespace sxe;
 
@@ -52,5 +54,23 @@ TieredOutcome TieredController::run(const Module &M,
   if (UnprofiledFuture.valid())
     Outcome.Unprofiled = UnprofiledFuture.get();
   Outcome.Profiled = ProfiledFuture.get();
+
+  // Tier 3: run the recompiled code for real. The artifact round-trips
+  // through its textual form — the same bytes a cache hit or the serve
+  // path would deliver — so what executes natively is exactly what the
+  // pipeline shipped.
+  if (Options.ExecuteNative && Outcome.Profiled.Ok &&
+      Options.Target == &TargetInfo::x86_64() &&
+      NativeModule::hostSupported()) {
+    ParseResult Parsed = parseModule(Outcome.Profiled.Code->IRText);
+    if (Parsed.ok()) {
+      NativeOptions NOpts;
+      NOpts.MaxSteps = Options.WarmupMaxSteps;
+      if (auto NM = NativeModule::compile(*Parsed.M, NOpts)) {
+        Outcome.Native = NM->run(Options.Entry, Args);
+        Outcome.NativeExecuted = true;
+      }
+    }
+  }
   return Outcome;
 }

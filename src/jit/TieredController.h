@@ -17,6 +17,10 @@
 /// Tier 1   (optional) compile with static frequency estimates
 /// Tier 2   recompile with Config.Profile = the tier-0 profile, enqueued
 ///          at a hotness proportional to the observed execution count
+/// Tier 3   (x86_64 target, capable hosts) execute the tier-2 output
+///          natively through the baseline code generator
+///          (codegen/NativeEngine.h) — the recompiled code actually runs
+///          on hardware instead of being only an artifact
 ///
 /// The controller owns the ProfileInfo, so the pointer baked into the
 /// tier-2 request stays valid for the compile's whole lifetime. One
@@ -50,6 +54,10 @@ struct TieredOptions {
   /// Also compile tier 1 (no profile) so callers can compare placements;
   /// skipping it saves one compile when only the final code matters.
   bool CompileUnprofiledTier = true;
+  /// Execute the tier-2 artifact through the native x86-64 backend when
+  /// the target is x86_64 and the host can run the emitted code. Inert
+  /// otherwise — the outcome simply reports NativeExecuted = false.
+  bool ExecuteNative = true;
 };
 
 /// Everything one tiered compilation produces.
@@ -63,6 +71,13 @@ struct TieredOutcome {
   CompileResult Unprofiled;
   /// Tier 2: the profile-guided recompile.
   CompileResult Profiled;
+  /// True when the tier-2 artifact was compiled to x86-64 and executed
+  /// natively (TieredOptions::ExecuteNative on a capable host).
+  bool NativeExecuted = false;
+  /// The native execution's result; meaningful when NativeExecuted. The
+  /// trap kind and return value must agree with Warmup on trap-free runs
+  /// (the same parity the differential tester enforces).
+  ExecResult Native;
 };
 
 /// Drives interpret -> profile -> enqueue-recompile over one module.

@@ -2,9 +2,11 @@
 
 #include "workloads/Runner.h"
 
+#include "codegen/NativeEngine.h"
 #include "ir/Cloner.h"
 #include "ir/Verifier.h"
 #include "support/Error.h"
+#include "support/Timer.h"
 
 using namespace sxe;
 
@@ -60,7 +62,26 @@ WorkloadReport sxe::runWorkload(const Workload &W,
     MachineOptions.Semantics = ExecSemantics::Machine;
     MachineOptions.MaxArrayLen = Options.MaxArrayLen;
     Interpreter Interp(*Clone, MachineOptions);
+    uint64_t InterpStart = wallNowNanos();
     ExecResult R = Interp.run("main");
+    Row.InterpWallNanos = wallNowNanos() - InterpStart;
+
+    // Hardware execution of the same post-pipeline module: compile with
+    // the baseline code generator and time the native run.
+    if (Options.Native && Options.Target == &TargetInfo::x86_64() &&
+        NativeModule::hostSupported()) {
+      NativeOptions NOpts;
+      NOpts.MaxArrayLen = Options.MaxArrayLen;
+      if (auto NM = NativeModule::compile(*Clone, NOpts)) {
+        Row.NativeCompileNanos = NM->info().CompileNanos;
+        uint64_t NativeStart = wallNowNanos();
+        ExecResult Native = NM->run("main");
+        Row.NativeWallNanos = wallNowNanos() - NativeStart;
+        Row.NativeExecuted = true;
+        Row.NativeChecksumOK = Native.Trap == TrapKind::None &&
+                               Native.ReturnValue == Report.OracleChecksum;
+      }
+    }
 
     Row.Trap = R.Trap;
     Row.Checksum = R.ReturnValue;

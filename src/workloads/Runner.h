@@ -39,6 +39,11 @@ struct RunnerOptions {
   const TargetInfo *Target = &TargetInfo::ia64();
   uint32_t MaxArrayLen = 0x7FFFFFFF;
   bool UseProfile = true;
+  /// Also compile each variant's output with the baseline x86-64 code
+  /// generator and execute it natively, recording hardware wall time.
+  /// Requires Target == x86_64 and a capable host; silently inert
+  /// otherwise (rows report NativeExecuted = false).
+  bool Native = false;
   WorkloadParams Params;
   std::vector<Variant> Variants =
       std::vector<Variant>(AllVariants, AllVariants + NumVariants);
@@ -56,6 +61,13 @@ struct VariantRow {
   bool ChecksumOK = false;
   TrapKind Trap = TrapKind::None;
   PipelineStats Pipeline;
+  /// Wall-clock nanoseconds of the machine-semantics interpreter run.
+  uint64_t InterpWallNanos = 0;
+  /// Native x86-64 execution (RunnerOptions::Native on a capable host).
+  bool NativeExecuted = false;
+  uint64_t NativeWallNanos = 0;    ///< Hardware wall time of the native run.
+  uint64_t NativeCompileNanos = 0; ///< Lowering + regalloc + emission time.
+  bool NativeChecksumOK = false;   ///< Native result matched the oracle.
 };
 
 /// All rows of one workload column.

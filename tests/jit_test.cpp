@@ -17,6 +17,7 @@
 //
 //===-----------------------------------------------------------------------------===//
 
+#include "codegen/NativeEngine.h"
 #include "ir/Cloner.h"
 #include "ir/IRBuilder.h"
 #include "ir/IRPrinter.h"
@@ -436,6 +437,30 @@ TEST(TieredController, ClosesTheMixedModeLoop) {
   ParseResult Reparsed = parseModule(Outcome.Profiled.Code->IRText);
   ASSERT_TRUE(Reparsed.ok()) << Reparsed.Error;
   EXPECT_TRUE(test::moduleVerifies(*Reparsed.M, /*AllowDummies=*/false));
+}
+
+TEST(TieredController, ExecutesRecompiledCodeNatively) {
+  if (!NativeModule::hostSupported())
+    GTEST_SKIP() << "host cannot execute emitted x86-64 code";
+
+  auto M = buildSmallModule();
+  CodeCache Cache;
+  CompileServiceOptions SvcOptions;
+  SvcOptions.Jobs = 2;
+  SvcOptions.Cache = &Cache;
+  CompileService Service(SvcOptions);
+
+  TieredOptions Options;
+  Options.Target = &TargetInfo::x86_64();
+  TieredController Controller(Service, Options);
+  TieredOutcome Outcome = Controller.run(*M);
+
+  ASSERT_TRUE(Outcome.Profiled.Ok) << Outcome.Profiled.Error;
+  ASSERT_TRUE(Outcome.NativeExecuted);
+  // The natively executed tier-2 code agrees with the tier-0 warm-up.
+  EXPECT_EQ(Outcome.Native.Trap, Outcome.Warmup.Trap);
+  if (Outcome.Warmup.ok())
+    EXPECT_EQ(Outcome.Native.ReturnValue, Outcome.Warmup.ReturnValue);
 }
 
 TEST(TieredController, ProfiledRecompileHasItsOwnCacheEntry) {

@@ -39,6 +39,9 @@ struct WorkloadTimes {
   /// Request-latency percentiles (serve-daemon reports only; 0 = absent).
   double P50Ns = 0;
   double P99Ns = 0;
+  /// Execution-speed family (bench_exec reports only; 0 = absent).
+  double ExecInterpNs = 0;
+  double ExecNativeNs = 0;
 };
 
 /// One parsed report: workload name -> times, in file order.
@@ -77,6 +80,10 @@ bool loadReport(const char *Path, Report &Out, std::string &Error) {
         T.ChainNs = F->numberValue();
       if (const JsonValue *F = R.find("sxe_opt_ns"))
         T.SxeNs = F->numberValue();
+      if (const JsonValue *F = R.find("exec_interp_ns"))
+        T.ExecInterpNs = F->numberValue();
+      if (const JsonValue *F = R.find("exec_native_ns"))
+        T.ExecNativeNs = F->numberValue();
       Out.Order.push_back(Name);
       Out.Times[Name] = T;
     }
@@ -178,6 +185,14 @@ int main(int Argc, char **Argv) {
     CurSum.SxeNs += C.SxeNs;
     CurSum.P50Ns += C.P50Ns;
     CurSum.P99Ns += C.P99Ns;
+    // Gate the exec family only over workloads both runs executed
+    // natively (a host without the backend reports interp times only).
+    BaseSum.ExecInterpNs += B.ExecInterpNs;
+    CurSum.ExecInterpNs += C.ExecInterpNs;
+    if (B.ExecNativeNs > 0 && C.ExecNativeNs > 0) {
+      BaseSum.ExecNativeNs += B.ExecNativeNs;
+      CurSum.ExecNativeNs += C.ExecNativeNs;
+    }
     ++Common;
   }
   for (const std::string &Name : Current.Order)
@@ -200,6 +215,11 @@ int main(int Argc, char **Argv) {
       // levels); present only in serve reports, skipped elsewhere.
       {"latency p50", BaseSum.P50Ns, CurSum.P50Ns},
       {"latency p99", BaseSum.P99Ns, CurSum.P99Ns},
+      // Execution-speed family (bench_exec reports only): interpreter
+      // dispatch speed and native code quality, each gated on aggregate
+      // wall time.
+      {"interp execution", BaseSum.ExecInterpNs, CurSum.ExecInterpNs},
+      {"native execution", BaseSum.ExecNativeNs, CurSum.ExecNativeNs},
   };
 
   int Status = 0;

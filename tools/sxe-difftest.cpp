@@ -40,6 +40,7 @@ struct ToolOptions {
   std::string Unsigned = "on";
   std::vector<const TargetInfo *> Targets;
   uint64_t MaxSteps = 1u << 22;
+  bool Native = false;
   bool Reduce = false;
   std::string OutDir;
   bool KeepGoing = false;
@@ -61,6 +62,8 @@ void printUsage() {
       "  --unsigned=MODE    unsigned/char constructs: off | on | heavy "
       "(default on)\n"
       "  --max-steps=N      interpreter step budget per run\n"
+      "  --native           also run x86_64 pipelines through the native\n"
+      "                     code generator and require interpreter parity\n"
       "  --reduce           minimize failing modules with the greedy reducer\n"
       "  --out=DIR          directory for minimized .sxir (default '.')\n"
       "  --keep-going       test all seeds even after a failure\n"
@@ -142,6 +145,8 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Options) {
       Options.OutDir = Value;
     } else if (consumeFlag(Arg, "--progress", &Value)) {
       Options.ProgressEvery = std::strtoull(Value, nullptr, 0);
+    } else if (consumeFlag(Arg, "--native", nullptr)) {
+      Options.Native = true;
     } else if (consumeFlag(Arg, "--reduce", nullptr)) {
       Options.Reduce = true;
     } else if (consumeFlag(Arg, "--keep-going", nullptr)) {
@@ -247,16 +252,19 @@ int main(int Argc, char **Argv) {
   DiffConfig Config;
   Config.Targets = Options.Targets;
   Config.MaxSteps = Options.MaxSteps;
+  Config.NativeEngine = Options.Native;
   if (Options.InjectBug)
     Config.PostPipelineMutator = injectBug;
 
-  uint64_t Failures = 0, SkippedStepLimit = 0, PipelinesRun = 0;
+  uint64_t Failures = 0, SkippedStepLimit = 0, PipelinesRun = 0,
+           NativeRuns = 0;
   for (uint64_t Offset = 0; Offset < Options.Seeds; ++Offset) {
     uint64_t Seed = Options.StartSeed + Offset;
     RandomModuleGenerator Gen(Seed, Shape);
     std::unique_ptr<Module> M = Gen.generate();
     DiffResult Result = runDifferentialTest(*M, Config);
     PipelinesRun += Result.PipelinesRun;
+    NativeRuns += Result.NativeRuns;
 
     if (!Result.ok() &&
         Result.Failure->Status == DiffStatus::OracleStepLimit) {
@@ -291,10 +299,11 @@ int main(int Argc, char **Argv) {
   }
 
   std::fprintf(stderr,
-               "sxe-difftest: %llu seeds, %llu pipeline runs, %llu "
-               "step-limit skips, %llu failures\n",
+               "sxe-difftest: %llu seeds, %llu pipeline runs, %llu native "
+               "runs, %llu step-limit skips, %llu failures\n",
                static_cast<unsigned long long>(Options.Seeds),
                static_cast<unsigned long long>(PipelinesRun),
+               static_cast<unsigned long long>(NativeRuns),
                static_cast<unsigned long long>(SkippedStepLimit),
                static_cast<unsigned long long>(Failures));
   return Failures == 0 ? 0 : 1;
